@@ -1,0 +1,81 @@
+"""The §3 copy-protection false-positive argument, quantified.
+
+The paper's case for building a *network* system around [5]'s analysis:
+legitimate protectors (CrypKey, ASProtect) ship decryption loops, so
+pure host-based semantic scanning false-positives on protected software
+— "we expect the false positive rate of the detection scheme based on
+purely checking installed binary programs ... to grow accordingly.
+However, it is highly unlikely for copy protected program to be embedded
+in a web request sent by a scanning source."
+
+Three configurations over the same bytes (a protected benign program):
+
+1. host-based scan of the installed binary ([5])      -> false alert
+2. network NIDS, classification ON, program downloaded
+   over HTTP by an ordinary client                     -> silent
+3. network NIDS, classification OFF (the §5.4 mode)   -> alert
+   (honest: this is why §3 says "false positives are bound to emerge
+   unless a good classifier is provided")
+"""
+
+from repro.baseline import HostBasedScanner
+from repro.engines.copyprotect import protected_binary
+from repro.net.wire import Host, Wire
+from repro.nids import NidsSensor, SemanticNids
+
+
+def _download_over_http(nids: SemanticNids, program: bytes) -> None:
+    """An ordinary client downloads the protected program from a benign
+    web server; the sensor watches."""
+    wire = Wire()
+    NidsSensor(nids).attach(wire)
+    client = Host(ip="192.168.1.20", wire=wire)
+    session = client.open_tcp("10.10.0.30", 80)
+    session.send(b"GET /downloads/shareware-setup.exe HTTP/1.0\r\n"
+                 b"Host: downloads.example.com\r\n\r\n")
+    session.reply(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/octet-stream\r\n"
+        + f"Content-Length: {len(program)}\r\n\r\n".encode() + program
+    )
+    session.close()
+
+
+def test_copyprotect_false_positive_architecture(benchmark, report):
+    program = protected_binary(size=8 * 1024, seed=3)
+
+    # 1. Host-based scan: the protector's loop IS a decryption loop.
+    def host_scan():
+        return HostBasedScanner().scan_binary(program[:2048])
+
+    host_result = benchmark.pedantic(host_scan, rounds=1, iterations=1)
+
+    # 2. Network NIDS with classification: nothing marked the client or
+    # server, so the download is never analyzed.
+    gated = SemanticNids(honeypots=["10.10.0.250"])
+    _download_over_http(gated, program)
+
+    # 3. Classification disabled: everything is analyzed, including the
+    # protector stub.
+    open_nids = SemanticNids(classification_enabled=False)
+    _download_over_http(open_nids, program)
+
+    rows = [
+        f"host-based scan ([5]'s deployment):        "
+        f"{'FALSE ALERT' if host_result.detected else 'silent'} "
+        f"({', '.join(host_result.matched_names()) or '-'})",
+        f"network NIDS, classification ON:           "
+        f"{'FALSE ALERT' if gated.alerts else 'silent'} "
+        f"(payloads analyzed: {gated.stats.payloads_analyzed})",
+        f"network NIDS, classification OFF (§5.4):   "
+        f"{'FALSE ALERT' if open_nids.alerts else 'silent'}",
+        "the classifier is what turns a powerful-but-FP-prone analysis "
+        "into a deployable NIDS — §3's architectural argument",
+    ]
+    report.table("§3 — copy-protected software (CrypKey/ASProtect scenario)",
+                 rows)
+
+    assert host_result.detected        # [5] alone false-positives
+    assert "xor_decrypt_loop" in host_result.matched_names()
+    assert gated.alerts == []          # the paper's deployment stays silent
+    assert gated.stats.payloads_analyzed == 0
+    assert open_nids.alerts != []      # and §3's warning is real

@@ -1,0 +1,41 @@
+"""§5.4: false-positive evaluation on benign traffic.
+
+Classification is disabled — "we examined every packet's payload" — and
+the NIDS runs over a large benign capture (the paper used a month /
+566 MB from two class-C networks; ``REPRO_SCALE=paper`` raises the volume
+here).  The reproduction target: zero false positives while the analyzer
+demonstrably does real work (payloads analyzed, frames extracted and
+disassembled).
+"""
+
+from repro.nids import SemanticNids
+from repro.traffic import month_of_traffic
+
+
+def _run_fp(payload_bytes: int):
+    packets, nbytes = month_of_traffic(seed=42, payload_bytes=payload_bytes)
+    nids = SemanticNids(classification_enabled=False)
+    nids.process_trace(packets)
+    return nids, len(packets), nbytes
+
+
+def test_fp_benign_traffic(benchmark, report, scale):
+    nids, n_packets, nbytes = benchmark.pedantic(
+        _run_fp, args=(scale["fp_payload_bytes"],), rounds=1, iterations=1,
+    )
+    stats = nids.stats
+    rows = [
+        f"packets={n_packets} generated_payload={nbytes / 1e6:.1f}MB "
+        f"inspected_payload={stats.payload_bytes / 1e6:.1f}MB",
+        f"payloads_analyzed={stats.payloads_analyzed} "
+        f"frames_extracted={stats.frames_extracted} "
+        f"frames_analyzed={stats.frames_analyzed}",
+        f"false_positives={stats.alerts} (paper: 0 over 566MB)",
+        f"stage times: extraction={stats.extraction.elapsed:.2f}s "
+        f"analysis={stats.analysis.elapsed:.2f}s",
+    ]
+    report.table("§5.4 — False positive evaluation (classification off)", rows)
+
+    assert stats.alerts == 0
+    assert stats.payloads_analyzed > 0
+    assert stats.frames_analyzed > 0

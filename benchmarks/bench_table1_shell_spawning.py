@@ -1,0 +1,80 @@
+"""Table 1: Linux shell-spawning buffer-overflow exploits.
+
+Eight exploits are fired at a honeypot registered with the NIDS; the
+table reports, per exploit: detected as spawning a shell?, port binding
+noted?, and the per-exploit analysis time (the paper reports 2.36-3.27 s
+on a 2.8 GHz P4; our substrate is a simulator, so shape — all detected,
+binders noted, times uniform across exploits — is the reproduction
+target, not the absolute numbers).
+"""
+
+import time
+
+from repro.engines import EXPLOITS, ExploitGenerator
+from repro.net.wire import Wire
+from repro.nids import NidsSensor, SemanticNids
+
+HONEYPOT = "10.10.0.250"
+
+
+def _fresh_nids() -> tuple[SemanticNids, Wire]:
+    nids = SemanticNids(honeypots=[HONEYPOT])
+    wire = Wire()
+    NidsSensor(nids).attach(wire)
+    return nids, wire
+
+
+def _run_all() -> SemanticNids:
+    nids, wire = _fresh_nids()
+    ExploitGenerator(wire).fire_all(HONEYPOT)
+    return nids
+
+
+def test_table1_shell_spawning(benchmark, report):
+    # Benchmark: the complete eight-exploit campaign through the pipeline.
+    nids = benchmark.pedantic(_run_all, rounds=3, iterations=1)
+    by_template = nids.alerts_by_template()
+
+    # Table rows: each exploit through a fresh pipeline for exact
+    # per-exploit attribution and timing.
+    from repro.core.library import sockaddr_port
+
+    rows = [f"{'exploit':24s} {'service':8s} {'shell':6s} {'bind':10s} "
+            f"{'bind-truth':10s} {'time':>9s}"]
+    spawned = bind_correct = 0
+    for spec in EXPLOITS:
+        one, wire = _fresh_nids()
+        start = time.perf_counter()
+        ExploitGenerator(wire).fire(spec, HONEYPOT, seed=1)
+        elapsed = time.perf_counter() - start
+        got = set(one.alerts_by_template())
+        shell = "linux_shell_spawn" in got
+        bind = "port_bind_shell" in got
+        bind_note = "no"
+        if bind:
+            match = next(a.match for a in one.alerts
+                         if a.template == "port_bind_shell")
+            captured = match.bindings.get("SOCKADDR")
+            bind_note = (f"port {sockaddr_port(int(captured[1]))}"
+                         if captured else "yes")
+        spawned += shell
+        bind_correct += (bind == spec.binds_port)
+        truth = f"port {spec.spec().port}" if spec.binds_port else "no"
+        rows.append(
+            f"{spec.name:24s} {spec.service:8s} "
+            f"{'yes' if shell else 'NO':6s} {bind_note:10s} "
+            f"{truth:10s} {elapsed * 1000:7.2f}ms"
+        )
+        if spec.binds_port:
+            assert bind_note == truth  # the listening port is recovered
+    rows.append(
+        f"summary: {spawned}/8 spawns detected, bind noted correctly "
+        f"{bind_correct}/8 (paper: 8/8 detected, both binders noted, "
+        f"2.36-3.27 s each on a 2.8 GHz P4)"
+    )
+    report.table("Table 1 — Linux shell spawning exploits", rows)
+
+    assert spawned == 8
+    assert bind_correct == 8
+    assert by_template["linux_shell_spawn"] == 8
+    assert by_template["port_bind_shell"] == 2

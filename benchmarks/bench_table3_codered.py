@@ -1,0 +1,54 @@
+"""Table 3: detection of the Code Red II worm in production-style traces.
+
+Twelve 5-minute traces (>200k packets each at paper scale; see
+``REPRO_SCALE``) with a known number of CRII instances.  "From Table 3,
+one can note that every instance was classified and matched correctly by
+our NIDS" — the reproduction target is exact instance counting with zero
+misses and zero spurious CRII alerts.
+"""
+
+import time
+
+from repro.nids import SemanticNids
+from repro.traffic import TABLE3_INSTANCE_COUNTS, build_table3_trace
+
+
+def _run_trace(index: int, packets: int):
+    trace = build_table3_trace(index, target_packets=packets)
+    nids = SemanticNids(
+        dark_networks=["10.0.0.0/8"],
+        dark_exclude=["10.10.0.0/24"],
+        dark_threshold=5,
+    )
+    start = time.perf_counter()
+    nids.process_trace(trace.packets)
+    elapsed = time.perf_counter() - start
+    found = {a.source for a in nids.alerts if a.template == "codered_ii_vector"}
+    return trace, found, elapsed
+
+
+def test_table3_codered_traces(benchmark, report, scale):
+    packets = scale["table3_packets"]
+
+    # Benchmark one representative trace end-to-end...
+    benchmark.pedantic(_run_trace, args=(0, packets), rounds=1, iterations=1)
+
+    # ...and regenerate the full 12-row table.
+    rows = [f"{'trace':10s} {'packets':>9s} {'instances':>9s} "
+            f"{'detected':>9s} {'correct':>8s} {'time':>8s}"]
+    all_correct = True
+    for index in range(len(TABLE3_INSTANCE_COUNTS)):
+        trace, found, elapsed = _run_trace(index, packets)
+        correct = (len(found) == trace.crii_instances
+                   and found == set(trace.crii_sources))
+        all_correct &= correct
+        rows.append(
+            f"{trace.name:10s} {trace.packet_count:9d} "
+            f"{trace.crii_instances:9d} {len(found):9d} "
+            f"{'yes' if correct else 'NO':>8s} {elapsed:7.2f}s"
+        )
+    rows.append("paper: every instance classified and matched correctly "
+                "across 12 traces of >200,000 packets")
+    report.table("Table 3 — Code Red II worm detection", rows)
+
+    assert all_correct

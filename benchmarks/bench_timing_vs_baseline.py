@@ -1,0 +1,82 @@
+"""§5.1 timing: the network pipeline vs the host-based system of [5].
+
+The paper's efficiency claim: analysing a ~22 KB Netsky sample takes
+~6.5 s in their pipeline versus ~40 s reported by [5], and individual
+exploits take 2.36-3.27 s.  Absolute numbers depend on 2002-era hardware;
+the reproduction target is the *relationship* — the extraction-pruned
+pipeline does far less work than exhaustive whole-binary scanning on the
+same bytes, and per-exploit times are small and uniform.
+"""
+
+import time
+
+from repro.baseline import HostBasedScanner
+from repro.core import SemanticAnalyzer
+from repro.engines import EXPLOITS, build_exploit_request, netsky_sample
+from repro.extract import BinaryExtractor
+
+
+def _pipeline_netsky(sample: bytes) -> float:
+    analyzer = SemanticAnalyzer()
+    start = time.perf_counter()
+    result = analyzer.analyze_frame(sample)
+    assert not result.detected
+    return time.perf_counter() - start
+
+
+def _baseline_netsky(sample: bytes) -> float:
+    scanner = HostBasedScanner()
+    result = scanner.scan_binary(sample)
+    assert not result.detected
+    return result.elapsed
+
+
+def test_timing_netsky_pipeline_vs_baseline(benchmark, report, scale):
+    rows = []
+    ratios = []
+    for seed in (0, 1):  # "two variants of the Netsky virus"
+        sample = netsky_sample(size=scale["netsky_size"], seed=seed)
+        pipeline = benchmark.pedantic(
+            _pipeline_netsky, args=(sample,), rounds=1, iterations=1,
+        ) if seed == 0 else _pipeline_netsky(sample)
+        baseline = _baseline_netsky(sample)
+        ratios.append(baseline / pipeline)
+        rows.append(
+            f"netsky-variant-{seed}: size={len(sample)}B "
+            f"pipeline={pipeline * 1000:8.1f}ms "
+            f"baseline[5]={baseline * 1000:8.1f}ms "
+            f"ratio={baseline / pipeline:6.1f}x"
+        )
+    rows.append("paper: ~6.5 s (this system) vs ~40 s ([5]) — ratio ~6x; "
+                "shape target: baseline is substantially slower")
+    report.table("§5.1 timing — Netsky analysis, pipeline vs [5]", rows)
+    assert all(r > 2.0 for r in ratios)
+
+
+def test_timing_per_exploit(benchmark, report):
+    """Per-exploit analysis cost (the 2.36-3.27 s row of §5.1)."""
+    analyzer = SemanticAnalyzer()
+    extractor = BinaryExtractor()
+
+    def one_exploit(spec):
+        request = build_exploit_request(spec, seed=1)
+        frames = extractor.extract(request)
+        return any(analyzer.analyze_frame(f.data).detected for f in frames)
+
+    assert benchmark.pedantic(one_exploit, args=(EXPLOITS[0],),
+                              rounds=3, iterations=1)
+    rows = []
+    times = []
+    for spec in EXPLOITS:
+        request = build_exploit_request(spec, seed=1)
+        start = time.perf_counter()
+        frames = extractor.extract(request)
+        detected = any(analyzer.analyze_frame(f.data).detected for f in frames)
+        elapsed = time.perf_counter() - start
+        times.append(elapsed)
+        assert detected
+        rows.append(f"{spec.name:24s} {elapsed * 1000:7.2f} ms")
+    spread = max(times) / min(times)
+    rows.append(f"range {min(times)*1000:.2f}-{max(times)*1000:.2f} ms, "
+                f"spread {spread:.1f}x (paper: 2.36-3.27 s, spread 1.4x)")
+    report.table("§5.1 timing — per-exploit analysis", rows)

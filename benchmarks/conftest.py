@@ -1,0 +1,69 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table or figure of the paper and prints
+its rows (visible with ``pytest benchmarks/ --benchmark-only -s``); rows
+are also appended to ``benchmarks/out/results.txt`` so a full run leaves
+a reviewable artifact.
+
+Scale: set ``REPRO_SCALE=paper`` for paper-faithful workload sizes
+(12 x 200k-packet traces, tens of MB of benign traffic); the default
+"quick" scale keeps a full benchmark run in minutes while preserving
+every qualitative result.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+SCALE = os.environ.get("REPRO_SCALE", "quick")
+
+SCALES = {
+    "quick": {
+        "table3_packets": 20_000,
+        "fp_payload_bytes": 4_000_000,
+        "admmutate_instances": 100,
+        "clet_instances": 100,
+        "netsky_size": 8 * 1024,
+    },
+    "paper": {
+        "table3_packets": 200_000,
+        "fp_payload_bytes": 32_000_000,
+        "admmutate_instances": 100,
+        "clet_instances": 100,
+        "netsky_size": 22 * 1024,
+    },
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> dict:
+    return SCALES[SCALE]
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collects result rows and writes them to the results artifact."""
+    OUT_DIR.mkdir(exist_ok=True)
+    lines: list[str] = []
+
+    class Reporter:
+        def row(self, text: str) -> None:
+            lines.append(text)
+            print(text)
+
+        def table(self, title: str, rows: list[str]) -> None:
+            self.row("")
+            self.row(f"=== {title} (scale={SCALE}) ===")
+            for r in rows:
+                self.row(r)
+
+    reporter = Reporter()
+    yield reporter
+    path = OUT_DIR / "results.txt"
+    with open(path, "a") as fh:
+        fh.write("\n".join(lines) + "\n")

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Email-worm detection — the paper's future work, running.
+
+An infected host mass-mails a Netsky-style worm (a base64 attachment
+whose head is a polymorphic xor-decoder dropper).  The extended NIDS
+catches it in three stages:
+
+1. the SMTP fan-out monitor flags the host (too many distinct relays);
+2. the extraction stage decodes the base64 attachment body;
+3. the *existing* xor-decoder template matches the dropper stub — no new
+   template required, which is the point of behaviour-based detection.
+
+Run:  python examples/mailworm_outbreak.py
+"""
+
+from repro.core import EmulationVerifier
+from repro.engines import MailWormHost, build_worm_attachment
+from repro.net.wire import Wire
+from repro.nids import NidsSensor, SemanticNids, build_report
+from repro.traffic import BenignMixGenerator
+
+
+def main() -> None:
+    wire = Wire()
+    nids = SemanticNids(smtp_fanout_threshold=8)
+    NidsSensor(nids).attach(wire)
+
+    print("[1] benign traffic (including ordinary SMTP)...")
+    benign = BenignMixGenerator(seed=41)
+    for _ in range(80):
+        benign.conversation(wire)
+    print(f"    alerts so far: {len(nids.alerts)}")
+
+    print("\n[2] host 192.168.2.7 starts mass-mailing the worm...")
+    worm = MailWormHost(ip="192.168.2.7", seed=11)
+    relays = worm.burst(wire, count=12)
+    print(f"    {len(relays)} SMTP conversations, "
+          f"attachment = {len(build_worm_attachment(seed=11))} bytes")
+    print(f"    fan-out monitor flagged: {nids.classifier.fanout.mailers()}")
+
+    print("\n[3] what the semantic analyzer saw in the decoded attachments:")
+    for alert in nids.alerts[:3]:
+        print("   ", alert.format())
+    if len(nids.alerts) > 3:
+        print(f"    ... and {len(nids.alerts) - 3} more")
+
+    print("\n[4] dynamic confirmation (emulating the dropper stub):")
+    blob = build_worm_attachment(seed=11)
+    alert = nids.alerts[0]
+    verdict = EmulationVerifier().verify(blob, alert.match)
+    print(f"    {verdict.verdict}: {verdict.reason}")
+
+    print()
+    print(build_report(nids).render())
+
+    assert nids.classifier.fanout.mailers() == ["192.168.2.7"]
+    assert nids.alert_sources() == {"192.168.2.7"}
+
+
+if __name__ == "__main__":
+    main()

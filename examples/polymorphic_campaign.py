@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Polymorphic shellcode vs semantic templates (the §5.2 story).
+
+Generates ADMmutate- and Clet-style instances of a shell-spawning
+payload, shows what one mutated decoder actually looks like, and
+reproduces the paper's 68% -> 100% experiment: the xor template alone
+misses ADMmutate's second decoder family; adding the Figure 7 template
+closes the gap.
+
+Run:  python examples/polymorphic_campaign.py
+"""
+
+from repro.core import SemanticAnalyzer, decoder_templates, xor_only_templates
+from repro.engines import AdmMutateEngine, CletEngine, get_shellcode, spectrum_distance
+from repro.x86 import disassemble_frame, format_listing
+
+N = 60
+
+
+def show_sample_decoder(engine: AdmMutateEngine, payload: bytes) -> None:
+    sample = engine.mutate(payload, instance=0, family="mov-or-and-not")
+    print(f"sample instance: family={sample.decoder_family} "
+          f"sled={sample.sled_len}B total={len(sample)}B")
+    instructions, _ = disassemble_frame(sample.data[sample.sled_len:])
+    print(format_listing(instructions[:18]))
+    print("  ... (encoded payload follows)\n")
+
+
+def campaign(name: str, engine, payload: bytes, analyzers: dict) -> None:
+    hits = {label: 0 for label in analyzers}
+    for i in range(N):
+        instance = engine.mutate(payload, instance=i)
+        for label, analyzer in analyzers.items():
+            if analyzer.analyze_frame(instance.data).detected:
+                hits[label] += 1
+    print(f"{name}: {N} instances")
+    for label, count in hits.items():
+        print(f"  {label:28s} {count}/{N}  ({count / N:.0%})")
+    print()
+
+
+def main() -> None:
+    payload = get_shellcode("classic-execve").assemble()
+    print(f"base payload: classic execve /bin//sh ({len(payload)} bytes)\n")
+
+    adm = AdmMutateEngine(seed=2024)
+    show_sample_decoder(adm, payload)
+
+    analyzers = {
+        "xor template only": SemanticAnalyzer(templates=xor_only_templates()),
+        "xor + alt-decoder templates": SemanticAnalyzer(templates=decoder_templates()),
+    }
+    campaign("ADMmutate", adm, payload, analyzers)
+
+    clet = CletEngine(seed=7)
+    campaign("Clet", clet, payload,
+             {"xor template only": SemanticAnalyzer(templates=xor_only_templates())})
+
+    instance = clet.mutate(payload, instance=0)
+    print("Clet spectrum shaping:")
+    print(f"  raw payload distance from web-traffic spectrum: "
+          f"{spectrum_distance(payload):.3f}")
+    print(f"  shaped instance distance:                        "
+          f"{spectrum_distance(instance.data):.3f}")
+    print("  (lower = harder for byte-frequency anomaly IDSs; the semantic")
+    print("   template is untouched by the shaping)\n")
+
+    # -- metamorphism: no decoder at all ------------------------------------
+    from repro.engines import MetamorphicEngine, get_shellcode as gs
+    from repro.baseline import SignatureScanner
+
+    meta = MetamorphicEngine(seed=3, junk_probability=0.5)
+    scanner = SignatureScanner()
+    analyzer = SemanticAnalyzer()
+    source = gs("classic-execve").source
+    sig_hits = sem_hits = 0
+    for i in range(N):
+        variant = meta.mutate_source(source, instance=i)
+        sig_hits += scanner.detects(variant.data)
+        sem_hits += "linux_shell_spawn" in analyzer.analyze_frame(
+            variant.data).matched_names()
+    print(f"Metamorphic (§3: the payload itself rewritten, no encryption):")
+    print(f"  byte-signature IDS           {sig_hits}/{N}")
+    print(f"  semantic shell-spawn template {sem_hits}/{N}")
+    print("  behaviour survives every rewrite; bytes survive almost none")
+
+
+if __name__ == "__main__":
+    main()

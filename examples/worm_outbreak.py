@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Code Red II outbreak detection in a production trace (the §5.3 setup).
+
+Synthesizes a five-minute capture with benign traffic plus labelled CRII
+infection attempts (scan bursts followed by the Figure 5 exploit),
+writes it to pcap, runs the NIDS over the file, and scores the result
+against ground truth.
+
+Run:  python examples/worm_outbreak.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.net.pcap import read_pcap, write_pcap
+from repro.nids import SemanticNids
+from repro.traffic import build_table3_trace
+
+
+def main() -> None:
+    print("synthesizing a 5-minute trace (benign mix + CRII instances)...")
+    trace = build_table3_trace(index=5, target_packets=15_000)
+    print(f"  {trace.packet_count} packets; ground truth: "
+          f"{trace.crii_instances} CRII instances from {trace.crii_sources}\n")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "outbreak.pcap"
+        write_pcap(path, trace.packets)
+        print(f"wrote {path.stat().st_size / 1e6:.1f} MB pcap; "
+              f"reading it back through the sensor...\n")
+        packets = read_pcap(path)
+
+    nids = SemanticNids(
+        dark_networks=["10.0.0.0/8"],     # the monitored /8
+        dark_exclude=["10.10.0.0/24"],    # ...minus the real server subnet
+        dark_threshold=5,
+    )
+    nids.process_trace(packets)
+
+    crii_alerts = [a for a in nids.alerts if a.template == "codered_ii_vector"]
+    print("alerts:")
+    for alert in crii_alerts:
+        print(" ", alert.format())
+    print()
+
+    found = {a.source for a in crii_alerts}
+    print(f"scanners flagged by dark-space monitor: "
+          f"{sorted(nids.classifier.darkspace.scanners())}")
+    print(f"detected sources: {sorted(found)}")
+    print(f"ground truth:     {sorted(trace.crii_sources)}")
+    print(f"blocklist:        {nids.blocklist.addresses()}")
+    assert found == set(trace.crii_sources), "every instance must be matched"
+    print("\nevery instance classified and matched correctly — "
+          "the Table 3 result.")
+
+
+if __name__ == "__main__":
+    main()

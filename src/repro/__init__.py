@@ -1,0 +1,20 @@
+"""repro — reproduction of "Network Intrusion Detection with Semantics-Aware
+Capability" (Scheirer & Chuah, IPPS 2006).
+
+Subpackages
+-----------
+- :mod:`repro.net` — packet substrate (layers, pcap, flows, software wire)
+- :mod:`repro.x86` — x86-32 assembler/disassembler (IDA Pro substitute)
+- :mod:`repro.ir` — intermediate representation, CFG, dataflow
+- :mod:`repro.core` — semantic templates and the template matcher (the
+  paper's primary contribution)
+- :mod:`repro.classify` — honeypot + dark-address traffic classifier
+- :mod:`repro.extract` — binary detection and extraction from payloads
+- :mod:`repro.engines` — shellcode corpus, polymorphic engines, exploits
+- :mod:`repro.traffic` — benign traffic and evaluation trace synthesis
+- :mod:`repro.nids` — the five-stage NIDS pipeline and live sensor
+- :mod:`repro.baseline` — reimplementation of the host-based system of
+  Christodorescu et al. [5] used for efficiency comparisons
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,14 @@
+"""Comparator systems: the host-based semantic scanner of [5] and a
+Snort-style static-signature IDS (the approach the paper argues against)."""
+
+from .host_scan import BaselineResult, HostBasedScanner
+from .aho_corasick import AhoCorasick, PatternMatch
+from .signature import Signature, SignatureScanner, default_signature_db
+from .polygraph import PolygraphLearner, PolygraphSignature
+
+__all__ = [
+    "BaselineResult", "HostBasedScanner",
+    "AhoCorasick", "PatternMatch",
+    "Signature", "SignatureScanner", "default_signature_db",
+    "PolygraphLearner", "PolygraphSignature",
+]

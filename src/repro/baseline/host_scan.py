@@ -1,0 +1,106 @@
+"""Reimplementation of the host-based semantic scanner of [5].
+
+Christodorescu et al.'s system analyzes *installed binaries on an
+end-host*: it has no traffic classifier and no binary-extraction stage, so
+every byte of every input is disassembled and matched.  The paper's
+efficiency claim (b) — "our implementation is more efficient than what is
+reported in [5]" (≈6.5 s for a Netsky sample vs ≈40 s) — is a claim about
+this architectural difference, and :class:`HostBasedScanner` is the
+comparator that lets the timing benchmark reproduce its *shape*.
+
+Scanning policy (mirroring an exhaustive whole-binary sweep):
+
+- a decode window (up to ``window`` instructions) is opened at *every*
+  byte offset, so code hidden at any alignment — even glued onto data
+  bytes that a single linear sweep would misparse — is examined;
+- offsets already seen as instruction boundaries of a fully-decoded
+  earlier window are skipped (their windows are strict suffixes and the
+  matcher already scanned every start position inside them), which keeps
+  the sweep from being quadratic while staying exhaustive;
+- every window goes through IR lifting, constant propagation, and full
+  template matching — no binary-score or min-instruction pruning.
+
+This is the worst-case work a host-based scanner pays for, and the reason
+the paper's network pipeline (which analyzes only *extracted frames*) is
+the faster system.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.library import paper_templates
+from ..core.matcher import MatchEngine, prepare_trace
+from ..core.template import Template, TemplateMatch
+from ..x86.disasm import disassemble_frame
+
+__all__ = ["HostBasedScanner", "BaselineResult"]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of scanning one binary."""
+
+    matches: list[TemplateMatch] = field(default_factory=list)
+    sections: int = 0
+    instructions: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.matches)
+
+    def matched_names(self) -> list[str]:
+        return sorted({m.template.name for m in self.matches})
+
+
+class HostBasedScanner:
+    """Whole-binary semantic scanning, per [5]'s architecture."""
+
+    def __init__(
+        self,
+        templates: list[Template] | None = None,
+        min_section: int = 3,
+        window: int = 64,
+    ) -> None:
+        self.templates = templates if templates is not None else paper_templates()
+        self.engine = MatchEngine()
+        self.min_section = min_section
+        #: instruction cap per decode window; behaviours longer than half a
+        #: window could straddle two windows, so this is sized well above
+        #: any real decoder/spawn sequence
+        self.window = window
+
+    def scan_binary(self, data: bytes) -> BaselineResult:
+        """Exhaustively scan a binary image at every offset/alignment."""
+        start = time.perf_counter()
+        result = BaselineResult()
+        skip: set[int] = set()
+        offset = 0
+        while offset < len(data):
+            if offset in skip:
+                offset += 1
+                continue
+            instructions, _consumed = disassemble_frame(
+                data[offset:], base=offset, limit=self.window
+            )
+            if len(instructions) < self.min_section:
+                offset += 1
+                continue
+            result.sections += 1
+            result.instructions += len(instructions)
+            trace = prepare_trace(instructions)
+            result.matches.extend(self.engine.match_all(self.templates, trace))
+            if len(instructions) < self.window:
+                # Window ended at a decode error or end of data: every
+                # boundary suffix is covered by the matcher's start scan.
+                skip.update(i.address for i in instructions[1:])
+            else:
+                # Cap hit: only the first half's boundaries are safely
+                # covered; the second half gets fresh windows.
+                half = len(instructions) // 2
+                skip.update(i.address for i in instructions[1:half])
+            offset += 1
+        result.elapsed = time.perf_counter() - start
+        return result

@@ -1,0 +1,171 @@
+"""Polygraph-style automatic signature generation (Newsome, Karp & Song,
+IEEE S&P 2005 — reference [14] of the paper).
+
+Polygraph's premise: even polymorphic worms carry *invariant* byte
+substrings (protocol framing, return addresses, high-order bytes), so a
+signature can be learned automatically as the set of tokens common to a
+pool of captured instances — matched as a **conjunction** (all tokens
+present) or a **token subsequence** (all tokens, in order).
+
+This is the strongest syntactic competitor the paper positions itself
+against, so it is implemented faithfully:
+
+- token extraction by k-gram intersection over the sample pool, coalesced
+  into maximal invariant substrings;
+- conjunction and subsequence matching;
+- a distinctness filter dropping tokens that are too common in a benign
+  corpus (Polygraph's false-positive control).
+
+The comparison benchmark shows the known failure mode the semantic
+approach avoids: against an engine with *no* payload invariants, the
+learned tokens come from the delivery vehicle (protocol framing), so the
+signature stops matching the moment the attacker changes vehicles — and
+starts false-positiving on benign requests that share the framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .aho_corasick import AhoCorasick
+
+__all__ = ["PolygraphSignature", "PolygraphLearner"]
+
+
+@dataclass
+class PolygraphSignature:
+    """A learned multi-token signature."""
+
+    tokens: list[bytes]
+    kind: str = "conjunction"  # or "subsequence"
+    _matcher: AhoCorasick | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.tokens:
+            self._matcher = AhoCorasick(self.tokens)
+
+    @property
+    def degenerate(self) -> bool:
+        """True when learning produced no usable tokens — the signature
+        cannot match anything (Polygraph's failure mode on invariant-free
+        polymorphism)."""
+        return not self.tokens
+
+    def matches(self, payload: bytes) -> bool:
+        if self.degenerate or self._matcher is None:
+            return False
+        hits = self._matcher.search(payload)
+        if self.kind == "conjunction":
+            present = {h.pattern for h in hits}
+            return len(present) == len(self.tokens)
+        # token subsequence: every token present, in order, non-overlapping
+        position = 0
+        for index in range(len(self.tokens)):
+            candidates = [h for h in hits
+                          if h.pattern == index and h.start >= position]
+            if not candidates:
+                return False
+            position = min(c.end for c in candidates)
+        return True
+
+    def describe(self) -> str:
+        if self.degenerate:
+            return f"{self.kind} signature: DEGENERATE (no invariant tokens)"
+        shown = ", ".join(repr(t[:16]) + ("..." if len(t) > 16 else "")
+                          for t in self.tokens[:6])
+        more = f" (+{len(self.tokens) - 6} more)" if len(self.tokens) > 6 else ""
+        return f"{self.kind} signature over {len(self.tokens)} tokens: {shown}{more}"
+
+
+class PolygraphLearner:
+    """Learns invariant-token signatures from a pool of attack instances."""
+
+    def __init__(self, min_token_len: int = 4, max_benign_hits: int = 0) -> None:
+        self.min_token_len = min_token_len
+        #: tokens appearing in more than this many benign samples are
+        #: dropped (distinctness filter)
+        self.max_benign_hits = max_benign_hits
+
+    # -- token extraction ---------------------------------------------------
+
+    def invariant_tokens(self, samples: list[bytes]) -> list[bytes]:
+        """Maximal substrings of length >= ``min_token_len`` present in
+        every sample."""
+        if not samples:
+            return []
+        k = self.min_token_len
+        reference = min(samples, key=len)
+        if len(reference) < k:
+            return []
+        others = [s for s in samples if s is not reference]
+
+        # k-grams of the reference that survive intersection with all
+        # other samples.
+        grams = {reference[i : i + k] for i in range(len(reference) - k + 1)}
+        for sample in others:
+            if not grams:
+                return []
+            present = {g for g in grams if g in sample}
+            grams = present
+
+        # Coalesce chained grams into maximal candidate substrings using
+        # the reference's layout, then re-verify each candidate everywhere.
+        positions = sorted(
+            i for i in range(len(reference) - k + 1)
+            if reference[i : i + k] in grams
+        )
+        candidates: list[bytes] = []
+        run_start: int | None = None
+        prev = None
+        for pos in positions:
+            if run_start is None:
+                run_start = pos
+            elif pos != prev + 1:
+                candidates.append(reference[run_start : prev + k])
+                run_start = pos
+            prev = pos
+        if run_start is not None:
+            candidates.append(reference[run_start : prev + k])
+
+        tokens: list[bytes] = []
+        for candidate in candidates:
+            token = self._shrink_to_common(candidate, samples)
+            if token and len(token) >= k and token not in tokens:
+                tokens.append(token)
+        return tokens
+
+    def _shrink_to_common(self, candidate: bytes,
+                          samples: list[bytes]) -> bytes | None:
+        """A coalesced candidate may exceed what is truly common (adjacent
+        grams can come from different alignments); shrink from the right
+        until every sample contains it."""
+        token = candidate
+        while len(token) >= self.min_token_len:
+            if all(token in sample for sample in samples):
+                return token
+            token = token[:-1]
+        return None
+
+    # -- learning ---------------------------------------------------------------
+
+    def learn(
+        self,
+        samples: list[bytes],
+        benign: list[bytes] | None = None,
+        kind: str = "conjunction",
+    ) -> PolygraphSignature:
+        """Learn a signature from attack samples, filtered against a benign
+        corpus for distinctness."""
+        tokens = self.invariant_tokens(samples)
+        if benign:
+            kept = []
+            for token in tokens:
+                hits = sum(1 for b in benign if token in b)
+                if hits <= self.max_benign_hits:
+                    kept.append(token)
+            tokens = kept
+        if kind == "subsequence" and tokens:
+            # order tokens by their position in the first sample
+            reference = samples[0]
+            tokens = sorted(tokens, key=lambda t: reference.find(t))
+        return PolygraphSignature(tokens=tokens, kind=kind)

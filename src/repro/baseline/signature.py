@@ -1,0 +1,88 @@
+"""A Snort-style static-signature IDS — the syntactic comparator.
+
+The paper's premise (§1, §3): "a major drawback of this approach is that
+unknown attacks cannot be detected", and obfuscated variants of *known*
+attacks evade it too.  This module implements the approach being argued
+against, honestly and competently: byte signatures for every payload in
+our corpus plus the classic exploit artifacts (0x90 sleds, the CRII
+request prefix), matched with Aho-Corasick like real deployments.
+
+The comparison benchmark shows the expected asymmetry: the signature IDS
+matches every *static* exploit (it was built from them!) and essentially
+nothing polymorphic, while the semantic NIDS holds at 100%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engines.shellcode import SHELLCODES
+from .aho_corasick import AhoCorasick
+
+__all__ = ["Signature", "SignatureScanner", "default_signature_db"]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A named byte pattern, Snort-rule style."""
+
+    name: str
+    pattern: bytes
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.pattern) < 4:
+            raise ValueError(f"signature {self.name!r} too short to be useful")
+
+
+def default_signature_db() -> list[Signature]:
+    """Signatures a 2006 deployment would carry for our corpus:
+
+    - the exact payload bytes of each public shellcode (what Snort rules
+      for specific exploits contain);
+    - the execve core sequence shared by hand-written payloads;
+    - the classic 0x90 NOP sled;
+    - the Code Red II request prefix (CRII is static, so this works).
+    """
+    sigs = [
+        Signature(name=f"shellcode-{name}", pattern=spec.assemble(),
+                  description=spec.description)
+        for name, spec in SHELLCODES.items()
+    ]
+    sigs += [
+        Signature(name="execve-binsh-core",
+                  pattern=bytes.fromhex("682f2f7368682f62696e89e3"),
+                  description="push //sh; push /bin; mov ebx,esp"),
+        Signature(name="classic-nop-sled", pattern=b"\x90" * 16,
+                  description="16+ bytes of 0x90"),
+        Signature(name="code-red-ii-ida",
+                  pattern=b"GET /default.ida?" + b"X" * 32,
+                  description="CRII request prefix"),
+        Signature(name="int80-execve-tail",
+                  pattern=bytes.fromhex("31d2b00bcd80"),
+                  description="xor edx,edx; mov al,11; int 0x80"),
+    ]
+    return sigs
+
+
+class SignatureScanner:
+    """Matches a signature database against payloads."""
+
+    def __init__(self, signatures: list[Signature] | None = None) -> None:
+        self.signatures = (signatures if signatures is not None
+                           else default_signature_db())
+        self._matcher = AhoCorasick([s.pattern for s in self.signatures])
+        self.payloads_scanned = 0
+        self.bytes_scanned = 0
+
+    def scan(self, payload: bytes) -> list[Signature]:
+        """Signatures present in the payload (deduplicated, in db order)."""
+        self.payloads_scanned += 1
+        self.bytes_scanned += len(payload)
+        hit_ids = {m.pattern for m in self._matcher.search(payload)}
+        return [self.signatures[i] for i in sorted(hit_ids)]
+
+    def detects(self, payload: bytes) -> bool:
+        self.payloads_scanned += 1
+        self.bytes_scanned += len(payload)
+        return self._matcher.contains_any(payload)

@@ -1,0 +1,17 @@
+"""Traffic classification: honeypot registry, dark-space scan detection,
+and the combined classifier (stage (a) of the paper's architecture)."""
+
+from .honeypot import HoneypotRegistry
+from .fanout import FanoutRecord, SmtpFanoutMonitor
+from .darkspace import DarkSpaceMonitor, ScannerRecord
+from .classifier import ClassifierStats, TrafficClassifier
+
+__all__ = [
+    "HoneypotRegistry",
+    "FanoutRecord",
+    "SmtpFanoutMonitor",
+    "DarkSpaceMonitor",
+    "ScannerRecord",
+    "ClassifierStats",
+    "TrafficClassifier",
+]

@@ -1,0 +1,73 @@
+"""SMTP fan-out detection (email-worm extension).
+
+A mass-mailing worm's classifier-level signature is one host opening SMTP
+conversations with many *distinct* destinations in a short window —
+ordinary clients talk to one or two relays.  Symmetric to the dark-space
+monitor: distinct destinations are counted per source, and crossing the
+threshold marks the source suspicious so its traffic (the attachment
+bytes) reaches semantic analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..net.inet import int_to_ip, ip_to_int
+from ..net.packet import Packet
+
+__all__ = ["SmtpFanoutMonitor", "FanoutRecord"]
+
+SMTP_PORTS = frozenset({25, 465, 587})
+
+
+@dataclass
+class FanoutRecord:
+    """Mailing behaviour of one source host."""
+
+    source: int
+    destinations: set[int] = field(default_factory=set)
+    window_start: float = 0.0
+    last_seen: float = 0.0
+    flagged: bool = False
+
+    @property
+    def count(self) -> int:
+        return len(self.destinations)
+
+
+class SmtpFanoutMonitor:
+    """Flags hosts whose distinct-SMTP-destination count crosses the
+    threshold within a sliding window."""
+
+    def __init__(self, threshold: int = 8, window: float = 300.0) -> None:
+        self.threshold = threshold
+        self.window = window
+        self.records: dict[int, FanoutRecord] = {}
+        self.mailers_flagged = 0
+
+    def observe(self, pkt: Packet) -> bool:
+        """Feed a packet; True once the source is a flagged mass-mailer."""
+        if pkt.ip is None or not pkt.is_tcp or pkt.dport not in SMTP_PORTS:
+            return self.is_mailer(pkt.ip.src) if pkt.ip else False
+        src = ip_to_int(pkt.ip.src)
+        record = self.records.get(src)
+        if record is None or (
+            not record.flagged
+            and pkt.timestamp - record.window_start > self.window
+        ):
+            record = FanoutRecord(source=src, window_start=pkt.timestamp)
+            self.records[src] = record
+        record.destinations.add(ip_to_int(pkt.ip.dst))
+        record.last_seen = pkt.timestamp
+        if not record.flagged and record.count >= self.threshold:
+            record.flagged = True
+            self.mailers_flagged += 1
+        return record.flagged
+
+    def is_mailer(self, address: str | int) -> bool:
+        record = self.records.get(ip_to_int(address))
+        return record is not None and record.flagged
+
+    def mailers(self) -> list[str]:
+        return [int_to_ip(r.source) for r in self.records.values()
+                if r.flagged]

@@ -1,0 +1,44 @@
+"""Honeypot-based traffic classification (§4.1, scheme 1).
+
+The NIDS is initialized with a list of decoy addresses that exist for no
+other purpose than to attract unsolicited traffic.  Any host that sends
+anything to a honeypot is marked suspicious, and *all* of its subsequent
+traffic is routed to the expensive analysis stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..net.inet import ip_to_int
+from ..net.packet import Packet
+
+__all__ = ["HoneypotRegistry"]
+
+
+@dataclass
+class HoneypotRegistry:
+    """Registry of decoy host addresses."""
+
+    decoys: set[int] = field(default_factory=set)
+    hits: int = 0
+
+    @classmethod
+    def of(cls, addresses: list[str | int]) -> "HoneypotRegistry":
+        return cls(decoys={ip_to_int(a) for a in addresses})
+
+    def add(self, address: str | int) -> None:
+        self.decoys.add(ip_to_int(address))
+
+    def is_decoy(self, address: str | int) -> bool:
+        return ip_to_int(address) in self.decoys
+
+    def observe(self, pkt: Packet) -> bool:
+        """True if this packet targets a honeypot (the sender should then be
+        marked suspicious by the caller)."""
+        if pkt.ip is None:
+            return False
+        if ip_to_int(pkt.ip.dst) in self.decoys:
+            self.hits += 1
+            return True
+        return False

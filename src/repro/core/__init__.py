@@ -1,0 +1,34 @@
+"""Semantic analysis core: templates, matcher, analyzer.
+
+The paper's primary contribution — template-based behavioural matching with
+junk tolerance, register renaming, constant obfuscation resolution, and
+out-of-order code handling.
+"""
+
+from .template import (
+    Bindings, ConstBytesWrite, IndirectCall, LoadFrom, LoopBack,
+    MatchContext, MemRmw, Node, PointerStep, PushValue, RegCompute,
+    RegFromEsp, StoreTo, Syscall, Template, TemplateMatch,
+)
+from .matcher import MatchEngine, PreparedTrace, prepare_trace
+from .library import (
+    admmutate_alt_decoder, all_templates, codered_ii_vector,
+    decoder_templates, generic_decrypt_loop, linux_shell_spawn,
+    paper_templates, port_bind_shell, xor_decrypt_loop, xor_only_templates,
+)
+from .analyzer import AnalysisResult, SemanticAnalyzer
+from .emuverify import EmulationVerifier, Verification
+
+__all__ = [
+    "Bindings", "ConstBytesWrite", "IndirectCall", "LoadFrom", "LoopBack",
+    "MatchContext", "MemRmw", "Node", "PointerStep", "PushValue",
+    "RegCompute", "RegFromEsp", "StoreTo", "Syscall", "Template",
+    "TemplateMatch",
+    "MatchEngine", "PreparedTrace", "prepare_trace",
+    "admmutate_alt_decoder", "all_templates", "codered_ii_vector",
+    "decoder_templates", "generic_decrypt_loop", "linux_shell_spawn",
+    "paper_templates", "port_bind_shell", "xor_decrypt_loop",
+    "xor_only_templates",
+    "AnalysisResult", "SemanticAnalyzer",
+    "EmulationVerifier", "Verification",
+]

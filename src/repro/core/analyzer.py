@@ -1,0 +1,101 @@
+"""The semantic analyzer: disassemble → lift → propagate → match.
+
+This is stage (c)+(d)+(e) of the paper's Figure 3 pipeline rolled into one
+object: it accepts a binary frame (bytes extracted from network traffic, or
+a whole binary for the host-based baseline), produces the prepared IR
+trace, and reports which templates the code satisfies.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..x86.disasm import disassemble_frame
+from ..x86.instruction import Instruction
+from .library import paper_templates
+from .matcher import MatchEngine, PreparedTrace, prepare_trace
+from .template import Template, TemplateMatch
+
+__all__ = ["AnalysisResult", "SemanticAnalyzer"]
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of analyzing one binary frame."""
+
+    matches: list[TemplateMatch] = field(default_factory=list)
+    instruction_count: int = 0
+    bytes_consumed: int = 0
+    frame_size: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.matches)
+
+    def matched_names(self) -> list[str]:
+        return [m.template.name for m in self.matches]
+
+    def summary(self) -> str:
+        if not self.matches:
+            return (f"clean: {self.instruction_count} instructions "
+                    f"({self.bytes_consumed}/{self.frame_size} bytes decoded)")
+        return "; ".join(m.summary() for m in self.matches)
+
+
+class SemanticAnalyzer:
+    """Matches a template set against binary frames.
+
+    ``min_instructions`` discards frames that decode to fewer instructions
+    than any meaningful behaviour needs — random payload bytes frequently
+    decode to 1-3 junk instructions, and skipping them is a large part of
+    the efficiency story.
+    """
+
+    def __init__(
+        self,
+        templates: list[Template] | None = None,
+        engine: MatchEngine | None = None,
+        min_instructions: int = 3,
+    ) -> None:
+        self.templates = templates if templates is not None else paper_templates()
+        self.engine = engine or MatchEngine()
+        self.min_instructions = min_instructions
+        self.frames_analyzed = 0
+        self.total_elapsed = 0.0
+
+    def analyze_frame(self, data: bytes, base: int = 0) -> AnalysisResult:
+        """Disassemble a binary frame and match all templates against it."""
+        start = time.perf_counter()
+        instructions, consumed = disassemble_frame(data, base)
+        result = self._analyze(instructions)
+        result.bytes_consumed = consumed
+        result.frame_size = len(data)
+        result.elapsed = time.perf_counter() - start
+        self.frames_analyzed += 1
+        self.total_elapsed += result.elapsed
+        return result
+
+    def analyze_instructions(self, instructions: list[Instruction]) -> AnalysisResult:
+        """Match against an already-decoded instruction list."""
+        start = time.perf_counter()
+        result = self._analyze(instructions)
+        result.bytes_consumed = sum(i.size for i in instructions)
+        result.frame_size = result.bytes_consumed
+        result.elapsed = time.perf_counter() - start
+        self.frames_analyzed += 1
+        self.total_elapsed += result.elapsed
+        return result
+
+    def prepare(self, instructions: list[Instruction]) -> PreparedTrace:
+        """Expose trace preparation (for tests and ablations)."""
+        return prepare_trace(instructions)
+
+    def _analyze(self, instructions: list[Instruction]) -> AnalysisResult:
+        result = AnalysisResult(instruction_count=len(instructions))
+        if len(instructions) < self.min_instructions:
+            return result
+        trace = prepare_trace(instructions)
+        result.matches = self.engine.match_all(self.templates, trace)
+        return result

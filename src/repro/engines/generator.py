@@ -1,0 +1,117 @@
+"""The exploit generator tool (§5.1/§5.2).
+
+"In our experiment, we built an exploit generator tool that sends exploit
+packets to a honeypot machine registered with the NIDS."  This module is
+that tool: it drives exploit requests (plain, encoded, or polymorphic)
+over the software wire as real TCP conversations, so the NIDS exercises
+its full path — classification, reassembly, extraction, analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..net.wire import Host, Wire
+from .admmutate import AdmMutateEngine, MutatedPayload
+from .clet import CletEngine, CletPayload
+from .exploit import (
+    EXPLOITS,
+    ExploitSpec,
+    build_exploit_request,
+    generic_overflow_request,
+    iis_asp_overflow_request,
+)
+
+__all__ = ["ExploitGenerator", "SentExploit"]
+
+
+@dataclass
+class SentExploit:
+    """Record of one exploit conversation the generator produced."""
+
+    name: str
+    target: str
+    port: int
+    request_len: int
+    binds_port: bool = False
+    meta: dict = field(default_factory=dict)
+
+
+class ExploitGenerator:
+    """Fires exploits from an attacker host at a target (honeypot)."""
+
+    def __init__(self, wire: Wire, attacker_ip: str = "203.0.113.66") -> None:
+        self.wire = wire
+        self.host = Host(ip=attacker_ip, wire=wire)
+        self.sent: list[SentExploit] = []
+
+    # -- §5.1: the eight shell-spawning exploits -----------------------------
+
+    def fire(self, spec: ExploitSpec, target: str, seed: int = 0,
+             payload: bytes | None = None) -> SentExploit:
+        request = build_exploit_request(spec, seed=seed, payload=payload)
+        session = self.host.open_tcp(target, spec.port)
+        session.send(request)
+        session.close()
+        record = SentExploit(
+            name=spec.name, target=target, port=spec.port,
+            request_len=len(request), binds_port=spec.binds_port,
+        )
+        self.sent.append(record)
+        return record
+
+    def fire_all(self, target: str, seed: int = 0) -> list[SentExploit]:
+        """The Table 1 run: all eight exploits against the honeypot."""
+        return [self.fire(spec, target, seed=seed + i)
+                for i, spec in enumerate(EXPLOITS)]
+
+    # -- §5.2: polymorphic campaigns -----------------------------------------
+
+    def fire_iis_asp(self, target: str, seed: int = 0) -> SentExploit:
+        request = iis_asp_overflow_request(seed=seed)
+        session = self.host.open_tcp(target, 80)
+        session.send(request)
+        session.close()
+        record = SentExploit(name="iis-asp-overflow", target=target, port=80,
+                             request_len=len(request))
+        self.sent.append(record)
+        return record
+
+    def fire_admmutate(self, target: str, payload: bytes, count: int,
+                       engine: AdmMutateEngine | None = None) -> list[SentExploit]:
+        """100 ADMmutate instances inside the generic overflow exploit."""
+        engine = engine or AdmMutateEngine(seed=1)
+        out = []
+        for i in range(count):
+            instance: MutatedPayload = engine.mutate(payload, instance=i)
+            request = generic_overflow_request(instance.data, seed=i)
+            session = self.host.open_tcp(target, 80)
+            session.send(request)
+            session.close()
+            record = SentExploit(
+                name=f"admmutate-{i:03d}", target=target, port=80,
+                request_len=len(request),
+                meta={"family": instance.decoder_family, "key": instance.key},
+            )
+            self.sent.append(record)
+            out.append(record)
+        return out
+
+    def fire_clet(self, target: str, payload: bytes, count: int,
+                  engine: CletEngine | None = None) -> list[SentExploit]:
+        """100 Clet instances inside the generic overflow exploit."""
+        engine = engine or CletEngine(seed=2)
+        out = []
+        for i in range(count):
+            instance: CletPayload = engine.mutate(payload, instance=i)
+            request = generic_overflow_request(instance.data, seed=i)
+            session = self.host.open_tcp(target, 80)
+            session.send(request)
+            session.close()
+            record = SentExploit(
+                name=f"clet-{i:03d}", target=target, port=80,
+                request_len=len(request), meta={"key": instance.key},
+            )
+            self.sent.append(record)
+            out.append(record)
+        return out

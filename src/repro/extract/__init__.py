@@ -1,0 +1,20 @@
+"""Binary detection and extraction (stage (b) of the paper's architecture):
+HTTP parsing, repetition/sled/unicode heuristics, and frame extraction."""
+
+from .http import HttpRequest, looks_like_http, parse_http_request
+from .unicode import (
+    UnicodeRun, decode_unicode_run, find_unicode_runs, percent_decode,
+)
+from .repetition import ByteRun, find_byte_runs, find_repeated_dwords, longest_run
+from .sled import NOP_LIKE, SledRegion, find_sleds, sled_density
+from .mime import Base64Region, find_base64_regions, looks_like_smtp_data
+from .frames import BinaryExtractor, BinaryFrame, binary_fraction
+
+__all__ = [
+    "HttpRequest", "looks_like_http", "parse_http_request",
+    "UnicodeRun", "decode_unicode_run", "find_unicode_runs", "percent_decode",
+    "ByteRun", "find_byte_runs", "find_repeated_dwords", "longest_run",
+    "NOP_LIKE", "SledRegion", "find_sleds", "sled_density",
+    "BinaryExtractor", "BinaryFrame", "binary_fraction",
+    "Base64Region", "find_base64_regions", "looks_like_smtp_data",
+]

@@ -1,0 +1,134 @@
+"""Tolerant HTTP request parsing for the binary-extraction stage.
+
+The extractor needs to know "what is expected in a protocol request, and
+what is abnormal" (§4.2).  This parser accepts anything that *looks* like
+an HTTP request — including requests whose URL is a 60 KB exploit blob —
+and exposes the pieces (method, target, query, headers, body) so the
+extraction heuristics can scan each region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["HttpRequest", "parse_http_request", "looks_like_http",
+           "http_response_body"]
+
+_METHODS = (b"GET", b"POST", b"HEAD", b"PUT", b"DELETE", b"OPTIONS",
+            b"TRACE", b"CONNECT", b"PROPFIND", b"SEARCH")
+
+
+@dataclass
+class HttpRequest:
+    """A (possibly malformed) HTTP request split into regions.
+
+    Offsets are into the original byte stream so extracted binary frames
+    can be traced back to their position in the payload.
+    """
+
+    method: bytes = b""
+    target: bytes = b""
+    version: bytes = b""
+    headers: list[tuple[bytes, bytes]] = field(default_factory=list)
+    body: bytes = b""
+    target_offset: int = 0
+    body_offset: int = 0
+    malformed: bool = False
+
+    @property
+    def path(self) -> bytes:
+        return self.target.split(b"?", 1)[0]
+
+    @property
+    def query(self) -> bytes:
+        parts = self.target.split(b"?", 1)
+        return parts[1] if len(parts) == 2 else b""
+
+    def header(self, name: bytes) -> bytes | None:
+        lowered = name.lower()
+        for key, value in self.headers:
+            if key.lower() == lowered:
+                return value
+        return None
+
+
+def looks_like_http(data: bytes) -> bool:
+    """Cheap dispatch test: does this payload begin like an HTTP request?"""
+    head = data[:12]
+    return any(head.startswith(m + b" ") for m in _METHODS)
+
+
+def http_response_body(data: bytes) -> tuple[int, bytes] | None:
+    """If ``data`` is an HTTP *response*, return ``(body_offset, body)``.
+
+    Server-to-client content matters too: a drive-by download or an
+    exploit delivered in a response body reaches the client through this
+    direction of the stream.
+    """
+    if not data.startswith(b"HTTP/1."):
+        return None
+    for sep in (b"\r\n\r\n", b"\n\n"):
+        end = data.find(sep)
+        if end >= 0:
+            offset = end + len(sep)
+            return offset, data[offset:]
+    return len(data), b""
+
+
+def parse_http_request(data: bytes) -> HttpRequest | None:
+    """Parse a request; returns None if it does not even start like HTTP.
+
+    Anything unusual after a recognizable request line is *kept* (with
+    ``malformed=True``) rather than rejected — malformed-but-HTTP-shaped
+    traffic is exactly what needs deeper analysis.
+    """
+    if not looks_like_http(data):
+        return None
+    req = HttpRequest()
+
+    line_end = data.find(b"\r\n")
+    if line_end < 0:
+        line_end = data.find(b"\n")
+        if line_end < 0:
+            line_end = len(data)
+        header_sep, sep_len = b"\n\n", 1
+    else:
+        header_sep, sep_len = b"\r\n\r\n", 2
+
+    request_line = data[:line_end]
+    parts = request_line.split(b" ")
+    req.method = parts[0]
+    if len(parts) >= 3:
+        req.target = b" ".join(parts[1:-1])
+        req.version = parts[-1]
+        if not req.version.startswith(b"HTTP/"):
+            req.target = b" ".join(parts[1:])
+            req.version = b""
+            req.malformed = True
+    elif len(parts) == 2:
+        req.target = parts[1]
+        req.malformed = True
+    else:
+        req.malformed = True
+    req.target_offset = len(req.method) + 1
+
+    header_end = data.find(header_sep, line_end)
+    if header_end < 0:
+        header_block = data[line_end + sep_len:]
+        req.body = b""
+        req.body_offset = len(data)
+    else:
+        header_block = data[line_end + sep_len : header_end]
+        req.body_offset = header_end + len(header_sep)
+        req.body = data[req.body_offset:]
+
+    newline = b"\r\n" if sep_len == 2 else b"\n"
+    for raw_line in header_block.split(newline):
+        if not raw_line:
+            continue
+        name, sep, value = raw_line.partition(b":")
+        if not sep:
+            req.malformed = True
+            continue
+        req.headers.append((name.strip(), value.strip()))
+    return req

@@ -1,0 +1,90 @@
+"""MIME/base64 attachment extraction from SMTP message bodies.
+
+The paper's conclusion names email worms as the next behaviour family to
+cover.  Their network-visible payload is a base64 attachment inside an
+SMTP ``DATA`` block; this module locates attachment bodies and decodes
+them so the ordinary binary-frame pipeline (sled location, disassembly,
+template matching) can run on the *decoded* bytes.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import re
+from dataclasses import dataclass
+
+__all__ = ["Base64Region", "find_base64_regions", "looks_like_smtp_data"]
+
+# Runs of base64 alphabet lines, as produced by encoders (RFC 2045 wraps
+# at 76 chars; we accept any consistent line length >= 16).  The final
+# line of an attachment is usually shorter and may carry '=' padding.
+_B64_LINE = re.compile(rb"^[A-Za-z0-9+/]{16,}={0,2}\r?$")
+_B64_TAIL = re.compile(rb"^[A-Za-z0-9+/]{2,15}={0,2}\r?$")
+_CTE_HEADER = re.compile(rb"Content-Transfer-Encoding:\s*base64",
+                         re.IGNORECASE)
+
+
+@dataclass
+class Base64Region:
+    """A decoded attachment candidate."""
+
+    start: int       # offset of the first base64 line in the payload
+    end: int         # offset one past the last line
+    data: bytes      # decoded bytes
+    explicit: bool   # announced by a Content-Transfer-Encoding header
+
+
+def looks_like_smtp_data(payload: bytes) -> bool:
+    """Cheap dispatch: does this look like an SMTP message submission?"""
+    head = payload[:2048]
+    return (b"\r\nDATA\r\n" in head or payload.rstrip().endswith(b"\r\n.")
+            or b"MAIL FROM:" in head or b"From:" in head[:256])
+
+
+def find_base64_regions(payload: bytes, min_lines: int = 4,
+                        min_decoded: int = 32) -> list[Base64Region]:
+    """Locate maximal runs of base64-looking lines and decode them.
+
+    A region must either follow a ``Content-Transfer-Encoding: base64``
+    header or consist of ``min_lines``+ consecutive alphabet-pure lines —
+    both together keep ordinary message text out.
+    """
+    explicit_zones = [m.end() for m in _CTE_HEADER.finditer(payload)]
+    regions: list[Base64Region] = []
+    offset = 0
+    run_start = -1
+    run_lines: list[bytes] = []
+
+    def flush(end_offset: int) -> None:
+        nonlocal run_start, run_lines
+        if run_start >= 0 and len(run_lines) >= 1:
+            explicit = any(z <= run_start <= z + 512 for z in explicit_zones)
+            if explicit or len(run_lines) >= min_lines:
+                joined = b"".join(line.rstrip(b"\r") for line in run_lines)
+                try:
+                    decoded = base64.b64decode(joined, validate=True)
+                except (binascii.Error, ValueError):
+                    decoded = b""
+                if len(decoded) >= min_decoded:
+                    regions.append(Base64Region(
+                        start=run_start, end=end_offset, data=decoded,
+                        explicit=explicit,
+                    ))
+        run_start, run_lines = -1, []
+
+    for line in payload.split(b"\n"):
+        line_len = len(line) + 1
+        if _B64_LINE.match(line):
+            if run_start < 0:
+                run_start = offset
+            run_lines.append(line)
+        elif run_start >= 0 and _B64_TAIL.match(line):
+            # the (short) final line of the attachment closes the run
+            run_lines.append(line)
+            flush(offset + line_len)
+        else:
+            flush(offset)
+        offset += line_len
+    flush(offset)
+    return regions

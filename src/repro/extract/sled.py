@@ -1,0 +1,106 @@
+"""NOP-sled region detection (§4.2).
+
+Classic sleds were a run of ``0x90``; polymorphic exploit generators draw
+from the set of single-byte instructions whose execution is harmless at
+any entry offset ("NOP-like" behaviour).  The detector scores windows by
+the fraction of NOP-like bytes and reports maximal regions above a
+density threshold, which both locates the probable start of attacker code
+(just past the sled) and serves as an extraction trigger on non-HTTP
+payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NOP_LIKE", "SledRegion", "find_sleds", "sled_density"]
+
+# Single-byte x86 instructions safe to slide through.  This is the set
+# ADMmutate-style engines draw from: nop, the 16-bit prefix'd nop pairs are
+# excluded, inc/dec/push of registers, flag operations, and the harmless
+# BCD/ascii-adjust group.
+NOP_LIKE = frozenset(
+    [0x90]                      # nop
+    + list(range(0x40, 0x50))   # inc/dec r32
+    + list(range(0x50, 0x58))   # push r32
+    + [0x27, 0x2F, 0x37, 0x3F]  # daa, das, aaa, aas
+    + [0x98, 0x99]              # cwde, cdq
+    + [0xF5, 0xF8, 0xF9, 0xFC, 0xFD]  # cmc, clc, stc, cld, std
+    + [0x9E, 0x9F]              # sahf, lahf
+    + [0xD6]                    # salc
+)
+
+_NOP_TABLE = np.zeros(256, dtype=bool)
+for _b in NOP_LIKE:
+    _NOP_TABLE[_b] = True
+
+
+@dataclass(frozen=True)
+class SledRegion:
+    """A located NOP-like region."""
+
+    start: int
+    length: int
+    density: float
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+
+def sled_density(data: bytes) -> float:
+    """Fraction of NOP-like bytes over the whole buffer."""
+    if not data:
+        return 0.0
+    arr = np.frombuffer(data, dtype=np.uint8)
+    return float(_NOP_TABLE[arr].mean())
+
+
+def find_sleds(
+    data: bytes,
+    min_length: int = 24,
+    min_density: float = 0.9,
+) -> list[SledRegion]:
+    """Maximal regions of ``min_length``+ bytes that are almost entirely
+    NOP-like.
+
+    Implementation: mark NOP-like bytes, allow isolated non-NOP bytes to
+    join two runs when overall density stays above ``min_density`` (some
+    generators interleave rare two-byte fillers).
+    """
+    n = len(data)
+    if n < min_length:
+        return []
+    arr = np.frombuffer(data, dtype=np.uint8)
+    is_nop = _NOP_TABLE[arr]
+    if int(is_nop.sum()) < min_length:  # quick reject for ordinary data
+        return []
+    # Vectorized run extraction over the boolean mask.
+    padded = np.concatenate(([False], is_nop, [False]))
+    edges = np.flatnonzero(np.diff(padded.view(np.int8)))
+    starts, ends = edges[0::2], edges[1::2]
+
+    regions: list[SledRegion] = []
+    cur_start = cur_end = cur_nops = -1
+    for start, end in zip(starts.tolist(), ends.tolist()):
+        if cur_start >= 0:
+            merged_len = end - cur_start
+            merged_nops = cur_nops + (end - start)
+            if start - cur_end == 1 and merged_nops / merged_len >= min_density:
+                # Merge across a single-byte miss when density stays high.
+                cur_end, cur_nops = end, merged_nops
+                continue
+            if cur_end - cur_start >= min_length:
+                regions.append(SledRegion(
+                    start=cur_start, length=cur_end - cur_start,
+                    density=cur_nops / (cur_end - cur_start),
+                ))
+        cur_start, cur_end, cur_nops = start, end, end - start
+    if cur_start >= 0 and cur_end - cur_start >= min_length:
+        regions.append(SledRegion(
+            start=cur_start, length=cur_end - cur_start,
+            density=cur_nops / (cur_end - cur_start),
+        ))
+    return regions

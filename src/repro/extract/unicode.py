@@ -1,0 +1,90 @@
+"""%uXXXX (IIS "wide") and %XX URL decoding.
+
+Code Red II delivers its binary stub as a run of ``%uXXXX`` escapes inside
+the GET target (Figure 5).  Each escape encodes a 16-bit value stored
+little-endian, so ``%u6858`` contributes bytes ``58 68``.  The extractor
+translates such runs "into an appropriate binary form, for further
+analysis" (§4.2).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["UnicodeRun", "find_unicode_runs", "decode_unicode_run",
+           "percent_decode"]
+
+_UNICODE_ESCAPE = re.compile(rb"%u([0-9a-fA-F]{4})")
+_PERCENT_ESCAPE = re.compile(rb"%([0-9a-fA-F]{2})")
+
+
+@dataclass
+class UnicodeRun:
+    """A contiguous run of %uXXXX escapes found in a payload region."""
+
+    start: int  # offset of the first escape in the source bytes
+    end: int    # offset one past the last escape
+    escapes: list[int]  # the 16-bit values in order
+
+    def decode(self) -> bytes:
+        """Little-endian byte stream the escapes encode."""
+        out = bytearray()
+        for value in self.escapes:
+            out.append(value & 0xFF)
+            out.append(value >> 8)
+        return bytes(out)
+
+    @property
+    def byte_length(self) -> int:
+        return 2 * len(self.escapes)
+
+
+def find_unicode_runs(data: bytes, min_escapes: int = 4) -> list[UnicodeRun]:
+    """Locate maximal runs of consecutive %uXXXX escapes.
+
+    Escapes must be back-to-back (possibly with other %u escapes between)
+    to form a run; isolated escapes in otherwise-normal URLs are ignored
+    via ``min_escapes``.
+    """
+    runs: list[UnicodeRun] = []
+    current: UnicodeRun | None = None
+    for m in _UNICODE_ESCAPE.finditer(data):
+        value = int(m.group(1), 16)
+        if current is not None and m.start() == current.end:
+            current.escapes.append(value)
+            current.end = m.end()
+        else:
+            if current is not None and len(current.escapes) >= min_escapes:
+                runs.append(current)
+            current = UnicodeRun(start=m.start(), end=m.end(), escapes=[value])
+    if current is not None and len(current.escapes) >= min_escapes:
+        runs.append(current)
+    return runs
+
+
+def decode_unicode_run(run: UnicodeRun) -> bytes:
+    """Convenience wrapper for :meth:`UnicodeRun.decode`."""
+    return run.decode()
+
+
+def percent_decode(data: bytes) -> bytes:
+    """Decode %XX escapes (leaving %uXXXX escapes untouched)."""
+    if b"%" not in data:  # fast path: the common case in benign traffic
+        return data
+    out = bytearray()
+    i = 0
+    while i < len(data):
+        if (
+            data[i : i + 1] == b"%"
+            and i + 2 < len(data) + 1
+            and data[i + 1 : i + 2] not in (b"u", b"U")
+        ):
+            m = _PERCENT_ESCAPE.match(data, i)
+            if m:
+                out.append(int(m.group(1), 16))
+                i = m.end()
+                continue
+        out.append(data[i])
+        i += 1
+    return bytes(out)

@@ -1,0 +1,25 @@
+"""Intermediate representation: lifting, CFG, dataflow.
+
+The IR generator stage of the NIDS (Figure 3 of the paper): x86
+instructions are lifted to normalized semantic statements, re-serialized
+along the execution order, and annotated with propagated constants before
+template matching.
+"""
+
+from .ops import (
+    Assign, BinOp, Branch, Compare, Const, Exchange, Expr, Interrupt, Load,
+    MemRef, Nop, Pop, Push, Reg, Stmt, Store, StringWrite, Unhandled,
+    UnknownExpr, UnOp,
+)
+from .lift import lift, lift_instruction
+from .cfg import BasicBlock, Cfg, build_cfg, linearize
+from .dataflow import ConstEnv, eval_expr, propagate
+
+__all__ = [
+    "Assign", "BinOp", "Branch", "Compare", "Const", "Exchange", "Expr",
+    "Interrupt", "Load", "MemRef", "Nop", "Pop", "Push", "Reg", "Stmt",
+    "Store", "StringWrite", "Unhandled", "UnknownExpr", "UnOp",
+    "lift", "lift_instruction",
+    "BasicBlock", "Cfg", "build_cfg", "linearize",
+    "ConstEnv", "eval_expr", "propagate",
+]

@@ -1,0 +1,171 @@
+"""Control-flow graph construction and jmp-threaded linearization.
+
+Out-of-order code (Figure 1(c) of the paper) preserves the execution
+sequence with unconditional ``jmp`` instructions while scrambling the byte
+order.  :func:`linearize` re-serializes basic blocks along the execution
+order: follow fall-through edges and unconditional jumps, take each block
+once, and resume at the lowest unvisited block when a path dead-ends.  The
+result is an instruction sequence in which the original decryption loop is
+contiguous again, which is what the template matcher scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..x86.instruction import Instruction
+
+__all__ = ["BasicBlock", "Cfg", "build_cfg", "linearize"]
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction run."""
+
+    start: int
+    instructions: list[Instruction] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        last = self.instructions[-1]
+        return last.address + last.size
+
+    @property
+    def terminator(self) -> Instruction:
+        return self.instructions[-1]
+
+
+@dataclass
+class Cfg:
+    """CFG over a decoded frame; blocks are keyed by start address."""
+
+    blocks: dict[int, BasicBlock]
+    entry: int
+
+    def block_at(self, address: int) -> BasicBlock | None:
+        return self.blocks.get(address)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+def _leaders(instructions: list[Instruction]) -> set[int]:
+    """Addresses that start a basic block."""
+    if not instructions:
+        return set()
+    addresses = {ins.address for ins in instructions}
+    leaders = {instructions[0].address}
+    for ins in instructions:
+        if ins.is_branch:
+            target = ins.target()
+            if target is not None and target in addresses:
+                leaders.add(target)
+            leaders.add(ins.end)  # fall-through successor starts a block
+    return leaders
+
+
+def build_cfg(instructions: list[Instruction]) -> Cfg:
+    """Partition a decoded instruction list into basic blocks.
+
+    Branch targets that land outside the frame (e.g. into the sled or the
+    return-address block) simply become missing successors; the matcher
+    treats them as path ends.
+    """
+    if not instructions:
+        return Cfg(blocks={}, entry=0)
+    leaders = _leaders(instructions)
+    blocks: dict[int, BasicBlock] = {}
+    current: BasicBlock | None = None
+    for ins in instructions:
+        if ins.address in leaders or current is None:
+            current = BasicBlock(start=ins.address)
+            blocks[ins.address] = current
+        current.instructions.append(ins)
+        if ins.is_branch or ins.is_terminator:
+            current = None
+
+    addresses = set(blocks)
+    all_addrs = {ins.address for ins in instructions}
+    for block in blocks.values():
+        term = block.terminator
+        if term.mnemonic in ("ret", "retn", "hlt"):
+            continue
+        if term.is_branch:
+            target = term.target()
+            if target is not None and target in all_addrs:
+                # Branching into the middle of a block is possible in
+                # adversarial code; snap to the containing block start.
+                block.successors.append(target if target in addresses
+                                        else _containing_block(blocks, target))
+            # Conditional branches and calls can also continue at the next
+            # instruction (calls: after the callee returns).
+            if (term.is_conditional or term.mnemonic == "call") and term.end in addresses:
+                block.successors.append(term.end)
+        else:
+            if term.end in addresses:
+                block.successors.append(term.end)
+    return Cfg(blocks=blocks, entry=instructions[0].address)
+
+
+def _containing_block(blocks: dict[int, BasicBlock], address: int) -> int:
+    for start, block in blocks.items():
+        if start <= address < block.end:
+            return start
+    return address
+
+
+def linearize(cfg: Cfg, entry: int | None = None) -> list[Instruction]:
+    """Serialize blocks in (approximate) execution order.
+
+    Policy: follow unconditional jumps; at conditional branches prefer the
+    fall-through edge, falling back to the taken edge when fall-through is
+    exhausted; each block is emitted once; when the path ends, resume at the
+    lowest-address unvisited block so junk-separated islands still appear in
+    the output.
+    """
+    if not cfg.blocks:
+        return []
+    out: list[Instruction] = []
+    visited: set[int] = set()
+    start = entry if entry is not None else cfg.entry
+    pending = sorted(cfg.blocks)
+
+    def next_unvisited() -> int | None:
+        for addr in pending:
+            if addr not in visited:
+                return addr
+        return None
+
+    current: int | None = start if start in cfg.blocks else next_unvisited()
+    while current is not None:
+        block = cfg.blocks[current]
+        visited.add(current)
+        out.extend(block.instructions)
+        term = block.terminator
+        succ: int | None = None
+        if term.mnemonic in ("jmp", "call"):
+            # Follow the transfer: for calls this is the getpc/subroutine
+            # edge — shellcode getpc stubs never "return" in the normal
+            # sense, so the callee is the true execution successor.
+            target = term.target()
+            if target is not None and target in cfg.blocks and target not in visited:
+                succ = target
+            elif term.mnemonic == "call":
+                for cand in block.successors:
+                    if cand not in visited:
+                        succ = cand
+                        break
+        else:
+            # Prefer fall-through; then the taken edge.
+            for cand in block.successors:
+                if cand == term.end and cand not in visited:
+                    succ = cand
+                    break
+            if succ is None:
+                for cand in block.successors:
+                    if cand not in visited:
+                        succ = cand
+                        break
+        current = succ if succ is not None else next_unvisited()
+    return out

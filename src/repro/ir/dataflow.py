@@ -1,0 +1,212 @@
+"""Forward dataflow over a linearized IR trace: constant propagation and an
+abstract stack.
+
+This pass is the second mechanism behind semantic matching (with lift-time
+normalization): it resolves obfuscated constants.  ``mov ebx, 31h; add ebx,
+64h`` leaves the environment knowing ``ebx = 0x95``, so a later ``xor byte
+ptr [eax], bl`` matches a template keyed on the symbolic constant ``KEY``.
+The abstract stack catches the equally common ``push 0xb; pop eax`` idiom.
+
+The analysis is deliberately optimistic along a single linearized path (no
+join points): shellcode decoders keep their key and pointer setup loop-
+invariant, and the paper's false-positive experiment (§5.4) bounds the cost
+of the approximation empirically.
+"""
+
+from __future__ import annotations
+
+from .ops import (
+    Assign,
+    BinOp,
+    Branch,
+    Const,
+    Exchange,
+    Expr,
+    Interrupt,
+    Load,
+    Pop,
+    Push,
+    Reg,
+    Stmt,
+    StringWrite,
+    UnknownExpr,
+    UnOp,
+    Unhandled,
+    mask_for,
+)
+
+__all__ = ["ConstEnv", "propagate", "eval_expr"]
+
+_U32 = 0xFFFFFFFF
+_FAMILIES = ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi")
+
+
+class ConstEnv:
+    """Known 32-bit register constants plus an abstract constant stack."""
+
+    __slots__ = ("regs", "stack")
+
+    def __init__(self) -> None:
+        self.regs: dict[str, int] = {}
+        self.stack: list[int | None] = []
+
+    def copy(self) -> "ConstEnv":
+        env = ConstEnv()
+        env.regs = dict(self.regs)
+        env.stack = list(self.stack)
+        return env
+
+    def get(self, family: str, size: int = 4) -> int | None:
+        value = self.regs.get(family)
+        if value is None:
+            return None
+        return value & mask_for(size)
+
+    def set(self, family: str, value: int | None, size: int = 4,
+            high: bool = False) -> None:
+        if value is None:
+            self.regs.pop(family, None)
+            return
+        if size == 4:
+            self.regs[family] = value & _U32
+            return
+        old = self.regs.get(family)
+        if old is None:
+            # Partial write to an unknown register: width-limited knowledge
+            # is not representable, drop it.
+            self.regs.pop(family, None)
+            return
+        if high:
+            self.regs[family] = (old & ~0xFF00) | ((value & 0xFF) << 8)
+        elif size == 1:
+            self.regs[family] = (old & ~0xFF) | (value & 0xFF)
+        else:  # size == 2
+            self.regs[family] = (old & ~0xFFFF) | (value & 0xFFFF)
+
+    def invalidate_stack(self) -> None:
+        self.stack.clear()
+
+    def __repr__(self) -> str:
+        known = {k: f"{v:#x}" for k, v in sorted(self.regs.items())}
+        return f"ConstEnv({known}, stack={self.stack})"
+
+
+def eval_expr(expr: Expr, env: ConstEnv) -> int | None:
+    """Evaluate an expression to a constant under ``env``, or ``None``."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Reg):
+        return env.get(expr.family, expr.size)
+    if isinstance(expr, Load):
+        return None  # memory contents are not tracked
+    if isinstance(expr, UnknownExpr):
+        return None
+    if isinstance(expr, UnOp):
+        value = eval_expr(expr.operand, env)
+        if value is None:
+            return None
+        if expr.op == "not":
+            return (~value) & _U32
+        if expr.op == "neg":
+            return (-value) & _U32
+        if expr.op == "bswap":
+            return int.from_bytes(value.to_bytes(4, "little"), "big")
+        return None
+    if isinstance(expr, BinOp):
+        lhs = eval_expr(expr.lhs, env)
+        rhs = eval_expr(expr.rhs, env)
+        if lhs is None or rhs is None:
+            return None
+        op = expr.op
+        if op == "add":
+            return (lhs + rhs) & _U32
+        if op == "sub":
+            return (lhs - rhs) & _U32
+        if op == "xor":
+            return lhs ^ rhs
+        if op == "or":
+            return lhs | rhs
+        if op == "and":
+            return lhs & rhs
+        if op == "mul":
+            return (lhs * rhs) & _U32
+        if op == "shl":
+            return (lhs << (rhs & 31)) & _U32
+        if op == "shr":
+            return (lhs & _U32) >> (rhs & 31)
+        if op == "sar":
+            signed = lhs - (1 << 32) if lhs & 0x80000000 else lhs
+            return (signed >> (rhs & 31)) & _U32
+        if op == "rol":
+            r = rhs & 31
+            return ((lhs << r) | (lhs >> (32 - r))) & _U32 if r else lhs
+        if op == "ror":
+            r = rhs & 31
+            return ((lhs >> r) | (lhs << (32 - r))) & _U32 if r else lhs
+        if op == "div":
+            return None  # width/sign subtleties; not needed for matching
+    return None
+
+
+def propagate(stmts: list[Stmt]) -> list[ConstEnv]:
+    """Run constant propagation; returns the environment *before* each
+    statement (snapshots share no state with the running environment)."""
+    env = ConstEnv()
+    before: list[ConstEnv] = []
+    for stmt in stmts:
+        before.append(env.copy())
+        _transfer(stmt, env)
+    return before
+
+
+def _transfer(stmt: Stmt, env: ConstEnv) -> None:
+    if isinstance(stmt, Assign):
+        value = eval_expr(stmt.src, env)
+        if stmt.dst == "esp":
+            env.invalidate_stack()
+        env.set(stmt.dst, value, stmt.size, high=stmt.high)
+        return
+    if isinstance(stmt, Exchange):
+        a, b = env.get(stmt.a), env.get(stmt.b)
+        env.set(stmt.a, b)
+        env.set(stmt.b, a)
+        return
+    if isinstance(stmt, Push):
+        env.stack.append(eval_expr(stmt.src, env))
+        return
+    if isinstance(stmt, Pop):
+        value = env.stack.pop() if env.stack else None
+        env.set(stmt.dst, value, stmt.size)
+        return
+    if isinstance(stmt, Branch):
+        if stmt.kind in ("loop", "loope", "loopne"):
+            ecx = env.get("ecx")
+            env.set("ecx", (ecx - 1) & _U32 if ecx is not None else None)
+        elif stmt.kind == "call":
+            for family in ("eax", "ecx", "edx"):
+                env.set(family, None)
+            env.invalidate_stack()
+        return
+    if isinstance(stmt, Interrupt):
+        env.set("eax", None)  # syscall return value
+        return
+    if isinstance(stmt, StringWrite):
+        step = stmt.size
+        if stmt.rep:
+            count = env.get("ecx")
+            step = stmt.size * count if count is not None else None
+            env.set("ecx", 0 if count is not None else None)
+        edi = env.get("edi")
+        env.set("edi", (edi + step) & _U32
+                if edi is not None and step is not None else None)
+        if stmt.op == "movs":
+            esi = env.get("esi")
+            env.set("esi", (esi + step) & _U32
+                    if esi is not None and step is not None else None)
+        return
+    if isinstance(stmt, Unhandled):
+        for family in _FAMILIES:
+            env.set(family, None)
+        env.invalidate_stack()
+        return
+    # Store/Compare/Nop: no register effects tracked.

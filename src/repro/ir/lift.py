@@ -1,0 +1,331 @@
+"""Lifting x86 instructions to IR with semantic normalization.
+
+Normalization is what turns syntactically different but behaviourally
+identical instructions into identical IR — the first of the two mechanisms
+(with constant propagation) that let one template cover all of Figure 1's
+variants:
+
+- ``inc eax``            →  ``eax := eax + 1``   (same as ``add eax, 1``)
+- ``xor r, r`` / ``sub r, r``  →  ``r := 0``     (same as ``mov r, 0``)
+- ``lea r, [b+d]``       →  ``r := b + d``
+- ``xor byte ptr [m], k`` →  read-modify-write ``m8[..] := m8[..] xor k``
+- flag-only instructions →  ``Nop``
+
+Each x86 instruction lifts to one or more IR statements; every statement
+keeps a pointer to its source instruction for reporting.
+"""
+
+from __future__ import annotations
+
+from ..x86.instruction import COND_BRANCHES, Instruction, LOOPS
+from ..x86.operands import Imm, Mem, Operand
+from ..x86.registers import Register
+from .ops import (
+    Assign,
+    BinOp,
+    Branch,
+    Compare,
+    Const,
+    Exchange,
+    Expr,
+    Interrupt,
+    Load,
+    MemRef,
+    Nop,
+    Pop,
+    Push,
+    Reg,
+    Stmt,
+    Store,
+    StringWrite,
+    UnknownExpr,
+    UnOp,
+)
+
+__all__ = ["lift_instruction", "lift"]
+
+_ALU = {"add", "sub", "xor", "or", "and", "adc", "sbb"}
+_SHIFTS = {"shl", "sal", "shr", "sar", "rol", "ror", "rcl", "rcr"}
+_FLAG_NOPS = {"nop", "cld", "std", "clc", "stc", "cmc", "sahf", "lahf",
+              "pushfd", "popfd", "pushf", "popf", "cli", "sti", "hlt"}
+_AL_JUNK = {"daa", "das", "aaa", "aas", "salc"}
+
+
+def _expr(op: Operand) -> Expr:
+    """Convert an x86 operand to an IR expression (reads)."""
+    if isinstance(op, Register):
+        return Reg(op.family, op.size)
+    if isinstance(op, Imm):
+        return Const(op.unsigned, op.size)
+    if isinstance(op, Mem):
+        return Load(_memref(op))
+    raise TypeError(f"unexpected operand: {op!r}")
+
+
+def _memref(mem: Mem) -> MemRef:
+    return MemRef(
+        base=Reg(mem.base.family, 4) if mem.base is not None else None,
+        index=Reg(mem.index.family, 4) if mem.index is not None else None,
+        scale=mem.scale,
+        disp=mem.disp,
+        size=mem.size,
+    )
+
+
+def _assign(dst: Register, src: Expr, ins: Instruction) -> Assign:
+    return Assign(dst=dst.family, size=dst.size, src=src, high=dst.high,
+                  ins=ins)
+
+
+def lift_instruction(ins: Instruction) -> list[Stmt]:
+    """Lift one instruction to a list of IR statements."""
+    m = ins.mnemonic
+    ops = ins.operands
+
+    if m in _FLAG_NOPS:
+        return [Nop(flavor=m, ins=ins)]
+
+    if m in _AL_JUNK:
+        # BCD/flag fiddling: clobbers al with a value we do not model.
+        return [Assign(dst="eax", size=1, src=UnknownExpr(m), ins=ins)]
+
+    if m == "mov":
+        dst, src = ops
+        if isinstance(dst, Register):
+            return [_assign(dst, _expr(src), ins)]
+        assert isinstance(dst, Mem)
+        return [Store(mem=_memref(dst), src=_expr(src), ins=ins)]
+
+    if m in _ALU:
+        dst, src = ops
+        # Zero idioms: xor r,r and sub r,r both produce zero.
+        if (
+            m in ("xor", "sub")
+            and isinstance(dst, Register)
+            and isinstance(src, Register)
+            and dst == src
+        ):
+            return [_assign(dst, Const(0, dst.size), ins)]
+        op_name = {"adc": "add", "sbb": "sub"}.get(m, m)
+        if isinstance(dst, Register):
+            rhs = _expr(src)
+            return [_assign(dst, BinOp(op_name, Reg(dst.family, dst.size), rhs), ins)]
+        assert isinstance(dst, Mem)
+        mem = _memref(dst)
+        return [Store(mem=mem, src=BinOp(op_name, Load(mem), _expr(src)), ins=ins)]
+
+    if m in _SHIFTS:
+        dst, count = ops
+        op_name = {"sal": "shl", "rcl": "rol", "rcr": "ror"}.get(m, m)
+        if isinstance(dst, Register):
+            return [_assign(dst, BinOp(op_name, Reg(dst.family, dst.size),
+                                       _expr(count)), ins)]
+        assert isinstance(dst, Mem)
+        mem = _memref(dst)
+        return [Store(mem=mem, src=BinOp(op_name, Load(mem), _expr(count)), ins=ins)]
+
+    if m in ("not", "neg"):
+        (dst,) = ops
+        if isinstance(dst, Register):
+            return [_assign(dst, UnOp(m, Reg(dst.family, dst.size)), ins)]
+        assert isinstance(dst, Mem)
+        mem = _memref(dst)
+        return [Store(mem=mem, src=UnOp(m, Load(mem)), ins=ins)]
+
+    if m == "inc" or m == "dec":
+        (dst,) = ops
+        op_name = "add" if m == "inc" else "sub"
+        if isinstance(dst, Register):
+            return [_assign(dst, BinOp(op_name, Reg(dst.family, dst.size),
+                                       Const(1, dst.size)), ins)]
+        assert isinstance(dst, Mem)
+        mem = _memref(dst)
+        return [Store(mem=mem, src=BinOp(op_name, Load(mem), Const(1, mem.size)),
+                      ins=ins)]
+
+    if m == "lea":
+        dst, src = ops
+        assert isinstance(dst, Register) and isinstance(src, Mem)
+        expr: Expr
+        terms: list[Expr] = []
+        if src.base is not None:
+            terms.append(Reg(src.base.family, 4))
+        if src.index is not None:
+            idx: Expr = Reg(src.index.family, 4)
+            if src.scale != 1:
+                idx = BinOp("mul", idx, Const(src.scale, 4))
+            terms.append(idx)
+        if src.disp or not terms:
+            terms.append(Const(src.disp, 4))
+        expr = terms[0]
+        for t in terms[1:]:
+            expr = BinOp("add", expr, t)
+        return [_assign(dst, expr, ins)]
+
+    if m == "push":
+        (src,) = ops
+        return [Push(src=_expr(src), ins=ins)]
+    if m == "pop":
+        (dst,) = ops
+        if isinstance(dst, Register):
+            return [Pop(dst=dst.family, size=dst.size, ins=ins)]
+        mem = _memref(dst)  # pop [mem]
+        return [Store(mem=mem, src=UnknownExpr("pop-mem"), ins=ins),
+                Assign(dst="esp", size=4,
+                       src=BinOp("add", Reg("esp", 4), Const(4, 4)), ins=ins)]
+
+    if m == "xchg":
+        a, b = ops
+        if isinstance(a, Register) and isinstance(b, Register):
+            if a == b:
+                return [Nop(flavor="xchg-self", ins=ins)]
+            return [Exchange(a=a.family, b=b.family, size=a.size, ins=ins)]
+        # xchg with memory: model as unknown store + register clobber.
+        mem_op = a if isinstance(a, Mem) else b
+        reg_op = b if isinstance(a, Mem) else a
+        assert isinstance(mem_op, Mem) and isinstance(reg_op, Register)
+        mem = _memref(mem_op)
+        return [
+            _assign(reg_op, Load(mem), ins),
+            Store(mem=mem, src=UnknownExpr("xchg"), ins=ins),
+        ]
+
+    if m in ("cmp", "test"):
+        lhs, rhs = ops
+        return [Compare(lhs=_expr(lhs), rhs=_expr(rhs), kind=m, ins=ins)]
+
+    if m in ("movzx", "movsx"):
+        dst, src = ops
+        assert isinstance(dst, Register)
+        return [_assign(dst, _expr(src), ins)]
+
+    if m == "bswap":
+        (dst,) = ops
+        assert isinstance(dst, Register)
+        return [_assign(dst, UnOp("bswap", Reg(dst.family, 4)), ins)]
+
+    if m == "xlatb":
+        return [Assign(dst="eax", size=1, src=UnknownExpr("xlatb"), ins=ins)]
+
+    if m == "cwde":
+        return [Assign(dst="eax", size=4, src=Reg("eax", 2), ins=ins)]
+    if m == "cdq":
+        return [Assign(dst="edx", size=4, src=UnknownExpr("sign-of-eax"), ins=ins)]
+
+    if m in ("mul", "imul", "div", "idiv") and len(ops) == 1:
+        (src,) = ops
+        size = src.size if isinstance(src, (Register, Mem)) else 4
+        stmts: list[Stmt] = [
+            Assign(dst="eax", size=4,
+                   src=BinOp("mul" if m in ("mul", "imul") else "div",
+                             Reg("eax", size), _expr(src)), ins=ins)
+        ]
+        if size != 1:
+            stmts.append(Assign(dst="edx", size=4, src=UnknownExpr(m), ins=ins))
+        return stmts
+    if m == "imul" and len(ops) >= 2:
+        dst = ops[0]
+        assert isinstance(dst, Register)
+        if len(ops) == 2:
+            src = BinOp("mul", Reg(dst.family, dst.size), _expr(ops[1]))
+        else:
+            src = BinOp("mul", _expr(ops[1]), _expr(ops[2]))
+        return [_assign(dst, src, ins)]
+
+    if m.startswith("set") and len(m) <= 6:
+        (dst,) = ops
+        if isinstance(dst, Register):
+            return [Assign(dst=dst.family, size=1, src=UnknownExpr(m), ins=ins)]
+        return [Store(mem=_memref(dst), src=UnknownExpr(m), ins=ins)]
+
+    # String operations (rep-prefixed forms model the whole block op).
+    if m.startswith(("rep ", "repe ", "repne ")):
+        _, _, base = m.partition(" ")
+        size = 1 if base.endswith("b") else 4
+        if base.startswith(("stos", "movs")):
+            return [StringWrite(op=base[:4], size=size, rep=True, ins=ins)]
+        if base.startswith("lods"):
+            return [
+                Assign(dst="eax", size=size, src=UnknownExpr(m), ins=ins),
+                Assign(dst="esi", size=4, src=UnknownExpr(m), ins=ins),
+                Assign(dst="ecx", size=4, src=Const(0, 4), ins=ins),
+            ]
+        # repe/repne scas/cmps: flags + pointer/counter scan
+        stmts: list[Stmt] = [Compare(lhs=UnknownExpr(m), rhs=UnknownExpr(m),
+                                     kind="cmp", ins=ins),
+                             Assign(dst="ecx", size=4, src=UnknownExpr(m),
+                                    ins=ins),
+                             Assign(dst="edi", size=4, src=UnknownExpr(m),
+                                    ins=ins)]
+        if base.startswith("cmps"):
+            stmts.append(Assign(dst="esi", size=4, src=UnknownExpr(m), ins=ins))
+        return stmts
+
+    if m in ("stosb", "stosd"):
+        return [StringWrite(op="stos", size=1 if m == "stosb" else 4, ins=ins)]
+    if m in ("movsb", "movsd"):
+        return [StringWrite(op="movs", size=1 if m == "movsb" else 4, ins=ins)]
+    if m in ("lodsb", "lodsd"):
+        size = 1 if m == "lodsb" else 4
+        return [
+            Assign(dst="eax", size=size,
+                   src=Load(MemRef(base=Reg("esi", 4), size=size)), ins=ins),
+            Assign(dst="esi", size=4,
+                   src=BinOp("add", Reg("esi", 4), Const(size, 4)), ins=ins),
+        ]
+    if m in ("scasb", "scasd", "cmpsb", "cmpsd"):
+        size = 1 if m.endswith("b") else 4
+        stmts = [Compare(lhs=UnknownExpr(m), rhs=UnknownExpr(m), kind="cmp", ins=ins)]
+        if m.startswith("scas"):
+            stmts.append(Assign(dst="edi", size=4,
+                                src=BinOp("add", Reg("edi", 4), Const(size, 4)),
+                                ins=ins))
+        else:
+            stmts.append(Assign(dst="esi", size=4,
+                                src=BinOp("add", Reg("esi", 4), Const(size, 4)),
+                                ins=ins))
+            stmts.append(Assign(dst="edi", size=4,
+                                src=BinOp("add", Reg("edi", 4), Const(size, 4)),
+                                ins=ins))
+        return stmts
+
+    # Control flow.
+    if m == "jmp":
+        return [Branch(kind="jmp", target=ins.target(), mnemonic=m, ins=ins)]
+    if m in COND_BRANCHES:
+        return [Branch(kind="jcc", target=ins.target(), mnemonic=m, ins=ins)]
+    if m in LOOPS:
+        return [Branch(kind=m, target=ins.target(), mnemonic=m, ins=ins)]
+    if m == "call":
+        return [Branch(kind="call", target=ins.target(), mnemonic=m, ins=ins)]
+    if m in ("ret", "retn"):
+        return [Branch(kind="ret", mnemonic=m, ins=ins)]
+    if m == "int":
+        assert isinstance(ops[0], Imm)
+        return [Interrupt(vector=ops[0].unsigned, ins=ins)]
+    if m == "int3":
+        return [Interrupt(vector=3, ins=ins)]
+
+    if m == "leave":
+        return [
+            Assign(dst="esp", size=4, src=Reg("ebp", 4), ins=ins),
+            Pop(dst="ebp", size=4, ins=ins),
+        ]
+    if m in ("pusha", "pushad"):
+        return [Push(src=Reg(r, 4), ins=ins)
+                for r in ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi")]
+    if m in ("popa", "popad"):
+        return [Pop(dst=r, size=4, ins=ins)
+                for r in ("edi", "esi", "ebp", "esp", "ebx", "edx", "ecx", "eax")]
+
+    from .ops import Unhandled
+
+    return [Unhandled(mnemonic=m, ins=ins)]
+
+
+def lift(instructions: list[Instruction]) -> list[Stmt]:
+    """Lift an instruction sequence to a flat IR statement list."""
+    out: list[Stmt] = []
+    for ins in instructions:
+        out.extend(lift_instruction(ins))
+    return out

@@ -1,0 +1,174 @@
+"""IPv4 fragment reassembly.
+
+Splitting an exploit across IP fragments is the oldest NIDS evasion in
+the book (Ptacek & Newsham, 1998): a sensor that inspects fragments
+individually never sees the contiguous payload.  :class:`IpDefragmenter`
+sits in front of the pipeline and reassembles fragmented datagrams the
+way the end host would (first-fragment-wins on overlap, BSD-style),
+so the extraction stage always sees whole transport segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .layers import Icmp, PROTO_ICMP, PROTO_TCP, PROTO_UDP, Tcp, Udp
+from .packet import Packet
+
+__all__ = ["IpDefragmenter", "fragment_packet"]
+
+_MF = 0x1  # more-fragments flag (bit 0 of our 3-bit flags field: RFC bit 13)
+_DF = 0x2
+
+
+@dataclass
+class _FragmentBuffer:
+    """Accumulates the fragments of one datagram."""
+
+    chunks: dict[int, bytes] = field(default_factory=dict)
+    total_len: int | None = None  # known once the MF=0 fragment arrives
+    first_seen: float = 0.0
+
+    def add(self, offset: int, data: bytes, last: bool) -> None:
+        # first-writer-wins, like the TCP reassembler
+        for existing_off in sorted(self.chunks):
+            seg = self.chunks[existing_off]
+            if existing_off <= offset < existing_off + len(seg):
+                overlap = existing_off + len(seg) - offset
+                data = data[overlap:]
+                offset += overlap
+                if not data:
+                    return
+        if data:
+            self.chunks[offset] = data
+        if last:
+            self.total_len = offset + len(data)
+
+    def complete(self) -> bytes | None:
+        if self.total_len is None:
+            return None
+        out = bytearray()
+        expected = 0
+        for offset in sorted(self.chunks):
+            if offset != expected:
+                return None
+            out += self.chunks[offset]
+            expected += len(self.chunks[offset])
+        if expected != self.total_len:
+            return None
+        return bytes(out)
+
+
+class IpDefragmenter:
+    """Reassembles fragmented IPv4 datagrams into whole packets.
+
+    ``feed`` returns the packet to process: unfragmented packets pass
+    straight through; fragments return ``None`` until the datagram
+    completes, at which point the reassembled packet (with its transport
+    header re-decoded) is returned.
+    """
+
+    def __init__(self, max_datagrams: int = 4096, timeout: float = 30.0) -> None:
+        self._buffers: dict[tuple, _FragmentBuffer] = {}
+        self.max_datagrams = max_datagrams
+        self.timeout = timeout
+        self.fragments_seen = 0
+        self.datagrams_reassembled = 0
+
+    def feed(self, pkt: Packet) -> Packet | None:
+        if pkt.ip is None:
+            return pkt
+        is_fragment = bool(pkt.ip.flags & _MF) or pkt.ip.frag_offset > 0
+        if not is_fragment:
+            return pkt
+        self.fragments_seen += 1
+
+        key = (pkt.ip.src, pkt.ip.dst, pkt.ip.ident, pkt.ip.proto)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            self._evict(pkt.timestamp)
+            buffer = _FragmentBuffer(first_seen=pkt.timestamp)
+            self._buffers[key] = buffer
+
+        # A fragmented packet's transport header (if any) was parsed out of
+        # the first fragment by Packet.decode; recover the raw IP payload.
+        raw = self._raw_ip_payload(pkt)
+        buffer.add(pkt.ip.frag_offset * 8, raw, last=not (pkt.ip.flags & _MF))
+
+        data = buffer.complete()
+        if data is None:
+            return None
+        del self._buffers[key]
+        self.datagrams_reassembled += 1
+        return self._rebuild(pkt, data)
+
+    def _evict(self, now: float) -> None:
+        if len(self._buffers) < self.max_datagrams:
+            stale = [k for k, b in self._buffers.items()
+                     if now - b.first_seen > self.timeout]
+            for k in stale:
+                del self._buffers[k]
+            return
+        oldest = min(self._buffers, key=lambda k: self._buffers[k].first_seen)
+        del self._buffers[oldest]
+
+    @staticmethod
+    def _raw_ip_payload(pkt: Packet) -> bytes:
+        """Bytes carried by this fragment (transport header re-encoded for
+        first fragments where decode already split it off)."""
+        if pkt.l4 is None:
+            return pkt.payload
+        if isinstance(pkt.l4, Tcp):
+            return pkt.l4.encode(pkt.payload, pkt.ip.src_int, pkt.ip.dst_int)
+        if isinstance(pkt.l4, Udp):
+            return pkt.l4.encode(pkt.payload, pkt.ip.src_int, pkt.ip.dst_int)
+        if isinstance(pkt.l4, Icmp):
+            return pkt.l4.encode(pkt.payload)
+        return pkt.payload
+
+    @staticmethod
+    def _rebuild(last_fragment: Packet, data: bytes) -> Packet:
+        """Construct the reassembled packet from the full IP payload."""
+        from .layers import Ipv4
+
+        ip = Ipv4(
+            src=last_fragment.ip.src, dst=last_fragment.ip.dst,
+            proto=last_fragment.ip.proto, ttl=last_fragment.ip.ttl,
+            ident=last_fragment.ip.ident,
+        )
+        pkt = Packet(ip=ip, timestamp=last_fragment.timestamp)
+        decoder = {PROTO_TCP: Tcp, PROTO_UDP: Udp, PROTO_ICMP: Icmp}.get(ip.proto)
+        if decoder is None:
+            pkt.payload = data
+            return pkt
+        try:
+            pkt.l4, pkt.payload = decoder.decode(data)
+        except Exception:
+            pkt.payload = data
+        return pkt
+
+
+def fragment_packet(pkt: Packet, fragment_size: int = 64) -> list[Packet]:
+    """Split a packet into IP fragments (the attacker-side tool).
+
+    ``fragment_size`` is rounded down to a multiple of 8 (fragment offsets
+    are in 8-byte units).
+    """
+    if pkt.ip is None:
+        raise ValueError("cannot fragment a packet without an IP header")
+    fragment_size = max(8, fragment_size - fragment_size % 8)
+    if pkt.l4 is not None:
+        data = IpDefragmenter._raw_ip_payload(pkt)
+    else:
+        data = pkt.payload
+    out: list[Packet] = []
+    for offset in range(0, len(data), fragment_size):
+        chunk = data[offset : offset + fragment_size]
+        last = offset + fragment_size >= len(data)
+        from .layers import Ipv4
+
+        ip = Ipv4(src=pkt.ip.src, dst=pkt.ip.dst, proto=pkt.ip.proto,
+                  ttl=pkt.ip.ttl, ident=pkt.ip.ident or 0x4242,
+                  flags=0 if last else _MF, frag_offset=offset // 8)
+        out.append(Packet(ip=ip, payload=chunk, timestamp=pkt.timestamp))
+    return out

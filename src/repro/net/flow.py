@@ -1,0 +1,186 @@
+"""Flow tracking and TCP stream reassembly.
+
+The binary-extraction stage operates on *application messages*, not raw
+segments: an exploit request may be split across TCP segments, and the
+Code Red II GET request in the paper's traces spans several packets.
+:class:`StreamReassembler` stitches TCP payload bytes back into per-direction
+byte streams keyed by 5-tuple, handling out-of-order and overlapping
+segments the way a first-writer-wins IDS reassembler does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .layers import TCP_FIN, TCP_RST, TCP_SYN, Tcp
+from .packet import Packet
+
+__all__ = ["FlowKey", "FlowStats", "Stream", "StreamReassembler"]
+
+
+@dataclass(frozen=True, order=True)
+class FlowKey:
+    """Directed 5-tuple identifying one direction of a conversation."""
+
+    src: str
+    dst: str
+    sport: int
+    dport: int
+    proto: int = 6
+
+    @classmethod
+    def of(cls, pkt: Packet) -> "FlowKey":
+        if pkt.ip is None or pkt.sport is None:
+            raise ValueError("packet has no transport flow")
+        return cls(pkt.ip.src, pkt.ip.dst, pkt.sport, pkt.dport, pkt.ip.proto)
+
+    def reverse(self) -> "FlowKey":
+        return FlowKey(self.dst, self.src, self.dport, self.sport, self.proto)
+
+    def __str__(self) -> str:
+        return f"{self.src}:{self.sport}->{self.dst}:{self.dport}/{self.proto}"
+
+
+@dataclass
+class FlowStats:
+    """Aggregate counters kept per directed flow."""
+
+    packets: int = 0
+    bytes: int = 0
+    first_seen: float = 0.0
+    last_seen: float = 0.0
+
+    def update(self, pkt: Packet) -> None:
+        if self.packets == 0:
+            self.first_seen = pkt.timestamp
+        self.packets += 1
+        self.bytes += len(pkt.payload)
+        self.last_seen = pkt.timestamp
+
+
+@dataclass
+class Stream:
+    """One direction of a TCP conversation, reassembled.
+
+    Segments are merged first-writer-wins: bytes already present at a stream
+    offset are never overwritten by retransmissions or overlaps, matching
+    common IDS reassembly policy.  ``data()`` returns the longest contiguous
+    prefix assembled so far.
+    """
+
+    key: FlowKey
+    base_seq: int | None = None
+    segments: dict[int, bytes] = field(default_factory=dict)
+    fin_seen: bool = False
+    stats: FlowStats = field(default_factory=FlowStats)
+
+    MAX_BUFFER = 4 * 1024 * 1024  # per-stream cap, mirrors real IDS limits
+
+    def add(self, pkt: Packet) -> None:
+        tcp = pkt.l4
+        assert isinstance(tcp, Tcp)
+        self.stats.update(pkt)
+        if self.base_seq is None:
+            # First segment establishes the sequence origin; SYN consumes one
+            # sequence number, so payload (if any) starts at seq+1.
+            self.base_seq = (tcp.seq + 1) if tcp.flags & TCP_SYN else tcp.seq
+        if tcp.flags & (TCP_FIN | TCP_RST):
+            self.fin_seen = True
+        if not pkt.payload:
+            return
+        offset = (tcp.seq - self.base_seq) & 0xFFFFFFFF
+        if offset >= 1 << 31:  # segment precedes the current base: rebase
+            delta = (1 << 32) - offset
+            if delta >= self.MAX_BUFFER:
+                return
+            self.segments = {off + delta: seg for off, seg in self.segments.items()}
+            self.base_seq = tcp.seq
+            offset = 0
+        if offset >= self.MAX_BUFFER:
+            return
+        self._insert(offset, pkt.payload[: self.MAX_BUFFER - offset])
+
+    def _insert(self, offset: int, data: bytes) -> None:
+        # Trim against existing segments (first writer wins).
+        for seg_off in sorted(self.segments):
+            seg = self.segments[seg_off]
+            seg_end = seg_off + len(seg)
+            if seg_end <= offset or seg_off >= offset + len(data):
+                continue
+            if seg_off <= offset:
+                skip = seg_end - offset
+                if skip >= len(data):
+                    return
+                offset += skip
+                data = data[skip:]
+            else:
+                head = data[: seg_off - offset]
+                if head:
+                    self.segments[offset] = head
+                tail_off = seg_end
+                tail = data[tail_off - offset:]
+                offset, data = tail_off, tail
+                if not data:
+                    return
+        if data:
+            self.segments[offset] = data
+
+    def data(self) -> bytes:
+        """Contiguous stream prefix from offset zero."""
+        out = bytearray()
+        expected = 0
+        for offset in sorted(self.segments):
+            if offset != expected:
+                break
+            out += self.segments[offset]
+            expected = offset + len(self.segments[offset])
+        return bytes(out)
+
+    def total_buffered(self) -> int:
+        return sum(len(s) for s in self.segments.values())
+
+
+class StreamReassembler:
+    """Tracks all TCP streams seen by the sensor.
+
+    Non-TCP packets are counted but not buffered.  ``feed`` returns the
+    stream a packet belonged to (or ``None``) so callers can re-inspect the
+    reassembled message after every segment, which is how the NIDS triggers
+    extraction as soon as a request is complete enough to parse.
+    """
+
+    def __init__(self, max_streams: int = 65536) -> None:
+        self.streams: dict[FlowKey, Stream] = {}
+        self.max_streams = max_streams
+        self.non_tcp_packets = 0
+        self.evicted = 0
+
+    def feed(self, pkt: Packet) -> Stream | None:
+        if not pkt.is_tcp:
+            self.non_tcp_packets += 1
+            return None
+        key = FlowKey.of(pkt)
+        stream = self.streams.get(key)
+        if stream is None:
+            if len(self.streams) >= self.max_streams:
+                self._evict_oldest()
+            stream = Stream(key=key)
+            self.streams[key] = stream
+        stream.add(pkt)
+        return stream
+
+    def _evict_oldest(self) -> None:
+        victim = min(self.streams.values(), key=lambda s: s.stats.last_seen)
+        del self.streams[victim.key]
+        self.evicted += 1
+
+    def finished_streams(self) -> Iterator[Stream]:
+        """Streams whose FIN/RST has been observed."""
+        return (s for s in self.streams.values() if s.fin_seen)
+
+    def get(self, key: FlowKey) -> Stream | None:
+        return self.streams.get(key)
+
+    def __len__(self) -> int:
+        return len(self.streams)

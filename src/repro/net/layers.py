@@ -1,0 +1,296 @@
+"""Protocol layer definitions: Ethernet, IPv4, TCP, UDP, ICMP.
+
+Each layer is a small mutable dataclass with ``encode``/``decode`` methods.
+``encode`` serializes the header plus the already-encoded upper layers;
+``decode`` parses a header and returns the remaining bytes.  The
+:mod:`repro.net.packet` module composes these into full packets.
+
+The field set is deliberately the working subset a NIDS needs — options are
+carried opaquely, and unknown upper-layer protocols decay to raw payloads —
+but wire formats are exact, so pcap files written here open in real tools.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .inet import (
+    bytes_to_mac,
+    checksum,
+    int_to_ip,
+    ip_to_int,
+    mac_to_bytes,
+    pseudo_header,
+)
+
+__all__ = [
+    "Ethernet",
+    "Ipv4",
+    "Tcp",
+    "Udp",
+    "Icmp",
+    "ETHERTYPE_IPV4",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "TCP_FIN",
+    "TCP_SYN",
+    "TCP_RST",
+    "TCP_PSH",
+    "TCP_ACK",
+    "TCP_URG",
+]
+
+ETHERTYPE_IPV4 = 0x0800
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+TCP_FIN = 0x01
+TCP_SYN = 0x02
+TCP_RST = 0x04
+TCP_PSH = 0x08
+TCP_ACK = 0x10
+TCP_URG = 0x20
+
+
+class DecodeError(ValueError):
+    """Raised when bytes cannot be parsed as the requested layer."""
+
+
+@dataclass
+class Ethernet:
+    """Ethernet II frame header."""
+
+    dst: str = "ff:ff:ff:ff:ff:ff"
+    src: str = "00:00:00:00:00:00"
+    ethertype: int = ETHERTYPE_IPV4
+
+    HEADER_LEN = 14
+
+    def encode(self, payload: bytes) -> bytes:
+        return mac_to_bytes(self.dst) + mac_to_bytes(self.src) + struct.pack(
+            ">H", self.ethertype
+        ) + payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> tuple["Ethernet", bytes]:
+        if len(data) < cls.HEADER_LEN:
+            raise DecodeError("truncated Ethernet header")
+        dst = bytes_to_mac(data[0:6])
+        src = bytes_to_mac(data[6:12])
+        (ethertype,) = struct.unpack(">H", data[12:14])
+        return cls(dst=dst, src=src, ethertype=ethertype), data[14:]
+
+
+@dataclass
+class Ipv4:
+    """IPv4 header.  ``src``/``dst`` accept dotted-quad strings or ints."""
+
+    src: str = "0.0.0.0"
+    dst: str = "0.0.0.0"
+    proto: int = PROTO_TCP
+    ttl: int = 64
+    ident: int = 0
+    tos: int = 0
+    flags: int = 0
+    frag_offset: int = 0
+    options: bytes = b""
+
+    HEADER_LEN = 20
+
+    @property
+    def src_int(self) -> int:
+        return ip_to_int(self.src)
+
+    @property
+    def dst_int(self) -> int:
+        return ip_to_int(self.dst)
+
+    def header_length(self) -> int:
+        return self.HEADER_LEN + len(self.options)
+
+    def encode(self, payload: bytes) -> bytes:
+        if len(self.options) % 4:
+            raise ValueError("IPv4 options must be a multiple of 4 bytes")
+        ihl = self.header_length() // 4
+        total_len = self.header_length() + len(payload)
+        if total_len > 0xFFFF:
+            raise ValueError(f"IPv4 datagram too large: {total_len}")
+        flags_frag = ((self.flags & 0x7) << 13) | (self.frag_offset & 0x1FFF)
+        header = struct.pack(
+            ">BBHHHBBHII",
+            (4 << 4) | ihl,
+            self.tos,
+            total_len,
+            self.ident,
+            flags_frag,
+            self.ttl,
+            self.proto,
+            0,
+            self.src_int,
+            self.dst_int,
+        ) + self.options
+        csum = checksum(header)
+        header = header[:10] + struct.pack(">H", csum) + header[12:]
+        return header + payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> tuple["Ipv4", bytes]:
+        if len(data) < cls.HEADER_LEN:
+            raise DecodeError("truncated IPv4 header")
+        version_ihl = data[0]
+        if version_ihl >> 4 != 4:
+            raise DecodeError(f"not IPv4 (version={version_ihl >> 4})")
+        ihl = (version_ihl & 0xF) * 4
+        if ihl < cls.HEADER_LEN or len(data) < ihl:
+            raise DecodeError("bad IPv4 header length")
+        (tos, total_len, ident, flags_frag, ttl, proto, _csum, src, dst) = struct.unpack(
+            ">BHHHBBHII", data[1:20]
+        )
+        if total_len < ihl or total_len > len(data):
+            raise DecodeError("bad IPv4 total length")
+        hdr = cls(
+            src=int_to_ip(src),
+            dst=int_to_ip(dst),
+            proto=proto,
+            ttl=ttl,
+            ident=ident,
+            tos=tos,
+            flags=flags_frag >> 13,
+            frag_offset=flags_frag & 0x1FFF,
+            options=bytes(data[cls.HEADER_LEN:ihl]),
+        )
+        return hdr, data[ihl:total_len]
+
+
+@dataclass
+class Tcp:
+    """TCP header.  Checksum is computed at encode time from the enclosing
+    IPv4 pseudo-header, so ``encode`` needs the IP endpoints."""
+
+    sport: int = 0
+    dport: int = 0
+    seq: int = 0
+    ack: int = 0
+    flags: int = TCP_ACK
+    window: int = 65535
+    urgent: int = 0
+    options: bytes = b""
+
+    HEADER_LEN = 20
+
+    def header_length(self) -> int:
+        return self.HEADER_LEN + len(self.options)
+
+    def encode(self, payload: bytes, src: int = 0, dst: int = 0) -> bytes:
+        if len(self.options) % 4:
+            raise ValueError("TCP options must be a multiple of 4 bytes")
+        data_offset = self.header_length() // 4
+        header = struct.pack(
+            ">HHIIBBHHH",
+            self.sport,
+            self.dport,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            data_offset << 4,
+            self.flags,
+            self.window,
+            0,
+            self.urgent,
+        ) + self.options
+        segment = header + payload
+        pseudo = pseudo_header(src, dst, PROTO_TCP, len(segment))
+        csum = checksum(pseudo + segment)
+        return segment[:16] + struct.pack(">H", csum) + segment[18:]
+
+    @classmethod
+    def decode(cls, data: bytes) -> tuple["Tcp", bytes]:
+        if len(data) < cls.HEADER_LEN:
+            raise DecodeError("truncated TCP header")
+        (sport, dport, seq, ack, offset_byte, flags, window, _csum, urgent) = (
+            struct.unpack(">HHIIBBHHH", data[:20])
+        )
+        header_len = (offset_byte >> 4) * 4
+        if header_len < cls.HEADER_LEN or len(data) < header_len:
+            raise DecodeError("bad TCP data offset")
+        hdr = cls(
+            sport=sport,
+            dport=dport,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            urgent=urgent,
+            options=bytes(data[cls.HEADER_LEN:header_len]),
+        )
+        return hdr, data[header_len:]
+
+    def flag_names(self) -> str:
+        names = []
+        for bit, name in (
+            (TCP_SYN, "SYN"),
+            (TCP_ACK, "ACK"),
+            (TCP_FIN, "FIN"),
+            (TCP_RST, "RST"),
+            (TCP_PSH, "PSH"),
+            (TCP_URG, "URG"),
+        ):
+            if self.flags & bit:
+                names.append(name)
+        return "|".join(names) or "none"
+
+
+@dataclass
+class Udp:
+    """UDP header."""
+
+    sport: int = 0
+    dport: int = 0
+
+    HEADER_LEN = 8
+
+    def encode(self, payload: bytes, src: int = 0, dst: int = 0) -> bytes:
+        length = self.HEADER_LEN + len(payload)
+        header = struct.pack(">HHHH", self.sport, self.dport, length, 0)
+        pseudo = pseudo_header(src, dst, PROTO_UDP, length)
+        csum = checksum(pseudo + header + payload)
+        if csum == 0:  # RFC 768: transmitted checksum of zero means "none"
+            csum = 0xFFFF
+        return header[:6] + struct.pack(">H", csum) + payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> tuple["Udp", bytes]:
+        if len(data) < cls.HEADER_LEN:
+            raise DecodeError("truncated UDP header")
+        sport, dport, length, _csum = struct.unpack(">HHHH", data[:8])
+        if length < cls.HEADER_LEN or length > len(data):
+            raise DecodeError("bad UDP length")
+        return cls(sport=sport, dport=dport), data[cls.HEADER_LEN:length]
+
+
+@dataclass
+class Icmp:
+    """ICMP header (echo request/reply are the only types the traffic
+    synthesizer emits, but any type/code pair round-trips)."""
+
+    type: int = 8
+    code: int = 0
+    ident: int = 0
+    seq: int = 0
+
+    HEADER_LEN = 8
+
+    def encode(self, payload: bytes, src: int = 0, dst: int = 0) -> bytes:
+        header = struct.pack(">BBHHH", self.type, self.code, 0, self.ident, self.seq)
+        csum = checksum(header + payload)
+        return header[:2] + struct.pack(">H", csum) + header[4:] + payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> tuple["Icmp", bytes]:
+        if len(data) < cls.HEADER_LEN:
+            raise DecodeError("truncated ICMP header")
+        type_, code, _csum, ident, seq = struct.unpack(">BBHHH", data[:8])
+        return cls(type=type_, code=code, ident=ident, seq=seq), data[cls.HEADER_LEN:]

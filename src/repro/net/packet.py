@@ -1,0 +1,166 @@
+"""Full-packet composition and parsing.
+
+A :class:`Packet` is an Ethernet/IPv4/(TCP|UDP|ICMP) stack plus an
+application payload and a capture timestamp.  This is the unit every stage
+of the NIDS consumes: the classifier looks at addresses and ports, the
+extraction stage looks at the payload, and pcap I/O moves whole packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .layers import (
+    DecodeError,
+    Ethernet,
+    Icmp,
+    Ipv4,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    Tcp,
+    Udp,
+)
+
+__all__ = ["Packet", "tcp_packet", "udp_packet", "icmp_packet", "DecodeError"]
+
+
+@dataclass
+class Packet:
+    """A parsed (or to-be-encoded) network packet.
+
+    ``l4`` is one of :class:`Tcp`, :class:`Udp`, :class:`Icmp`, or ``None``
+    when the transport protocol is unrecognized (the raw transport bytes are
+    then left in ``payload``).
+    """
+
+    eth: Ethernet = field(default_factory=Ethernet)
+    ip: Ipv4 | None = None
+    l4: Tcp | Udp | Icmp | None = None
+    payload: bytes = b""
+    timestamp: float = 0.0
+
+    # -- convenience accessors used throughout the NIDS ---------------------
+
+    @property
+    def src(self) -> str | None:
+        return self.ip.src if self.ip else None
+
+    @property
+    def dst(self) -> str | None:
+        return self.ip.dst if self.ip else None
+
+    @property
+    def sport(self) -> int | None:
+        return self.l4.sport if isinstance(self.l4, (Tcp, Udp)) else None
+
+    @property
+    def dport(self) -> int | None:
+        return self.l4.dport if isinstance(self.l4, (Tcp, Udp)) else None
+
+    @property
+    def is_tcp(self) -> bool:
+        return isinstance(self.l4, Tcp)
+
+    @property
+    def is_udp(self) -> bool:
+        return isinstance(self.l4, Udp)
+
+    def encode(self) -> bytes:
+        """Serialize the full stack to wire bytes (checksums computed)."""
+        if self.ip is None:
+            return self.eth.encode(self.payload)
+        if self.l4 is None:
+            ip_payload = self.payload
+        else:
+            ip_payload = self.l4.encode(self.payload, self.ip.src_int, self.ip.dst_int)
+        return self.eth.encode(self.ip.encode(ip_payload))
+
+    @classmethod
+    def decode(cls, data: bytes, timestamp: float = 0.0) -> "Packet":
+        """Parse wire bytes into a packet, degrading gracefully: an
+        unrecognized ethertype leaves the bytes in ``payload``; an
+        unrecognized IP protocol leaves the transport bytes in ``payload``."""
+        eth, rest = Ethernet.decode(data)
+        pkt = cls(eth=eth, timestamp=timestamp)
+        if eth.ethertype != 0x0800:
+            pkt.payload = rest
+            return pkt
+        pkt.ip, rest = Ipv4.decode(rest)
+        decoder = {PROTO_TCP: Tcp, PROTO_UDP: Udp, PROTO_ICMP: Icmp}.get(pkt.ip.proto)
+        if decoder is None:
+            pkt.payload = rest
+            return pkt
+        pkt.l4, pkt.payload = decoder.decode(rest)
+        return pkt
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by alert formatting)."""
+        if self.ip is None:
+            return f"eth {self.eth.src} -> {self.eth.dst} type={self.eth.ethertype:#06x}"
+        if isinstance(self.l4, Tcp):
+            return (
+                f"tcp {self.ip.src}:{self.l4.sport} -> {self.ip.dst}:{self.l4.dport}"
+                f" [{self.l4.flag_names()}] len={len(self.payload)}"
+            )
+        if isinstance(self.l4, Udp):
+            return (
+                f"udp {self.ip.src}:{self.l4.sport} -> {self.ip.dst}:{self.l4.dport}"
+                f" len={len(self.payload)}"
+            )
+        if isinstance(self.l4, Icmp):
+            return f"icmp {self.ip.src} -> {self.ip.dst} type={self.l4.type}"
+        return f"ip {self.ip.src} -> {self.ip.dst} proto={self.ip.proto}"
+
+
+def tcp_packet(
+    src: str,
+    dst: str,
+    sport: int,
+    dport: int,
+    payload: bytes = b"",
+    flags: int = 0x18,  # PSH|ACK — a data segment
+    seq: int = 0,
+    ack: int = 0,
+    timestamp: float = 0.0,
+) -> Packet:
+    """Build a TCP data packet with sane defaults."""
+    return Packet(
+        ip=Ipv4(src=src, dst=dst, proto=PROTO_TCP),
+        l4=Tcp(sport=sport, dport=dport, seq=seq, ack=ack, flags=flags),
+        payload=payload,
+        timestamp=timestamp,
+    )
+
+
+def udp_packet(
+    src: str,
+    dst: str,
+    sport: int,
+    dport: int,
+    payload: bytes = b"",
+    timestamp: float = 0.0,
+) -> Packet:
+    """Build a UDP datagram."""
+    return Packet(
+        ip=Ipv4(src=src, dst=dst, proto=PROTO_UDP),
+        l4=Udp(sport=sport, dport=dport),
+        payload=payload,
+        timestamp=timestamp,
+    )
+
+
+def icmp_packet(
+    src: str,
+    dst: str,
+    type: int = 8,
+    payload: bytes = b"",
+    timestamp: float = 0.0,
+) -> Packet:
+    """Build an ICMP packet (echo request by default)."""
+    return Packet(
+        ip=Ipv4(src=src, dst=dst, proto=PROTO_ICMP),
+        l4=Icmp(type=type),
+        payload=payload,
+        timestamp=timestamp,
+    )

@@ -1,0 +1,148 @@
+"""pcap file reading and writing (classic libpcap format, LINKTYPE_ETHERNET).
+
+Traces produced by :mod:`repro.traffic` are written in standard pcap so they
+can be opened with tcpdump/Wireshark, and the NIDS sensor can equally consume
+traces captured by real tools.  Both byte orders are accepted on read; files
+are written little-endian with microsecond resolution.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator
+
+from .packet import Packet
+
+__all__ = ["PcapWriter", "PcapReader", "write_pcap", "read_pcap", "PcapError"]
+
+_MAGIC_LE = 0xA1B2C3D4
+_MAGIC_BE = 0xD4C3B2A1
+_LINKTYPE_ETHERNET = 1
+
+
+class PcapError(ValueError):
+    """Raised for malformed pcap files."""
+
+
+@dataclass
+class PcapRecord:
+    """A single captured frame: raw bytes plus its capture timestamp."""
+
+    timestamp: float
+    data: bytes
+
+
+class PcapWriter:
+    """Streaming pcap writer.
+
+    >>> with PcapWriter(path) as w:            # doctest: +SKIP
+    ...     w.write(packet)
+    """
+
+    def __init__(self, path: str | Path | BinaryIO, snaplen: int = 65535) -> None:
+        if hasattr(path, "write"):
+            self._fh: BinaryIO = path  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._fh = open(path, "wb")
+            self._owns = True
+        self._fh.write(
+            struct.pack(
+                "<IHHiIII", _MAGIC_LE, 2, 4, 0, 0, snaplen, _LINKTYPE_ETHERNET
+            )
+        )
+
+    def write(self, packet: Packet) -> None:
+        self.write_raw(packet.timestamp, packet.encode())
+
+    def write_raw(self, timestamp: float, data: bytes) -> None:
+        sec = int(timestamp)
+        usec = int(round((timestamp - sec) * 1_000_000))
+        if usec == 1_000_000:  # avoid rounding past the next second
+            sec, usec = sec + 1, 0
+        self._fh.write(struct.pack("<IIII", sec, usec, len(data), len(data)))
+        self._fh.write(data)
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class PcapReader:
+    """Streaming pcap reader yielding decoded :class:`Packet` objects."""
+
+    def __init__(self, path: str | Path | BinaryIO) -> None:
+        if hasattr(path, "read"):
+            self._fh: BinaryIO = path  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._fh = open(path, "rb")
+            self._owns = True
+        header = self._fh.read(24)
+        if len(header) < 24:
+            raise PcapError("truncated pcap global header")
+        (magic,) = struct.unpack("<I", header[:4])
+        if magic == _MAGIC_LE:
+            self._endian = "<"
+        elif magic == _MAGIC_BE:
+            self._endian = ">"
+        else:
+            raise PcapError(f"bad pcap magic: {magic:#010x}")
+        _vmaj, _vmin, _tz, _sig, _snap, linktype = struct.unpack(
+            self._endian + "HHiIII", header[4:]
+        )
+        if linktype != _LINKTYPE_ETHERNET:
+            raise PcapError(f"unsupported linktype {linktype} (want Ethernet)")
+
+    def records(self) -> Iterator[PcapRecord]:
+        """Yield raw records without protocol decoding."""
+        fmt = self._endian + "IIII"
+        while True:
+            header = self._fh.read(16)
+            if not header:
+                return
+            if len(header) < 16:
+                raise PcapError("truncated pcap record header")
+            sec, usec, caplen, _origlen = struct.unpack(fmt, header)
+            data = self._fh.read(caplen)
+            if len(data) < caplen:
+                raise PcapError("truncated pcap record body")
+            yield PcapRecord(timestamp=sec + usec / 1_000_000, data=data)
+
+    def __iter__(self) -> Iterator[Packet]:
+        for rec in self.records():
+            yield Packet.decode(rec.data, timestamp=rec.timestamp)
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "PcapReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_pcap(path: str | Path, packets: Iterable[Packet]) -> int:
+    """Write an iterable of packets; returns the number written."""
+    count = 0
+    with PcapWriter(path) as writer:
+        for pkt in packets:
+            writer.write(pkt)
+            count += 1
+    return count
+
+
+def read_pcap(path: str | Path) -> list[Packet]:
+    """Read a whole pcap file into memory."""
+    with PcapReader(path) as reader:
+        return list(reader)

@@ -1,0 +1,162 @@
+"""A software network: hosts, a shared wire, and passive taps.
+
+The paper deploys its NIDS "on a standalone machine connected to the
+network" and drives experiments with an exploit-generator host firing at a
+honeypot.  :class:`Wire` reproduces that topology in-process: hosts transmit
+packets onto the wire; every attached tap (the NIDS sensor) sees every
+packet, in timestamp order.  A tiny TCP handshake/session helper lets
+traffic generators emit protocol-plausible conversations without a real
+TCP state machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from .layers import TCP_ACK, TCP_FIN, TCP_PSH, TCP_SYN
+from .packet import Packet, tcp_packet
+
+__all__ = ["Wire", "Host", "TcpSession"]
+
+Tap = Callable[[Packet], None]
+
+
+class Wire:
+    """A shared broadcast medium with a monotonically advancing clock.
+
+    The clock advances by ``latency`` for every transmitted packet so that
+    traces get realistic, strictly increasing timestamps without any real
+    sleeping (experiments replay months of traffic in seconds).
+    """
+
+    def __init__(self, start_time: float = 0.0, latency: float = 50e-6) -> None:
+        self.clock = start_time
+        self.latency = latency
+        self._taps: list[Tap] = []
+        self.packets_carried = 0
+
+    def attach(self, tap: Tap) -> None:
+        """Attach a passive observer; it receives every subsequent packet."""
+        self._taps.append(tap)
+
+    def detach(self, tap: Tap) -> None:
+        self._taps.remove(tap)
+
+    def transmit(self, pkt: Packet) -> None:
+        self.clock += self.latency
+        if pkt.timestamp == 0.0:
+            pkt.timestamp = self.clock
+        else:
+            self.clock = max(self.clock, pkt.timestamp)
+        self.packets_carried += 1
+        for tap in self._taps:
+            tap(pkt)
+
+    def transmit_all(self, packets: Iterable[Packet]) -> int:
+        n = 0
+        for pkt in packets:
+            self.transmit(pkt)
+            n += 1
+        return n
+
+
+@dataclass
+class Host:
+    """A network endpoint identified by an IPv4 address."""
+
+    ip: str
+    wire: Wire
+    _next_port: int = field(default=32768, repr=False)
+
+    def ephemeral_port(self) -> int:
+        port = self._next_port
+        self._next_port = 32768 + (self._next_port - 32768 + 1) % 28000
+        return port
+
+    def open_tcp(self, dst: str, dport: int) -> "TcpSession":
+        """Perform a (simulated) three-way handshake and return the session."""
+        session = TcpSession(
+            wire=self.wire,
+            src=self.ip,
+            dst=dst,
+            sport=self.ephemeral_port(),
+            dport=dport,
+        )
+        session.handshake()
+        return session
+
+    def send_udp(self, dst: str, sport: int, dport: int, payload: bytes) -> None:
+        from .packet import udp_packet
+
+        self.wire.transmit(udp_packet(self.ip, dst, sport, dport, payload))
+
+
+@dataclass
+class TcpSession:
+    """A scripted TCP conversation: handshake, bidirectional data, close.
+
+    Sequence numbers are tracked so reassembly on the sensor side works; the
+    ``mss`` setting splits large sends into multiple segments, which is what
+    forces the NIDS to reassemble exploit requests.
+    """
+
+    wire: Wire
+    src: str
+    dst: str
+    sport: int
+    dport: int
+    mss: int = 1460
+    client_seq: int = 1000
+    server_seq: int = 5000
+
+    def handshake(self) -> None:
+        self.wire.transmit(
+            tcp_packet(self.src, self.dst, self.sport, self.dport,
+                       flags=TCP_SYN, seq=self.client_seq)
+        )
+        self.wire.transmit(
+            tcp_packet(self.dst, self.src, self.dport, self.sport,
+                       flags=TCP_SYN | TCP_ACK, seq=self.server_seq,
+                       ack=self.client_seq + 1)
+        )
+        self.client_seq += 1
+        self.server_seq += 1
+        self.wire.transmit(
+            tcp_packet(self.src, self.dst, self.sport, self.dport,
+                       flags=TCP_ACK, seq=self.client_seq, ack=self.server_seq)
+        )
+
+    def send(self, payload: bytes) -> None:
+        """Client-to-server data, segmented at ``mss``."""
+        for i in range(0, len(payload), self.mss):
+            chunk = payload[i : i + self.mss]
+            self.wire.transmit(
+                tcp_packet(self.src, self.dst, self.sport, self.dport,
+                           payload=chunk, flags=TCP_PSH | TCP_ACK,
+                           seq=self.client_seq, ack=self.server_seq)
+            )
+            self.client_seq += len(chunk)
+
+    def reply(self, payload: bytes) -> None:
+        """Server-to-client data, segmented at ``mss``."""
+        for i in range(0, len(payload), self.mss):
+            chunk = payload[i : i + self.mss]
+            self.wire.transmit(
+                tcp_packet(self.dst, self.src, self.dport, self.sport,
+                           payload=chunk, flags=TCP_PSH | TCP_ACK,
+                           seq=self.server_seq, ack=self.client_seq)
+            )
+            self.server_seq += len(chunk)
+
+    def close(self) -> None:
+        self.wire.transmit(
+            tcp_packet(self.src, self.dst, self.sport, self.dport,
+                       flags=TCP_FIN | TCP_ACK, seq=self.client_seq,
+                       ack=self.server_seq)
+        )
+        self.wire.transmit(
+            tcp_packet(self.dst, self.src, self.dport, self.sport,
+                       flags=TCP_FIN | TCP_ACK, seq=self.server_seq,
+                       ack=self.client_seq + 1)
+        )

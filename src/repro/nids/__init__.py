@@ -1,0 +1,12 @@
+"""The five-stage semantic NIDS pipeline, alerts, statistics, and the
+wire-attached live sensor."""
+
+from .alerts import Alert, BlockList
+from .stats import NidsStats, StageTimer
+from .pipeline import SemanticNids
+from .sensor import NidsSensor
+from .report import AlertReport, build_report
+
+__all__ = ["Alert", "BlockList", "NidsStats", "StageTimer", "SemanticNids",
+           "NidsSensor",
+           "AlertReport", "build_report"]

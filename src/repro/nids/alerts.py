@@ -1,0 +1,55 @@
+"""Alert model and response actions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.template import TemplateMatch
+
+__all__ = ["Alert", "BlockList"]
+
+
+@dataclass
+class Alert:
+    """One detection event.
+
+    "If a piece of code matches one of our templates, an alert is
+    generated, and further action may be taken against the offending IP
+    address." (§4.3)
+    """
+
+    timestamp: float
+    source: str
+    destination: str
+    template: str
+    severity: str
+    frame_origin: str
+    detail: str = ""
+    match: TemplateMatch | None = field(default=None, repr=False)
+
+    def format(self) -> str:
+        return (f"[{self.timestamp:12.6f}] {self.severity.upper():8s} "
+                f"{self.template:24s} {self.source} -> {self.destination} "
+                f"({self.frame_origin}) {self.detail}")
+
+
+class BlockList:
+    """The "further action": sources that triggered alerts get blocked."""
+
+    def __init__(self) -> None:
+        self._blocked: dict[str, float] = {}
+
+    def block(self, address: str, when: float) -> None:
+        self._blocked.setdefault(address, when)
+
+    def is_blocked(self, address: str) -> bool:
+        return address in self._blocked
+
+    def blocked_since(self, address: str) -> float | None:
+        return self._blocked.get(address)
+
+    def __len__(self) -> int:
+        return len(self._blocked)
+
+    def addresses(self) -> list[str]:
+        return sorted(self._blocked)

@@ -1,0 +1,188 @@
+"""The five-stage semantic NIDS (Figure 3).
+
+Packet in → (a) traffic classifier → (b) binary detection & extraction →
+(c) disassembler → (d) IR generator → (e) semantic analyzer → alerts.
+
+Stages (c)-(e) live in :class:`repro.core.SemanticAnalyzer`; this module
+owns the plumbing: per-packet classification, TCP stream reassembly with
+incremental re-analysis, per-stream alert deduplication, and the response
+blocklist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..classify.classifier import TrafficClassifier
+from ..classify.darkspace import DarkSpaceMonitor
+from ..classify.fanout import SmtpFanoutMonitor
+from ..classify.honeypot import HoneypotRegistry
+from ..core.analyzer import SemanticAnalyzer
+from ..core.template import Template
+from ..extract.frames import BinaryExtractor
+from ..net.defrag import IpDefragmenter
+from ..net.flow import FlowKey, StreamReassembler
+from ..net.packet import Packet
+from .alerts import Alert, BlockList
+from .stats import NidsStats
+
+__all__ = ["SemanticNids"]
+
+
+@dataclass
+class _StreamState:
+    """Per-stream analysis bookkeeping."""
+
+    analyzed_len: int = 0
+    analysis_rounds: int = 0
+    alerted_templates: set[str] = field(default_factory=set)
+
+
+class SemanticNids:
+    """The complete NIDS.
+
+    Parameters
+    ----------
+    honeypots:
+        Decoy addresses; any sender contacting one becomes suspicious.
+    dark_networks / dark_hosts / dark_threshold:
+        Unused address space and the scan count ``t`` of §4.1.
+    templates:
+        Template set for the semantic analyzer (defaults to the paper's).
+    classification_enabled:
+        ``False`` reproduces §5.4: every payload is analyzed.
+    max_rounds_per_stream:
+        Cap on incremental re-analyses of one growing stream.
+    """
+
+    def __init__(
+        self,
+        honeypots: list[str] | None = None,
+        dark_networks: list[str] | None = None,
+        dark_hosts: list[str] | None = None,
+        dark_threshold: int = 5,
+        dark_exclude: list[str] | None = None,
+        smtp_fanout_threshold: int | None = None,
+        templates: list[Template] | None = None,
+        classification_enabled: bool = True,
+        max_rounds_per_stream: int = 64,
+        reanalysis_growth: int = 4096,
+    ) -> None:
+        self.classifier = TrafficClassifier(
+            honeypots=HoneypotRegistry.of(honeypots or []),
+            darkspace=DarkSpaceMonitor(
+                dark_networks=dark_networks, dark_hosts=dark_hosts,
+                threshold=dark_threshold, exclude=dark_exclude,
+            ),
+            fanout=(SmtpFanoutMonitor(threshold=smtp_fanout_threshold)
+                    if smtp_fanout_threshold is not None else None),
+            enabled=classification_enabled,
+        )
+        self.defragmenter = IpDefragmenter()
+        self.reassembler = StreamReassembler()
+        self.extractor = BinaryExtractor()
+        self.analyzer = SemanticAnalyzer(templates=templates)
+        self.blocklist = BlockList()
+        self.stats = NidsStats()
+        self.alerts: list[Alert] = []
+        self.max_rounds_per_stream = max_rounds_per_stream
+        #: a growing stream is re-analyzed on its first payload bytes, then
+        #: after each additional ``reanalysis_growth`` bytes, and at FIN —
+        #: bounding the quadratic cost of rescanning long transfers.
+        self.reanalysis_growth = reanalysis_growth
+        self._stream_state: dict[FlowKey, _StreamState] = {}
+
+    # -- packet path ---------------------------------------------------------
+
+    def process_packet(self, pkt: Packet) -> list[Alert]:
+        """Feed one packet; returns any alerts it produced."""
+        self.stats.packets += 1
+        self.stats.payload_bytes += len(pkt.payload)
+        whole = self.defragmenter.feed(pkt)
+        if whole is None:
+            return []  # fragment buffered; the datagram is not complete yet
+        pkt = whole
+        with self.stats.classify.timed():
+            forward = self.classifier.classify(pkt)
+        if not forward:
+            return []
+        new_alerts: list[Alert] = []
+        if pkt.is_tcp:
+            with self.stats.reassembly.timed():
+                stream = self.reassembler.feed(pkt)
+            if stream is None:
+                return []
+            state = self._stream_state.setdefault(stream.key, _StreamState())
+            data = stream.data()
+            grown = len(data) - state.analyzed_len
+            should = (
+                grown > 0
+                and state.analysis_rounds < self.max_rounds_per_stream
+                and (
+                    state.analyzed_len == 0          # first payload bytes
+                    or grown >= self.reanalysis_growth
+                    or stream.fin_seen               # flush at close
+                )
+            )
+            if should:
+                state.analysis_rounds += 1
+                state.analyzed_len = len(data)
+                new_alerts = self._analyze_payload(pkt, data, state)
+        elif pkt.payload:
+            new_alerts = self._analyze_payload(pkt, pkt.payload, None)
+        return new_alerts
+
+    def process_trace(self, packets) -> list[Alert]:
+        """Feed a whole capture; returns all alerts raised."""
+        before = len(self.alerts)
+        for pkt in packets:
+            self.process_packet(pkt)
+        return self.alerts[before:]
+
+    # -- stages (b)-(e) ---------------------------------------------------------
+
+    def _analyze_payload(
+        self, pkt: Packet, payload: bytes, state: _StreamState | None
+    ) -> list[Alert]:
+        self.stats.payloads_analyzed += 1
+        with self.stats.extraction.timed():
+            frames = self.extractor.extract(payload)
+        self.stats.frames_extracted += len(frames)
+        out: list[Alert] = []
+        for frame in frames:
+            with self.stats.analysis.timed():
+                result = self.analyzer.analyze_frame(frame.data)
+            self.stats.frames_analyzed += 1
+            for match in result.matches:
+                name = match.template.name
+                if state is not None and name in state.alerted_templates:
+                    continue
+                if state is not None:
+                    state.alerted_templates.add(name)
+                alert = Alert(
+                    timestamp=pkt.timestamp,
+                    source=pkt.src or "?",
+                    destination=pkt.dst or "?",
+                    template=name,
+                    severity=match.template.severity,
+                    frame_origin=frame.origin,
+                    detail=match.summary(),
+                    match=match,
+                )
+                self.alerts.append(alert)
+                self.stats.alerts += 1
+                if pkt.src:
+                    self.blocklist.block(pkt.src, pkt.timestamp)
+                out.append(alert)
+        return out
+
+    # -- reporting ----------------------------------------------------------------
+
+    def alert_sources(self) -> set[str]:
+        return {a.source for a in self.alerts}
+
+    def alerts_by_template(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for alert in self.alerts:
+            out[alert.template] = out.get(alert.template, 0) + 1
+        return out

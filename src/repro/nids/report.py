@@ -1,0 +1,106 @@
+"""Alert reporting: the operator-facing summary of a sensor run.
+
+Groups alerts by source, template, and severity; renders a plain-text
+incident report (what a 2006 deployment would mail to the admin) and a
+machine-readable dict for downstream tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .alerts import Alert
+from .pipeline import SemanticNids
+
+__all__ = ["AlertReport", "build_report"]
+
+_SEVERITY_ORDER = {"critical": 0, "high": 1, "medium": 2, "low": 3}
+
+
+@dataclass
+class AlertReport:
+    """A summarized sensor run."""
+
+    total_alerts: int = 0
+    by_template: dict[str, int] = field(default_factory=dict)
+    by_severity: dict[str, int] = field(default_factory=dict)
+    by_source: dict[str, list[Alert]] = field(default_factory=dict)
+    first_alert: float | None = None
+    last_alert: float | None = None
+    blocked: list[str] = field(default_factory=list)
+    pipeline_summary: str = ""
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (JSON-serializable)."""
+        return {
+            "total_alerts": self.total_alerts,
+            "by_template": dict(self.by_template),
+            "by_severity": dict(self.by_severity),
+            "sources": {
+                src: [
+                    {"time": a.timestamp, "template": a.template,
+                     "severity": a.severity, "destination": a.destination,
+                     "origin": a.frame_origin}
+                    for a in alerts
+                ]
+                for src, alerts in self.by_source.items()
+            },
+            "window": [self.first_alert, self.last_alert],
+            "blocked": list(self.blocked),
+        }
+
+    def render(self) -> str:
+        """Plain-text incident report."""
+        lines = ["SEMANTIC NIDS INCIDENT REPORT", "=" * 48]
+        if self.total_alerts == 0:
+            lines.append("no alerts.")
+            if self.pipeline_summary:
+                lines += ["", self.pipeline_summary]
+            return "\n".join(lines)
+        window = ""
+        if self.first_alert is not None and self.last_alert is not None:
+            window = f" over {self.last_alert - self.first_alert:.1f}s"
+        lines.append(f"{self.total_alerts} alert(s) from "
+                     f"{len(self.by_source)} source(s){window}")
+        lines.append("")
+        lines.append("by severity:")
+        for severity in sorted(self.by_severity,
+                               key=lambda s: _SEVERITY_ORDER.get(s, 9)):
+            lines.append(f"  {severity:10s} {self.by_severity[severity]}")
+        lines.append("by behaviour:")
+        for template, count in sorted(self.by_template.items(),
+                                      key=lambda kv: -kv[1]):
+            lines.append(f"  {template:26s} {count}")
+        lines.append("")
+        lines.append("offending sources:")
+        for source in sorted(self.by_source):
+            alerts = self.by_source[source]
+            templates = sorted({a.template for a in alerts})
+            blocked = " [BLOCKED]" if source in self.blocked else ""
+            lines.append(f"  {source}{blocked}")
+            lines.append(f"    {len(alerts)} alert(s): {', '.join(templates)}")
+            first = min(alerts, key=lambda a: a.timestamp)
+            lines.append(f"    first seen t={first.timestamp:.3f} "
+                         f"-> {first.destination} ({first.frame_origin})")
+        if self.pipeline_summary:
+            lines += ["", "pipeline:", self.pipeline_summary]
+        return "\n".join(lines)
+
+
+def build_report(nids: SemanticNids) -> AlertReport:
+    """Summarize a sensor's accumulated alerts."""
+    report = AlertReport(
+        total_alerts=len(nids.alerts),
+        by_template=nids.alerts_by_template(),
+        blocked=nids.blocklist.addresses(),
+        pipeline_summary=nids.stats.summary(),
+    )
+    for alert in nids.alerts:
+        report.by_severity[alert.severity] = (
+            report.by_severity.get(alert.severity, 0) + 1)
+        report.by_source.setdefault(alert.source, []).append(alert)
+        if report.first_alert is None or alert.timestamp < report.first_alert:
+            report.first_alert = alert.timestamp
+        if report.last_alert is None or alert.timestamp > report.last_alert:
+            report.last_alert = alert.timestamp
+    return report

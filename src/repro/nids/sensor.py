@@ -1,0 +1,46 @@
+"""A live sensor: the NIDS attached to the software wire as a passive tap.
+
+"This NIDS can be deployed on a standalone machine connected to the
+network." (§4) — :class:`NidsSensor` is that machine in our simulation:
+attach it to a :class:`~repro.net.wire.Wire` and every transmitted packet
+flows through the five-stage pipeline; alerts surface via an optional
+callback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..net.packet import Packet
+from ..net.wire import Wire
+from .alerts import Alert
+from .pipeline import SemanticNids
+
+__all__ = ["NidsSensor"]
+
+
+class NidsSensor:
+    """Wraps :class:`SemanticNids` as a wire tap."""
+
+    def __init__(
+        self,
+        nids: SemanticNids,
+        on_alert: Callable[[Alert], None] | None = None,
+    ) -> None:
+        self.nids = nids
+        self.on_alert = on_alert
+
+    def attach(self, wire: Wire) -> None:
+        wire.attach(self._tap)
+
+    def detach(self, wire: Wire) -> None:
+        wire.detach(self._tap)
+
+    def _tap(self, pkt: Packet) -> None:
+        for alert in self.nids.process_packet(pkt):
+            if self.on_alert is not None:
+                self.on_alert(alert)
+
+    @property
+    def alerts(self) -> list[Alert]:
+        return self.nids.alerts

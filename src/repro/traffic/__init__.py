@@ -1,0 +1,18 @@
+"""Benign traffic and evaluation trace synthesis."""
+
+from .http_gen import HttpTrafficModel
+from .dns_gen import DnsTrafficModel, encode_qname
+from .smtp_gen import SmtpTrafficModel
+from .mix import BenignMixGenerator, MixStats
+from .radiation import RadiationGenerator
+from .traces import (
+    LabeledTrace, TABLE3_INSTANCE_COUNTS, build_table3_trace, month_of_traffic,
+)
+
+__all__ = [
+    "HttpTrafficModel", "DnsTrafficModel", "encode_qname", "SmtpTrafficModel",
+    "BenignMixGenerator", "MixStats",
+    "RadiationGenerator",
+    "LabeledTrace", "TABLE3_INSTANCE_COUNTS", "build_table3_trace",
+    "month_of_traffic",
+]

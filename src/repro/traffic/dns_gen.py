@@ -1,0 +1,51 @@
+"""Benign DNS query/response synthesis (wire-format UDP payloads)."""
+
+from __future__ import annotations
+
+import random
+import struct
+
+__all__ = ["DnsTrafficModel", "encode_qname"]
+
+_LABELS = ["www", "mail", "ns1", "ns2", "ftp", "smtp", "web", "proxy",
+           "cache", "mirror"]
+_DOMAINS = ["example.com", "campus.edu", "example.org", "corp.example",
+            "example.net"]
+
+
+def encode_qname(name: str) -> bytes:
+    """DNS name encoding: length-prefixed labels, NUL-terminated."""
+    out = bytearray()
+    for label in name.split("."):
+        raw = label.encode("ascii")
+        if not 0 < len(raw) < 64:
+            raise ValueError(f"bad DNS label: {label!r}")
+        out.append(len(raw))
+        out += raw
+    out.append(0)
+    return bytes(out)
+
+
+class DnsTrafficModel:
+    """Generates matched (query, response) payload pairs."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    def _name(self) -> str:
+        return f"{self.rng.choice(_LABELS)}.{self.rng.choice(_DOMAINS)}"
+
+    def query(self) -> tuple[bytes, bytes]:
+        """Returns (query payload, response payload) for one lookup."""
+        rng = self.rng
+        txid = rng.randrange(1 << 16)
+        qname = encode_qname(self._name())
+        qtype = rng.choice((1, 1, 1, 15, 28))  # A, MX, AAAA
+        question = qname + struct.pack(">HH", qtype, 1)
+        query = struct.pack(">HHHHHH", txid, 0x0100, 1, 0, 0, 0) + question
+        # Response: same question + one A answer.
+        addr = bytes(rng.randrange(1, 255) for _ in range(4))
+        answer = (b"\xc0\x0c" + struct.pack(">HHIH", 1, 1, 3600, 4) + addr)
+        response = (struct.pack(">HHHHHH", txid, 0x8180, 1, 1, 0, 0)
+                    + question + answer)
+        return query, response

@@ -1,0 +1,133 @@
+"""Benign HTTP conversation synthesis.
+
+The false-positive experiment (§5.4) runs "a month's worth of traffic …
+most of the packets in this trace are legitimate web traffic" through the
+full analysis path with classification disabled.  These generators produce
+protocol-correct requests and responses with realistic variety: HTML,
+text, and *binary* bodies (images, compressed blobs) — the binary bodies
+are the hard case, because they reach the disassembler and must still not
+match any template.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["HttpTrafficModel"]
+
+_PATH_WORDS = ["index", "news", "about", "products", "search", "images",
+               "docs", "api", "login", "static", "archive", "blog", "faq"]
+_EXTS = [".html", ".htm", "/", ".php", ".asp", ".cgi", ".css", ".js"]
+_IMG_EXTS = [".gif", ".jpg", ".png", ".ico"]
+_HOSTS = ["www.example.com", "portal.campus.edu", "mirror.example.org",
+          "news.example.net", "intranet.corp.example"]
+_AGENTS = [
+    "Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1)",
+    "Mozilla/5.0 (X11; U; Linux i686; en-US; rv:1.7.12)",
+    "Wget/1.9.1",
+    "Lynx/2.8.5rel.1",
+]
+
+_WORDS = ("the quick brown fox jumps over lazy dog network intrusion "
+          "detection semantic analysis template campus department course "
+          "schedule library proxy mirror download release notes server "
+          "status report archive weather sports market").split()
+
+
+class HttpTrafficModel:
+    """Generates benign request/response byte pairs."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    # -- requests ----------------------------------------------------------
+
+    def request(self) -> bytes:
+        rng = self.rng
+        kind = rng.random()
+        if kind < 0.8:
+            return self._get()
+        if kind < 0.95:
+            return self._post()
+        return self._head()
+
+    def _path(self, image: bool = False) -> str:
+        parts = [rng_word for rng_word in
+                 self.rng.sample(_PATH_WORDS, self.rng.randrange(1, 3))]
+        ext = self.rng.choice(_IMG_EXTS if image else _EXTS)
+        path = "/" + "/".join(parts) + ext
+        if not image and self.rng.random() < 0.3:
+            path += f"?q={self.rng.choice(_WORDS)}&page={self.rng.randrange(40)}"
+        return path
+
+    def _headers(self) -> str:
+        rng = self.rng
+        lines = [
+            f"Host: {rng.choice(_HOSTS)}",
+            f"User-Agent: {rng.choice(_AGENTS)}",
+            "Accept: */*",
+        ]
+        if rng.random() < 0.4:
+            lines.append("Connection: keep-alive")
+        if rng.random() < 0.2:
+            lines.append(f"Referer: http://{rng.choice(_HOSTS)}/")
+        return "\r\n".join(lines)
+
+    def _get(self) -> bytes:
+        image = self.rng.random() < 0.35
+        return (f"GET {self._path(image)} HTTP/1.{self.rng.randrange(2)}\r\n"
+                f"{self._headers()}\r\n\r\n").encode()
+
+    def _head(self) -> bytes:
+        return (f"HEAD {self._path()} HTTP/1.1\r\n"
+                f"{self._headers()}\r\n\r\n").encode()
+
+    def _post(self) -> bytes:
+        rng = self.rng
+        fields = "&".join(
+            f"{rng.choice(_WORDS)}={rng.choice(_WORDS)}{rng.randrange(100)}"
+            for _ in range(rng.randrange(2, 6))
+        )
+        body = fields.encode()
+        return (f"POST {self._path()} HTTP/1.0\r\n{self._headers()}\r\n"
+                f"Content-Type: application/x-www-form-urlencoded\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n").encode() + body
+
+    # -- responses ----------------------------------------------------------
+
+    def response(self, max_body: int = 8192) -> bytes:
+        rng = self.rng
+        kind = rng.random()
+        if kind < 0.55:
+            body = self._html_body(rng.randrange(256, max_body))
+            ctype = "text/html"
+        elif kind < 0.8:
+            body = self._binary_body(rng.randrange(512, max_body))
+            ctype = rng.choice(["image/gif", "image/jpeg", "application/zip"])
+        else:
+            body = self._text_body(rng.randrange(128, max_body // 2))
+            ctype = "text/plain"
+        head = (f"HTTP/1.1 200 OK\r\nServer: Apache/1.3.27 (Unix)\r\n"
+                f"Content-Type: {ctype}\r\nContent-Length: {len(body)}\r\n\r\n")
+        return head.encode() + body
+
+    def _html_body(self, size: int) -> bytes:
+        rng = self.rng
+        out = ["<html><head><title>", rng.choice(_WORDS), "</title></head><body>"]
+        while sum(len(s) for s in out) < size:
+            out.append(f"<p>{' '.join(rng.choice(_WORDS) for _ in range(12))}</p>\n")
+        out.append("</body></html>")
+        return "".join(out).encode()[:size]
+
+    def _text_body(self, size: int) -> bytes:
+        rng = self.rng
+        words = " ".join(rng.choice(_WORDS) for _ in range(size // 5 + 1))
+        return words.encode()[:size]
+
+    def _binary_body(self, size: int) -> bytes:
+        """Compressed-looking high-entropy bytes with a recognizable magic
+        header — the worst case for the extraction stage."""
+        rng = self.rng
+        magic = rng.choice([b"GIF89a", b"\xff\xd8\xff\xe0", b"\x89PNG\r\n",
+                            b"PK\x03\x04"])
+        return magic + rng.randbytes(max(0, size - len(magic)))

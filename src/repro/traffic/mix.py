@@ -1,0 +1,147 @@
+"""Benign traffic mixes: full conversations over the software wire.
+
+:class:`BenignMixGenerator` emits protocol-correct conversations (HTTP,
+DNS, SMTP, ICMP) between a pool of client and server addresses.  All flows
+are benign by construction — the generators in this package never emit
+decoder loops, shell spawns, or CRII vectors — which gives the §5.4
+false-positive experiment its ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..net.inet import Ipv4Network, int_to_ip
+from ..net.packet import Packet, icmp_packet, udp_packet
+from ..net.wire import Host, Wire
+from .dns_gen import DnsTrafficModel
+from .http_gen import HttpTrafficModel
+from .smtp_gen import SmtpTrafficModel
+
+__all__ = ["BenignMixGenerator", "MixStats"]
+
+
+@dataclass
+class MixStats:
+    """What a generation run produced."""
+
+    conversations: int = 0
+    packets: int = 0
+    payload_bytes: int = 0
+    by_protocol: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.by_protocol is None:
+            self.by_protocol = {}
+
+
+class BenignMixGenerator:
+    """Generates a benign traffic mix onto a wire (or a packet list)."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        client_net: str = "192.168.0.0/22",
+        server_net: str = "10.10.0.0/24",
+        start_time: float = 0.0,
+        mean_gap: float = 0.02,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.clients = Ipv4Network.parse(client_net)
+        self.servers = Ipv4Network.parse(server_net)
+        self.http = HttpTrafficModel(seed=seed ^ 0x1111)
+        self.dns = DnsTrafficModel(seed=seed ^ 0x2222)
+        self.smtp = SmtpTrafficModel(seed=seed ^ 0x3333)
+        self.start_time = start_time
+        self.mean_gap = mean_gap
+        self.stats = MixStats()
+
+    def _client(self) -> str:
+        return int_to_ip(self.clients.host(self.rng.randrange(2, self.clients.num_addresses - 2)))
+
+    def _server(self) -> str:
+        return int_to_ip(self.servers.host(self.rng.randrange(2, self.servers.num_addresses - 2)))
+
+    # -- conversation emitters ----------------------------------------------
+
+    def conversation(self, wire: Wire) -> None:
+        """Emit one conversation of a randomly chosen protocol."""
+        roll = self.rng.random()
+        if roll < 0.70:
+            self._http(wire)
+        elif roll < 0.85:
+            self._dns(wire)
+        elif roll < 0.95:
+            self._smtp(wire)
+        else:
+            self._icmp(wire)
+        self.stats.conversations += 1
+        wire.clock += self.rng.expovariate(1.0 / self.mean_gap)
+
+    def _http(self, wire: Wire) -> None:
+        client = Host(ip=self._client(), wire=wire)
+        session = client.open_tcp(self._server(), 80)
+        n_requests = self.rng.randrange(1, 4)
+        for _ in range(n_requests):
+            request = self.http.request()
+            session.send(request)
+            session.reply(self.http.response())
+            self.stats.payload_bytes += len(request)
+        session.close()
+        self._count("http")
+
+    def _dns(self, wire: Wire) -> None:
+        query, response = self.dns.query()
+        client, server = self._client(), self._server()
+        sport = 1024 + self.rng.randrange(60000)
+        wire.transmit(udp_packet(client, server, sport, 53, query))
+        wire.transmit(udp_packet(server, client, 53, sport, response))
+        self.stats.payload_bytes += len(query) + len(response)
+        self._count("dns")
+
+    def _smtp(self, wire: Wire) -> None:
+        client = Host(ip=self._client(), wire=wire)
+        session = client.open_tcp(self._server(), 25)
+        for direction, payload in self.smtp.session():
+            if direction == "c":
+                session.send(payload)
+            else:
+                session.reply(payload)
+            self.stats.payload_bytes += len(payload)
+        session.close()
+        self._count("smtp")
+
+    def _icmp(self, wire: Wire) -> None:
+        client, server = self._client(), self._server()
+        data = bytes(range(0x20, 0x38))
+        wire.transmit(icmp_packet(client, server, type=8, payload=data))
+        wire.transmit(icmp_packet(server, client, type=0, payload=data))
+        self._count("icmp")
+
+    def _count(self, proto: str) -> None:
+        self.stats.by_protocol[proto] = self.stats.by_protocol.get(proto, 0) + 1
+
+    # -- bulk helpers -----------------------------------------------------------
+
+    def generate_packets(self, conversations: int) -> list[Packet]:
+        """Generate ``conversations`` conversations into a packet list."""
+        packets: list[Packet] = []
+        wire = Wire(start_time=self.start_time)
+        wire.attach(packets.append)
+        for _ in range(conversations):
+            self.conversation(wire)
+        self.stats.packets += len(packets)
+        return packets
+
+    def generate_bytes(self, payload_bytes: int) -> list[Packet]:
+        """Generate conversations until ~``payload_bytes`` of application
+        payload has been produced (the §5.4 '566MB month' scaling knob)."""
+        packets: list[Packet] = []
+        wire = Wire(start_time=self.start_time)
+        wire.attach(packets.append)
+        target = self.stats.payload_bytes + payload_bytes
+        while self.stats.payload_bytes < target:
+            self.conversation(wire)
+        self.stats.packets += len(packets)
+        return packets

@@ -1,0 +1,108 @@
+"""Internet background radiation synthesis (Pang et al., IMC'04 — the
+paper's reference [15]).
+
+Production networks see a constant drizzle of unsolicited traffic even
+with zero compromise: backscatter from spoofed-source floods elsewhere,
+residual probes from half-dead worms, and plain misconfiguration.  This
+is the traffic the classifier lives in — dark-space counting must flag
+real scanners without drowning the analyzer in radiation noise.
+
+Components modelled (following the IMC'04 taxonomy):
+
+- **backscatter** — SYN-ACK / RST replies arriving for connections we
+  never opened (our addresses were spoofed as flood sources);
+- **worm residue** — old worm probes (port 80/445/1434) from a churning
+  population of sources, a few packets each;
+- **misconfiguration** — repeated, low-rate traffic to one wrong address
+  (a stale DNS entry, a typo'd NTP server).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..net.layers import TCP_ACK, TCP_RST, TCP_SYN
+from ..net.packet import Packet, tcp_packet, udp_packet
+
+__all__ = ["RadiationGenerator"]
+
+
+class RadiationGenerator:
+    """Generates background-radiation packets aimed at a monitored net."""
+
+    def __init__(self, seed: int = 0, monitored_net: str = "10.10.0.",
+                 dark_octets: tuple[int, int] = (64, 250)) -> None:
+        self.rng = random.Random(seed)
+        self.monitored_net = monitored_net
+        #: host-octet range considered unused in the monitored /24
+        self.dark_octets = dark_octets
+
+    def _monitored_addr(self, dark: bool) -> str:
+        lo, hi = self.dark_octets
+        octet = (self.rng.randrange(lo, hi) if dark
+                 else self.rng.randrange(2, lo))
+        return f"{self.monitored_net}{octet}"
+
+    def _random_source(self) -> str:
+        return (f"{self.rng.randrange(1, 224)}.{self.rng.randrange(256)}."
+                f"{self.rng.randrange(256)}.{self.rng.randrange(1, 255)}")
+
+    # -- components ----------------------------------------------------------
+
+    def backscatter(self, count: int, base_time: float = 0.0) -> list[Packet]:
+        """SYN-ACK/RST replies from flood victims to our (spoofed) space."""
+        out = []
+        for i in range(count):
+            flags = self.rng.choice((TCP_SYN | TCP_ACK, TCP_RST,
+                                     TCP_RST | TCP_ACK))
+            pkt = tcp_packet(
+                self._random_source(), self._monitored_addr(dark=self.rng.random() < 0.6),
+                sport=self.rng.choice((80, 443, 53, 6667)),
+                dport=self.rng.randrange(1024, 65535),
+                flags=flags, seq=self.rng.randrange(1 << 32),
+                timestamp=base_time + i * self.rng.uniform(0.01, 0.5),
+            )
+            out.append(pkt)
+        return out
+
+    def worm_residue(self, sources: int, base_time: float = 0.0) -> list[Packet]:
+        """Low-volume probes from many half-dead worm hosts: each source
+        sends 1-3 SYNs then disappears (below any sane scan threshold)."""
+        out = []
+        t = base_time
+        for _ in range(sources):
+            src = self._random_source()
+            port = self.rng.choice((80, 445, 1434, 135))
+            for _ in range(self.rng.randrange(1, 4)):
+                t += self.rng.uniform(0.05, 2.0)
+                out.append(tcp_packet(
+                    src, self._monitored_addr(dark=self.rng.random() < 0.7),
+                    sport=self.rng.randrange(1024, 65535), dport=port,
+                    flags=TCP_SYN, timestamp=t,
+                ))
+        return out
+
+    def misconfiguration(self, count: int, base_time: float = 0.0) -> list[Packet]:
+        """One confused host repeatedly querying a single wrong address —
+        repetition to ONE dark address must not trip the scan counter."""
+        src = self._random_source()
+        target = self._monitored_addr(dark=True)
+        out = []
+        for i in range(count):
+            out.append(udp_packet(
+                src, target, sport=self.rng.randrange(1024, 65535),
+                dport=self.rng.choice((53, 123)),
+                payload=bytes(self.rng.randrange(256) for _ in range(24)),
+                timestamp=base_time + i * 7.5,
+            ))
+        return out
+
+    def mixed(self, volume: int, base_time: float = 0.0) -> list[Packet]:
+        """A representative radiation mix, sorted by timestamp."""
+        packets = (
+            self.backscatter(volume // 2, base_time)
+            + self.worm_residue(volume // 4, base_time)
+            + self.misconfiguration(max(4, volume // 10), base_time)
+        )
+        packets.sort(key=lambda p: p.timestamp)
+        return packets

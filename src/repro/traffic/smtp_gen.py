@@ -1,0 +1,73 @@
+"""Benign SMTP session synthesis, including base64 attachments.
+
+Base64 attachment bodies matter for the false-positive experiment: they
+are long, high-ish-entropy, and occasionally decode to a few valid x86
+instructions — the extraction thresholds have to keep them away from the
+semantic analyzer (or the analyzer has to stay quiet on them)."""
+
+from __future__ import annotations
+
+import base64
+import random
+
+__all__ = ["SmtpTrafficModel"]
+
+_USERS = ["alice", "bob", "carol", "dave", "erin", "frank", "admin", "info"]
+_DOMAINS = ["example.com", "campus.edu", "example.org"]
+_SUBJECTS = ["meeting notes", "weekly report", "re: schedule", "lunch?",
+             "budget draft", "paper review", "photos from trip"]
+_WORDS = ("please find attached the latest draft for your review thanks "
+          "regards see you at the meeting tomorrow project deadline "
+          "updated numbers attached let me know if anything is missing").split()
+
+
+class SmtpTrafficModel:
+    """Generates complete SMTP command/data exchanges."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    def session(self) -> list[tuple[str, bytes]]:
+        """One SMTP conversation as (direction, payload) pairs; direction is
+        "c" (client) or "s" (server)."""
+        rng = self.rng
+        sender = f"{rng.choice(_USERS)}@{rng.choice(_DOMAINS)}"
+        rcpt = f"{rng.choice(_USERS)}@{rng.choice(_DOMAINS)}"
+        exchanges: list[tuple[str, bytes]] = [
+            ("s", b"220 mail.example.com ESMTP Sendmail 8.12.8\r\n"),
+            ("c", b"HELO client.example.net\r\n"),
+            ("s", b"250 mail.example.com Hello\r\n"),
+            ("c", f"MAIL FROM:<{sender}>\r\n".encode()),
+            ("s", b"250 2.1.0 Sender ok\r\n"),
+            ("c", f"RCPT TO:<{rcpt}>\r\n".encode()),
+            ("s", b"250 2.1.5 Recipient ok\r\n"),
+            ("c", b"DATA\r\n"),
+            ("s", b"354 Enter mail\r\n"),
+            ("c", self._message(sender, rcpt)),
+            ("s", b"250 2.0.0 Message accepted\r\n"),
+            ("c", b"QUIT\r\n"),
+            ("s", b"221 2.0.0 closing connection\r\n"),
+        ]
+        return exchanges
+
+    def _message(self, sender: str, rcpt: str) -> bytes:
+        rng = self.rng
+        subject = rng.choice(_SUBJECTS)
+        body = " ".join(rng.choice(_WORDS) for _ in range(rng.randrange(30, 120)))
+        msg = (f"From: {sender}\r\nTo: {rcpt}\r\nSubject: {subject}\r\n")
+        if rng.random() < 0.4:
+            blob = rng.randbytes(rng.randrange(512, 4096))
+            encoded = base64.encodebytes(blob).decode().replace("\n", "\r\n")
+            msg += (
+                "MIME-Version: 1.0\r\n"
+                'Content-Type: multipart/mixed; boundary="----=_partbound"\r\n'
+                "\r\n------=_partbound\r\n"
+                "Content-Type: text/plain\r\n\r\n" + body +
+                "\r\n------=_partbound\r\n"
+                "Content-Type: application/octet-stream\r\n"
+                "Content-Transfer-Encoding: base64\r\n\r\n" + encoded +
+                "\r\n------=_partbound--\r\n"
+            )
+        else:
+            msg += "\r\n" + body + "\r\n"
+        return msg.encode() + b".\r\n"

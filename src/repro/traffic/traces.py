@@ -1,0 +1,117 @@
+"""Evaluation trace assembly: the Table 3 traces and the §5.4 month.
+
+Table 3 tests 12 five-minute traces from two class-B production networks,
+each with >200,000 packets and a known number of Code Red II instances.
+:func:`build_table3_trace` synthesizes a labelled equivalent: a benign mix
+sized to the packet target with CRII infection attempts (scan burst +
+exploit conversation) injected at known times.  The ground-truth instance
+count is carried alongside so the benchmark can score the NIDS exactly the
+way the paper does ("Before evaluation, we noted the correct number of
+instances of Code Red II within each capture").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..engines.codered import CodeRedHost
+from ..net.packet import Packet
+from .mix import BenignMixGenerator
+from .radiation import RadiationGenerator
+
+__all__ = ["LabeledTrace", "build_table3_trace", "TABLE3_INSTANCE_COUNTS",
+           "month_of_traffic"]
+
+# Ground-truth CRII instance counts for the 12 traces.  The paper's Table 3
+# lists per-trace counts for two class-B networks; we use a fixed spread of
+# the same flavor (small counts, a couple of quiet traces).
+TABLE3_INSTANCE_COUNTS = [3, 1, 4, 2, 0, 5, 2, 1, 3, 0, 6, 2]
+
+
+@dataclass
+class LabeledTrace:
+    """A synthesized capture with ground truth."""
+
+    name: str
+    packets: list[Packet]
+    crii_instances: int
+    crii_sources: list[str] = field(default_factory=list)
+    duration: float = 300.0
+
+    @property
+    def packet_count(self) -> int:
+        return len(self.packets)
+
+
+def build_table3_trace(
+    index: int,
+    target_packets: int = 200_000,
+    seed: int = 1000,
+    duration: float = 300.0,
+    radiation_packets: int | None = None,
+) -> LabeledTrace:
+    """Synthesize trace ``index`` (0-11) of the Table 3 experiment.
+
+    The benign mix is generated first and sized to the packet target;
+    background radiation [15] and CRII infection attempts (a scan burst
+    followed by the exploit conversation against a live web server
+    address) are then spliced in at deterministic offsets and the whole
+    trace re-sorted by timestamp.
+    """
+    if not 0 <= index < len(TABLE3_INSTANCE_COUNTS):
+        raise IndexError(f"trace index out of range: {index}")
+    rng = random.Random(seed + index)
+    crii_count = TABLE3_INSTANCE_COUNTS[index]
+
+    # Estimate conversations needed: the mix averages ~20 packets per
+    # conversation; generate, then trim/extend to the target.
+    gen = BenignMixGenerator(seed=seed * 31 + index,
+                             mean_gap=duration / (target_packets / 18.0))
+    packets = gen.generate_packets(max(1, target_packets // 18))
+    while len(packets) < target_packets:
+        packets.extend(gen.generate_packets(max(1, (target_packets - len(packets)) // 18)))
+    packets = packets[:target_packets]
+
+    # Production traces carry background radiation (backscatter, worm
+    # residue, misconfiguration — [15]); mix a realistic drizzle in.
+    if radiation_packets is None:
+        radiation_packets = max(50, target_packets // 200)
+    radiation = RadiationGenerator(seed=seed * 7 + index,
+                                   monitored_net="10.10.0.")
+    packets.extend(radiation.mixed(radiation_packets,
+                                   base_time=rng.uniform(0.0, duration / 2)))
+
+    sources: list[str] = []
+    for k in range(crii_count):
+        src = f"10.{30 + index}.{rng.randrange(1, 254)}.{rng.randrange(1, 254)}"
+        victim = f"10.10.0.{rng.randrange(2, 250)}"
+        worm = CodeRedHost(ip=src, seed=seed + 97 * k)
+        t0 = rng.uniform(5.0, duration - 10.0)
+        packets.extend(worm.scan_packets(count=40, base_time=t0))
+        packets.extend(worm.exploit_packets(victim, base_time=t0 + 1.0))
+        sources.append(src)
+
+    packets.sort(key=lambda p: p.timestamp)
+    return LabeledTrace(
+        name=f"trace-{index:02d}",
+        packets=packets,
+        crii_instances=crii_count,
+        crii_sources=sources,
+        duration=duration,
+    )
+
+
+def month_of_traffic(
+    seed: int = 7,
+    payload_bytes: int = 32 * 1024 * 1024,
+) -> tuple[list[Packet], int]:
+    """The §5.4 benign capture, scaled.
+
+    The paper analyzed 566 MB from two class-C networks; ``payload_bytes``
+    scales the volume (the default keeps CI runtimes sane — pass the full
+    566 MB for a faithful run).  Returns ``(packets, payload_bytes)``.
+    """
+    gen = BenignMixGenerator(seed=seed)
+    packets = gen.generate_bytes(payload_bytes)
+    return packets, gen.stats.payload_bytes

@@ -1,0 +1,27 @@
+"""x86-32 toolchain: registers, operands, assembler, disassembler.
+
+This package is the reproduction's substitute for the commercial IDA Pro
+disassembler used in the paper, plus the assembler the attack engines need
+to generate fresh polymorphic instances.
+"""
+
+from .errors import AssemblerError, DisassemblerError, X86Error
+from .instruction import Instruction, format_listing
+from .operands import Imm, Mem, Operand
+from .registers import (
+    EAX, EBP, EBX, ECX, EDI, EDX, ESI, ESP, GPR32, Register, reg,
+)
+from .asm import Assembler, assemble, encode_instruction
+from .disasm import Disassembler, disassemble, disassemble_frame
+from .emulator import EmulationError, Emulator, Syscall
+
+__all__ = [
+    "AssemblerError", "DisassemblerError", "X86Error",
+    "Instruction", "format_listing",
+    "Imm", "Mem", "Operand",
+    "Register", "reg", "GPR32",
+    "EAX", "ECX", "EDX", "EBX", "ESP", "EBP", "ESI", "EDI",
+    "Assembler", "assemble", "encode_instruction",
+    "Disassembler", "disassemble", "disassemble_frame",
+    "EmulationError", "Emulator", "Syscall",
+]

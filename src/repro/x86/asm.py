@@ -1,0 +1,781 @@
+"""x86-32 assembler: Intel syntax text (or Instruction objects) to bytes.
+
+The polymorphic engines and the shellcode corpus both need a real
+assembler — ADMmutate-style obfuscation generates fresh instruction
+sequences per instance, and hand-maintaining byte strings for eight exploit
+payloads would be unmaintainable.  Labels are resolved with iterative branch
+relaxation (branches start short and grow to near form only when their
+displacement does not fit), which matches how shellcode is normally written
+(``jmp short``-heavy).
+
+Supported syntax::
+
+    decode:
+        mov ebx, 31h
+        add ebx, 64h
+        xor byte ptr [eax], bl
+        add eax, 1
+        loop decode
+        db "/bin/sh", 0
+
+Numbers accept ``0x1F``, ``1Fh`` and decimal forms.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .errors import AssemblerError
+from .instruction import COND_ALIASES, COND_BRANCHES, Instruction, LOOP_ALIASES, LOOPS
+from .operands import Imm, Mem, Operand
+from .registers import Register, reg, _BY_NAME
+
+__all__ = ["assemble", "parse_asm", "encode_instruction", "Assembler"]
+
+# ---------------------------------------------------------------------------
+# Operand / ModRM encoding helpers
+# ---------------------------------------------------------------------------
+
+
+def _fits8(value: int) -> bool:
+    return -128 <= value <= 127
+
+
+def _le(value: int, size: int) -> bytes:
+    return (value & ((1 << (size * 8)) - 1)).to_bytes(size, "little")
+
+
+def _modrm(mod: int, regbits: int, rm: int) -> int:
+    return (mod << 6) | ((regbits & 7) << 3) | (rm & 7)
+
+
+def _encode_rm(regbits: int, rm: Operand) -> bytes:
+    """Encode the ModRM (+SIB +disp) bytes for a register-or-memory operand
+    with ``regbits`` in the reg field."""
+    if isinstance(rm, Register):
+        return bytes([_modrm(3, regbits, rm.code)])
+    if not isinstance(rm, Mem):
+        raise AssemblerError(f"operand cannot be encoded as r/m: {rm}")
+
+    base, index, scale, disp = rm.base, rm.index, rm.scale, rm.disp
+
+    if base is None and index is None:
+        # absolute: mod=00 rm=101 disp32
+        return bytes([_modrm(0, regbits, 5)]) + _le(disp, 4)
+
+    need_sib = index is not None or (base is not None and base.code == 4)
+
+    if base is not None and base.code == 5 and disp == 0:
+        # [ebp] has no mod=00 form; force disp8=0.
+        mod, dispbytes = 1, _le(0, 1)
+    elif disp == 0:
+        mod, dispbytes = 0, b""
+    elif _fits8(disp):
+        mod, dispbytes = 1, _le(disp, 1)
+    else:
+        mod, dispbytes = 2, _le(disp, 4)
+
+    if not need_sib:
+        assert base is not None
+        return bytes([_modrm(mod, regbits, base.code)]) + dispbytes
+
+    scale_bits = {1: 0, 2: 1, 4: 2, 8: 3}[scale]
+    index_bits = index.code if index is not None else 4  # 100 = none
+    if base is None:
+        # SIB with no base: mod=00, base=101, disp32 mandatory.
+        sib = (scale_bits << 6) | (index_bits << 3) | 5
+        return bytes([_modrm(0, regbits, 4), sib]) + _le(disp, 4)
+    if base.code == 5 and mod == 0:
+        mod, dispbytes = 1, _le(0, 1)
+    sib = (scale_bits << 6) | (index_bits << 3) | base.code
+    return bytes([_modrm(mod, regbits, 4), sib]) + dispbytes
+
+
+# ---------------------------------------------------------------------------
+# Per-mnemonic encoders
+# ---------------------------------------------------------------------------
+
+_GROUP1 = {"add": 0, "or": 1, "adc": 2, "sbb": 3, "and": 4, "sub": 5,
+           "xor": 6, "cmp": 7}
+_SHIFT = {"rol": 0, "ror": 1, "rcl": 2, "rcr": 3, "shl": 4, "sal": 4,
+          "shr": 5, "sar": 7}
+_F7GROUP = {"not": 2, "neg": 3, "mul": 4, "imul1": 5, "div": 6, "idiv": 7}
+
+_NOARG = {
+    "nop": b"\x90", "ret": b"\xc3", "leave": b"\xc9", "hlt": b"\xf4",
+    "cld": b"\xfc", "std": b"\xfd", "clc": b"\xf8", "stc": b"\xf9",
+    "cmc": b"\xf5", "cwde": b"\x98", "cdq": b"\x99", "sahf": b"\x9e",
+    "lahf": b"\x9f", "pusha": b"\x60", "pushad": b"\x60", "popa": b"\x61",
+    "popad": b"\x61", "pushf": b"\x9c", "pushfd": b"\x9c", "popf": b"\x9d",
+    "popfd": b"\x9d", "movsb": b"\xa4", "movsd": b"\xa5", "cmpsb": b"\xa6",
+    "cmpsd": b"\xa7", "stosb": b"\xaa", "stosd": b"\xab", "lodsb": b"\xac",
+    "lodsd": b"\xad", "scasb": b"\xae", "scasd": b"\xaf", "int3": b"\xcc",
+    "daa": b"\x27", "das": b"\x2f", "aaa": b"\x37", "aas": b"\x3f",
+    "salc": b"\xd6", "xlatb": b"\xd7",
+}
+
+# rep/repe/repne + string-op combinations (one prefix byte + the opcode).
+for _sop, _sraw in list(_NOARG.items()):
+    if _sop in ("movsb", "movsd", "stosb", "stosd", "lodsb", "lodsd"):
+        _NOARG[f"rep {_sop}"] = b"\xf3" + _sraw
+    elif _sop in ("cmpsb", "cmpsd", "scasb", "scasd"):
+        _NOARG[f"repe {_sop}"] = b"\xf3" + _sraw
+        _NOARG[f"repne {_sop}"] = b"\xf2" + _sraw
+
+
+def _op_size(operands: tuple[Operand, ...]) -> int:
+    """Determine the operation width from the operands; immediates alone do
+    not constrain width."""
+    sizes = {op.size for op in operands if isinstance(op, (Register, Mem))}
+    if not sizes:
+        return 4
+    if len(sizes) > 1:
+        raise AssemblerError(f"operand size mismatch: {operands}")
+    return sizes.pop()
+
+
+def _prefix(size: int) -> bytes:
+    if size == 2:
+        return b"\x66"
+    return b""
+
+
+def _imm_for(value: int, size: int) -> Imm:
+    """Build an immediate of exactly `size` bytes, accepting unsigned
+    encodings of negative values."""
+    bits = size * 8
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return Imm(value, size)
+
+
+class _Encoder:
+    """Encodes a single instruction (branch displacements already final)."""
+
+    def encode(self, ins: Instruction) -> bytes:
+        m = ins.mnemonic
+        if m in _NOARG:
+            if ins.operands:
+                raise AssemblerError(f"{m} takes no operands")
+            return _NOARG[m]
+        handler = getattr(self, f"_enc_{m}", None)
+        if handler is not None:
+            return handler(ins.operands)
+        if m in _GROUP1:
+            return self._group1(m, ins.operands)
+        if m in _SHIFT:
+            return self._shift(m, ins.operands)
+        if m in ("not", "neg", "mul", "div", "idiv"):
+            return self._f7(m, ins.operands)
+        raise AssemblerError(f"cannot encode mnemonic {m!r}")
+
+    # -- two-operand ALU -------------------------------------------------
+
+    def _group1(self, m: str, ops: tuple[Operand, ...]) -> bytes:
+        if len(ops) != 2:
+            raise AssemblerError(f"{m} needs 2 operands")
+        dst, src = ops
+        n = _GROUP1[m]
+        size = _op_size(ops)
+        pfx = _prefix(size)
+        if isinstance(src, Imm):
+            imm = src.value
+            if size == 1:
+                if isinstance(dst, Register) and dst.name == "al":
+                    return bytes([n * 8 + 4]) + _le(imm, 1)
+                return b"\x80" + _encode_rm(n, dst) + _le(imm, 1)
+            if _fits8(imm) and not (isinstance(dst, Register) and dst.code == 0
+                                    and not _fits8(imm)):
+                if _fits8(imm):
+                    return pfx + b"\x83" + _encode_rm(n, dst) + _le(imm, 1)
+            if isinstance(dst, Register) and dst.code == 0 and not dst.high:
+                return pfx + bytes([n * 8 + 5]) + _le(imm, size)
+            return pfx + b"\x81" + _encode_rm(n, dst) + _le(imm, size)
+        if isinstance(src, Register) and isinstance(dst, (Register, Mem)):
+            opcode = n * 8 + (0 if size == 1 else 1)
+            return pfx + bytes([opcode]) + _encode_rm(src.code, dst)
+        if isinstance(dst, Register) and isinstance(src, Mem):
+            opcode = n * 8 + (2 if size == 1 else 3)
+            return pfx + bytes([opcode]) + _encode_rm(dst.code, src)
+        raise AssemblerError(f"bad operands for {m}: {ops}")
+
+    # -- mov ----------------------------------------------------------------
+
+    def _enc_mov(self, ops: tuple[Operand, ...]) -> bytes:
+        if len(ops) != 2:
+            raise AssemblerError("mov needs 2 operands")
+        dst, src = ops
+        size = _op_size(ops)
+        pfx = _prefix(size)
+        if isinstance(dst, Register) and isinstance(src, Imm):
+            if size == 1:
+                return bytes([0xB0 + dst.code]) + _le(src.value, 1)
+            return pfx + bytes([0xB8 + dst.code]) + _le(src.value, size)
+        if isinstance(dst, Mem) and isinstance(src, Imm):
+            if size == 1:
+                return b"\xc6" + _encode_rm(0, dst) + _le(src.value, 1)
+            return pfx + b"\xc7" + _encode_rm(0, dst) + _le(src.value, size)
+        if isinstance(src, Register) and isinstance(dst, (Register, Mem)):
+            opcode = 0x88 if size == 1 else 0x89
+            return pfx + bytes([opcode]) + _encode_rm(src.code, dst)
+        if isinstance(dst, Register) and isinstance(src, Mem):
+            opcode = 0x8A if size == 1 else 0x8B
+            return pfx + bytes([opcode]) + _encode_rm(dst.code, src)
+        raise AssemblerError(f"bad operands for mov: {ops}")
+
+    # -- test / xchg / lea ---------------------------------------------------
+
+    def _enc_test(self, ops: tuple[Operand, ...]) -> bytes:
+        if len(ops) != 2:
+            raise AssemblerError("test needs 2 operands")
+        dst, src = ops
+        size = _op_size(ops)
+        pfx = _prefix(size)
+        if isinstance(src, Imm):
+            if isinstance(dst, Register) and dst.code == 0 and not dst.high:
+                opcode = 0xA8 if size == 1 else 0xA9
+                return pfx + bytes([opcode]) + _le(src.value, size)
+            opcode = 0xF6 if size == 1 else 0xF7
+            return pfx + bytes([opcode]) + _encode_rm(0, dst) + _le(src.value, size)
+        if isinstance(src, Register):
+            opcode = 0x84 if size == 1 else 0x85
+            return pfx + bytes([opcode]) + _encode_rm(src.code, dst)
+        raise AssemblerError(f"bad operands for test: {ops}")
+
+    def _enc_xchg(self, ops: tuple[Operand, ...]) -> bytes:
+        if len(ops) != 2:
+            raise AssemblerError("xchg needs 2 operands")
+        dst, src = ops
+        size = _op_size(ops)
+        if (size == 4 and isinstance(dst, Register) and isinstance(src, Register)):
+            if dst.name == "eax":
+                return bytes([0x90 + src.code])
+            if src.name == "eax":
+                return bytes([0x90 + dst.code])
+        if isinstance(src, Register):
+            opcode = 0x86 if size == 1 else 0x87
+            return _prefix(size) + bytes([opcode]) + _encode_rm(src.code, dst)
+        if isinstance(dst, Register):
+            opcode = 0x86 if size == 1 else 0x87
+            return _prefix(size) + bytes([opcode]) + _encode_rm(dst.code, src)
+        raise AssemblerError(f"bad operands for xchg: {ops}")
+
+    def _enc_lea(self, ops: tuple[Operand, ...]) -> bytes:
+        if len(ops) != 2 or not isinstance(ops[0], Register) or not isinstance(ops[1], Mem):
+            raise AssemblerError(f"bad operands for lea: {ops}")
+        return b"\x8d" + _encode_rm(ops[0].code, ops[1])
+
+    # -- inc/dec/push/pop ----------------------------------------------------
+
+    def _enc_inc(self, ops: tuple[Operand, ...]) -> bytes:
+        return self._incdec(ops, 0x40, 0)
+
+    def _enc_dec(self, ops: tuple[Operand, ...]) -> bytes:
+        return self._incdec(ops, 0x48, 1)
+
+    def _incdec(self, ops: tuple[Operand, ...], short_base: int, ext: int) -> bytes:
+        if len(ops) != 1:
+            raise AssemblerError("inc/dec need 1 operand")
+        (dst,) = ops
+        size = _op_size(ops)
+        if isinstance(dst, Register) and size == 4:
+            return bytes([short_base + dst.code])
+        opcode = 0xFE if size == 1 else 0xFF
+        return _prefix(size) + bytes([opcode]) + _encode_rm(ext, dst)
+
+    def _enc_push(self, ops: tuple[Operand, ...]) -> bytes:
+        if len(ops) != 1:
+            raise AssemblerError("push needs 1 operand")
+        (src,) = ops
+        if isinstance(src, Register):
+            if src.size != 4:
+                raise AssemblerError("push only supports 32-bit registers")
+            return bytes([0x50 + src.code])
+        if isinstance(src, Imm):
+            if _fits8(src.value):
+                return b"\x6a" + _le(src.value, 1)
+            return b"\x68" + _le(src.value, 4)
+        if isinstance(src, Mem):
+            return b"\xff" + _encode_rm(6, src)
+        raise AssemblerError(f"bad operand for push: {src}")
+
+    def _enc_pop(self, ops: tuple[Operand, ...]) -> bytes:
+        if len(ops) != 1:
+            raise AssemblerError("pop needs 1 operand")
+        (dst,) = ops
+        if isinstance(dst, Register):
+            if dst.size != 4:
+                raise AssemblerError("pop only supports 32-bit registers")
+            return bytes([0x58 + dst.code])
+        if isinstance(dst, Mem):
+            return b"\x8f" + _encode_rm(0, dst)
+        raise AssemblerError(f"bad operand for pop: {dst}")
+
+    # -- shifts / unary F6-F7 group -------------------------------------------
+
+    def _shift(self, m: str, ops: tuple[Operand, ...]) -> bytes:
+        if len(ops) != 2:
+            raise AssemblerError(f"{m} needs 2 operands")
+        dst, count = ops
+        n = _SHIFT[m]
+        size = _op_size((dst,))
+        pfx = _prefix(size)
+        if isinstance(count, Imm):
+            if count.value == 1:
+                opcode = 0xD0 if size == 1 else 0xD1
+                return pfx + bytes([opcode]) + _encode_rm(n, dst)
+            opcode = 0xC0 if size == 1 else 0xC1
+            return pfx + bytes([opcode]) + _encode_rm(n, dst) + _le(count.value, 1)
+        if isinstance(count, Register) and count.name == "cl":
+            opcode = 0xD2 if size == 1 else 0xD3
+            return pfx + bytes([opcode]) + _encode_rm(n, dst)
+        raise AssemblerError(f"shift count must be imm8 or cl: {count}")
+
+    def _f7(self, m: str, ops: tuple[Operand, ...]) -> bytes:
+        if len(ops) != 1:
+            raise AssemblerError(f"{m} needs 1 operand")
+        (dst,) = ops
+        size = _op_size(ops)
+        opcode = 0xF6 if size == 1 else 0xF7
+        ext = _F7GROUP[m if m != "imul" else "imul1"]
+        return _prefix(size) + bytes([opcode]) + _encode_rm(ext, dst)
+
+    def _enc_imul(self, ops: tuple[Operand, ...]) -> bytes:
+        if len(ops) == 1:
+            return self._f7("imul", ops)
+        if len(ops) == 2 and isinstance(ops[0], Register):
+            return b"\x0f\xaf" + _encode_rm(ops[0].code, ops[1])
+        if len(ops) == 3 and isinstance(ops[0], Register) and isinstance(ops[2], Imm):
+            if _fits8(ops[2].value):
+                return b"\x6b" + _encode_rm(ops[0].code, ops[1]) + _le(ops[2].value, 1)
+            return b"\x69" + _encode_rm(ops[0].code, ops[1]) + _le(ops[2].value, 4)
+        raise AssemblerError(f"bad operands for imul: {ops}")
+
+    # -- extensions ------------------------------------------------------------
+
+    def _enc_movzx(self, ops: tuple[Operand, ...]) -> bytes:
+        return self._ext_mov(ops, 0xB6)
+
+    def _enc_movsx(self, ops: tuple[Operand, ...]) -> bytes:
+        return self._ext_mov(ops, 0xBE)
+
+    def _ext_mov(self, ops: tuple[Operand, ...], base: int) -> bytes:
+        if len(ops) != 2 or not isinstance(ops[0], Register) or ops[0].size != 4:
+            raise AssemblerError("movzx/movsx need a 32-bit destination register")
+        src = ops[1]
+        src_size = src.size if isinstance(src, (Register, Mem)) else 1
+        opcode = base if src_size == 1 else base + 1
+        return bytes([0x0F, opcode]) + _encode_rm(ops[0].code, src)
+
+    def _enc_bswap(self, ops: tuple[Operand, ...]) -> bytes:
+        if len(ops) != 1 or not isinstance(ops[0], Register) or ops[0].size != 4:
+            raise AssemblerError("bswap needs a 32-bit register")
+        return bytes([0x0F, 0xC8 + ops[0].code])
+
+    # -- int / call / ret indirect ------------------------------------------------
+
+    def _enc_int(self, ops: tuple[Operand, ...]) -> bytes:
+        if len(ops) != 1 or not isinstance(ops[0], Imm):
+            raise AssemblerError("int needs an imm8")
+        if ops[0].value == 3:
+            return b"\xcc"
+        return b"\xcd" + _le(ops[0].value, 1)
+
+    def _enc_jmp(self, ops: tuple[Operand, ...]) -> bytes:
+        if len(ops) != 1 or isinstance(ops[0], Imm):
+            raise AssemblerError("direct jmp must go through the layout pass")
+        return b"\xff" + _encode_rm(4, ops[0])
+
+    def _enc_call(self, ops: tuple[Operand, ...]) -> bytes:
+        if len(ops) != 1 or isinstance(ops[0], Imm):
+            raise AssemblerError("direct call must go through the layout pass")
+        return b"\xff" + _encode_rm(2, ops[0])
+
+    def _enc_retn(self, ops: tuple[Operand, ...]) -> bytes:
+        if len(ops) != 1 or not isinstance(ops[0], Imm):
+            raise AssemblerError("retn needs an imm16")
+        return b"\xc2" + _le(ops[0].value, 2)
+
+
+_ENCODER = _Encoder()
+
+
+def encode_instruction(ins: Instruction) -> bytes:
+    """Encode one non-branch instruction (branches need layout context)."""
+    return _ENCODER.encode(ins)
+
+
+# ---------------------------------------------------------------------------
+# Branch encoding (done by the layout pass)
+# ---------------------------------------------------------------------------
+
+
+def _encode_branch(m: str, rel: int, long_form: bool) -> bytes:
+    if m in LOOPS:
+        if not _fits8(rel):
+            raise AssemblerError(f"{m} target out of rel8 range ({rel})")
+        opcode = {"loopne": 0xE0, "loope": 0xE1, "loop": 0xE2, "jecxz": 0xE3}[m]
+        return bytes([opcode]) + _le(rel, 1)
+    if m == "call":
+        return b"\xe8" + _le(rel, 4)
+    if m == "jmp":
+        if not long_form and _fits8(rel):
+            return b"\xeb" + _le(rel, 1)
+        return b"\xe9" + _le(rel, 4)
+    if m in COND_BRANCHES:
+        cc = COND_BRANCHES[m]
+        if not long_form and _fits8(rel):
+            return bytes([0x70 + cc]) + _le(rel, 1)
+        return bytes([0x0F, 0x80 + cc]) + _le(rel, 4)
+    raise AssemblerError(f"not a branch mnemonic: {m}")
+
+
+def _branch_sizes(m: str) -> tuple[int, int]:
+    """(short size, long size) for a branch; loops have no long form."""
+    if m in LOOPS:
+        return 2, 2
+    if m == "call":
+        return 5, 5
+    if m == "jmp":
+        return 2, 5
+    return 2, 6  # jcc
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+_NUM_RE = re.compile(r"^(0x[0-9a-fA-F]+|[0-9a-fA-F]+h|\d+|-\d+|-0x[0-9a-fA-F]+)$")
+_SIZE_NAMES = {"byte": 1, "word": 2, "dword": 4}
+
+
+def _parse_number(tok: str) -> int:
+    tok = tok.strip().lower()
+    neg = tok.startswith("-")
+    if neg:
+        tok = tok[1:]
+    if tok.startswith("0x"):
+        value = int(tok, 16)
+    elif tok.endswith("h"):
+        value = int(tok[:-1], 16)
+    else:
+        value = int(tok, 10)
+    return -value if neg else value
+
+
+def _parse_mem(size: int | None, expr: str) -> Mem:
+    inner = expr.strip()
+    if not (inner.startswith("[") and inner.endswith("]")):
+        raise AssemblerError(f"malformed memory operand: {expr!r}")
+    inner = inner[1:-1].replace(" ", "")
+    # Normalize "a-b" to "a+-b" then split on '+'.
+    inner = inner.replace("-", "+-")
+    terms = [t.strip() for t in inner.split("+") if t.strip()]
+    base: Register | None = None
+    index: Register | None = None
+    scale = 1
+    disp = 0
+    for term in terms:
+        if "*" in term:
+            lhs, _, rhs = term.partition("*")
+            lhs, rhs = lhs.strip(), rhs.strip()
+            if lhs.lower() in _BY_NAME:
+                index, scale = reg(lhs), _parse_number(rhs)
+            elif rhs.lower() in _BY_NAME:
+                index, scale = reg(rhs), _parse_number(lhs)
+            else:
+                raise AssemblerError(f"bad scaled-index term: {term!r}")
+        elif term.lower() in _BY_NAME:
+            if base is None:
+                base = reg(term)
+            elif index is None:
+                index = reg(term)
+            else:
+                raise AssemblerError(f"too many registers in {expr!r}")
+        else:
+            disp += _parse_number(term)
+    return Mem(size=size or 4, base=base, index=index, scale=scale, disp=disp)
+
+
+def _parse_operand(text: str, size_hint: int | None = None) -> Operand:
+    text = text.strip()
+    low = text.lower()
+    # "byte ptr [...]" / "byte [...]"
+    m = re.match(r"^(byte|word|dword)\s+(?:ptr\s+)?(\[.*\])$", low)
+    if m:
+        return _parse_mem(_SIZE_NAMES[m.group(1)], m.group(2))
+    if low.startswith("["):
+        return _parse_mem(size_hint, low)
+    if low in _BY_NAME:
+        return reg(low)
+    if _NUM_RE.match(low):
+        value = _parse_number(low)
+        size = 4
+        return Imm(value if value < 1 << 31 else value - (1 << 32), size)
+    raise AssemblerError(f"cannot parse operand: {text!r}")
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on commas that are not inside brackets/quotes."""
+    parts: list[str] = []
+    depth = 0
+    quote: str | None = None
+    current = ""
+    for ch in text:
+        if quote:
+            current += ch
+            if ch == quote:
+                quote = None
+            continue
+        if ch in "'\"":
+            quote = ch
+            current += ch
+        elif ch == "[":
+            depth += 1
+            current += ch
+        elif ch == "]":
+            depth -= 1
+            current += ch
+        elif ch == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+@dataclass
+class _Item:
+    """A parse unit: an instruction, raw data, or a label definition."""
+
+    kind: str  # "ins" | "data" | "label"
+    ins: Instruction | None = None
+    data: bytes = b""
+    name: str = ""
+
+
+def _parse_db(arg_text: str) -> bytes:
+    out = bytearray()
+    for part in _split_operands(arg_text):
+        if part.startswith(("'", '"')):
+            if len(part) < 2 or part[-1] != part[0]:
+                raise AssemblerError(f"unterminated string literal: {part!r}")
+            out += part[1:-1].encode("latin-1")
+        else:
+            value = _parse_number(part)
+            if not -128 <= value <= 255:
+                raise AssemblerError(f"db value out of byte range: {part!r}")
+            out.append(value & 0xFF)
+    return bytes(out)
+
+
+def _parse_line(line: str) -> list[_Item]:
+    line = line.split(";", 1)[0].strip()
+    if not line:
+        return []
+    items: list[_Item] = []
+    # Leading label(s) on the same line: "decode: xor ..."
+    while True:
+        m = re.match(r"^([A-Za-z_.$][\w.$]*):\s*", line)
+        if not m:
+            break
+        items.append(_Item(kind="label", name=m.group(1)))
+        line = line[m.end():]
+    if not line:
+        return items
+    mnemonic, _, rest = line.partition(" ")
+    mnemonic = mnemonic.lower()
+    rest = rest.strip()
+    if mnemonic in ("rep", "repe", "repz", "repne", "repnz"):
+        prefix = {"repz": "repe", "repnz": "repne"}.get(mnemonic, mnemonic)
+        mnemonic = f"{prefix} {rest.lower()}"
+        if mnemonic not in _NOARG:
+            raise AssemblerError(f"bad rep combination: {line!r}")
+        items.append(_Item(kind="ins", ins=Instruction(mnemonic, ())))
+        return items
+    if mnemonic == "db":
+        items.append(_Item(kind="data", data=_parse_db(rest)))
+        return items
+    if mnemonic == "dd":
+        data = b"".join(_le(_parse_number(p), 4) for p in _split_operands(rest))
+        items.append(_Item(kind="data", data=data))
+        return items
+    mnemonic = COND_ALIASES.get(mnemonic, mnemonic)
+    mnemonic = LOOP_ALIASES.get(mnemonic, mnemonic)
+    if mnemonic in COND_BRANCHES or mnemonic in LOOPS or mnemonic in ("jmp", "call"):
+        target = rest.lower().removeprefix("short").removeprefix("near").strip()
+        if not target:
+            raise AssemblerError(f"branch without target: {line!r}")
+        if _NUM_RE.match(target):
+            ins = Instruction(mnemonic, (Imm(_parse_number(target), 4),))
+        elif mnemonic in ("jmp", "call") and (
+            target in _BY_NAME or target.startswith(("[", "byte", "word", "dword"))
+        ):
+            # Indirect transfer through a register or memory pointer.
+            ins = Instruction(mnemonic, (_parse_operand(target),))
+        else:
+            ins = Instruction(mnemonic, (), label=target)
+        items.append(_Item(kind="ins", ins=ins))
+        return items
+    operands = tuple(_parse_operand(p) for p in _split_operands(rest)) if rest else ()
+    # Propagate a register size onto unsized immediates for 8/16-bit ops.
+    operands = _fix_imm_sizes(mnemonic, operands)
+    items.append(_Item(kind="ins", ins=Instruction(mnemonic, operands)))
+    return items
+
+
+def _fix_imm_sizes(mnemonic: str, operands: tuple[Operand, ...]) -> tuple[Operand, ...]:
+    sizes = [op.size for op in operands if isinstance(op, (Register, Mem))]
+    if not sizes:
+        return operands
+    size = sizes[0]
+    fixed: list[Operand] = []
+    for op in operands:
+        if isinstance(op, Imm) and op.size != size:
+            if mnemonic in _SHIFT or mnemonic in ("int", "retn"):
+                fixed.append(op)
+            else:
+                fixed.append(_imm_for(op.value, size))
+        else:
+            fixed.append(op)
+    return tuple(fixed)
+
+
+def parse_asm(text: str) -> list[_Item]:
+    """Parse assembler text into items (exposed mainly for tests)."""
+    items: list[_Item] = []
+    for line in text.splitlines():
+        items.extend(_parse_line(line))
+    return items
+
+
+# ---------------------------------------------------------------------------
+# Layout: label resolution with branch relaxation
+# ---------------------------------------------------------------------------
+
+
+class Assembler:
+    """Two-phase assembler with iterative branch relaxation."""
+
+    def __init__(self, origin: int = 0) -> None:
+        self.origin = origin
+
+    def assemble(self, source: str | list[Instruction]) -> bytes:
+        if isinstance(source, str):
+            items = parse_asm(source)
+        else:
+            items = [_Item(kind="ins", ins=ins) for ins in source]
+        return self._layout(items)
+
+    def assemble_listing(self, source: str) -> list[Instruction]:
+        """Assemble and return the instruction list with final addresses and
+        raw bytes filled in (data items are dropped from the listing)."""
+        items = parse_asm(source)
+        self._layout(items)
+        return [item.ins for item in items if item.kind == "ins" and item.ins]
+
+    def _layout(self, items: list[_Item]) -> bytes:
+        branch_long: dict[int, bool] = {
+            i: False for i, item in enumerate(items)
+            if item.kind == "ins" and item.ins is not None and item.ins.label
+        }
+        # Pre-encode non-branch instructions once; their sizes never change.
+        fixed: dict[int, bytes] = {}
+        for i, item in enumerate(items):
+            if item.kind == "ins" and item.ins is not None and i not in branch_long:
+                if (item.ins.is_branch and item.ins.operands
+                        and isinstance(item.ins.operands[0], Imm)):
+                    # Branch to absolute immediate: relaxed like labels.
+                    branch_long[i] = False
+                else:
+                    fixed[i] = _ENCODER.encode(item.ins)
+
+        for _round in range(len(items) + 2):
+            addresses, labels = self._measure(items, branch_long, fixed)
+            grew = False
+            for i, is_long in branch_long.items():
+                if is_long:
+                    continue
+                ins = items[i].ins
+                assert ins is not None
+                target = self._target_of(ins, labels)
+                next_addr = addresses[i] + _branch_sizes(ins.mnemonic)[0]
+                rel = target - next_addr
+                if not _fits8(rel) and ins.mnemonic not in LOOPS:
+                    branch_long[i] = True
+                    grew = True
+            if not grew:
+                break
+        else:  # pragma: no cover - relaxation always terminates
+            raise AssemblerError("branch relaxation did not converge")
+
+        # Final encode.
+        out = bytearray()
+        addresses, labels = self._measure(items, branch_long, fixed)
+        for i, item in enumerate(items):
+            if item.kind == "label":
+                continue
+            if item.kind == "data":
+                out += item.data
+                continue
+            ins = item.ins
+            assert ins is not None
+            if i in branch_long:
+                target = self._target_of(ins, labels)
+                size = (_branch_sizes(ins.mnemonic)[1] if branch_long[i]
+                        else _branch_sizes(ins.mnemonic)[0])
+                rel = target - (addresses[i] + size)
+                raw = _encode_branch(ins.mnemonic, rel, branch_long[i])
+            else:
+                raw = fixed[i]
+            ins.address = addresses[i]
+            ins.raw = raw
+            if ins.label is not None:
+                ins.operands = (Imm(self._target_of(ins, labels) & 0xFFFFFFFF
+                                    if self._target_of(ins, labels) >= 0
+                                    else self._target_of(ins, labels), 4),)
+            out += raw
+        return bytes(out)
+
+    def _measure(
+        self,
+        items: list[_Item],
+        branch_long: dict[int, bool],
+        fixed: dict[int, bytes],
+    ) -> tuple[dict[int, int], dict[str, int]]:
+        addresses: dict[int, int] = {}
+        labels: dict[str, int] = {}
+        pc = self.origin
+        for i, item in enumerate(items):
+            addresses[i] = pc
+            if item.kind == "label":
+                if item.name in labels:
+                    raise AssemblerError(f"duplicate label: {item.name!r}")
+                labels[item.name] = pc
+            elif item.kind == "data":
+                pc += len(item.data)
+            else:
+                if i in branch_long:
+                    short, long_ = _branch_sizes(item.ins.mnemonic)  # type: ignore[union-attr]
+                    pc += long_ if branch_long[i] else short
+                else:
+                    pc += len(fixed[i])
+        return addresses, labels
+
+    @staticmethod
+    def _target_of(ins: Instruction, labels: dict[str, int]) -> int:
+        if ins.label is not None:
+            if ins.label not in labels:
+                raise AssemblerError(f"undefined label: {ins.label!r}")
+            return labels[ins.label]
+        assert ins.operands and isinstance(ins.operands[0], Imm)
+        return ins.operands[0].value
+
+
+def assemble(source: str | list[Instruction], origin: int = 0) -> bytes:
+    """Assemble Intel-syntax text (or a list of Instructions) to bytes."""
+    return Assembler(origin=origin).assemble(source)

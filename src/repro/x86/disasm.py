@@ -1,0 +1,408 @@
+"""x86-32 disassembler (the IDA Pro substitute in our pipeline).
+
+Linear-sweep decoder for the instruction space shellcode lives in: the full
+one-byte ALU/data-movement map, the shift/unary groups, string operations,
+control flow including short/near branches and loops, ``int``, and the
+two-byte ``0F`` subset (near jcc, setcc, movzx/movsx, imul, bswap).
+
+Decoding is *strict*: unknown opcodes raise :class:`DisassemblerError` with
+the failing offset.  The extraction stage relies on this to reject frames
+that merely look like code, and the tolerant helper
+:func:`disassemble_frame` turns errors into truncated listings the way a
+real IDS treats trailing garbage.
+"""
+
+from __future__ import annotations
+
+from .errors import DisassemblerError
+from .instruction import Instruction
+from .operands import Imm, Mem, Operand
+from .registers import Register, reg_by_code
+
+__all__ = ["Disassembler", "disassemble", "disassemble_frame"]
+
+_GROUP1 = ["add", "or", "adc", "sbb", "and", "sub", "xor", "cmp"]
+_SHIFT = ["rol", "ror", "rcl", "rcr", "shl", "shr", "sal", "sar"]
+_COND = ["jo", "jno", "jb", "jae", "je", "jne", "jbe", "ja",
+         "js", "jns", "jp", "jnp", "jl", "jge", "jle", "jg"]
+
+_PREFIXES = {0x26, 0x2E, 0x36, 0x3E, 0x64, 0x65, 0xF0, 0xF2, 0xF3}
+_OPSIZE_PREFIX = 0x66
+_STRING_OPS = {"movsb", "movsd", "cmpsb", "cmpsd", "stosb", "stosd",
+               "lodsb", "lodsd", "scasb", "scasd"}
+
+_SIMPLE = {
+    0x27: "daa", 0x2F: "das", 0x37: "aaa", 0x3F: "aas",
+    0x60: "pushad", 0x61: "popad",
+    0x90: "nop", 0x98: "cwde", 0x99: "cdq",
+    0x9C: "pushfd", 0x9D: "popfd", 0x9E: "sahf", 0x9F: "lahf",
+    0xA4: "movsb", 0xA5: "movsd", 0xA6: "cmpsb", 0xA7: "cmpsd",
+    0xAA: "stosb", 0xAB: "stosd", 0xAC: "lodsb", 0xAD: "lodsd",
+    0xAE: "scasb", 0xAF: "scasd",
+    0xC3: "ret", 0xC9: "leave", 0xCC: "int3",
+    0xD6: "salc", 0xD7: "xlatb",
+    0xF4: "hlt", 0xF5: "cmc", 0xF8: "clc", 0xF9: "stc",
+    0xFA: "cli", 0xFB: "sti", 0xFC: "cld", 0xFD: "std",
+}
+
+
+class _Cursor:
+    """A byte cursor that raises :class:`DisassemblerError` on underrun."""
+
+    def __init__(self, data: bytes, offset: int) -> None:
+        self.data = data
+        self.pos = offset
+        self.start = offset
+
+    def u8(self) -> int:
+        if self.pos >= len(self.data):
+            raise DisassemblerError("unexpected end of code", self.start)
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def bytes(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise DisassemblerError("unexpected end of code", self.start)
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def imm(self, size: int, signed: bool = True) -> int:
+        raw = self.bytes(size)
+        return int.from_bytes(raw, "little", signed=signed)
+
+
+class Disassembler:
+    """Decodes instructions at successive offsets of a byte buffer."""
+
+    def decode_one(self, data: bytes, offset: int, address: int) -> Instruction:
+        """Decode a single instruction starting at ``offset``.
+
+        ``address`` is the virtual address assigned to the instruction (so
+        branch targets come out absolute).
+        """
+        cur = _Cursor(data, offset)
+        opsize = 4
+        rep: str | None = None
+        opcode = cur.u8()
+        while opcode in _PREFIXES:
+            if opcode == 0xF3:
+                rep = "rep"
+            elif opcode == 0xF2:
+                rep = "repne"
+            opcode = cur.u8()
+        if opcode == _OPSIZE_PREFIX:
+            opsize = 2
+            opcode = cur.u8()
+            while opcode in _PREFIXES:
+                if opcode == 0xF3:
+                    rep = "rep"
+                elif opcode == 0xF2:
+                    rep = "repne"
+                opcode = cur.u8()
+        ins = self._decode(cur, opcode, opsize, address)
+        if rep is not None and ins.mnemonic in _STRING_OPS:
+            # repe and rep share 0xF3; cmps/scas use the conditional forms.
+            if ins.mnemonic.startswith(("cmps", "scas")):
+                prefix = "repe" if rep == "rep" else "repne"
+            else:
+                prefix = "rep"
+            ins.mnemonic = f"{prefix} {ins.mnemonic}"
+        ins.address = address
+        ins.raw = bytes(data[offset : cur.pos])
+        return ins
+
+    # -- ModRM ---------------------------------------------------------------
+
+    def _modrm(self, cur: _Cursor, size: int) -> tuple[int, Operand]:
+        """Decode a ModRM byte; returns (reg field, r/m operand)."""
+        byte = cur.u8()
+        mod, regbits, rm = byte >> 6, (byte >> 3) & 7, byte & 7
+        if mod == 3:
+            return regbits, reg_by_code(rm, size)
+        base: Register | None = None
+        index: Register | None = None
+        scale = 1
+        if rm == 4:  # SIB follows
+            sib = cur.u8()
+            scale = 1 << (sib >> 6)
+            index_bits = (sib >> 3) & 7
+            base_bits = sib & 7
+            if index_bits != 4:
+                index = reg_by_code(index_bits, 4)
+            if base_bits == 5 and mod == 0:
+                base = None
+                disp = cur.imm(4)
+                return regbits, Mem(size=size, base=base, index=index,
+                                    scale=scale, disp=disp)
+            base = reg_by_code(base_bits, 4)
+        elif rm == 5 and mod == 0:
+            disp = cur.imm(4)
+            return regbits, Mem(size=size, disp=disp)
+        else:
+            base = reg_by_code(rm, 4)
+        if mod == 1:
+            disp = cur.imm(1)
+        elif mod == 2:
+            disp = cur.imm(4)
+        else:
+            disp = 0
+        return regbits, Mem(size=size, base=base, index=index, scale=scale,
+                            disp=disp)
+
+    # -- main decode switch ----------------------------------------------------
+
+    def _decode(self, cur: _Cursor, opcode: int, opsize: int, address: int) -> Instruction:
+        if opcode in _SIMPLE:
+            return Instruction(_SIMPLE[opcode])
+
+        # ALU block 0x00-0x3D.
+        if opcode < 0x40 and (opcode & 7) <= 5 and opcode not in (0x0F,):
+            group = opcode >> 3
+            if group < 8:
+                return self._alu(cur, _GROUP1[group], opcode & 7, opsize)
+
+        if 0x40 <= opcode <= 0x47:
+            return Instruction("inc", (reg_by_code(opcode - 0x40, 4),))
+        if 0x48 <= opcode <= 0x4F:
+            return Instruction("dec", (reg_by_code(opcode - 0x48, 4),))
+        if 0x50 <= opcode <= 0x57:
+            return Instruction("push", (reg_by_code(opcode - 0x50, 4),))
+        if 0x58 <= opcode <= 0x5F:
+            return Instruction("pop", (reg_by_code(opcode - 0x58, 4),))
+
+        if opcode == 0x68:
+            return Instruction("push", (Imm(cur.imm(4), 4),))
+        if opcode == 0x6A:
+            return Instruction("push", (Imm(cur.imm(1), 1),))
+        if opcode == 0x69:
+            regbits, rm = self._modrm(cur, opsize)
+            return Instruction("imul", (reg_by_code(regbits, opsize), rm,
+                                        Imm(cur.imm(opsize), opsize)))
+        if opcode == 0x6B:
+            regbits, rm = self._modrm(cur, opsize)
+            return Instruction("imul", (reg_by_code(regbits, opsize), rm,
+                                        Imm(cur.imm(1), 1)))
+
+        if 0x70 <= opcode <= 0x7F:
+            rel = cur.imm(1)
+            return Instruction(_COND[opcode - 0x70],
+                               (Imm(address + (cur.pos - cur.start) + rel, 4),))
+
+        if opcode in (0x80, 0x82):
+            regbits, rm = self._modrm(cur, 1)
+            return Instruction(_GROUP1[regbits], (rm, Imm(cur.imm(1), 1)))
+        if opcode == 0x81:
+            regbits, rm = self._modrm(cur, opsize)
+            return Instruction(_GROUP1[regbits], (rm, Imm(cur.imm(opsize), opsize)))
+        if opcode == 0x83:
+            regbits, rm = self._modrm(cur, opsize)
+            return Instruction(_GROUP1[regbits],
+                               (rm, Imm(cur.imm(1), opsize)))
+
+        if opcode in (0x84, 0x85):
+            size = 1 if opcode == 0x84 else opsize
+            regbits, rm = self._modrm(cur, size)
+            return Instruction("test", (rm, reg_by_code(regbits, size)))
+        if opcode in (0x86, 0x87):
+            size = 1 if opcode == 0x86 else opsize
+            regbits, rm = self._modrm(cur, size)
+            return Instruction("xchg", (rm, reg_by_code(regbits, size)))
+
+        if 0x88 <= opcode <= 0x8B:
+            size = 1 if opcode in (0x88, 0x8A) else opsize
+            regbits, rm = self._modrm(cur, size)
+            r = reg_by_code(regbits, size)
+            if opcode in (0x88, 0x89):
+                return Instruction("mov", (rm, r))
+            return Instruction("mov", (r, rm))
+        if opcode == 0x8D:
+            regbits, rm = self._modrm(cur, opsize)
+            if not isinstance(rm, Mem):
+                raise DisassemblerError("lea with register source", cur.start)
+            return Instruction("lea", (reg_by_code(regbits, opsize), rm))
+        if opcode == 0x8F:
+            regbits, rm = self._modrm(cur, opsize)
+            if regbits != 0:
+                raise DisassemblerError(f"bad 8F /{regbits}", cur.start)
+            return Instruction("pop", (rm,))
+
+        if 0x91 <= opcode <= 0x97:
+            return Instruction("xchg", (reg_by_code(0, opsize),
+                                        reg_by_code(opcode - 0x90, opsize)))
+
+        # moffs forms.
+        if opcode in (0xA0, 0xA1, 0xA2, 0xA3):
+            size = 1 if opcode in (0xA0, 0xA2) else opsize
+            mem = Mem(size=size, disp=cur.imm(4))
+            acc = reg_by_code(0, size)
+            if opcode in (0xA0, 0xA1):
+                return Instruction("mov", (acc, mem))
+            return Instruction("mov", (mem, acc))
+
+        if opcode in (0xA8, 0xA9):
+            size = 1 if opcode == 0xA8 else opsize
+            return Instruction("test", (reg_by_code(0, size),
+                                        Imm(cur.imm(size), size)))
+
+        if 0xB0 <= opcode <= 0xB7:
+            return Instruction("mov", (reg_by_code(opcode - 0xB0, 1),
+                                       Imm(cur.imm(1), 1)))
+        if 0xB8 <= opcode <= 0xBF:
+            return Instruction("mov", (reg_by_code(opcode - 0xB8, opsize),
+                                       Imm(cur.imm(opsize), opsize)))
+
+        if opcode in (0xC0, 0xC1):
+            size = 1 if opcode == 0xC0 else opsize
+            regbits, rm = self._modrm(cur, size)
+            if regbits == 6:
+                raise DisassemblerError("invalid shift group /6", cur.start)
+            return Instruction(_SHIFT[regbits], (rm, Imm(cur.imm(1, signed=False), 1)))
+        if opcode == 0xC2:
+            return Instruction("retn", (Imm(cur.imm(2, signed=False), 2),))
+        if opcode in (0xC6, 0xC7):
+            size = 1 if opcode == 0xC6 else opsize
+            regbits, rm = self._modrm(cur, size)
+            if regbits != 0:
+                raise DisassemblerError(f"bad C6/C7 /{regbits}", cur.start)
+            return Instruction("mov", (rm, Imm(cur.imm(size), size)))
+        if opcode == 0xCD:
+            return Instruction("int", (Imm(cur.imm(1, signed=False), 1),))
+
+        if 0xD0 <= opcode <= 0xD3:
+            size = 1 if opcode in (0xD0, 0xD2) else opsize
+            regbits, rm = self._modrm(cur, size)
+            if regbits == 6:
+                raise DisassemblerError("invalid shift group /6", cur.start)
+            count: Operand = Imm(1, 1) if opcode in (0xD0, 0xD1) else reg_by_code(1, 1)
+            return Instruction(_SHIFT[regbits], (rm, count))
+
+        if 0xE0 <= opcode <= 0xE3:
+            mnem = ["loopne", "loope", "loop", "jecxz"][opcode - 0xE0]
+            rel = cur.imm(1)
+            return Instruction(mnem, (Imm(address + (cur.pos - cur.start) + rel, 4),))
+
+        if opcode == 0xE8:
+            rel = cur.imm(4)
+            return Instruction("call", (Imm(address + (cur.pos - cur.start) + rel, 4),))
+        if opcode == 0xE9:
+            rel = cur.imm(4)
+            return Instruction("jmp", (Imm(address + (cur.pos - cur.start) + rel, 4),))
+        if opcode == 0xEB:
+            rel = cur.imm(1)
+            return Instruction("jmp", (Imm(address + (cur.pos - cur.start) + rel, 4),))
+
+        if opcode in (0xF6, 0xF7):
+            size = 1 if opcode == 0xF6 else opsize
+            regbits, rm = self._modrm(cur, size)
+            if regbits == 0 or regbits == 1:
+                return Instruction("test", (rm, Imm(cur.imm(size), size)))
+            mnem = [None, None, "not", "neg", "mul", "imul", "div", "idiv"][regbits]
+            return Instruction(mnem, (rm,))
+
+        if opcode == 0xFE:
+            regbits, rm = self._modrm(cur, 1)
+            if regbits == 0:
+                return Instruction("inc", (rm,))
+            if regbits == 1:
+                return Instruction("dec", (rm,))
+            raise DisassemblerError(f"bad FE /{regbits}", cur.start)
+        if opcode == 0xFF:
+            regbits, rm = self._modrm(cur, opsize)
+            table = {0: "inc", 1: "dec", 2: "call", 4: "jmp", 6: "push"}
+            if regbits not in table:
+                raise DisassemblerError(f"bad FF /{regbits}", cur.start)
+            return Instruction(table[regbits], (rm,))
+
+        if opcode == 0x0F:
+            return self._decode_0f(cur, opsize, address)
+
+        raise DisassemblerError(f"unknown opcode {opcode:#04x}", cur.start)
+
+    def _alu(self, cur: _Cursor, mnem: str, form: int, opsize: int) -> Instruction:
+        if form == 0:
+            regbits, rm = self._modrm(cur, 1)
+            return Instruction(mnem, (rm, reg_by_code(regbits, 1)))
+        if form == 1:
+            regbits, rm = self._modrm(cur, opsize)
+            return Instruction(mnem, (rm, reg_by_code(regbits, opsize)))
+        if form == 2:
+            regbits, rm = self._modrm(cur, 1)
+            return Instruction(mnem, (reg_by_code(regbits, 1), rm))
+        if form == 3:
+            regbits, rm = self._modrm(cur, opsize)
+            return Instruction(mnem, (reg_by_code(regbits, opsize), rm))
+        if form == 4:
+            return Instruction(mnem, (reg_by_code(0, 1), Imm(cur.imm(1), 1)))
+        return Instruction(mnem, (reg_by_code(0, opsize), Imm(cur.imm(opsize), opsize)))
+
+    def _decode_0f(self, cur: _Cursor, opsize: int, address: int) -> Instruction:
+        sub = cur.u8()
+        if 0x80 <= sub <= 0x8F:
+            rel = cur.imm(4)
+            return Instruction(_COND[sub - 0x80],
+                               (Imm(address + (cur.pos - cur.start) + rel, 4),))
+        if 0x90 <= sub <= 0x9F:
+            regbits, rm = self._modrm(cur, 1)
+            return Instruction("set" + _COND[sub - 0x90][1:], (rm,))
+        if sub == 0xAF:
+            regbits, rm = self._modrm(cur, opsize)
+            return Instruction("imul", (reg_by_code(regbits, opsize), rm))
+        if sub in (0xB6, 0xB7):
+            src_size = 1 if sub == 0xB6 else 2
+            regbits, rm = self._modrm(cur, src_size)
+            return Instruction("movzx", (reg_by_code(regbits, 4), rm))
+        if sub in (0xBE, 0xBF):
+            src_size = 1 if sub == 0xBE else 2
+            regbits, rm = self._modrm(cur, src_size)
+            return Instruction("movsx", (reg_by_code(regbits, 4), rm))
+        if 0xC8 <= sub <= 0xCF:
+            return Instruction("bswap", (reg_by_code(sub - 0xC8, 4),))
+        raise DisassemblerError(f"unknown opcode 0f {sub:#04x}", cur.start)
+
+    # -- sweeps ---------------------------------------------------------------
+
+    def linear(self, data: bytes, base: int = 0) -> list[Instruction]:
+        """Strict linear sweep: decode until the buffer ends; any undecodable
+        byte raises."""
+        out: list[Instruction] = []
+        offset = 0
+        while offset < len(data):
+            ins = self.decode_one(data, offset, base + offset)
+            out.append(ins)
+            offset += ins.size
+        return out
+
+
+_DEFAULT = Disassembler()
+
+
+def disassemble(data: bytes, base: int = 0) -> list[Instruction]:
+    """Strict linear-sweep disassembly of a complete code buffer."""
+    return _DEFAULT.linear(data, base)
+
+
+def disassemble_frame(
+    data: bytes, base: int = 0, limit: int | None = None
+) -> tuple[list[Instruction], int]:
+    """Tolerant sweep for extracted network frames.
+
+    Decodes as far as possible and returns ``(instructions,
+    bytes_consumed)``; trailing undecodable bytes (padding, return-address
+    blocks) are simply not decoded.  This mirrors how the paper's pipeline
+    prunes "excess code from the program frame".  ``limit`` caps the number
+    of instructions decoded (used by windowed whole-binary scanning).
+    """
+    out: list[Instruction] = []
+    offset = 0
+    while offset < len(data):
+        if limit is not None and len(out) >= limit:
+            break
+        try:
+            ins = _DEFAULT.decode_one(data, offset, base + offset)
+        except DisassemblerError:
+            break
+        out.append(ins)
+        offset += ins.size
+    return out, offset

@@ -1,0 +1,23 @@
+"""Error types for the x86 toolchain."""
+
+__all__ = ["X86Error", "AssemblerError", "DisassemblerError"]
+
+
+class X86Error(ValueError):
+    """Base class for assembler/disassembler failures."""
+
+
+class AssemblerError(X86Error):
+    """Source text or operand combination cannot be encoded."""
+
+
+class DisassemblerError(X86Error):
+    """Byte stream cannot be decoded at the current offset.
+
+    ``offset`` records where decoding failed, which the binary-extraction
+    stage uses to decide whether a candidate frame is really code.
+    """
+
+    def __init__(self, message: str, offset: int = -1) -> None:
+        super().__init__(message)
+        self.offset = offset

@@ -1,0 +1,101 @@
+"""The x86 instruction object shared by the assembler and disassembler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .operands import Imm, Mem, Operand
+from .registers import Register
+
+__all__ = ["Instruction", "BRANCH_MNEMONICS", "COND_BRANCHES", "LOOPS"]
+
+# Conditional branches: mnemonic -> condition code (tttn nibble).
+COND_BRANCHES = {
+    "jo": 0x0, "jno": 0x1, "jb": 0x2, "jae": 0x3, "je": 0x4, "jne": 0x5,
+    "jbe": 0x6, "ja": 0x7, "js": 0x8, "jns": 0x9, "jp": 0xA, "jnp": 0xB,
+    "jl": 0xC, "jge": 0xD, "jle": 0xE, "jg": 0xF,
+}
+# Common aliases normalized at parse time.
+COND_ALIASES = {"jz": "je", "jnz": "jne", "jc": "jb", "jnc": "jae",
+                "jnae": "jb", "jnb": "jae", "jna": "jbe", "jnbe": "ja",
+                "jnge": "jl", "jnl": "jge", "jng": "jle", "jnle": "jg"}
+
+LOOPS = {"loop", "loope", "loopne", "jecxz"}
+LOOP_ALIASES = {"loopz": "loope", "loopnz": "loopne"}
+
+BRANCH_MNEMONICS = set(COND_BRANCHES) | LOOPS | {"jmp", "call"}
+
+
+@dataclass
+class Instruction:
+    """One decoded or to-be-encoded instruction.
+
+    ``address`` is the virtual address assigned during disassembly (frames
+    are decoded at base 0 unless told otherwise); ``raw`` holds the encoded
+    bytes once known.  ``label`` carries a symbolic branch target before
+    the assembler resolves it.
+    """
+
+    mnemonic: str
+    operands: tuple[Operand, ...] = ()
+    address: int = 0
+    raw: bytes = b""
+    label: str | None = None  # symbolic target for branch instructions
+
+    @property
+    def size(self) -> int:
+        return len(self.raw)
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+    @property
+    def is_branch(self) -> bool:
+        return self.mnemonic in BRANCH_MNEMONICS
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.mnemonic in COND_BRANCHES or self.mnemonic in LOOPS
+
+    @property
+    def is_terminator(self) -> bool:
+        """True if control never falls through (jmp/ret/retn/hlt)."""
+        return self.mnemonic in ("jmp", "ret", "retn", "hlt")
+
+    def target(self) -> int | None:
+        """Absolute branch target, if this is a direct branch."""
+        if self.is_branch and self.operands and isinstance(self.operands[0], Imm):
+            return self.operands[0].value
+        return None
+
+    def reads(self) -> tuple[Register, ...]:
+        """Registers read for addressing (not full dataflow — see repro.ir)."""
+        out: list[Register] = []
+        for op in self.operands:
+            if isinstance(op, Mem):
+                out.extend(op.registers())
+            elif isinstance(op, Register):
+                out.append(op)
+        return tuple(out)
+
+    def with_address(self, address: int) -> "Instruction":
+        return replace(self, address=address)
+
+    def __str__(self) -> str:
+        if self.label is not None and self.is_branch:
+            return f"{self.mnemonic} {self.label}"
+        if self.is_branch and self.operands and isinstance(self.operands[0], Imm):
+            return f"{self.mnemonic} {self.operands[0].value & 0xFFFFFFFF:#x}"
+        if not self.operands:
+            return self.mnemonic
+        return f"{self.mnemonic} " + ", ".join(str(op) for op in self.operands)
+
+
+def format_listing(instructions: list[Instruction]) -> str:
+    """Render a disassembly listing with addresses and bytes, IDA-style."""
+    lines = []
+    for ins in instructions:
+        raw = ins.raw.hex()
+        lines.append(f"{ins.address:08x}  {raw:<16}  {ins}")
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Operand types for x86 instructions: registers, immediates, memory.
+
+Memory operands carry an access *size* (1/2/4 bytes) because semantics
+depend on it — ``xor byte ptr [eax], 0x95`` and ``xor dword ptr [eax],
+0x95`` are different behaviours and the templates distinguish them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .registers import Register
+
+__all__ = ["Imm", "Mem", "Operand", "fmt_imm"]
+
+
+def _signed(value: int, size: int) -> int:
+    bits = size * 8
+    value &= (1 << bits) - 1
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def fmt_imm(value: int) -> str:
+    """Render an immediate the way shellcode listings usually do."""
+    if -9 < value < 10:
+        return str(value)
+    if value < 0:
+        return f"-{-value:#x}"
+    return f"{value:#x}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate constant.  ``size`` is the encoded width in bytes."""
+
+    value: int
+    size: int = 4
+
+    def __post_init__(self) -> None:
+        bits = self.size * 8
+        lo, hi = -(1 << (bits - 1)), (1 << bits)
+        if not lo <= self.value < hi:
+            raise ValueError(f"immediate {self.value:#x} does not fit in {bits} bits")
+
+    @property
+    def unsigned(self) -> int:
+        return self.value & ((1 << (self.size * 8)) - 1)
+
+    @property
+    def signed(self) -> int:
+        return _signed(self.value, self.size)
+
+    def __str__(self) -> str:
+        return fmt_imm(self.value)
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand: ``[base + index*scale + disp]`` with access size."""
+
+    size: int = 4
+    base: Register | None = None
+    index: Register | None = None
+    scale: int = 1
+    disp: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"invalid SIB scale: {self.scale}")
+        if self.size not in (1, 2, 4):
+            raise ValueError(f"invalid memory access size: {self.size}")
+        if self.index is not None and self.index.name == "esp":
+            raise ValueError("esp cannot be an index register")
+
+    @property
+    def size_name(self) -> str:
+        return {1: "byte", 2: "word", 4: "dword"}[self.size]
+
+    def registers(self) -> tuple[Register, ...]:
+        """Registers read when computing the effective address."""
+        out = []
+        if self.base is not None:
+            out.append(self.base)
+        if self.index is not None:
+            out.append(self.index)
+        return tuple(out)
+
+    def __str__(self) -> str:
+        parts = []
+        if self.base is not None:
+            parts.append(self.base.name)
+        if self.index is not None:
+            term = self.index.name
+            if self.scale != 1:
+                term += f"*{self.scale}"
+            parts.append(term)
+        if self.disp or not parts:
+            if parts and self.disp < 0:
+                parts.append(f"- {fmt_imm(-self.disp)}")
+            elif parts:
+                parts.append(f"+ {fmt_imm(self.disp)}")
+            else:
+                parts.append(fmt_imm(self.disp & 0xFFFFFFFF))
+        inner = " ".join(parts).replace(" - ", " - ").replace(" + ", " + ")
+        # join with plus signs where no sign present
+        expr = parts[0]
+        for p in parts[1:]:
+            expr += f" {p}" if p.startswith(("+", "-")) else f" + {p}"
+        return f"{self.size_name} ptr [{expr}]"
+
+
+Operand = Register | Imm | Mem

@@ -1,0 +1,88 @@
+"""x86-32 register model.
+
+Registers are interned: ``reg("eax")`` always returns the same object, so
+identity comparisons are safe everywhere in the disassembler and matcher.
+Each register knows its encoding number, width, and its 32-bit *family*
+(``al``, ``ax`` and ``eax`` all belong to family ``eax``), which is what the
+semantic matcher uses to reason about clobbering across operand sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Register", "reg", "GPR32", "GPR16", "GPR8", "EAX", "ECX", "EDX",
+           "EBX", "ESP", "EBP", "ESI", "EDI"]
+
+
+@dataclass(frozen=True)
+class Register:
+    """A concrete x86 register.
+
+    ``code`` is the 3-bit encoding used in ModRM/opcode+r forms. ``size`` is
+    the operand width in bytes (1, 2 or 4).  ``high`` marks the legacy high
+    byte registers (ah/ch/dh/bh), whose encoding overlaps the low-byte codes
+    4-7 but whose family is eax..ebx.
+    """
+
+    name: str
+    code: int
+    size: int
+    high: bool = False
+
+    @property
+    def family(self) -> str:
+        """Name of the 32-bit register this register aliases."""
+        return _FAMILY[self.name]
+
+    @property
+    def bits(self) -> int:
+        return self.size * 8
+
+    def __str__(self) -> str:
+        return self.name
+
+    def overlaps(self, other: "Register") -> bool:
+        """True if writing one register modifies the other."""
+        return self.family == other.family
+
+
+_GPR32_NAMES = ["eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"]
+_GPR16_NAMES = ["ax", "cx", "dx", "bx", "sp", "bp", "si", "di"]
+_GPR8_NAMES = ["al", "cl", "dl", "bl", "ah", "ch", "dh", "bh"]
+
+GPR32 = tuple(Register(n, i, 4) for i, n in enumerate(_GPR32_NAMES))
+GPR16 = tuple(Register(n, i, 2) for i, n in enumerate(_GPR16_NAMES))
+GPR8 = tuple(
+    Register(n, i, 1, high=(i >= 4)) for i, n in enumerate(_GPR8_NAMES)
+)
+
+_FAMILY: dict[str, str] = {}
+for i in range(8):
+    _FAMILY[_GPR32_NAMES[i]] = _GPR32_NAMES[i]
+    _FAMILY[_GPR16_NAMES[i]] = _GPR32_NAMES[i]
+for i, n in enumerate(_GPR8_NAMES):
+    # al..bl alias eax..ebx; ah..bh also alias eax..ebx.
+    _FAMILY[n] = _GPR32_NAMES[i % 4]
+
+_BY_NAME: dict[str, Register] = {r.name: r for r in (*GPR32, *GPR16, *GPR8)}
+
+EAX, ECX, EDX, EBX, ESP, EBP, ESI, EDI = GPR32
+
+
+def reg(name: str) -> Register:
+    """Look up a register by name (case-insensitive, interned)."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown register: {name!r}") from None
+
+
+def reg_by_code(code: int, size: int) -> Register:
+    """Look up a register by ModRM encoding number and operand size."""
+    table = {4: GPR32, 2: GPR16, 1: GPR8}.get(size)
+    if table is None:
+        raise ValueError(f"invalid register size: {size}")
+    if not 0 <= code <= 7:
+        raise ValueError(f"invalid register code: {code}")
+    return table[code]

@@ -1,0 +1,156 @@
+"""Tests for the Polygraph-style automatic signature learner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baseline.polygraph import PolygraphLearner, PolygraphSignature
+
+
+class TestTokenExtraction:
+    def test_common_substring_found(self):
+        samples = [b"xxINVARIANTyy", b"aaINVARIANTbb", b"INVARIANTzz"]
+        tokens = PolygraphLearner().invariant_tokens(samples)
+        assert tokens == [b"INVARIANT"]
+
+    def test_no_commonality(self):
+        samples = [b"aaaaaaaaaa", b"bbbbbbbbbb", b"cccccccccc"]
+        assert PolygraphLearner().invariant_tokens(samples) == []
+
+    def test_multiple_disjoint_tokens(self):
+        samples = [
+            b"HEAD....MIDDLE....TAIL",
+            b"HEADxxxxMIDDLEyyyyTAIL",
+            b"HEADzzzzMIDDLEwwwwTAIL",
+        ]
+        tokens = PolygraphLearner().invariant_tokens(samples)
+        assert set(tokens) == {b"HEAD", b"MIDDLE", b"TAIL"}
+
+    def test_min_length_respected(self):
+        samples = [b"ab123cd", b"xy123zw"]  # common run "123" < 4
+        assert PolygraphLearner(min_token_len=4).invariant_tokens(samples) == []
+
+    def test_empty_pool(self):
+        assert PolygraphLearner().invariant_tokens([]) == []
+
+    def test_single_sample_is_its_own_token(self):
+        tokens = PolygraphLearner().invariant_tokens([b"ONLYSAMPLE"])
+        assert tokens == [b"ONLYSAMPLE"]
+
+    @given(st.binary(min_size=6, max_size=24),
+           st.lists(st.binary(min_size=0, max_size=12), min_size=2,
+                    max_size=5))
+    @settings(max_examples=80, deadline=None)
+    def test_planted_token_always_found(self, token, paddings):
+        """A token planted in every sample is always recovered (possibly
+        as part of a longer common substring)."""
+        samples = [pad + token + pad[::-1] for pad in paddings]
+        tokens = PolygraphLearner(min_token_len=4).invariant_tokens(samples)
+        assert any(token in t or t in token for t in tokens)
+        # every reported token really is invariant
+        for t in tokens:
+            assert all(t in s for s in samples)
+
+
+class TestSignatureMatching:
+    def test_conjunction_requires_all(self):
+        sig = PolygraphSignature(tokens=[b"AAAA", b"BBBB"])
+        assert sig.matches(b"xxAAAAyyBBBBzz")
+        assert sig.matches(b"BBBBxxAAAA")  # order-free
+        assert not sig.matches(b"xxAAAAyy")
+
+    def test_subsequence_requires_order(self):
+        sig = PolygraphSignature(tokens=[b"AAAA", b"BBBB"], kind="subsequence")
+        assert sig.matches(b"xxAAAAyyBBBBzz")
+        assert not sig.matches(b"BBBBxxAAAAyy")
+
+    def test_subsequence_no_overlap(self):
+        sig = PolygraphSignature(tokens=[b"ABAB", b"ABAB"], kind="subsequence")
+        assert sig.matches(b"ABABxxABAB")
+        assert not sig.matches(b"xABABx")  # single occurrence can't serve twice
+
+    def test_degenerate_never_matches(self):
+        sig = PolygraphSignature(tokens=[])
+        assert sig.degenerate
+        assert not sig.matches(b"anything at all")
+        assert "DEGENERATE" in sig.describe()
+
+    def test_describe(self):
+        sig = PolygraphSignature(tokens=[b"AAAA", b"BBBB"])
+        assert "2 tokens" in sig.describe()
+
+
+class TestLearning:
+    def test_benign_filter_drops_common_tokens(self):
+        # Attack bodies share nothing; the only invariant is the protocol
+        # header, which the benign corpus also carries -> filtered out.
+        samples = [b"COMMONWEBHDR|XXXXXXXX", b"COMMONWEBHDR|YYYYYYYY"]
+        benign = [b"COMMONWEBHDR|index.html"]
+        sig = PolygraphLearner().learn(samples, benign=benign)
+        assert sig.degenerate
+
+    def test_benign_filter_keeps_distinct_tokens(self):
+        samples = [b"COMMONWEBHDR|EVILTOKENxx", b"COMMONWEBHDR|EVILTOKENyy"]
+        benign = [b"COMMONWEBHDR|index.html"]
+        sig = PolygraphLearner().learn(samples, benign=benign)
+        assert any(b"EVILTOKEN" in t for t in sig.tokens)
+
+    def test_subsequence_learn_orders_tokens(self):
+        samples = [b"ALPHAxxxxBETAyyyyGAMMA", b"ALPHAzzzzBETAwwwwGAMMA"]
+        sig = PolygraphLearner().learn(samples, kind="subsequence")
+        assert sig.tokens == [b"ALPHA", b"BETA", b"GAMMA"]
+
+    def test_learned_signature_matches_pool(self):
+        samples = [b"PREFIX" + bytes([i]) * 8 + b"SUFFIX" for i in range(10)]
+        sig = PolygraphLearner().learn(samples)
+        assert all(sig.matches(s) for s in samples)
+
+
+class TestAgainstOurEngines:
+    def test_admmutate_raw_payloads_have_no_invariants(self, classic_shellcode):
+        """The core negative result: ADMmutate leaves no invariant bytes,
+        so Polygraph learning degenerates on raw payloads."""
+        from repro.engines import AdmMutateEngine
+
+        engine = AdmMutateEngine(seed=13)
+        pool = [engine.mutate(classic_shellcode, instance=i).data
+                for i in range(25)]
+        sig = PolygraphLearner().learn(pool)
+        assert sig.degenerate
+
+    def test_vehicle_tokens_do_not_generalize(self, classic_shellcode):
+        """Tokens learned from one delivery vehicle fail on another."""
+        from repro.engines import (
+            AdmMutateEngine, EXPLOITS, build_exploit_request,
+            generic_overflow_request,
+        )
+
+        engine = AdmMutateEngine(seed=14)
+        pool = [generic_overflow_request(
+                    engine.mutate(classic_shellcode, instance=i).data, seed=i)
+                for i in range(25)]
+        sig = PolygraphLearner().learn(pool)
+        assert not sig.degenerate  # it learns the vehicle's framing
+
+        cross = [build_exploit_request(
+                     EXPLOITS[0], seed=i,
+                     payload=engine.mutate(classic_shellcode,
+                                           instance=100 + i).data)
+                 for i in range(10)]
+        assert sum(sig.matches(r) for r in cross) == 0
+
+    def test_semantic_analyzer_unaffected_by_vehicle(self, classic_shellcode):
+        from repro.core import SemanticAnalyzer, decoder_templates
+        from repro.engines import AdmMutateEngine, EXPLOITS, build_exploit_request
+        from repro.extract import BinaryExtractor
+
+        engine = AdmMutateEngine(seed=14)
+        analyzer = SemanticAnalyzer(templates=decoder_templates())
+        extractor = BinaryExtractor()
+        hits = 0
+        for i in range(10):
+            request = build_exploit_request(
+                EXPLOITS[0], seed=i,
+                payload=engine.mutate(classic_shellcode, instance=100 + i).data)
+            frames = extractor.extract(request)
+            hits += any(analyzer.analyze_frame(f.data).detected for f in frames)
+        assert hits == 10

@@ -1,0 +1,131 @@
+"""Tests for Aho-Corasick and the Snort-style signature baseline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baseline.aho_corasick import AhoCorasick, PatternMatch
+from repro.baseline.signature import (
+    Signature, SignatureScanner, default_signature_db,
+)
+
+
+class TestAhoCorasick:
+    def test_textbook_example(self):
+        ac = AhoCorasick([b"he", b"she", b"his", b"hers"])
+        matches = ac.search(b"ushers")
+        found = {(m.pattern, m.start) for m in matches}
+        assert found == {(1, 1), (0, 2), (3, 2)}
+
+    def test_overlapping_patterns(self):
+        ac = AhoCorasick([b"aa", b"aaa"])
+        matches = ac.search(b"aaaa")
+        assert sum(1 for m in matches if m.pattern == 0) == 3
+        assert sum(1 for m in matches if m.pattern == 1) == 2
+
+    def test_match_offsets(self):
+        ac = AhoCorasick([b"needle"])
+        (m,) = ac.search(b"hay needle stack")
+        assert b"hay needle stack"[m.start:m.end] == b"needle"
+
+    def test_binary_patterns(self):
+        ac = AhoCorasick([b"\x00\xff\x00", b"\xcd\x80"])
+        matches = ac.search(b"\x90\xcd\x80\x00\xff\x00")
+        assert {m.pattern for m in matches} == {0, 1}
+
+    def test_no_match(self):
+        assert AhoCorasick([b"xyz"]).search(b"abcabc") == []
+
+    def test_contains_any_short_circuit(self):
+        ac = AhoCorasick([b"hit"])
+        assert ac.contains_any(b"prefix hit suffix")
+        assert not ac.contains_any(b"nothing here")
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            AhoCorasick([b"ok", b""])
+
+    def test_pattern_at_start_and_end(self):
+        ac = AhoCorasick([b"ab"])
+        matches = ac.search(b"abxxab")
+        assert [m.start for m in matches] == [0, 4]
+
+    def test_single_byte_patterns(self):
+        ac = AhoCorasick([b"a"])
+        assert len(ac.search(b"banana")) == 3
+
+    @given(st.lists(st.binary(min_size=1, max_size=6), min_size=1,
+                    max_size=8), st.binary(max_size=200))
+    @settings(max_examples=150, deadline=None)
+    def test_equivalent_to_naive_search(self, patterns, haystack):
+        """Property: AC finds exactly the occurrences a naive scan finds."""
+        ac = AhoCorasick(patterns)
+        got = {(m.pattern, m.start) for m in ac.search(haystack)}
+        expected = set()
+        for pi, pattern in enumerate(patterns):
+            start = 0
+            while True:
+                idx = haystack.find(pattern, start)
+                if idx < 0:
+                    break
+                expected.add((pi, idx))
+                start = idx + 1
+        assert got == expected
+
+
+class TestSignatureScanner:
+    def test_default_db_nonempty(self):
+        db = default_signature_db()
+        assert len(db) >= 10
+        assert len({s.name for s in db}) == len(db)
+
+    def test_short_signature_rejected(self):
+        with pytest.raises(ValueError):
+            Signature(name="tiny", pattern=b"ab")
+
+    def test_detects_own_corpus(self):
+        from repro.engines.shellcode import SHELLCODES
+        scanner = SignatureScanner()
+        for name, spec in SHELLCODES.items():
+            hits = scanner.scan(b"padding" + spec.assemble() + b"tail")
+            assert any(s.name == f"shellcode-{name}" for s in hits), name
+
+    def test_detects_static_exploit_requests(self):
+        from repro.engines import EXPLOITS, build_exploit_request
+        scanner = SignatureScanner()
+        for spec in EXPLOITS:
+            assert scanner.detects(build_exploit_request(spec, seed=3)), spec.name
+
+    def test_detects_crii(self):
+        from repro.engines import code_red_ii_request
+        assert SignatureScanner().detects(code_red_ii_request())
+
+    def test_misses_polymorphic(self, classic_shellcode):
+        """The paper's whole point: syntax matching dies on polymorphism."""
+        from repro.engines import AdmMutateEngine
+        scanner = SignatureScanner()
+        engine = AdmMutateEngine(seed=6)
+        hits = sum(scanner.detects(engine.mutate(classic_shellcode, instance=i).data)
+                   for i in range(50))
+        assert hits == 0
+
+    def test_misses_simple_xor_encoding(self, classic_shellcode):
+        from repro.engines import xor_encode
+        scanner = SignatureScanner()
+        assert not scanner.detects(xor_encode(classic_shellcode, key=0x31).data)
+
+    def test_clean_on_benign(self):
+        from repro.traffic import HttpTrafficModel
+        scanner = SignatureScanner()
+        model = HttpTrafficModel(seed=13)
+        assert not any(scanner.detects(model.request()) for _ in range(100))
+
+    def test_counters(self):
+        scanner = SignatureScanner()
+        scanner.detects(b"some payload bytes")
+        assert scanner.payloads_scanned == 1
+        assert scanner.bytes_scanned == 18
+
+    def test_custom_db(self):
+        scanner = SignatureScanner([Signature(name="x", pattern=b"MAGIC")])
+        assert scanner.detects(b"xxMAGICxx")
+        assert not scanner.detects(b"magic")  # case-sensitive bytes

@@ -1,0 +1,146 @@
+"""Tests for the traffic classifier: honeypots, dark space, combination."""
+
+import pytest
+
+from repro.classify.classifier import TrafficClassifier
+from repro.classify.darkspace import DarkSpaceMonitor
+from repro.classify.honeypot import HoneypotRegistry
+from repro.net.packet import tcp_packet, udp_packet
+
+
+def _pkt(src, dst, t=0.0):
+    return tcp_packet(src, dst, 1234, 80, flags=0x02, timestamp=t)
+
+
+class TestHoneypot:
+    def test_decoy_contact_observed(self):
+        hp = HoneypotRegistry.of(["10.0.0.250", "10.0.0.251"])
+        assert hp.observe(_pkt("1.2.3.4", "10.0.0.250"))
+        assert not hp.observe(_pkt("1.2.3.4", "10.0.0.1"))
+        assert hp.hits == 1
+
+    def test_add(self):
+        hp = HoneypotRegistry()
+        hp.add("192.0.2.9")
+        assert hp.is_decoy("192.0.2.9")
+
+    def test_non_ip_packet(self):
+        from repro.net.packet import Packet
+        assert not HoneypotRegistry.of(["1.1.1.1"]).observe(Packet())
+
+
+class TestDarkSpace:
+    def _monitor(self, threshold=3):
+        return DarkSpaceMonitor(dark_networks=["10.20.0.0/16"],
+                                threshold=threshold)
+
+    def test_threshold_crossing(self):
+        mon = self._monitor(threshold=3)
+        src = "8.8.8.8"
+        assert not mon.observe(_pkt(src, "10.20.0.1"))
+        assert not mon.observe(_pkt(src, "10.20.0.2"))
+        assert mon.observe(_pkt(src, "10.20.0.3"))  # crosses t=3
+        assert mon.is_scanner(src)
+        assert mon.scanners_flagged == 1
+
+    def test_distinct_targets_counted_once(self):
+        """Retransmissions to ONE dark address are not a scan."""
+        mon = self._monitor(threshold=3)
+        for _ in range(10):
+            assert not mon.observe(_pkt("8.8.8.8", "10.20.0.1"))
+
+    def test_bright_traffic_ignored(self):
+        mon = self._monitor()
+        for i in range(10):
+            assert not mon.observe(_pkt("8.8.8.8", f"10.30.0.{i + 1}"))
+        assert not mon.is_scanner("8.8.8.8")
+
+    def test_dark_hosts(self):
+        mon = DarkSpaceMonitor(dark_hosts=["192.0.2.77"], threshold=1)
+        assert mon.observe(_pkt("8.8.8.8", "192.0.2.77"))
+
+    def test_exclusion(self):
+        mon = DarkSpaceMonitor(dark_networks=["10.0.0.0/8"],
+                               exclude=["10.10.0.0/24"], threshold=1)
+        assert not mon.is_dark("10.10.0.5")
+        assert mon.is_dark("10.11.0.5")
+
+    def test_idle_timeout_resets_unflagged(self):
+        mon = DarkSpaceMonitor(dark_networks=["10.20.0.0/16"], threshold=3,
+                               idle_timeout=60.0)
+        mon.observe(_pkt("8.8.8.8", "10.20.0.1", t=0.0))
+        mon.observe(_pkt("8.8.8.8", "10.20.0.2", t=1.0))
+        # long silence resets the record
+        assert not mon.observe(_pkt("8.8.8.8", "10.20.0.3", t=500.0))
+        assert not mon.is_scanner("8.8.8.8")
+
+    def test_flagged_survives_idle(self):
+        mon = self._monitor(threshold=2)
+        mon.observe(_pkt("8.8.8.8", "10.20.0.1", t=0.0))
+        mon.observe(_pkt("8.8.8.8", "10.20.0.2", t=1.0))
+        assert mon.is_scanner("8.8.8.8")
+        assert mon.observe(_pkt("8.8.8.8", "10.20.0.9", t=9999.0))
+
+    def test_scanners_listing(self):
+        mon = self._monitor(threshold=1)
+        mon.observe(_pkt("9.9.9.9", "10.20.0.1"))
+        assert mon.scanners() == ["9.9.9.9"]
+
+
+class TestTrafficClassifier:
+    def _classifier(self, enabled=True):
+        return TrafficClassifier(
+            honeypots=HoneypotRegistry.of(["10.0.0.250"]),
+            darkspace=DarkSpaceMonitor(dark_networks=["10.99.0.0/16"],
+                                       threshold=2),
+            enabled=enabled,
+        )
+
+    def test_honeypot_marks_sender_for_all_traffic(self):
+        c = self._classifier()
+        assert not c.classify(_pkt("6.6.6.6", "10.0.0.5"))  # innocent so far
+        c.classify(_pkt("6.6.6.6", "10.0.0.250"))            # touches decoy
+        assert c.classify(_pkt("6.6.6.6", "10.0.0.5"))       # now analyzed
+        assert c.is_suspicious("6.6.6.6")
+        assert c.stats.honeypot_marks == 1
+
+    def test_scanner_marked(self):
+        c = self._classifier()
+        c.classify(_pkt("7.7.7.7", "10.99.0.1"))
+        c.classify(_pkt("7.7.7.7", "10.99.0.2"))
+        assert c.classify(_pkt("7.7.7.7", "10.0.0.5"))
+        assert c.stats.darkspace_marks == 1
+
+    def test_benign_hosts_not_forwarded(self):
+        c = self._classifier()
+        for i in range(20):
+            assert not c.classify(_pkt("5.5.5.5", "10.0.0.5", t=i))
+        assert c.stats.forward_ratio == 0.0
+
+    def test_disabled_forwards_everything(self):
+        c = self._classifier(enabled=False)
+        assert c.classify(_pkt("5.5.5.5", "10.0.0.5"))
+        assert c.stats.forward_ratio == 1.0
+
+    def test_manual_mark(self):
+        c = self._classifier()
+        c.mark_suspicious("4.4.4.4")
+        assert c.classify(_pkt("4.4.4.4", "10.0.0.5"))
+
+    def test_suspicious_hosts_sorted(self):
+        c = self._classifier()
+        c.mark_suspicious("2.2.2.2")
+        c.mark_suspicious("1.1.1.1")
+        assert c.suspicious_hosts() == ["1.1.1.1", "2.2.2.2"]
+
+    def test_stats_counting(self):
+        c = self._classifier()
+        c.classify(_pkt("5.5.5.5", "10.0.0.5"))
+        c.classify(_pkt("6.6.6.6", "10.0.0.250"))
+        assert c.stats.packets_seen == 2
+        assert c.stats.packets_forwarded == 1
+
+    def test_udp_also_classified(self):
+        c = self._classifier()
+        c.classify(udp_packet("6.6.6.6", "10.0.0.250", 1, 2, b"x"))
+        assert c.is_suspicious("6.6.6.6")

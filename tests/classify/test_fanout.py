@@ -1,0 +1,112 @@
+"""Tests for the SMTP fan-out monitor (email-worm extension)."""
+
+from repro.classify.fanout import SmtpFanoutMonitor
+from repro.net.packet import tcp_packet, udp_packet
+
+
+def smtp_syn(src, dst, t=0.0):
+    return tcp_packet(src, dst, 30000, 25, flags=0x02, timestamp=t)
+
+
+class TestFanout:
+    def test_threshold_crossing(self):
+        mon = SmtpFanoutMonitor(threshold=3)
+        assert not mon.observe(smtp_syn("1.1.1.1", "10.0.0.1"))
+        assert not mon.observe(smtp_syn("1.1.1.1", "10.0.0.2"))
+        assert mon.observe(smtp_syn("1.1.1.1", "10.0.0.3"))
+        assert mon.is_mailer("1.1.1.1")
+        assert mon.mailers() == ["1.1.1.1"]
+
+    def test_repeat_destination_counted_once(self):
+        mon = SmtpFanoutMonitor(threshold=3)
+        for _ in range(10):
+            assert not mon.observe(smtp_syn("1.1.1.1", "10.0.0.1"))
+
+    def test_normal_client_not_flagged(self):
+        """A real mail client talks to its one or two relays."""
+        mon = SmtpFanoutMonitor(threshold=8)
+        for i in range(50):
+            mon.observe(smtp_syn("2.2.2.2", "10.0.0.1", t=i))
+            mon.observe(smtp_syn("2.2.2.2", "10.0.0.2", t=i))
+        assert not mon.is_mailer("2.2.2.2")
+
+    def test_window_expiry(self):
+        mon = SmtpFanoutMonitor(threshold=3, window=100.0)
+        mon.observe(smtp_syn("3.3.3.3", "10.0.0.1", t=0.0))
+        mon.observe(smtp_syn("3.3.3.3", "10.0.0.2", t=50.0))
+        # window expires; count restarts
+        mon.observe(smtp_syn("3.3.3.3", "10.0.0.3", t=500.0))
+        assert not mon.is_mailer("3.3.3.3")
+
+    def test_flag_sticks(self):
+        mon = SmtpFanoutMonitor(threshold=2, window=10.0)
+        mon.observe(smtp_syn("4.4.4.4", "10.0.0.1", t=0.0))
+        mon.observe(smtp_syn("4.4.4.4", "10.0.0.2", t=1.0))
+        assert mon.is_mailer("4.4.4.4")
+        assert mon.observe(smtp_syn("4.4.4.4", "10.0.0.9", t=9999.0))
+
+    def test_non_smtp_ignored(self):
+        mon = SmtpFanoutMonitor(threshold=2)
+        for i in range(10):
+            mon.observe(tcp_packet("5.5.5.5", f"10.0.0.{i + 1}", 1, 80,
+                                   flags=0x02))
+            mon.observe(udp_packet("5.5.5.5", f"10.0.0.{i + 1}", 1, 25))
+        assert not mon.is_mailer("5.5.5.5")
+
+    def test_submission_ports_counted(self):
+        mon = SmtpFanoutMonitor(threshold=2)
+        mon.observe(tcp_packet("6.6.6.6", "10.0.0.1", 1, 587, flags=0x02))
+        mon.observe(tcp_packet("6.6.6.6", "10.0.0.2", 1, 465, flags=0x02))
+        assert mon.is_mailer("6.6.6.6")
+
+
+class TestMailWormEndToEnd:
+    def test_worm_burst_detected(self):
+        from repro.engines.mailworm import MailWormHost
+        from repro.net.wire import Wire
+        from repro.nids import NidsSensor, SemanticNids
+
+        wire = Wire()
+        nids = SemanticNids(smtp_fanout_threshold=8)
+        NidsSensor(nids).attach(wire)
+        worm = MailWormHost(ip="192.168.3.3", seed=2)
+        worm.burst(wire, count=12)
+
+        assert nids.classifier.fanout.is_mailer("192.168.3.3")
+        assert "xor_decrypt_loop" in nids.alerts_by_template()
+        assert nids.alert_sources() == {"192.168.3.3"}
+        assert nids.blocklist.is_blocked("192.168.3.3")
+
+    def test_attachment_is_a_working_dropper(self):
+        """The worm attachment's stub must actually execute (emulator)."""
+        from repro.engines.mailworm import build_worm_attachment
+        from repro.x86.emulator import EmulationError, Emulator
+
+        blob = build_worm_attachment(seed=3)
+        emu = Emulator(step_limit=100_000, max_out_of_frame=16)
+        emu.stop_on_interrupt = False
+        emu.load(blob, base=0x1000)
+        try:
+            while not emu.halted and not any(
+                s.eax & 0xFF == 11 for s in emu.syscalls
+            ):
+                emu.step()
+        except EmulationError:
+            pass
+        assert any(s.vector == 0x80 and s.eax & 0xFF == 11
+                   for s in emu.syscalls)
+
+    def test_benign_smtp_below_threshold_silent(self):
+        from repro.net.wire import Wire
+        from repro.nids import NidsSensor, SemanticNids
+        from repro.traffic import BenignMixGenerator
+
+        wire = Wire()
+        nids = SemanticNids(smtp_fanout_threshold=8)
+        NidsSensor(nids).attach(wire)
+        BenignMixGenerator(seed=8).generate_packets(0)  # no-op generator ok
+        gen = BenignMixGenerator(seed=8)
+        for _ in range(120):
+            gen.conversation(wire)
+        assert nids.classifier.fanout.mailers() == []
+        assert nids.alerts == []

@@ -1,0 +1,205 @@
+"""Tests for the template library: each template against its canonical
+positive and a structurally-similar negative."""
+
+import pytest
+
+from repro.core.analyzer import SemanticAnalyzer
+from repro.core.library import (
+    all_templates,
+    codered_ii_vector,
+    decoder_templates,
+    generic_decrypt_loop,
+    linux_shell_spawn,
+    paper_templates,
+    port_bind_shell,
+    xor_decrypt_loop,
+    xor_only_templates,
+)
+from repro.x86.asm import assemble
+
+
+def detect(template, source_or_bytes):
+    code = (assemble(source_or_bytes) if isinstance(source_or_bytes, str)
+            else source_or_bytes)
+    an = SemanticAnalyzer(templates=[template])
+    return an.analyze_frame(code).detected
+
+
+class TestXorDecryptLoop:
+    def test_positive(self):
+        assert detect(xor_decrypt_loop(), """
+            decode:
+              xor byte ptr [esi], 0x7f
+              inc esi
+              loop decode
+        """)
+
+    def test_dword_variant(self):
+        assert detect(xor_decrypt_loop(), """
+            decode:
+              xor dword ptr [esi], 0x11223344
+              add esi, 4
+              loop decode
+        """)
+
+    def test_negative_memcpy_like(self):
+        """A copy loop moves data but never transforms it in place."""
+        assert not detect(xor_decrypt_loop(), """
+            copy:
+              mov al, byte ptr [esi]
+              mov byte ptr [edi], al
+              inc esi
+              inc edi
+              loop copy
+        """)
+
+    def test_negative_checksum_loop(self):
+        """Accumulating a checksum xors into a REGISTER, not memory."""
+        assert not detect(xor_decrypt_loop(), """
+            sum:
+              mov al, byte ptr [esi]
+              xor bl, al
+              inc esi
+              loop sum
+        """)
+
+
+class TestAltDecoder:
+    def test_positive(self):
+        from repro.core.library import admmutate_alt_decoder
+        assert detect(admmutate_alt_decoder(), """
+            decode:
+              mov al, byte ptr [esi]
+              not al
+              or al, al
+              mov byte ptr [esi], al
+              inc esi
+              loop decode
+        """)
+
+    def test_negative_load_only(self):
+        from repro.core.library import admmutate_alt_decoder
+        assert not detect(admmutate_alt_decoder(), """
+            scan:
+              mov al, byte ptr [esi]
+              not al
+              inc esi
+              loop scan
+        """)
+
+
+class TestGenericDecryptLoop:
+    def test_add_decoder_caught_by_extension_only(self):
+        add_decoder = """
+            decode:
+              add byte ptr [esi], 0x33
+              inc esi
+              loop decode
+        """
+        assert not detect(xor_decrypt_loop(), add_decoder)
+        assert detect(generic_decrypt_loop(), add_decoder)
+
+    def test_rol_decoder(self):
+        assert detect(generic_decrypt_loop(), """
+            decode:
+              rol byte ptr [esi], 3
+              inc esi
+              loop decode
+        """)
+
+
+class TestShellSpawn:
+    def test_all_corpus_entries(self):
+        from repro.engines.shellcode import SHELLCODES
+        t = linux_shell_spawn()
+        for name, spec in SHELLCODES.items():
+            assert detect(t, spec.assemble()), name
+
+    def test_negative_string_without_syscall(self):
+        assert not detect(linux_shell_spawn(), """
+            push 0x68732f2f
+            push 0x6e69622f
+            mov ebx, esp
+            ret
+        """)
+
+    def test_negative_other_syscall(self):
+        """exit(0) after pushing the string is not a shell spawn."""
+        assert not detect(linux_shell_spawn(), """
+            push 0x68732f2f
+            push 0x6e69622f
+            xor eax, eax
+            inc eax
+            xor ebx, ebx
+            int 0x80
+        """)
+
+
+class TestPortBind:
+    def test_positive_corpus(self):
+        from repro.engines.shellcode import get_shellcode
+        t = port_bind_shell()
+        assert detect(t, get_shellcode("bind-4444-execve").assemble())
+        assert detect(t, get_shellcode("bind-31337-execve").assemble())
+
+    def test_plain_spawn_not_flagged(self, classic_shellcode):
+        assert not detect(port_bind_shell(), classic_shellcode)
+
+    def test_socket_alone_not_flagged(self):
+        assert not detect(port_bind_shell(), """
+            xor eax, eax
+            xor ebx, ebx
+            inc ebx
+            mov al, 0x66
+            int 0x80
+            ret
+        """)
+
+
+class TestCodeRed:
+    def test_figure5_stub(self):
+        from repro.engines.codered import code_red_ii_request
+        from repro.extract.frames import BinaryExtractor
+        frames = BinaryExtractor().extract(code_red_ii_request())
+        an = SemanticAnalyzer(templates=[codered_ii_vector()])
+        assert any(an.analyze_frame(f.data).detected for f in frames)
+
+    def test_single_push_not_enough(self):
+        assert not detect(codered_ii_vector(), """
+            push 0x7801cbd3
+            call eax
+        """)
+
+    def test_wrong_address_range(self):
+        assert not detect(codered_ii_vector(), """
+            push 0x41414141
+            push 0x41414141
+            push 0x41414141
+            call eax
+        """)
+
+
+class TestTemplateSets:
+    def test_paper_set_contents(self):
+        names = {t.name for t in paper_templates()}
+        assert names == {"xor_decrypt_loop", "admmutate_alt_decoder",
+                         "linux_shell_spawn", "port_bind_shell",
+                         "codered_ii_vector"}
+
+    def test_xor_only_is_single(self):
+        assert [t.name for t in xor_only_templates()] == ["xor_decrypt_loop"]
+
+    def test_decoder_set(self):
+        assert len(decoder_templates()) == 2
+
+    def test_all_templates_superset(self):
+        assert len(all_templates()) == len(paper_templates()) + 1
+
+    def test_fresh_instances(self):
+        # factory functions return independent objects
+        assert paper_templates()[0] is not paper_templates()[0]
+
+    def test_all_describable(self):
+        for t in all_templates():
+            text = t.describe()
+            assert t.name in text and len(text.splitlines()) >= 2

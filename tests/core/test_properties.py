@@ -1,0 +1,114 @@
+"""Property tests on the core invariants of semantic matching.
+
+The paper's central claim is that detection is invariant under the
+obfuscations of §3: NOP insertion, junk instruction insertion, register
+reassignment, and out-of-order sequencing.  These properties generate
+random obfuscated variants and assert the invariance directly.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analyzer import SemanticAnalyzer
+from repro.core.library import xor_decrypt_loop
+from repro.x86.asm import assemble
+
+PTRS = ["eax", "ebx", "esi", "edi"]
+SAFE_JUNK = ["nop", "cld", "clc", "stc", "cmc",
+             "mov edx, 0x1111", "add edx, 7", "xor edx, 0x3c",
+             "test edx, edx", "cmp edx, 5"]
+
+
+def detector():
+    return SemanticAnalyzer(templates=[xor_decrypt_loop()])
+
+
+@st.composite
+def obfuscated_decoder(draw):
+    """A randomly obfuscated — but behaviourally intact — xor decoder."""
+    rng = random.Random(draw(st.integers(0, 2 ** 32)))
+    ptr = rng.choice(PTRS)
+    key = rng.randrange(1, 256)
+    # Key delivery: immediate, split-add via register, or stack.
+    style = rng.randrange(3)
+    setup: list[str] = []
+    if style == 0:
+        xor_line = f"xor byte ptr [{ptr}], {key:#x}"
+    else:
+        key_reg = rng.choice([r for r in ("ebx", "edx") if r != ptr])
+        low = {"ebx": "bl", "edx": "dl"}[key_reg]
+        if style == 1:
+            a = rng.randrange(0, key + 1)
+            setup = [f"mov {key_reg}, {a:#x}", f"add {key_reg}, {key - a:#x}"]
+        else:
+            setup = [f"push {key:#x}", f"pop {key_reg}"]
+        xor_line = f"xor byte ptr [{ptr}], {low}"
+    step_line = rng.choice([f"inc {ptr}", f"add {ptr}, 1"])
+    body = [xor_line, step_line]
+    if rng.random() < 0.5:
+        body.reverse()  # loop rotation
+    # Junk insertion (junk never touches ptr/key regs).
+    used_regs = {ptr} | ({"ebx"} if "ebx" in " ".join(setup) else set()) \
+        | ({"edx"} if "edx" in " ".join(setup) else set())
+    junk_pool = [j for j in SAFE_JUNK if not any(r in j for r in used_regs)]
+    lines = list(setup) + ["decode:"]
+    for instr in body:
+        for _ in range(rng.randrange(0, 3)):
+            lines.append(rng.choice(junk_pool) if junk_pool else "nop")
+        lines.append(instr)
+    lines.append("loop decode")
+    return "\n".join(lines), key, ptr
+
+
+@given(obfuscated_decoder())
+@settings(max_examples=150, deadline=None)
+def test_detection_invariant_under_obfuscation(case):
+    source, key, ptr = case
+    result = detector().analyze_frame(assemble(source))
+    assert result.detected, f"missed decoder:\n{source}"
+    match = result.matches[0]
+    assert match.bindings["PTR"] == ("reg", ptr)
+    kind, value = match.bindings["KEY"]
+    assert kind == "const" and value == key
+
+
+@given(st.integers(0, 2 ** 32))
+@settings(max_examples=60, deadline=None)
+def test_benign_loops_stay_clean(seed):
+    """Random benign counting/copy loops never match the decoder template."""
+    rng = random.Random(seed)
+    kind = rng.randrange(3)
+    if kind == 0:  # summation into a register
+        source = """
+        top:
+          mov al, byte ptr [esi]
+          add bl, al
+          inc esi
+          loop top
+        """
+    elif kind == 1:  # plain counted busy loop
+        source = f"""
+        top:
+          add edx, {rng.randrange(1, 100)}
+          loop top
+        """
+    else:  # copy loop
+        source = """
+        top:
+          mov al, byte ptr [esi]
+          mov byte ptr [edi], al
+          inc esi
+          inc edi
+          loop top
+        """
+    assert not detector().analyze_frame(assemble(source)).detected
+
+
+@given(st.binary(min_size=0, max_size=600))
+@settings(max_examples=100, deadline=None)
+def test_analyzer_total_on_arbitrary_bytes(data):
+    """The analyzer must terminate and not crash on any byte soup."""
+    result = SemanticAnalyzer().analyze_frame(data)
+    assert result.frame_size == len(data)
+    assert 0 <= result.bytes_consumed <= len(data)

@@ -1,0 +1,287 @@
+"""Unit tests for template nodes and the binding store."""
+
+import pytest
+
+from repro.core.template import (
+    ConstBytesWrite,
+    IndirectCall,
+    LoadFrom,
+    LoopBack,
+    MatchContext,
+    MemRmw,
+    PointerStep,
+    PushValue,
+    RegCompute,
+    RegFromEsp,
+    StoreTo,
+    Syscall,
+    Template,
+    bind,
+)
+from repro.ir.dataflow import ConstEnv, propagate
+from repro.ir.lift import lift
+from repro.x86.asm import assemble
+from repro.x86.disasm import disassemble
+
+
+def stmt_env(source: str, index: int = 0):
+    stmts = lift(disassemble(assemble(source)))
+    envs = propagate(stmts)
+    return stmts[index], envs[index]
+
+
+def ctx_for(source: str) -> MatchContext:
+    stmts = lift(disassemble(assemble(source)))
+    return MatchContext(trace=stmts, envs=propagate(stmts),
+                        pos_by_address={s.address: i for i, s in enumerate(stmts)})
+
+
+EMPTY_CTX = MatchContext(trace=[], envs=[], pos_by_address={})
+
+
+class TestBind:
+    def test_new_binding(self):
+        assert bind({}, "X", ("reg", "eax")) == {"X": ("reg", "eax")}
+
+    def test_consistent_rebind(self):
+        b = {"X": ("reg", "eax")}
+        assert bind(b, "X", ("reg", "eax")) is b
+
+    def test_conflict(self):
+        assert bind({"X": ("reg", "eax")}, "X", ("reg", "ebx")) is None
+
+    def test_original_not_mutated(self):
+        b = {}
+        bind(b, "X", ("const", 1))
+        assert b == {}
+
+
+class TestMemRmw:
+    def test_direct_immediate_key(self):
+        stmt, env = stmt_env("xor byte ptr [eax], 0x95")
+        node = MemRmw(ops=frozenset({"xor"}), size=1)
+        b = node.match(stmt, env, {}, EMPTY_CTX)
+        assert b == {"PTR": ("reg", "eax"), "KEY": ("const", 0x95)}
+
+    def test_register_key_resolved(self):
+        stmt, env = stmt_env("mov ebx, 0x31\nadd ebx, 0x64\nxor byte ptr [eax], bl",
+                             index=2)
+        b = MemRmw().match(stmt, env, {}, EMPTY_CTX)
+        assert b["KEY"] == ("const", 0x95)
+
+    def test_register_key_unresolved_binds_symbolically(self):
+        stmt, env = stmt_env("xor byte ptr [eax], bl")
+        b = MemRmw().match(stmt, env, {}, EMPTY_CTX)
+        assert b["KEY"] == ("symconst", "ebx")
+
+    def test_wrong_op_rejected(self):
+        stmt, env = stmt_env("add byte ptr [eax], 1")
+        assert MemRmw(ops=frozenset({"xor"})).match(stmt, env, {}, EMPTY_CTX) is None
+
+    def test_size_mismatch_rejected(self):
+        stmt, env = stmt_env("xor dword ptr [eax], 0x95")
+        assert MemRmw(size=1).match(stmt, env, {}, EMPTY_CTX) is None
+
+    def test_size_any(self):
+        stmt, env = stmt_env("xor dword ptr [eax], 0x95")
+        assert MemRmw(size=None).match(stmt, env, {}, EMPTY_CTX) is not None
+
+    def test_plain_store_rejected(self):
+        stmt, env = stmt_env("mov byte ptr [eax], 0x95")
+        assert MemRmw().match(stmt, env, {}, EMPTY_CTX) is None
+
+    def test_ptr_binding_consistency(self):
+        stmt, env = stmt_env("xor byte ptr [esi], 0x41")
+        prior = {"PTR": ("reg", "edi")}
+        assert MemRmw().match(stmt, env, prior, EMPTY_CTX) is None
+
+    def test_not_unary_form(self):
+        stmt, env = stmt_env("not byte ptr [esi]")
+        b = MemRmw(ops=frozenset({"not"}), size=1).match(stmt, env, {}, EMPTY_CTX)
+        assert b is not None and b["PTR"] == ("reg", "esi")
+
+
+class TestLoadStoreCompute:
+    def test_load_from(self):
+        stmt, env = stmt_env("mov al, byte ptr [esi]")
+        b = LoadFrom().match(stmt, env, {}, EMPTY_CTX)
+        assert b == {"PTR": ("reg", "esi"), "R": ("reg", "eax")}
+
+    def test_load_requires_load(self):
+        stmt, env = stmt_env("mov al, 5")
+        assert LoadFrom().match(stmt, env, {}, EMPTY_CTX) is None
+
+    def test_store_to(self):
+        stmt, env = stmt_env("mov byte ptr [esi], al")
+        b = StoreTo().match(stmt, env, {}, EMPTY_CTX)
+        assert b == {"PTR": ("reg", "esi"), "R": ("reg", "eax")}
+
+    def test_store_requires_register_source(self):
+        stmt, env = stmt_env("mov byte ptr [esi], 7")
+        assert StoreTo().match(stmt, env, {}, EMPTY_CTX) is None
+
+    def test_reg_compute_binop(self):
+        stmt, env = stmt_env("xor al, 0x42")
+        b = RegCompute().match(stmt, env, {}, EMPTY_CTX)
+        assert b == {"R": ("reg", "eax")}
+
+    def test_reg_compute_unop(self):
+        stmt, env = stmt_env("not dl")
+        assert RegCompute().match(stmt, env, {}, EMPTY_CTX) == {"R": ("reg", "edx")}
+
+    def test_reg_compute_respects_binding(self):
+        stmt, env = stmt_env("not dl")
+        assert RegCompute().match(stmt, env, {"R": ("reg", "eax")}, EMPTY_CTX) is None
+
+    def test_reg_compute_rejects_plain_mov(self):
+        stmt, env = stmt_env("mov dl, 5")
+        assert RegCompute().match(stmt, env, {}, EMPTY_CTX) is None
+
+
+class TestPointerStep:
+    @pytest.mark.parametrize("src", ["inc esi", "add esi, 1", "add esi, 4",
+                                     "sub esi, 1"])
+    def test_accepts(self, src):
+        stmt, env = stmt_env(src)
+        assert PointerStep().match(stmt, env, {}, EMPTY_CTX) == {"PTR": ("reg", "esi")}
+
+    def test_rejects_large_stride(self):
+        stmt, env = stmt_env("add esi, 0x1000")
+        assert PointerStep().match(stmt, env, {}, EMPTY_CTX) is None
+
+    def test_register_stride_resolved(self):
+        stmt, env = stmt_env("mov ebx, 1\nadd esi, ebx", index=1)
+        assert PointerStep().match(stmt, env, {}, EMPTY_CTX) is not None
+
+
+class TestLoopBack:
+    def test_backward_branch_matches(self):
+        ctx = ctx_for("top:\n  inc eax\n  loop top")
+        ctx.first_pos = 0
+        branch = ctx.trace[-1]
+        assert LoopBack().match(branch, ctx.envs[-1], {}, ctx) == {}
+
+    def test_forward_branch_rejected(self):
+        ctx = ctx_for("jmp fwd\nnop\nfwd:\n  ret")
+        ctx.first_pos = 0
+        branch = ctx.trace[0]
+        assert LoopBack().match(branch, ctx.envs[0], {}, ctx) is None
+
+    def test_requires_first_pos(self):
+        ctx = ctx_for("top:\n  inc eax\n  loop top")
+        assert ctx.first_pos == -1
+        assert LoopBack().match(ctx.trace[-1], ctx.envs[-1], {}, ctx) is None
+
+    def test_non_branch_rejected(self):
+        ctx = ctx_for("inc eax")
+        ctx.first_pos = 0
+        assert LoopBack().match(ctx.trace[0], ctx.envs[0], {}, ctx) is None
+
+
+class TestSyscall:
+    def test_vector_and_regs(self):
+        stmt, env = stmt_env("xor eax, eax\nmov al, 11\nint 0x80", index=2)
+        node = Syscall(vector=0x80, regs={"eax": 11})
+        assert node.match(stmt, env, {}, EMPTY_CTX) == {}
+
+    def test_wrong_vector(self):
+        stmt, env = stmt_env("int 0x21")
+        assert Syscall(vector=0x80).match(stmt, env, {}, EMPTY_CTX) is None
+
+    def test_unresolved_register_rejected(self):
+        stmt, env = stmt_env("int 0x80")
+        assert Syscall(regs={"eax": 11}).match(stmt, env, {}, EMPTY_CTX) is None
+
+    def test_wrong_value_rejected(self):
+        stmt, env = stmt_env("mov eax, 12\nint 0x80", index=1)
+        assert Syscall(regs={"eax": 11}).match(stmt, env, {}, EMPTY_CTX) is None
+
+
+class TestConstBytesWrite:
+    def test_push_bin(self):
+        stmt, env = stmt_env("push 0x6e69622f")
+        assert ConstBytesWrite(contains=b"/bin").match(stmt, env, {}, EMPTY_CTX) == {}
+
+    def test_store_bin(self):
+        stmt, env = stmt_env("mov dword ptr [esp], 0x6e69622f")
+        assert ConstBytesWrite(contains=b"/bin").match(stmt, env, {}, EMPTY_CTX) == {}
+
+    def test_push_via_register(self):
+        stmt, env = stmt_env("mov edi, 0x68732f2f\npush edi", index=1)
+        assert ConstBytesWrite(contains=b"sh").match(stmt, env, {}, EMPTY_CTX) == {}
+
+    def test_wrong_bytes(self):
+        stmt, env = stmt_env("push 0x41414141")
+        assert ConstBytesWrite(contains=b"/bin").match(stmt, env, {}, EMPTY_CTX) is None
+
+
+class TestMiscNodes:
+    def test_reg_from_esp_fixed(self):
+        stmt, env = stmt_env("mov ebx, esp")
+        assert RegFromEsp(dst="ebx").match(stmt, env, {}, EMPTY_CTX) == {}
+
+    def test_reg_from_esp_variable(self):
+        stmt, env = stmt_env("mov ecx, esp")
+        b = RegFromEsp().match(stmt, env, {}, EMPTY_CTX)
+        assert b == {"ARG": ("reg", "ecx")}
+
+    def test_push_value_predicate(self):
+        stmt, env = stmt_env("push 0x7801cbd3")
+        node = PushValue(predicate=lambda v: v >> 16 == 0x7801)
+        assert node.match(stmt, env, {}, EMPTY_CTX) == {}
+        bad = PushValue(predicate=lambda v: v == 0)
+        assert bad.match(stmt, env, {}, EMPTY_CTX) is None
+
+    def test_indirect_call(self):
+        stmt, env = stmt_env("call eax")
+        assert IndirectCall().match(stmt, env, {}, EMPTY_CTX) == {}
+
+    def test_direct_call_rejected(self):
+        stmt, env = stmt_env("x: call x")
+        assert IndirectCall().match(stmt, env, {}, EMPTY_CTX) is None
+
+
+class TestTemplateDescribe:
+    def test_describe_lists_nodes(self):
+        t = Template(name="t", nodes=[MemRmw(), PointerStep(), LoopBack()],
+                     description="test", repeats={1: (1, 3)})
+        text = t.describe()
+        assert "template t" in text
+        assert "x1..3" in text
+        assert text.count("\n") >= 3
+
+    def test_variables_collected(self):
+        t = Template(name="t", nodes=[LoadFrom(), StoreTo()])
+        assert t.variables() == {"R", "PTR"}
+
+
+class TestConstCapture:
+    def test_captures_pushed_sockaddr(self):
+        from repro.core.template import ConstCapture
+        stmt, env = stmt_env("push 0x5c110002")
+        node = ConstCapture(var="SOCKADDR",
+                            predicate=lambda v: (v & 0xFFFF) == 2)
+        b = node.match(stmt, env, {}, EMPTY_CTX)
+        assert b == {"SOCKADDR": ("const", 0x5C110002)}
+
+    def test_captures_via_register(self):
+        from repro.core.template import ConstCapture
+        stmt, env = stmt_env("mov edi, 0x697a0002\npush edi", index=1)
+        b = ConstCapture(var="V").match(stmt, env, {}, EMPTY_CTX)
+        assert b == {"V": ("const", 0x697A0002)}
+
+    def test_predicate_rejects(self):
+        from repro.core.template import ConstCapture
+        stmt, env = stmt_env("push 0x41414141")
+        node = ConstCapture(predicate=lambda v: (v & 0xFFFF) == 2)
+        assert node.match(stmt, env, {}, EMPTY_CTX) is None
+
+    def test_unresolved_rejected(self):
+        from repro.core.template import ConstCapture
+        stmt, env = stmt_env("push eax")
+        assert ConstCapture().match(stmt, env, {}, EMPTY_CTX) is None
+
+    def test_sockaddr_port_helper(self):
+        from repro.core.library import sockaddr_port
+        assert sockaddr_port(0x5C110002) == 4444
+        assert sockaddr_port(0x697A0002) == 31337

@@ -1,0 +1,114 @@
+"""Tests for the ADMmutate-style polymorphic engine (§5.2)."""
+
+import pytest
+
+from repro.core.analyzer import SemanticAnalyzer
+from repro.core.library import decoder_templates, xor_only_templates
+from repro.engines.admmutate import SLED_OPCODES, AdmMutateEngine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return AdmMutateEngine(seed=123)
+
+
+class TestDeterminism:
+    def test_same_seed_same_instance(self, classic_shellcode):
+        a = AdmMutateEngine(seed=5).mutate(classic_shellcode, instance=7)
+        b = AdmMutateEngine(seed=5).mutate(classic_shellcode, instance=7)
+        assert a.data == b.data
+
+    def test_different_instances_differ(self, engine, classic_shellcode):
+        a = engine.mutate(classic_shellcode, instance=0)
+        b = engine.mutate(classic_shellcode, instance=1)
+        assert a.data != b.data
+
+    def test_batch(self, engine, classic_shellcode):
+        batch = engine.batch(classic_shellcode, 10)
+        assert len(batch) == 10
+        assert len({m.data for m in batch}) == 10
+
+
+class TestEncodingCorrectness:
+    """The mutation must be invertible — the victim machine must be able
+    to recover the payload, else it's not an exploit."""
+
+    def test_xor_family_decodes(self, engine, classic_shellcode):
+        m = engine.mutate(classic_shellcode, instance=1, family="xor")
+        encoded = m.data[-len(classic_shellcode):]
+        assert bytes(b ^ m.key for b in encoded) == classic_shellcode
+
+    def test_alt_family_decodes(self, engine, classic_shellcode):
+        m = engine.mutate(classic_shellcode, instance=2,
+                          family="mov-or-and-not")
+        encoded = m.data[-len(classic_shellcode):]
+        assert bytes((~b) & 0xFF for b in encoded) == classic_shellcode
+
+    def test_unknown_family_rejected(self, engine, classic_shellcode):
+        with pytest.raises(ValueError):
+            engine.mutate(classic_shellcode, family="rot13")
+
+
+class TestPolymorphism:
+    def test_sled_lengths_vary(self, engine, classic_shellcode):
+        lengths = {engine.mutate(classic_shellcode, instance=i).sled_len
+                   for i in range(20)}
+        assert len(lengths) > 5
+
+    def test_sled_bytes_are_slide_safe(self, engine, classic_shellcode):
+        m = engine.mutate(classic_shellcode, instance=3)
+        sled = m.data[:m.sled_len]
+        assert all(b in SLED_OPCODES for b in sled)
+
+    def test_both_families_appear(self, engine, classic_shellcode):
+        families = {engine.mutate(classic_shellcode, instance=i).decoder_family
+                    for i in range(40)}
+        assert families == {"xor", "mov-or-and-not"}
+
+    def test_xor_bias_matches_paper(self, classic_shellcode):
+        """The family mix should land near the paper's 68% figure."""
+        engine = AdmMutateEngine(seed=77)
+        n = 300
+        xor_count = sum(
+            engine.mutate(classic_shellcode, instance=i).decoder_family == "xor"
+            for i in range(n))
+        assert 0.58 <= xor_count / n <= 0.78
+
+    def test_decoder_bytes_vary_within_family(self, engine, classic_shellcode):
+        blobs = set()
+        for i in range(10):
+            m = engine.mutate(classic_shellcode, instance=i, family="xor")
+            blobs.add(m.data[m.sled_len:m.sled_len + 24])
+        assert len(blobs) >= 8
+
+
+class TestDetection:
+    def test_both_templates_catch_everything(self, classic_shellcode):
+        engine = AdmMutateEngine(seed=42)
+        an = SemanticAnalyzer(templates=decoder_templates())
+        misses = [i for i in range(100)
+                  if not an.analyze_frame(
+                      engine.mutate(classic_shellcode, instance=i).data).detected]
+        assert misses == []
+
+    def test_xor_template_alone_misses_alt_family(self, classic_shellcode):
+        engine = AdmMutateEngine(seed=42)
+        an = SemanticAnalyzer(templates=xor_only_templates())
+        hits = misses_alt = 0
+        for i in range(60):
+            m = engine.mutate(classic_shellcode, instance=i)
+            detected = an.analyze_frame(m.data).detected
+            if m.decoder_family == "xor":
+                assert detected, f"xor instance {i} missed"
+                hits += 1
+            elif not detected:
+                misses_alt += 1
+        assert misses_alt > 0  # the 68% phenomenon exists
+
+    def test_forced_families_fully_detected(self, classic_shellcode):
+        engine = AdmMutateEngine(seed=9)
+        an = SemanticAnalyzer(templates=decoder_templates())
+        for family in ("xor", "mov-or-and-not"):
+            for i in range(20):
+                m = engine.mutate(classic_shellcode, instance=i, family=family)
+                assert an.analyze_frame(m.data).detected, (family, i)

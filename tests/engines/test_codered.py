@@ -1,0 +1,83 @@
+"""Tests for the Code Red II reconstruction (§5.3, Figure 5)."""
+
+from repro.engines.codered import (
+    CODE_RED_II_UNICODE, CodeRedHost, code_red_ii_request,
+)
+from repro.net.inet import ip_to_int
+from repro.net.layers import TCP_SYN
+from repro.x86.disasm import disassemble_frame
+
+
+class TestRequest:
+    def test_figure5_shape(self):
+        req = code_red_ii_request()
+        assert req.startswith(b"GET /default.ida?" + b"X" * 224)
+        assert CODE_RED_II_UNICODE.encode() in req
+        assert b" HTTP/1.0\r\n" in req
+
+    def test_unicode_block_verbatim(self):
+        assert CODE_RED_II_UNICODE.startswith("%u9090%u6858%ucbd3%u7801")
+        assert CODE_RED_II_UNICODE.count("%u6858") == 3
+
+    def test_decoded_stub_is_the_real_crii_entry(self):
+        """The %u block must decode to the worm's entry stub: pops/pushes of
+        0x7801cbd3 then call [ebx+0x78]."""
+        from repro.extract.unicode import find_unicode_runs
+        (run,) = find_unicode_runs(CODE_RED_II_UNICODE.encode(), min_escapes=8)
+        stub = run.decode()
+        instructions, _ = disassemble_frame(stub)
+        text = [str(i) for i in instructions]
+        assert text.count("push 0x7801cbd3") == 3
+        assert "call dword ptr [ebx + 0x78]" in text
+        assert "add ebx, 0x300" in text
+
+    def test_x_run_configurable(self):
+        req = code_red_ii_request(x_run=100)
+        assert b"X" * 100 in req and b"X" * 101 not in req
+
+
+class TestWormHost:
+    def test_scan_bias(self):
+        worm = CodeRedHost(ip="10.5.1.2", seed=1)
+        same8 = same16 = 0
+        n = 2000
+        me = ip_to_int("10.5.1.2")
+        for _ in range(n):
+            t = ip_to_int(worm.pick_target())
+            if t >> 24 == me >> 24:
+                same8 += 1
+            if t >> 16 == me >> 16:
+                same16 += 1
+        assert same8 / n > 0.80   # 1/2 + 3/8 land in the /8
+        assert 0.30 < same16 / n < 0.55
+
+    def test_scan_packets_are_syns_to_80(self):
+        worm = CodeRedHost(ip="10.5.1.2", seed=2)
+        for pkt in worm.scan_packets(count=10):
+            assert pkt.l4.flags & TCP_SYN
+            assert pkt.dport == 80
+            assert pkt.src == "10.5.1.2"
+
+    def test_scan_timestamps_increase(self):
+        worm = CodeRedHost(ip="10.5.1.2", seed=2)
+        stamps = [p.timestamp for p in worm.scan_packets(count=5, base_time=7.0)]
+        assert stamps == sorted(stamps)
+        assert stamps[0] >= 7.0
+
+    def test_exploit_packets_carry_request(self):
+        worm = CodeRedHost(ip="10.5.1.2", seed=3)
+        packets = worm.exploit_packets("10.10.0.7", base_time=1.0)
+        assert packets[0].l4.flags & TCP_SYN
+        data = b"".join(p.payload for p in packets)
+        assert data == code_red_ii_request()
+
+    def test_exploit_segmented_at_mss(self):
+        worm = CodeRedHost(ip="10.5.1.2", seed=4)
+        packets = worm.exploit_packets("10.10.0.7", mss=100)
+        sizes = [len(p.payload) for p in packets if p.payload]
+        assert max(sizes) <= 100 and len(sizes) > 3
+
+    def test_determinism(self):
+        a = CodeRedHost(ip="10.5.1.2", seed=9).scan_packets(5)
+        b = CodeRedHost(ip="10.5.1.2", seed=9).scan_packets(5)
+        assert [p.dst for p in a] == [p.dst for p in b]

@@ -1,0 +1,71 @@
+"""Tests for the copy-protected benign binary (§3's CrypKey/ASProtect
+scenario object)."""
+
+from repro.baseline import HostBasedScanner
+from repro.core import SemanticAnalyzer
+from repro.engines.copyprotect import protected_binary, protector_stub
+from repro.engines.netsky import netsky_sample
+from repro.x86.emulator import EmulationError, Emulator
+
+
+class TestProtectedBinary:
+    def test_deterministic(self):
+        assert protected_binary(seed=1) == protected_binary(seed=1)
+        assert protected_binary(seed=1) != protected_binary(seed=2)
+
+    def test_body_is_actually_encrypted(self):
+        blob = protected_binary(size=2048, seed=5)
+        body = netsky_sample(size=2048, seed=5 ^ 0xC0DE)
+        assert body not in blob  # plaintext absent
+
+    def test_stub_is_a_real_decryptor(self):
+        """Running the protected binary decrypts the original body in
+        memory — the protection is functional, not decorative."""
+        size = 2048
+        blob = protected_binary(size=size, seed=7)
+        body = netsky_sample(size=size, seed=7 ^ 0xC0DE)
+        stub_len = len(blob) - len(body)
+        emu = Emulator(step_limit=200_000)
+        emu.load(blob, base=0x1000)
+        try:
+            while not emu.halted and emu.mem_writes < len(body):
+                emu.step()
+        except EmulationError:
+            pass
+        decrypted = emu.mem.read(0x1000 + stub_len, len(body))
+        assert decrypted == body
+
+    def test_protector_stub_shape(self):
+        stub = protector_stub(body_len=100, key=0x42)
+        assert stub[0] == 0xEB  # jmp short getpc
+        assert b"\xe2" in stub  # loop
+
+    def test_matches_decoder_template_statically(self):
+        """The whole point: the legitimate stub IS behaviourally a
+        decryption loop."""
+        blob = protected_binary(size=2048, seed=3)
+        result = SemanticAnalyzer().analyze_frame(blob)
+        assert "xor_decrypt_loop" in result.matched_names()
+
+    def test_host_scanner_false_positive(self):
+        result = HostBasedScanner().scan_binary(protected_binary(size=1024,
+                                                                 seed=3)[:512])
+        assert result.detected
+
+    def test_network_deployment_stays_silent(self):
+        """Downloaded over HTTP by an unmarked client with classification
+        on, it never reaches analysis (the §3 architectural argument)."""
+        from repro.net.wire import Host, Wire
+        from repro.nids import NidsSensor, SemanticNids
+
+        program = protected_binary(size=2048, seed=3)
+        nids = SemanticNids(honeypots=["10.10.0.250"])
+        wire = Wire()
+        NidsSensor(nids).attach(wire)
+        client = Host(ip="192.168.1.20", wire=wire)
+        session = client.open_tcp("10.10.0.30", 80)
+        session.send(b"GET /setup.exe HTTP/1.0\r\n\r\n")
+        session.reply(b"HTTP/1.1 200 OK\r\n\r\n" + program)
+        session.close()
+        assert nids.alerts == []
+        assert nids.stats.payloads_analyzed == 0

@@ -1,0 +1,59 @@
+"""Tests for the xor encoder / decoder stub."""
+
+import pytest
+
+from repro.core.analyzer import SemanticAnalyzer
+from repro.core.library import xor_only_templates
+from repro.engines.encoder import xor_decode_bytes, xor_encode
+
+
+class TestEncoding:
+    def test_payload_actually_encoded(self, classic_shellcode):
+        enc = xor_encode(classic_shellcode, key=0x5A)
+        body = enc.data[enc.decoder_len:]
+        assert body != classic_shellcode
+        assert xor_decode_bytes(body, 0x5A) == classic_shellcode
+
+    def test_lengths(self, classic_shellcode):
+        enc = xor_encode(classic_shellcode, key=0x11)
+        assert enc.payload_len == len(classic_shellcode)
+        assert len(enc.data) == enc.decoder_len + enc.payload_len
+
+    def test_key_in_decoder(self, classic_shellcode):
+        enc = xor_encode(classic_shellcode, key=0x77)
+        assert enc.key == 0x77
+
+    def test_rejects_zero_key(self, classic_shellcode):
+        with pytest.raises(ValueError):
+            xor_encode(classic_shellcode, key=0)
+
+    def test_rejects_empty_payload(self):
+        with pytest.raises(ValueError):
+            xor_encode(b"", key=1)
+
+    def test_ptr_register_choice(self, classic_shellcode):
+        a = xor_encode(classic_shellcode, key=5, ptr_reg="esi")
+        b = xor_encode(classic_shellcode, key=5, ptr_reg="edi")
+        assert a.data != b.data
+
+
+class TestDecoderSemantics:
+    def test_decoder_matches_xor_template(self, classic_shellcode):
+        enc = xor_encode(classic_shellcode, key=0x42)
+        an = SemanticAnalyzer(templates=xor_only_templates())
+        result = an.analyze_frame(enc.data)
+        assert result.detected
+        assert result.matches[0].bindings["KEY"] == ("const", 0x42)
+
+    def test_every_key_detected(self, classic_shellcode):
+        an = SemanticAnalyzer(templates=xor_only_templates())
+        for key in (0x01, 0x55, 0xAA, 0xFF):
+            enc = xor_encode(classic_shellcode, key=key)
+            assert an.analyze_frame(enc.data).detected, hex(key)
+
+    def test_decoder_structure(self, classic_shellcode):
+        enc = xor_encode(classic_shellcode, key=9)
+        decoder = enc.data[:enc.decoder_len]
+        assert decoder[0] == 0xEB        # jmp short getpc
+        assert b"\xe2" in decoder         # loop
+        assert decoder[-5] == 0xE8        # call rel32 back

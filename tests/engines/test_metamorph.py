@@ -1,0 +1,145 @@
+"""Tests for the metamorphic engine (§3's obfuscation catalogue)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SemanticAnalyzer
+from repro.engines.metamorph import MetamorphicEngine, _flag_demand
+from repro.engines.shellcode import SHELLCODES
+from repro.x86.emulator import EmulationError, Emulator
+
+
+def _spawns_shell(data: bytes) -> bool:
+    emu = Emulator(step_limit=100_000, max_out_of_frame=16)
+    emu.stop_on_interrupt = False
+    emu.load(data, base=0x1000)
+    try:
+        while not emu.halted and not any(
+            s.eax & 0xFF == 11 for s in emu.syscalls
+        ):
+            emu.step()
+    except EmulationError:
+        return False
+    execves = [s for s in emu.syscalls if s.eax & 0xFF == 11]
+    return bool(execves) and emu.mem.read(
+        execves[0].regs["ebx"], 8) == b"/bin//sh"
+
+
+class TestFlagDemand:
+    def test_setter_then_user(self):
+        demand = _flag_demand(["dec ecx", "jnz top"])
+        assert demand == [False, True, False]
+
+    def test_neutral_instructions_propagate_demand(self):
+        # dec ecx; mov al, 63; int 0x80; jnz top — flags live across the
+        # movs and the int (the real dup2 loop pattern).
+        demand = _flag_demand(["dec ecx", "mov al, 63", "int 0x80",
+                               "jnz top"])
+        assert demand[1] and demand[2] and demand[3]
+        assert not demand[0]  # dec regenerates flags
+
+    def test_setter_kills_demand_above(self):
+        demand = _flag_demand(["add eax, 1", "cmp eax, 5", "je done"])
+        assert not demand[1]  # cmp regenerates; gap before it is dead
+        assert demand[2]
+
+    def test_no_users_no_demand(self):
+        assert not any(_flag_demand(["mov eax, 1", "push eax", "int 0x80"]))
+
+
+class TestRewriting:
+    def test_variants_differ(self):
+        engine = MetamorphicEngine(seed=1)
+        source = SHELLCODES["classic-execve"].source
+        blobs = {engine.mutate_source(source, instance=i).data
+                 for i in range(20)}
+        assert len(blobs) == 20
+
+    def test_deterministic(self):
+        source = SHELLCODES["classic-execve"].source
+        a = MetamorphicEngine(seed=2).mutate_source(source, instance=5)
+        b = MetamorphicEngine(seed=2).mutate_source(source, instance=5)
+        assert a.data == b.data
+
+    def test_transformations_applied(self):
+        engine = MetamorphicEngine(seed=3, junk_probability=0.5)
+        source = SHELLCODES["classic-execve"].source
+        stats = [engine.mutate_source(source, instance=i) for i in range(20)]
+        assert any(m.substitutions > 0 for m in stats)
+        assert any(m.junk_inserted > 0 for m in stats)
+        assert any("jmp m_" in m.source for m in stats)
+
+    def test_original_bytes_do_not_survive(self):
+        engine = MetamorphicEngine(seed=4, junk_probability=0.6)
+        spec = SHELLCODES["classic-execve"]
+        original = spec.assemble()
+        hits = sum(original in engine.mutate_source(spec.source, instance=i).data
+                   for i in range(20))
+        assert hits == 0
+
+
+class TestBehaviourPreserved:
+    @pytest.mark.parametrize("name", ["classic-execve", "sub-zero-execve",
+                                      "push-pop-execve", "setreuid-execve",
+                                      "store-built-execve",
+                                      "arith-const-execve"])
+    def test_all_variants_execute(self, name):
+        engine = MetamorphicEngine(seed=6)
+        spec = SHELLCODES[name]
+        for i in range(15):
+            variant = engine.mutate_source(spec.source, instance=i)
+            assert _spawns_shell(variant.data), (name, i)
+
+    def test_bind_shell_sequence_preserved(self):
+        engine = MetamorphicEngine(seed=7)
+        spec = SHELLCODES["bind-4444-execve"]
+        variant = engine.mutate_source(spec.source, instance=3)
+        emu = Emulator(step_limit=200_000, max_out_of_frame=16)
+        emu.stop_on_interrupt = False
+        emu.load(variant.data, base=0x1000)
+        try:
+            while not emu.halted and not any(
+                s.eax & 0xFF == 11 for s in emu.syscalls
+            ):
+                emu.step()
+        except EmulationError:
+            pass
+        socketcalls = [s.regs["ebx"] for s in emu.syscalls
+                       if s.eax & 0xFF == 0x66]
+        assert socketcalls[:2] == [1, 2]  # socket then bind, still in order
+
+
+class TestDetection:
+    def test_semantic_detection_invariant(self):
+        engine = MetamorphicEngine(seed=8, junk_probability=0.5)
+        analyzer = SemanticAnalyzer()
+        spec = SHELLCODES["classic-execve"]
+        for i in range(30):
+            variant = engine.mutate_source(spec.source, instance=i)
+            names = analyzer.analyze_frame(variant.data).matched_names()
+            assert "linux_shell_spawn" in names, i
+
+    def test_signature_ids_fails_on_metamorphism(self):
+        from repro.baseline import SignatureScanner
+
+        engine = MetamorphicEngine(seed=9)
+        scanner = SignatureScanner()
+        spec = SHELLCODES["classic-execve"]
+        hits = sum(
+            scanner.detects(engine.mutate_source(spec.source, instance=i).data)
+            for i in range(30)
+        )
+        # a rare variant may keep an original subsequence; near-zero is the point
+        assert hits <= 2
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_metamorphic_property_execute_and_detect(instance):
+    """Property: any instance executes correctly AND stays detected."""
+    engine = MetamorphicEngine(seed=1234)
+    spec = SHELLCODES["classic-execve"]
+    variant = engine.mutate_source(spec.source, instance=instance)
+    assert _spawns_shell(variant.data)
+    result = SemanticAnalyzer().analyze_frame(variant.data)
+    assert "linux_shell_spawn" in result.matched_names()

@@ -1,0 +1,81 @@
+"""Tests for the Netsky timing sample and the exploit generator tool."""
+
+from repro.core.analyzer import SemanticAnalyzer
+from repro.engines.admmutate import AdmMutateEngine
+from repro.engines.clet import CletEngine
+from repro.engines.generator import ExploitGenerator
+from repro.engines.netsky import netsky_sample
+from repro.engines.shellcode import get_shellcode
+from repro.net.wire import Wire
+from repro.x86.disasm import disassemble_frame
+
+
+class TestNetsky:
+    def test_size(self):
+        blob = netsky_sample(size=22 * 1024, seed=0)
+        assert len(blob) == 22 * 1024
+
+    def test_deterministic(self):
+        assert netsky_sample(seed=3) == netsky_sample(seed=3)
+        assert netsky_sample(seed=3) != netsky_sample(seed=4)
+
+    def test_decodes_substantially(self):
+        blob = netsky_sample(seed=1)
+        instructions, consumed = disassemble_frame(blob)
+        assert len(instructions) > 200
+
+    def test_template_clean(self):
+        an = SemanticAnalyzer()
+        for seed in range(3):
+            result = an.analyze_frame(netsky_sample(seed=seed))
+            assert not result.detected, seed
+
+    def test_contains_mailer_strings(self):
+        blob = netsky_sample(seed=0)
+        assert b"RCPT TO" in blob or b"MAIL FROM" in blob
+
+
+class TestExploitGenerator:
+    def _wire_with_collector(self):
+        wire = Wire()
+        packets = []
+        wire.attach(packets.append)
+        return wire, packets
+
+    def test_fire_all_sends_eight_conversations(self):
+        wire, packets = self._wire_with_collector()
+        gen = ExploitGenerator(wire)
+        records = gen.fire_all("10.0.0.250")
+        assert len(records) == 8
+        assert sum(r.binds_port for r in records) == 2
+        assert all(p.src in ("203.0.113.66", "10.0.0.250") for p in packets)
+
+    def test_fire_iis_asp(self):
+        wire, packets = self._wire_with_collector()
+        record = ExploitGenerator(wire).fire_iis_asp("10.0.0.250")
+        assert record.name == "iis-asp-overflow"
+        assert any(b"default.asp" in p.payload for p in packets)
+
+    def test_admmutate_campaign(self):
+        wire, packets = self._wire_with_collector()
+        gen = ExploitGenerator(wire)
+        payload = get_shellcode("classic-execve").assemble()
+        records = gen.fire_admmutate("10.0.0.250", payload, count=5,
+                                     engine=AdmMutateEngine(seed=1))
+        assert len(records) == 5
+        assert {r.meta["family"] for r in records} <= {"xor", "mov-or-and-not"}
+
+    def test_clet_campaign(self):
+        wire, _ = self._wire_with_collector()
+        gen = ExploitGenerator(wire)
+        payload = get_shellcode("classic-execve").assemble()
+        records = gen.fire_clet("10.0.0.250", payload, count=5,
+                                engine=CletEngine(seed=1))
+        assert len(records) == 5
+        assert all("key" in r.meta for r in records)
+
+    def test_sent_log(self):
+        wire, _ = self._wire_with_collector()
+        gen = ExploitGenerator(wire)
+        gen.fire_all("10.0.0.250")
+        assert len(gen.sent) == 8

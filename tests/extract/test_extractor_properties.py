@@ -1,0 +1,69 @@
+"""Property tests for the extraction stage: exploits survive placement
+and transport games; benign payloads stay cheap."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SemanticAnalyzer
+from repro.engines.shellcode import SHELLCODES
+from repro.extract.frames import BinaryExtractor
+
+
+def _sled(rng: random.Random, n: int) -> bytes:
+    from repro.engines.admmutate import SLED_OPCODES
+    return bytes(rng.choice(SLED_OPCODES) for _ in range(n))
+
+
+@given(st.integers(0, 2**32), st.integers(0, 3000), st.integers(24, 120))
+@settings(max_examples=60, deadline=None)
+def test_sled_plus_code_found_at_any_offset(seed, prefix_len, sled_len):
+    """A sled+shellcode blob embedded at any offset inside an otherwise
+    text-like payload is extracted and detected."""
+    rng = random.Random(seed)
+    shellcode = SHELLCODES["classic-execve"].assemble()
+    prefix = bytes(rng.choice(b"abcdefghij KLMNOP.,;-") for _ in range(prefix_len))
+    payload = prefix + _sled(rng, sled_len) + shellcode + b"\r\n"
+    frames = BinaryExtractor().extract(payload)
+    analyzer = SemanticAnalyzer()
+    assert any("linux_shell_spawn" in analyzer.analyze_frame(f.data).matched_names()
+               for f in frames), (prefix_len, sled_len)
+
+
+@given(st.integers(0, 2**32))
+@settings(max_examples=40, deadline=None)
+def test_exploit_in_http_query_detected(seed):
+    """The overflow-in-query-string shape with random padding sizes."""
+    rng = random.Random(seed)
+    shellcode = SHELLCODES["push-pop-execve"].assemble()
+    request = (b"GET /app?input="
+               + b"A" * rng.randrange(48, 600)
+               + _sled(rng, rng.randrange(24, 80))
+               + shellcode
+               + (b"\xa0\xf2\xff\xbf" * rng.randrange(6, 40))
+               + b" HTTP/1.0\r\nHost: x\r\n\r\n")
+    frames = BinaryExtractor().extract(request)
+    analyzer = SemanticAnalyzer()
+    assert any(analyzer.analyze_frame(f.data).detected for f in frames)
+
+
+@given(st.text(alphabet="abcdefghij KLMNOP.,;-\r\n", min_size=0,
+               max_size=2000))
+@settings(max_examples=60, deadline=None)
+def test_plain_text_payloads_extract_nothing(text):
+    """Pure printable-text payloads never reach the disassembler."""
+    frames = BinaryExtractor().extract(text.encode())
+    assert frames == []
+
+
+@given(st.binary(min_size=0, max_size=3000))
+@settings(max_examples=60, deadline=None)
+def test_extractor_total_and_bounded(data):
+    """The extractor terminates and respects its frame caps on any input."""
+    ex = BinaryExtractor(max_frames_per_payload=4, raw_frame_cap=1024)
+    frames = ex.extract(data)
+    assert len(frames) <= 4
+    for frame in frames:
+        if frame.origin == "raw":
+            assert len(frame.data) <= 1024
+        assert 0 <= frame.offset <= len(data)

@@ -1,0 +1,124 @@
+"""Tests for the binary frame extractor."""
+
+import random
+
+import pytest
+
+from repro.engines.codered import code_red_ii_request
+from repro.engines.exploit import (
+    EXPLOITS, build_exploit_request, iis_asp_overflow_request,
+)
+from repro.extract.frames import BinaryExtractor, binary_fraction
+from repro.traffic.http_gen import HttpTrafficModel
+from repro.traffic.smtp_gen import SmtpTrafficModel
+
+
+class TestBinaryFraction:
+    def test_text_is_low(self):
+        assert binary_fraction(b"GET /index.html HTTP/1.0\r\n") < 0.05
+
+    def test_random_is_high(self):
+        data = random.Random(0).randbytes(4096)
+        assert binary_fraction(data) > 0.4
+
+    def test_empty(self):
+        assert binary_fraction(b"") == 0.0
+
+
+class TestCodeRedExtraction:
+    def test_unicode_frame_extracted(self):
+        frames = BinaryExtractor().extract(code_red_ii_request())
+        origins = [f.origin for f in frames]
+        assert any(o.endswith("unicode") for o in origins)
+
+    def test_decoded_stub_bytes(self):
+        frames = BinaryExtractor().extract(code_red_ii_request())
+        uni = next(f for f in frames if f.origin.endswith("unicode"))
+        assert uni.data.startswith(bytes.fromhex("90905868d3cb0178"))
+
+    def test_offset_points_into_payload(self):
+        request = code_red_ii_request()
+        frames = BinaryExtractor().extract(request)
+        uni = next(f for f in frames if f.origin.endswith("unicode"))
+        assert request[uni.offset:uni.offset + 6] == b"%u9090"
+
+
+class TestExploitExtraction:
+    @pytest.mark.parametrize("spec", EXPLOITS, ids=lambda s: s.name)
+    def test_exploit_payload_reaches_frames(self, spec):
+        request = build_exploit_request(spec, seed=3)
+        frames = BinaryExtractor().extract(request)
+        assert frames, spec.name
+        code = spec.spec().assemble()
+        assert any(code in f.data for f in frames), spec.name
+
+    def test_iis_asp_frame(self):
+        frames = BinaryExtractor().extract(iis_asp_overflow_request(seed=1))
+        assert frames
+        assert any(len(f.data) > 20 for f in frames)
+
+    def test_return_block_trimmed(self):
+        spec = EXPLOITS[0]
+        request = build_exploit_request(spec, seed=0)
+        frames = BinaryExtractor().extract(request)
+        ret = spec.ret_addr.to_bytes(4, "little")
+        # the repeated return-address block should be mostly cut off
+        for frame in frames:
+            assert frame.data.count(ret[1:]) <= 2
+
+
+class TestBenignSkipping:
+    def test_plain_text_http_yields_nothing(self):
+        req = (b"GET /news/index.html HTTP/1.1\r\nHost: example.com\r\n\r\n")
+        assert BinaryExtractor().extract(req) == []
+
+    def test_smtp_text_yields_nothing(self):
+        model = SmtpTrafficModel(seed=5)
+        ex = BinaryExtractor()
+        for direction, payload in model.session():
+            for frame in ex.extract(payload):
+                # base64 bodies may occasionally pass the raw threshold, but
+                # plain command lines never should
+                assert frame.origin != "http-target-overflow"
+
+    def test_benign_responses_produce_few_frames(self):
+        model = HttpTrafficModel(seed=9)
+        ex = BinaryExtractor()
+        total = sum(len(ex.extract(model.response())) for _ in range(50))
+        assert total < 50  # far fewer frames than payloads
+
+    def test_short_payload_skipped(self):
+        assert BinaryExtractor().extract(b"hi") == []
+
+
+class TestExtractorMechanics:
+    def test_raw_frame_capped(self):
+        ex = BinaryExtractor(raw_frame_cap=512)
+        blob = random.Random(2).randbytes(8192)
+        frames = ex.extract(blob)
+        for frame in frames:
+            if frame.origin == "raw":
+                assert len(frame.data) <= 512
+
+    def test_max_frames_limit(self):
+        ex = BinaryExtractor(max_frames_per_payload=2)
+        # many unicode runs -> many candidate frames
+        payload = (b"GET /x?" + (b"%u9090" * 16 + b" ") * 8 + b" HTTP/1.0\r\n\r\n")
+        assert len(ex.extract(payload)) <= 2
+
+    def test_dedupe_suffix_frames(self):
+        ex = BinaryExtractor()
+        request = code_red_ii_request()
+        frames = ex.extract(request)
+        datas = [f.data for f in frames]
+        for i, a in enumerate(datas):
+            for j, b in enumerate(datas):
+                if i != j:
+                    assert a not in b
+
+    def test_counters(self):
+        ex = BinaryExtractor()
+        ex.extract(code_red_ii_request())
+        assert ex.payloads_seen == 1
+        assert ex.frames_emitted >= 1
+        assert ex.bytes_in > ex.bytes_out >= 1

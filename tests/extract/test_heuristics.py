@@ -1,0 +1,158 @@
+"""Tests for the extraction heuristics: unicode, repetition, sleds."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.extract.repetition import (
+    find_byte_runs, find_repeated_dwords, longest_run,
+)
+from repro.extract.sled import NOP_LIKE, find_sleds, sled_density
+from repro.extract.unicode import find_unicode_runs, percent_decode
+
+
+class TestUnicodeRuns:
+    def test_figure5_decoding(self):
+        data = b"%u9090%u6858%ucbd3%u7801"
+        (run,) = find_unicode_runs(data, min_escapes=2)
+        assert run.decode() == bytes.fromhex("90905868d3cb0178")
+
+    def test_little_endian_per_escape(self):
+        (run,) = find_unicode_runs(b"%u1234%u5678", min_escapes=2)
+        assert run.decode() == b"\x34\x12\x78\x56"
+
+    def test_min_escape_threshold(self):
+        assert find_unicode_runs(b"/path%u0041/x", min_escapes=2) == []
+
+    def test_runs_must_be_contiguous(self):
+        data = b"%u1111%u2222 gap %u3333%u4444"
+        runs = find_unicode_runs(data, min_escapes=2)
+        assert len(runs) == 2
+        assert runs[0].escapes == [0x1111, 0x2222]
+
+    def test_offsets(self):
+        data = b"ABC%u1234%u5678XYZ"
+        (run,) = find_unicode_runs(data, min_escapes=2)
+        assert data[run.start:run.end] == b"%u1234%u5678"
+
+    def test_case_insensitive_hex(self):
+        (run,) = find_unicode_runs(b"%uABcd%uEF01", min_escapes=2)
+        assert run.escapes == [0xABCD, 0xEF01]
+
+    @given(st.lists(st.integers(0, 0xFFFF), min_size=4, max_size=40))
+    def test_roundtrip_property(self, values):
+        text = "".join(f"%u{v:04x}" for v in values).encode()
+        (run,) = find_unicode_runs(text, min_escapes=4)
+        decoded = run.decode()
+        assert len(decoded) == 2 * len(values)
+        for i, v in enumerate(values):
+            assert decoded[2 * i] == v & 0xFF
+            assert decoded[2 * i + 1] == v >> 8
+
+
+class TestPercentDecode:
+    def test_basic(self):
+        assert percent_decode(b"a%41b") == b"aAb"
+
+    def test_leaves_unicode_escapes(self):
+        assert percent_decode(b"%u4141") == b"%u4141"
+
+    def test_no_escapes_fast_path(self):
+        data = b"plain text"
+        assert percent_decode(data) is data
+
+    def test_malformed_percent_passthrough(self):
+        assert percent_decode(b"100%") == b"100%"
+        assert percent_decode(b"a%zzb") == b"a%zzb"
+
+
+class TestByteRuns:
+    def test_finds_x_run(self):
+        data = b"GET /default.ida?" + b"X" * 224 + b"%u9090"
+        runs = find_byte_runs(data, min_length=32)
+        assert len(runs) == 1
+        assert runs[0].value == ord("X")
+        assert runs[0].length == 224
+        assert data[runs[0].start:runs[0].end] == b"X" * 224
+
+    def test_short_runs_ignored(self):
+        assert find_byte_runs(b"aaaabbbbcccc", min_length=32) == []
+
+    def test_multiple_runs(self):
+        data = b"A" * 40 + b"xyz" + b"B" * 50
+        runs = find_byte_runs(data, min_length=32)
+        assert [(r.value, r.length) for r in runs] == [(65, 40), (66, 50)]
+
+    def test_run_at_end(self):
+        runs = find_byte_runs(b"xy" + b"C" * 33, min_length=32)
+        assert runs[0].end == 35
+
+    def test_longest_run(self):
+        run = longest_run(b"aabbbbcc")
+        assert run.value == ord("b") and run.length == 4
+
+    def test_longest_run_empty(self):
+        assert longest_run(b"") is None
+
+    @given(st.binary(min_size=0, max_size=400))
+    @settings(max_examples=80)
+    def test_runs_are_exact_property(self, data):
+        for run in find_byte_runs(data, min_length=4):
+            segment = data[run.start:run.end]
+            assert segment == bytes([run.value]) * run.length
+            # maximality
+            if run.start > 0:
+                assert data[run.start - 1] != run.value
+            if run.end < len(data):
+                assert data[run.end] != run.value
+
+
+class TestRepeatedDwords:
+    def test_return_address_block(self):
+        block = b"\xa0\xf2\xff\xbf" * 10
+        runs = find_repeated_dwords(b"CODE" + block, min_repeats=4)
+        assert len(runs) >= 1
+        assert runs[0].pattern in (b"\xa0\xf2\xff\xbf", b"ODE\xa0")
+
+    def test_no_false_positive_on_text(self):
+        text = b"the quick brown fox jumps over the lazy dog repeatedly"
+        assert find_repeated_dwords(text, min_repeats=4) == []
+
+    def test_short_input(self):
+        assert find_repeated_dwords(b"\x01\x02", min_repeats=4) == []
+
+
+class TestSleds:
+    def test_classic_nop_sled(self):
+        data = b"\x12\x34" + b"\x90" * 64 + b"\xcc\xcc"
+        (sled,) = find_sleds(data, min_length=24)
+        assert sled.start == 2
+        assert sled.length == 64
+        assert sled.density == 1.0
+
+    def test_polymorphic_sled(self):
+        import random
+        rng = random.Random(1)
+        sled_bytes = bytes(rng.choice(sorted(NOP_LIKE)) for _ in range(48))
+        data = b"\x00\x00" + sled_bytes + b"\xff\xff"
+        (sled,) = find_sleds(data, min_length=24)
+        assert sled.length == 48
+
+    def test_short_sled_ignored(self):
+        assert find_sleds(b"\x90" * 10 + b"\x00" * 40, min_length=24) == []
+
+    def test_single_miss_merged(self):
+        data = b"\x90" * 30 + b"\xe8" + b"\x90" * 30
+        sleds = find_sleds(data, min_length=24, min_density=0.9)
+        assert len(sleds) == 1
+        assert sleds[0].length == 61
+
+    def test_density(self):
+        assert sled_density(b"\x90" * 10) == 1.0
+        assert sled_density(b"\x00" * 10) == 0.0
+        assert sled_density(b"") == 0.0
+
+    def test_random_text_no_sleds(self):
+        text = (b"Lorem ipsum dolor sit amet, consectetur adipiscing elit, "
+                b"sed do eiusmod tempor incididunt ut labore et dolore.")
+        # Lowercase text contains few NOP-like bytes; no sled regions.
+        assert find_sleds(text, min_length=24) == []

@@ -1,0 +1,81 @@
+"""Tests for the tolerant HTTP request parser."""
+
+from repro.extract.http import looks_like_http, parse_http_request
+
+
+class TestDispatch:
+    def test_recognizes_methods(self):
+        for method in (b"GET", b"POST", b"HEAD", b"OPTIONS"):
+            assert looks_like_http(method + b" / HTTP/1.0\r\n\r\n")
+
+    def test_rejects_non_http(self):
+        assert not looks_like_http(b"USER ftp\r\n")
+        assert not looks_like_http(b"\x00\x01\x02\x03")
+        assert parse_http_request(b"\x16\x03\x01") is None
+
+
+class TestWellFormed:
+    REQ = (b"GET /index.html?q=abc HTTP/1.1\r\n"
+           b"Host: example.com\r\n"
+           b"User-Agent: test\r\n"
+           b"\r\n"
+           b"BODYBYTES")
+
+    def test_request_line(self):
+        req = parse_http_request(self.REQ)
+        assert req.method == b"GET"
+        assert req.target == b"/index.html?q=abc"
+        assert req.version == b"HTTP/1.1"
+        assert not req.malformed
+
+    def test_path_and_query(self):
+        req = parse_http_request(self.REQ)
+        assert req.path == b"/index.html"
+        assert req.query == b"q=abc"
+
+    def test_headers(self):
+        req = parse_http_request(self.REQ)
+        assert req.header(b"host") == b"example.com"
+        assert req.header(b"HOST") == b"example.com"
+        assert req.header(b"missing") is None
+
+    def test_body_and_offsets(self):
+        req = parse_http_request(self.REQ)
+        assert req.body == b"BODYBYTES"
+        assert self.REQ[req.body_offset:] == b"BODYBYTES"
+        assert self.REQ[req.target_offset:req.target_offset + 4] == b"/ind"
+
+
+class TestMalformed:
+    def test_huge_target_kept(self):
+        blob = b"GET /default.ida?" + b"X" * 60000 + b" HTTP/1.0\r\n\r\n"
+        req = parse_http_request(blob)
+        assert len(req.target) > 60000
+
+    def test_target_with_spaces(self):
+        req = parse_http_request(b"GET /a b c HTTP/1.0\r\n\r\n")
+        assert req.target == b"/a b c"
+
+    def test_missing_version(self):
+        req = parse_http_request(b"GET /x\r\nHost: h\r\n\r\n")
+        assert req.malformed
+        assert req.target == b"/x"
+
+    def test_no_headers_at_all(self):
+        req = parse_http_request(b"GET / HTTP/1.0")
+        assert req is not None
+        assert req.headers == []
+
+    def test_lf_only_line_endings(self):
+        req = parse_http_request(b"GET /x HTTP/1.0\nHost: h\n\nBODY")
+        assert req.header(b"Host") == b"h"
+        assert req.body == b"BODY"
+
+    def test_binary_in_body(self):
+        body = bytes(range(256))
+        req = parse_http_request(b"POST /u HTTP/1.0\r\nA: b\r\n\r\n" + body)
+        assert req.body == body
+
+    def test_header_without_colon_flagged(self):
+        req = parse_http_request(b"GET / HTTP/1.0\r\nBADHEADER\r\n\r\n")
+        assert req.malformed

@@ -1,0 +1,106 @@
+"""Tests for MIME/base64 attachment extraction."""
+
+import base64
+
+import pytest
+
+from repro.extract.mime import (
+    Base64Region, find_base64_regions, looks_like_smtp_data,
+)
+
+
+def encode_attachment(data: bytes) -> bytes:
+    return base64.encodebytes(data).replace(b"\n", b"\r\n")
+
+
+class TestDispatch:
+    def test_smtp_data_recognized(self):
+        assert looks_like_smtp_data(b"MAIL FROM:<a@b>\r\nRCPT TO:<c@d>\r\n")
+        assert looks_like_smtp_data(
+            b"From: a@b\r\nSubject: hi\r\n\r\nbody\r\n.\r\n")
+
+    def test_http_not_smtp(self):
+        assert not looks_like_smtp_data(b"GET / HTTP/1.0\r\n\r\n")
+
+    def test_binary_not_smtp(self):
+        assert not looks_like_smtp_data(bytes(range(256)))
+
+
+class TestBase64Regions:
+    def _message(self, blob: bytes, announce=True) -> bytes:
+        header = (b"Content-Transfer-Encoding: base64\r\n\r\n"
+                  if announce else b"\r\n")
+        return (b"From: a@b\r\nSubject: x\r\n"
+                b"Content-Type: application/octet-stream\r\n"
+                + header + encode_attachment(blob) + b"\r\n.\r\n")
+
+    def test_announced_attachment_decoded(self):
+        blob = bytes(range(256))
+        regions = find_base64_regions(self._message(blob))
+        assert len(regions) == 1
+        assert regions[0].data == blob
+        assert regions[0].explicit
+
+    def test_heuristic_run_decoded(self):
+        blob = bytes(range(200))
+        regions = find_base64_regions(self._message(blob, announce=False))
+        assert regions and regions[0].data == blob
+
+    def test_short_text_not_extracted(self):
+        msg = (b"From: a@b\r\n\r\nhello there this is a normal message\r\n"
+               b"with several lines of text\r\n.\r\n")
+        assert find_base64_regions(msg) == []
+
+    def test_min_decoded_size(self):
+        tiny = encode_attachment(b"tiny")
+        msg = b"Content-Transfer-Encoding: base64\r\n\r\n" + tiny
+        assert find_base64_regions(msg, min_decoded=32) == []
+
+    def test_offsets_point_at_encoded_run(self):
+        blob = bytes(range(128))
+        msg = self._message(blob)
+        (region,) = find_base64_regions(msg)
+        encoded_segment = msg[region.start:region.end]
+        assert encoded_segment.splitlines()[0][:16].isalnum() or \
+            b"+" in encoded_segment or b"/" in encoded_segment
+
+    def test_corrupt_base64_skipped(self):
+        # lines that look base64ish but do not decode cleanly
+        msg = (b"Content-Transfer-Encoding: base64\r\n\r\n"
+               b"AAAA====AAAAAAAAAAAAAAAA\r\n" * 6)
+        regions = find_base64_regions(msg)
+        assert regions == []
+
+    def test_multiple_attachments(self):
+        a, b = bytes(range(64)), bytes(reversed(range(64)))
+        msg = (self._message(a) + b"\r\nmore text between parts\r\n"
+               + self._message(b))
+        regions = find_base64_regions(msg)
+        assert [r.data for r in regions] == [a, b]
+
+
+class TestExtractorIntegration:
+    def test_attachment_with_shellcode_extracted(self, classic_shellcode):
+        from repro.engines.admmutate import SLED_OPCODES
+        from repro.extract.frames import BinaryExtractor
+
+        worm_binary = b"\x90" * 40 + classic_shellcode
+        msg = (b"From: worm@infected\r\nSubject: hi\r\n"
+               b"Content-Transfer-Encoding: base64\r\n\r\n"
+               + encode_attachment(worm_binary) + b"\r\n.\r\n")
+        frames = BinaryExtractor().extract(msg)
+        assert frames
+        assert any(classic_shellcode in f.data for f in frames)
+        assert any(f.origin.startswith("b64-attachment") for f in frames)
+
+    def test_benign_attachment_no_detection(self):
+        from repro.core import SemanticAnalyzer
+        from repro.extract.frames import BinaryExtractor
+        import random
+
+        blob = random.Random(5).randbytes(2048)
+        msg = (b"From: a@b\r\nContent-Transfer-Encoding: base64\r\n\r\n"
+               + encode_attachment(blob) + b"\r\n.\r\n")
+        frames = BinaryExtractor().extract(msg)
+        analyzer = SemanticAnalyzer()
+        assert not any(analyzer.analyze_frame(f.data).detected for f in frames)

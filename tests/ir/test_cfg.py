@@ -1,0 +1,172 @@
+"""Tests for CFG construction and jmp-threaded linearization."""
+
+from repro.ir.cfg import build_cfg, linearize
+from repro.x86.asm import assemble
+from repro.x86.disasm import disassemble
+
+
+def _cfg(source: str):
+    return build_cfg(disassemble(assemble(source)))
+
+
+class TestBasicBlocks:
+    def test_straight_line_single_block(self):
+        cfg = _cfg("inc eax\ninc ebx\nret")
+        assert len(cfg) == 1
+        assert cfg.blocks[0].terminator.mnemonic == "ret"
+
+    def test_branch_splits_blocks(self):
+        cfg = _cfg("""
+            top:
+              inc eax
+              jne top
+              ret
+        """)
+        assert len(cfg) == 2
+        assert sorted(cfg.blocks) == [0, 3]
+
+    def test_conditional_successors(self):
+        cfg = _cfg("""
+            top:
+              inc eax
+              jne top
+              ret
+        """)
+        first = cfg.blocks[0]
+        assert set(first.successors) == {0, 3}  # taken + fall-through
+
+    def test_jmp_single_successor(self):
+        cfg = _cfg("""
+              jmp skip
+              inc eax
+            skip:
+              ret
+        """)
+        entry = cfg.blocks[0]
+        assert entry.successors == [3]  # target of jmp only
+
+    def test_ret_has_no_successors(self):
+        cfg = _cfg("ret\nnop")
+        assert cfg.blocks[0].successors == []
+
+    def test_call_followed(self):
+        cfg = _cfg("""
+              call sub
+              ret
+            sub:
+              nop
+              ret
+        """)
+        entry = cfg.blocks[0]
+        assert 6 in entry.successors  # call target
+        assert 5 in entry.successors  # fall-through (return point)
+
+    def test_empty(self):
+        cfg = build_cfg([])
+        assert len(cfg) == 0
+        assert linearize(cfg) == []
+
+    def test_out_of_frame_target_ignored(self):
+        # jmp to an address beyond the decoded frame: no successor.
+        code = assemble("jmp 0x100\nnop")
+        cfg = build_cfg(disassemble(code))
+        assert cfg.blocks[0].successors == []
+
+
+class TestLinearize:
+    def _mnemonics(self, source):
+        cfg = _cfg(source)
+        return [i.mnemonic for i in linearize(cfg)]
+
+    def test_straight_line_preserved(self):
+        assert self._mnemonics("inc eax\ninc ebx\nret") == ["inc", "inc", "ret"]
+
+    def test_out_of_order_reserialized(self):
+        """Figure 1(c)-style: block order on disk differs from execution
+        order; linearization restores execution order."""
+        cfg = _cfg("""
+              jmp one
+            two:
+              add eax, 1
+              jmp three
+            one:
+              xor byte ptr [eax], 0x95
+              jmp two
+            three:
+              loop 0
+        """)
+        order = [i.mnemonic for i in linearize(cfg)]
+        assert order == ["jmp", "xor", "jmp", "add", "jmp", "loop"]
+
+    def test_every_instruction_emitted_once(self):
+        cfg = _cfg("""
+              jmp b
+            a:
+              inc eax
+              ret
+            b:
+              inc ebx
+              jmp a
+        """)
+        out = linearize(cfg)
+        addresses = [i.address for i in out]
+        assert len(addresses) == len(set(addresses))
+        assert len(out) == 5
+
+    def test_loop_not_unrolled(self):
+        cfg = _cfg("""
+            top:
+              inc eax
+              jmp top
+        """)
+        out = linearize(cfg)
+        assert len(out) == 2  # visited once
+
+    def test_call_edge_followed(self):
+        """The getpc idiom: jmp fwd; ...; call back; payload — execution
+        order must put the call target right after the call."""
+        cfg = _cfg("""
+              jmp getpc
+            setup:
+              pop esi
+              ret
+            getpc:
+              call setup
+        """)
+        order = [i.mnemonic for i in linearize(cfg)]
+        assert order == ["jmp", "call", "pop", "ret"]
+
+    def test_islands_still_emitted(self):
+        # Unreachable code after ret is appended in address order.
+        cfg = _cfg("""
+              ret
+              inc eax
+              inc ebx
+        """)
+        out = [i.mnemonic for i in linearize(cfg)]
+        assert out == ["ret", "inc", "inc"]
+
+    def test_conditional_prefers_fallthrough(self):
+        cfg = _cfg("""
+              jne other
+              inc eax
+              ret
+            other:
+              inc ebx
+              ret
+        """)
+        order = [i.mnemonic for i in linearize(cfg)]
+        # fall-through (inc eax; ret) comes before the taken block
+        assert order == ["jne", "inc", "ret", "inc", "ret"]
+
+    def test_entry_override(self):
+        cfg = _cfg("""
+            a:
+              inc eax
+              ret
+            b:
+              inc ebx
+              ret
+        """)
+        out = linearize(cfg, entry=2)
+        assert out[0].address == 2

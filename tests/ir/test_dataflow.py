@@ -1,0 +1,178 @@
+"""Tests for constant propagation and the abstract stack."""
+
+from hypothesis import given, strategies as st
+
+from repro.ir.dataflow import ConstEnv, eval_expr, propagate
+from repro.ir.lift import lift
+from repro.ir.ops import BinOp, Const, Reg, UnOp
+from repro.x86.asm import assemble
+from repro.x86.disasm import disassemble
+
+
+def envs_for(source: str):
+    stmts = lift(disassemble(assemble(source)))
+    return stmts, propagate(stmts)
+
+
+def env_after(source: str) -> ConstEnv:
+    stmts = lift(disassemble(assemble(source)))
+    env = ConstEnv()
+    from repro.ir.dataflow import _transfer
+    for s in stmts:
+        _transfer(s, env)
+    return env
+
+
+class TestBasicPropagation:
+    def test_mov_imm(self):
+        assert env_after("mov eax, 0x41").get("eax") == 0x41
+
+    def test_figure2_key_obfuscation(self):
+        """mov ebx, 31h; add ebx, 64h -> ebx = 0x95 (the paper's case)."""
+        env = env_after("mov ebx, 0x31\nadd ebx, 0x64")
+        assert env.get("ebx") == 0x95
+
+    def test_xor_split(self):
+        env = env_after("mov ecx, 0xdeadbeef\nxor ecx, 0xdeadbee0")
+        assert env.get("ecx") == 0x0F
+
+    def test_zero_idioms(self):
+        for idiom in ("xor eax, eax", "sub eax, eax", "mov eax, 0"):
+            assert env_after(idiom).get("eax") == 0
+
+    def test_unknown_source_clears(self):
+        env = env_after("mov eax, 5\nmov eax, dword ptr [ebx]")
+        assert env.get("eax") is None
+
+    def test_inc_chain(self):
+        env = env_after("xor ecx, ecx\ninc ecx\ninc ecx\ninc ecx")
+        assert env.get("ecx") == 3
+
+    def test_not_neg(self):
+        assert env_after("mov eax, 0\nnot eax").get("eax") == 0xFFFFFFFF
+        assert env_after("mov eax, 1\nneg eax").get("eax") == 0xFFFFFFFF
+
+    def test_shifts_and_rotates(self):
+        assert env_after("mov eax, 1\nshl eax, 4").get("eax") == 16
+        assert env_after("mov eax, 16\nshr eax, 4").get("eax") == 1
+        assert env_after("mov eax, 0x80000000\nrol eax, 1").get("eax") == 1
+        assert env_after("mov eax, 1\nror eax, 1").get("eax") == 0x80000000
+
+    def test_mul(self):
+        assert env_after("mov eax, 6\nmov ebx, 7\nimul eax, ebx").get("eax") == 42
+
+
+class TestPartialWidths:
+    def test_mov_al_after_zero(self):
+        env = env_after("xor eax, eax\nmov al, 0xb")
+        assert env.get("eax") == 0xB
+
+    def test_mov_al_unknown_base_stays_unknown(self):
+        env = env_after("mov al, 0xb")
+        assert env.get("eax") is None
+
+    def test_high_byte_write(self):
+        env = env_after("xor ebx, ebx\nmov bh, 0x12")
+        assert env.get("ebx") == 0x1200
+
+    def test_sized_read(self):
+        env = env_after("mov eax, 0x12345678")
+        assert env.get("eax", 1) == 0x78
+        assert env.get("eax", 2) == 0x5678
+
+
+class TestAbstractStack:
+    def test_push_pop_constant(self):
+        env = env_after("push 0xb\npop eax")
+        assert env.get("eax") == 0xB
+
+    def test_push_reg_pop(self):
+        env = env_after("mov ecx, 0x41\npush ecx\npop edx")
+        assert env.get("edx") == 0x41
+
+    def test_pop_empty_stack_unknown(self):
+        env = env_after("pop eax")
+        assert env.get("eax") is None
+
+    def test_lifo_order(self):
+        env = env_after("push 1\npush 2\npop eax\npop ebx")
+        assert env.get("eax") == 2 and env.get("ebx") == 1
+
+    def test_esp_write_invalidates(self):
+        env = env_after("push 0x41\nmov esp, ebp\npop eax")
+        assert env.get("eax") is None
+
+    def test_call_clears_stack_and_caller_saved(self):
+        env = env_after("mov eax, 5\nmov esi, 6\npush 7\ncall eax")
+        assert env.get("eax") is None   # caller-saved
+        assert env.get("esi") == 6      # callee-saved survives
+
+
+class TestSpecialTransfers:
+    def test_exchange(self):
+        env = env_after("mov eax, 1\nmov ebx, 2\nxchg eax, ebx")
+        assert env.get("eax") == 2 and env.get("ebx") == 1
+
+    def test_loop_decrements_ecx(self):
+        stmts, envs = envs_for("mov ecx, 5\ntop:\n  nop\n  loop top")
+        env = ConstEnv()
+        from repro.ir.dataflow import _transfer
+        for s in stmts:
+            _transfer(s, env)
+        assert env.get("ecx") == 4
+
+    def test_interrupt_clears_eax(self):
+        env = env_after("mov eax, 11\nint 0x80")
+        assert env.get("eax") is None
+
+    def test_stringwrite_advances_edi(self):
+        env = env_after("mov edi, 0x1000\nstosd")
+        assert env.get("edi") == 0x1004
+
+
+class TestSnapshots:
+    def test_before_snapshots_are_independent(self):
+        stmts, envs = envs_for("mov eax, 1\nmov eax, 2\nmov eax, 3")
+        assert envs[0].get("eax") is None
+        assert envs[1].get("eax") == 1
+        assert envs[2].get("eax") == 2
+
+    def test_snapshot_isolation(self):
+        stmts, envs = envs_for("mov eax, 1\nmov eax, 2")
+        envs[1].set("eax", 99)
+        # mutating one snapshot does not affect others
+        assert envs[0].get("eax") is None
+
+
+class TestEvalExpr:
+    def test_unknown_expr(self):
+        from repro.ir.ops import UnknownExpr
+        assert eval_expr(UnknownExpr(), ConstEnv()) is None
+
+    def test_load_is_unknown(self):
+        from repro.ir.ops import Load, MemRef
+        assert eval_expr(Load(MemRef()), ConstEnv()) is None
+
+    @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF))
+    def test_binop_wraps_32bit(self, a, b):
+        env = ConstEnv()
+        for op, pyop in (("add", lambda x, y: (x + y) & 0xFFFFFFFF),
+                         ("sub", lambda x, y: (x - y) & 0xFFFFFFFF),
+                         ("xor", lambda x, y: x ^ y),
+                         ("and", lambda x, y: x & y),
+                         ("or", lambda x, y: x | y)):
+            expr = BinOp(op, Const(a, 4), Const(b, 4))
+            assert eval_expr(expr, env) == pyop(a, b)
+
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_double_not_identity(self, a):
+        env = ConstEnv()
+        expr = UnOp("not", UnOp("not", Const(a, 4)))
+        assert eval_expr(expr, env) == a
+
+    @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 31))
+    def test_rol_ror_inverse(self, a, r):
+        env = ConstEnv()
+        rolled = eval_expr(BinOp("rol", Const(a, 4), Const(r, 4)), env)
+        back = eval_expr(BinOp("ror", Const(rolled, 4), Const(r, 4)), env)
+        assert back == a

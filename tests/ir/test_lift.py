@@ -1,0 +1,187 @@
+"""Tests for IR lifting and its semantic normalizations."""
+
+import pytest
+
+from repro.ir.lift import lift, lift_instruction
+from repro.ir.ops import (
+    Assign, BinOp, Branch, Compare, Const, Exchange, Interrupt, Load,
+    Nop, Pop, Push, Reg, Store, StringWrite, Unhandled, UnOp,
+)
+from repro.x86.disasm import disassemble
+from repro.x86.asm import assemble
+
+
+def lift1(source: str):
+    stmts = lift(disassemble(assemble(source)))
+    assert len(stmts) >= 1
+    return stmts[0] if len(stmts) == 1 else stmts
+
+
+class TestNormalization:
+    def test_inc_is_add_one(self):
+        inc = lift1("inc eax")
+        add = lift1("add eax, 1")
+        assert isinstance(inc, Assign) and isinstance(add, Assign)
+        assert inc.src == add.src == BinOp("add", Reg("eax", 4), Const(1, 4))
+
+    def test_dec_is_sub_one(self):
+        stmt = lift1("dec esi")
+        assert stmt.src == BinOp("sub", Reg("esi", 4), Const(1, 4))
+
+    def test_xor_self_is_zero(self):
+        stmt = lift1("xor eax, eax")
+        assert isinstance(stmt, Assign)
+        assert stmt.src == Const(0, 4)
+
+    def test_sub_self_is_zero(self):
+        stmt = lift1("sub ebx, ebx")
+        assert stmt.src == Const(0, 4)
+
+    def test_mov_zero_same_ir(self):
+        assert lift1("mov ecx, 0").src == lift1("xor ecx, ecx").src
+
+    def test_lea_is_arithmetic(self):
+        stmt = lift1("lea eax, [ebx + 8]")
+        assert stmt.src == BinOp("add", Reg("ebx", 4), Const(8, 4))
+
+    def test_lea_scaled(self):
+        stmt = lift1("lea eax, [ebx + esi*4]")
+        assert stmt.src == BinOp("add", Reg("ebx", 4),
+                                 BinOp("mul", Reg("esi", 4), Const(4, 4)))
+
+    def test_sal_is_shl(self):
+        assert lift1("sal eax, 2").src.op == "shl"
+
+    def test_adc_maps_to_add(self):
+        assert lift1("adc eax, 5").src.op == "add"
+
+
+class TestMemoryOps:
+    def test_xor_mem_is_rmw(self):
+        stmt = lift1("xor byte ptr [eax], 0x95")
+        assert isinstance(stmt, Store)
+        assert stmt.mem.size == 1
+        assert isinstance(stmt.src, BinOp) and stmt.src.op == "xor"
+        assert isinstance(stmt.src.lhs, Load)
+        assert stmt.src.lhs.mem == stmt.mem
+        assert stmt.src.rhs == Const(0x95, 1)
+
+    def test_not_mem(self):
+        stmt = lift1("not byte ptr [esi]")
+        assert isinstance(stmt, Store)
+        assert isinstance(stmt.src, UnOp) and stmt.src.op == "not"
+
+    def test_inc_mem(self):
+        stmt = lift1("inc dword ptr [ebx]")
+        assert isinstance(stmt, Store)
+        assert stmt.src.op == "add"
+
+    def test_mov_to_mem(self):
+        stmt = lift1("mov byte ptr [edi], al")
+        assert isinstance(stmt, Store)
+        assert stmt.src == Reg("eax", 1)
+
+    def test_load_from_mem(self):
+        stmt = lift1("mov dl, byte ptr [esi]")
+        assert isinstance(stmt, Assign)
+        assert stmt.dst == "edx" and stmt.size == 1
+        assert isinstance(stmt.src, Load)
+
+
+class TestPartialRegisters:
+    def test_byte_reg_family(self):
+        stmt = lift1("mov bl, 5")
+        assert stmt.dst == "ebx" and stmt.size == 1
+
+    def test_high_byte_family(self):
+        stmt = lift1("mov bh, 5")
+        assert stmt.dst == "ebx"
+
+    def test_word_reg(self):
+        stmt = lift1("mov ax, 5")
+        assert stmt.dst == "eax" and stmt.size == 2
+
+
+class TestStackOps:
+    def test_push_imm(self):
+        stmt = lift1("push 0x68732f2f")
+        assert isinstance(stmt, Push)
+        assert stmt.src == Const(0x68732F2F, 4)
+
+    def test_pop_reg(self):
+        stmt = lift1("pop esi")
+        assert isinstance(stmt, Pop) and stmt.dst == "esi"
+
+    def test_pushad_expands(self):
+        stmts = lift1("pushad")
+        assert len(stmts) == 8
+        assert all(isinstance(s, Push) for s in stmts)
+
+    def test_leave(self):
+        stmts = lift1("leave")
+        assert isinstance(stmts[0], Assign) and stmts[0].dst == "esp"
+        assert isinstance(stmts[1], Pop) and stmts[1].dst == "ebp"
+
+
+class TestControlAndSystem:
+    def test_int_80(self):
+        stmt = lift1("int 0x80")
+        assert isinstance(stmt, Interrupt) and stmt.vector == 0x80
+
+    def test_loop_kind(self):
+        stmts = lift(disassemble(assemble("top:\n  nop\n  loop top")))
+        branch = stmts[-1]
+        assert isinstance(branch, Branch) and branch.kind == "loop"
+        assert branch.target == 0
+        assert "ecx" in branch.defs()
+
+    def test_jcc(self):
+        stmts = lift(disassemble(assemble("top:\n  nop\n  jne top")))
+        assert stmts[-1].kind == "jcc"
+        assert "eflags" in stmts[-1].uses()
+
+    def test_indirect_call(self):
+        stmt = lift1("call eax")
+        assert isinstance(stmt, Branch) and stmt.kind == "call"
+        assert stmt.target is None
+
+    def test_ret(self):
+        assert lift1("ret").kind == "ret"
+
+
+class TestJunkAndUnknown:
+    def test_nop_flavors(self):
+        for src in ("nop", "cld", "stc", "cmc"):
+            assert isinstance(lift1(src), Nop)
+
+    def test_cmp_is_flags_only(self):
+        stmt = lift1("cmp eax, ebx")
+        assert isinstance(stmt, Compare)
+        assert stmt.defs() == {"eflags"}
+
+    def test_daa_clobbers_al(self):
+        stmt = lift1("daa")
+        assert isinstance(stmt, Assign) and stmt.dst == "eax"
+
+    def test_xchg(self):
+        stmt = lift1("xchg ebx, ecx")
+        assert isinstance(stmt, Exchange)
+        assert {stmt.a, stmt.b} == {"ebx", "ecx"}
+
+    def test_xchg_self_is_nop(self):
+        assert isinstance(lift1("xchg eax, eax"), Nop)
+
+    def test_string_ops(self):
+        stmt = lift1("stosb")
+        assert isinstance(stmt, StringWrite) and stmt.op == "stos"
+        assert "edi" in stmt.defs()
+
+    def test_lods_expands(self):
+        stmts = lift1("lodsb")
+        assert isinstance(stmts[0], Assign)
+        assert stmts[1].dst == "esi"
+
+    def test_source_instruction_attached(self):
+        stmt = lift1("inc eax")
+        assert stmt.ins is not None and stmt.ins.mnemonic == "inc"
+        assert stmt.address == 0

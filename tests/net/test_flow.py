@@ -1,0 +1,144 @@
+"""Tests for repro.net.flow: flow keys and TCP reassembly."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.flow import FlowKey, Stream, StreamReassembler
+from repro.net.layers import TCP_ACK, TCP_FIN, TCP_SYN
+from repro.net.packet import tcp_packet, udp_packet
+
+
+def _seg(payload, seq, flags=0x18, src="1.1.1.1", sport=1000):
+    return tcp_packet(src, "2.2.2.2", sport, 80, payload=payload,
+                      flags=flags, seq=seq)
+
+
+class TestFlowKey:
+    def test_of_packet(self):
+        key = FlowKey.of(_seg(b"x", 1))
+        assert key.src == "1.1.1.1"
+        assert key.dport == 80
+
+    def test_reverse(self):
+        key = FlowKey.of(_seg(b"x", 1))
+        rev = key.reverse()
+        assert rev.src == key.dst and rev.sport == key.dport
+        assert rev.reverse() == key
+
+    def test_of_non_flow_packet(self):
+        from repro.net.packet import icmp_packet
+        with pytest.raises(ValueError):
+            FlowKey.of(icmp_packet("1.1.1.1", "2.2.2.2"))
+
+    def test_str(self):
+        assert "1.1.1.1:1000->2.2.2.2:80/6" == str(FlowKey.of(_seg(b"", 1)))
+
+
+class TestStreamReassembly:
+    def test_in_order(self):
+        r = StreamReassembler()
+        r.feed(_seg(b"hello ", 100))
+        stream = r.feed(_seg(b"world", 106))
+        assert stream.data() == b"hello world"
+
+    def test_out_of_order(self):
+        r = StreamReassembler()
+        r.feed(_seg(b"hello ", 100))
+        r.feed(_seg(b"!", 111))
+        stream = r.feed(_seg(b"world", 106))
+        assert stream.data() == b"hello world!"
+
+    def test_gap_returns_prefix_only(self):
+        r = StreamReassembler()
+        r.feed(_seg(b"abc", 100))
+        stream = r.feed(_seg(b"xyz", 110))  # hole at 103..109
+        assert stream.data() == b"abc"
+
+    def test_retransmission_first_writer_wins(self):
+        r = StreamReassembler()
+        r.feed(_seg(b"ORIGINAL", 100))
+        stream = r.feed(_seg(b"EVILDATA", 100))
+        assert stream.data() == b"ORIGINAL"
+
+    def test_partial_overlap_first_writer_wins(self):
+        r = StreamReassembler()
+        r.feed(_seg(b"abcd", 100))
+        stream = r.feed(_seg(b"XXefgh", 102))  # overlaps abcd's tail
+        assert stream.data() == b"abcdefgh"
+
+    def test_overlap_with_existing_tail(self):
+        r = StreamReassembler()
+        r.feed(_seg(b"cdef", 102))
+        stream = r.feed(_seg(b"abXX", 100))  # head new, tail overlaps
+        assert stream.data() == b"abcdef"
+
+    def test_syn_consumes_sequence_number(self):
+        r = StreamReassembler()
+        r.feed(_seg(b"", 99, flags=TCP_SYN))
+        stream = r.feed(_seg(b"data", 100, flags=TCP_ACK | 0x08))
+        assert stream.data() == b"data"
+
+    def test_fin_marks_stream(self):
+        r = StreamReassembler()
+        r.feed(_seg(b"bye", 100))
+        stream = r.feed(_seg(b"", 103, flags=TCP_FIN | TCP_ACK))
+        assert stream.fin_seen
+        assert list(r.finished_streams()) == [stream]
+
+    def test_directions_are_separate_streams(self):
+        r = StreamReassembler()
+        r.feed(_seg(b"request", 100))
+        back = tcp_packet("2.2.2.2", "1.1.1.1", 80, 1000, payload=b"response",
+                          flags=0x18, seq=500)
+        r.feed(back)
+        assert len(r) == 2
+
+    def test_non_tcp_counted_not_buffered(self):
+        r = StreamReassembler()
+        assert r.feed(udp_packet("1.1.1.1", "2.2.2.2", 1, 2, b"x")) is None
+        assert r.non_tcp_packets == 1
+        assert len(r) == 0
+
+    def test_eviction(self):
+        r = StreamReassembler(max_streams=2)
+        for i in range(3):
+            pkt = _seg(b"x", 100, sport=2000 + i)
+            pkt.timestamp = float(i)
+            r.feed(pkt)
+        assert len(r) == 2
+        assert r.evicted == 1
+        # the oldest (sport=2000) was evicted
+        assert r.get(FlowKey("1.1.1.1", "2.2.2.2", 2000, 80, 6)) is None
+
+    def test_buffer_cap(self):
+        stream = Stream(key=FlowKey("a", "b", 1, 2))
+        pkt = _seg(b"in-range", 100)
+        stream.add(pkt)
+        far = _seg(b"too-far", 100 + Stream.MAX_BUFFER + 10)
+        stream.add(far)
+        assert stream.total_buffered() == len(b"in-range")
+
+    def test_stats_update(self):
+        r = StreamReassembler()
+        pkt = _seg(b"abc", 100)
+        pkt.timestamp = 5.0
+        stream = r.feed(pkt)
+        assert stream.stats.packets == 1
+        assert stream.stats.bytes == 3
+        assert stream.stats.first_seen == 5.0
+
+
+@given(st.binary(min_size=1, max_size=300), st.randoms())
+def test_reassembly_segmentation_property(data, rnd):
+    """Any segmentation of a byte stream, delivered in any order,
+    reassembles to the original bytes."""
+    cuts = sorted(rnd.sample(range(1, len(data)), min(5, len(data) - 1))) if len(data) > 1 else []
+    bounds = [0] + cuts + [len(data)]
+    segments = [(bounds[i], data[bounds[i]:bounds[i + 1]])
+                for i in range(len(bounds) - 1)]
+    rnd.shuffle(segments)
+    r = StreamReassembler()
+    stream = None
+    for offset, chunk in segments:
+        stream = r.feed(_seg(chunk, 1000 + offset))
+    assert stream.data() == data

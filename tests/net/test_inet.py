@@ -1,0 +1,129 @@
+"""Tests for repro.net.inet: addresses, CIDR, checksums."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.inet import (
+    Ipv4Network,
+    bytes_to_mac,
+    checksum,
+    int_to_ip,
+    ip_to_int,
+    mac_to_bytes,
+    pseudo_header,
+)
+
+
+class TestIpConversion:
+    def test_basic(self):
+        assert ip_to_int("10.0.0.1") == 0x0A000001
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+        assert ip_to_int("0.0.0.0") == 0
+
+    def test_int_passthrough(self):
+        assert ip_to_int(0x7F000001) == 0x7F000001
+
+    def test_int_to_ip(self):
+        assert int_to_ip(0x7F000001) == "127.0.0.1"
+        assert int_to_ip(0) == "0.0.0.0"
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_roundtrip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1",
+                                     "a.b.c.d", "-1.0.0.0"])
+    def test_malformed(self, bad):
+        with pytest.raises(ValueError):
+            ip_to_int(bad)
+
+    def test_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+        with pytest.raises(ValueError):
+            ip_to_int(-1)
+
+
+class TestMac:
+    def test_roundtrip(self):
+        mac = "de:ad:be:ef:00:01"
+        assert bytes_to_mac(mac_to_bytes(mac)) == mac
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            mac_to_bytes("aa:bb:cc")
+        with pytest.raises(ValueError):
+            bytes_to_mac(b"\x01\x02")
+
+
+class TestIpv4Network:
+    def test_parse(self):
+        net = Ipv4Network.parse("192.168.1.0/24")
+        assert net.prefix == 24
+        assert net.num_addresses == 256
+        assert str(net) == "192.168.1.0/24"
+
+    def test_contains(self):
+        net = Ipv4Network.parse("10.0.0.0/8")
+        assert "10.255.1.2" in net
+        assert "11.0.0.1" not in net
+
+    def test_host_indexing(self):
+        net = Ipv4Network.parse("172.16.0.0/30")
+        assert int_to_ip(net.host(1)) == "172.16.0.1"
+        with pytest.raises(IndexError):
+            net.host(4)
+
+    def test_host_bits_set_rejected(self):
+        with pytest.raises(ValueError):
+            Ipv4Network.parse("10.0.0.1/24")
+
+    def test_missing_prefix(self):
+        with pytest.raises(ValueError):
+            Ipv4Network.parse("10.0.0.0")
+
+    def test_full_and_zero_prefix(self):
+        host = Ipv4Network.parse("10.1.2.3/32")
+        assert host.num_addresses == 1
+        assert "10.1.2.3" in host
+        everything = Ipv4Network.parse("0.0.0.0/0")
+        assert "255.1.2.3" in everything
+
+    def test_hosts_iteration(self):
+        net = Ipv4Network.parse("10.0.0.0/30")
+        assert list(net.hosts()) == [0x0A000000, 0x0A000001, 0x0A000002,
+                                     0x0A000003]
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        # Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> sum 0xddf2,
+        # checksum = ~0xddf2 = 0x220d.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert checksum(data) == 0x220D
+
+    def test_odd_length_padded(self):
+        assert checksum(b"\x01") == checksum(b"\x01\x00")
+
+    def test_zero_data(self):
+        assert checksum(b"") == 0xFFFF
+
+    @given(st.binary(min_size=0, max_size=512))
+    def test_verification_property(self, data):
+        """Appending the computed checksum makes the total sum verify
+        (one's-complement sum == 0xFFFF, i.e. re-checksum == 0)."""
+        csum = checksum(data)
+        if len(data) % 2:
+            data = data + b"\x00"
+        check = data + csum.to_bytes(2, "big")
+        assert checksum(check) == 0
+
+    def test_initial_accumulator(self):
+        assert checksum(b"\x00\x01", initial=0) != checksum(b"\x00\x01",
+                                                            initial=0x1234)
+
+    def test_pseudo_header_layout(self):
+        hdr = pseudo_header(0x0A000001, 0x0A000002, 6, 20)
+        assert len(hdr) == 12
+        assert hdr[8] == 0  # zero byte
+        assert hdr[9] == 6  # protocol

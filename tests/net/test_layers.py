@@ -1,0 +1,182 @@
+"""Tests for repro.net.layers: per-layer encode/decode."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.inet import checksum, pseudo_header
+from repro.net.layers import (
+    DecodeError,
+    Ethernet,
+    Icmp,
+    Ipv4,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP_ACK,
+    TCP_SYN,
+    Tcp,
+    Udp,
+)
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        eth = Ethernet(dst="aa:bb:cc:dd:ee:ff", src="11:22:33:44:55:66",
+                       ethertype=0x0800)
+        decoded, rest = Ethernet.decode(eth.encode(b"payload"))
+        assert decoded == eth
+        assert rest == b"payload"
+
+    def test_truncated(self):
+        with pytest.raises(DecodeError):
+            Ethernet.decode(b"\x00" * 13)
+
+
+class TestIpv4:
+    def test_roundtrip(self):
+        ip = Ipv4(src="1.2.3.4", dst="5.6.7.8", proto=PROTO_TCP, ttl=61,
+                  ident=0x1234, tos=0x10)
+        decoded, payload = Ipv4.decode(ip.encode(b"hello"))
+        assert decoded.src == "1.2.3.4"
+        assert decoded.dst == "5.6.7.8"
+        assert decoded.ttl == 61
+        assert decoded.ident == 0x1234
+        assert payload == b"hello"
+
+    def test_header_checksum_valid(self):
+        raw = Ipv4(src="9.9.9.9", dst="8.8.8.8").encode(b"x")
+        assert checksum(raw[:20]) == 0  # header checksums to zero when valid
+
+    def test_total_length_respected(self):
+        raw = Ipv4(src="1.1.1.1", dst="2.2.2.2").encode(b"abc")
+        # Extra trailing garbage (ethernet padding) must be sliced off.
+        _, payload = Ipv4.decode(raw + b"\x00" * 10)
+        assert payload == b"abc"
+
+    def test_options_roundtrip(self):
+        ip = Ipv4(src="1.1.1.1", dst="2.2.2.2", options=b"\x01\x01\x01\x01")
+        decoded, payload = Ipv4.decode(ip.encode(b"zz"))
+        assert decoded.options == b"\x01\x01\x01\x01"
+        assert payload == b"zz"
+
+    def test_bad_options_length(self):
+        with pytest.raises(ValueError):
+            Ipv4(options=b"\x01").encode(b"")
+
+    def test_rejects_non_ipv4(self):
+        raw = bytearray(Ipv4(src="1.1.1.1", dst="2.2.2.2").encode(b""))
+        raw[0] = 0x60  # version 6
+        with pytest.raises(DecodeError):
+            Ipv4.decode(bytes(raw))
+
+    def test_truncated(self):
+        with pytest.raises(DecodeError):
+            Ipv4.decode(b"\x45" + b"\x00" * 10)
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ValueError):
+            Ipv4(src="1.1.1.1", dst="2.2.2.2").encode(b"\x00" * 65530)
+
+    def test_fragment_fields(self):
+        ip = Ipv4(src="1.1.1.1", dst="2.2.2.2", flags=2, frag_offset=185)
+        decoded, _ = Ipv4.decode(ip.encode(b""))
+        assert decoded.flags == 2
+        assert decoded.frag_offset == 185
+
+
+class TestTcp:
+    def test_roundtrip(self):
+        tcp = Tcp(sport=1234, dport=80, seq=0xDEADBEEF, ack=0x1020,
+                  flags=TCP_SYN | TCP_ACK, window=4096, urgent=7)
+        raw = tcp.encode(b"data", src=0x01020304, dst=0x05060708)
+        decoded, payload = Tcp.decode(raw)
+        assert decoded.sport == 1234
+        assert decoded.dport == 80
+        assert decoded.seq == 0xDEADBEEF
+        assert decoded.flags == TCP_SYN | TCP_ACK
+        assert decoded.urgent == 7
+        assert payload == b"data"
+
+    def test_checksum_includes_pseudo_header(self):
+        tcp = Tcp(sport=1, dport=2)
+        raw_a = tcp.encode(b"x", src=1, dst=2)
+        raw_b = tcp.encode(b"x", src=1, dst=3)
+        assert raw_a[16:18] != raw_b[16:18]
+
+    def test_segment_checksum_verifies(self):
+        tcp = Tcp(sport=99, dport=443, seq=5, ack=6)
+        raw = tcp.encode(b"abcde", src=0x0A000001, dst=0x0A000002)
+        pseudo = pseudo_header(0x0A000001, 0x0A000002, PROTO_TCP, len(raw))
+        assert checksum(pseudo + raw) == 0
+
+    def test_options_roundtrip(self):
+        tcp = Tcp(options=b"\x02\x04\x05\xb4")  # MSS option
+        decoded, _ = Tcp.decode(tcp.encode(b"", 0, 0))
+        assert decoded.options == b"\x02\x04\x05\xb4"
+
+    def test_flag_names(self):
+        assert Tcp(flags=TCP_SYN | TCP_ACK).flag_names() == "SYN|ACK"
+        assert Tcp(flags=0).flag_names() == "none"
+
+    def test_truncated(self):
+        with pytest.raises(DecodeError):
+            Tcp.decode(b"\x00" * 19)
+
+    def test_bad_data_offset(self):
+        raw = bytearray(Tcp().encode(b"", 0, 0))
+        raw[12] = 0x20  # offset 2 words < minimum 5
+        with pytest.raises(DecodeError):
+            Tcp.decode(bytes(raw))
+
+
+class TestUdp:
+    def test_roundtrip(self):
+        udp = Udp(sport=53, dport=1024)
+        decoded, payload = Udp.decode(udp.encode(b"query", src=1, dst=2))
+        assert decoded.sport == 53
+        assert decoded.dport == 1024
+        assert payload == b"query"
+
+    def test_length_respected(self):
+        raw = Udp(sport=1, dport=2).encode(b"abc", 0, 0)
+        _, payload = Udp.decode(raw + b"pad")
+        assert payload == b"abc"
+
+    def test_zero_checksum_becomes_ffff(self):
+        # Find some payload whose checksum computes to 0 is hard; instead
+        # verify the transmitted checksum is never the 0x0000 sentinel.
+        for i in range(64):
+            raw = Udp(sport=i, dport=i).encode(bytes([i]), src=i, dst=i)
+            assert struct.unpack(">H", raw[6:8])[0] != 0
+
+    def test_truncated(self):
+        with pytest.raises(DecodeError):
+            Udp.decode(b"\x00" * 7)
+
+
+class TestIcmp:
+    def test_roundtrip(self):
+        icmp = Icmp(type=8, code=0, ident=77, seq=3)
+        decoded, payload = Icmp.decode(icmp.encode(b"ping"))
+        assert decoded.type == 8
+        assert decoded.ident == 77
+        assert decoded.seq == 3
+        assert payload == b"ping"
+
+    def test_checksum_verifies(self):
+        raw = Icmp(type=8).encode(b"abcdef")
+        assert checksum(raw) == 0
+
+
+@given(
+    sport=st.integers(0, 65535),
+    dport=st.integers(0, 65535),
+    seq=st.integers(0, 0xFFFFFFFF),
+    payload=st.binary(max_size=256),
+)
+def test_tcp_roundtrip_property(sport, dport, seq, payload):
+    tcp = Tcp(sport=sport, dport=dport, seq=seq)
+    decoded, out = Tcp.decode(tcp.encode(payload, 0x0A000001, 0x0A000002))
+    assert (decoded.sport, decoded.dport, decoded.seq) == (sport, dport, seq)
+    assert out == payload

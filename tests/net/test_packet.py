@@ -1,0 +1,88 @@
+"""Tests for repro.net.packet: full-stack composition."""
+
+import pytest
+
+from repro.net.layers import Icmp, Ipv4, Tcp, Udp
+from repro.net.packet import Packet, icmp_packet, tcp_packet, udp_packet
+
+
+class TestRoundTrip:
+    def test_tcp_packet(self):
+        pkt = tcp_packet("1.2.3.4", "5.6.7.8", 1234, 80, b"GET / HTTP/1.0\r\n")
+        decoded = Packet.decode(pkt.encode())
+        assert decoded.src == "1.2.3.4"
+        assert decoded.dst == "5.6.7.8"
+        assert decoded.sport == 1234
+        assert decoded.dport == 80
+        assert decoded.payload == b"GET / HTTP/1.0\r\n"
+        assert decoded.is_tcp
+
+    def test_udp_packet(self):
+        pkt = udp_packet("9.9.9.9", "8.8.4.4", 5353, 53, b"\x12\x34")
+        decoded = Packet.decode(pkt.encode())
+        assert decoded.is_udp
+        assert decoded.payload == b"\x12\x34"
+
+    def test_icmp_packet(self):
+        pkt = icmp_packet("1.1.1.1", "2.2.2.2", type=8, payload=b"ping")
+        decoded = Packet.decode(pkt.encode())
+        assert isinstance(decoded.l4, Icmp)
+        assert decoded.payload == b"ping"
+        assert decoded.sport is None
+
+    def test_timestamp_preserved_through_decode_arg(self):
+        pkt = tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, timestamp=42.5)
+        decoded = Packet.decode(pkt.encode(), timestamp=42.5)
+        assert decoded.timestamp == 42.5
+
+
+class TestGracefulDegradation:
+    def test_unknown_ethertype(self):
+        pkt = Packet(payload=b"arp-ish")
+        pkt.eth.ethertype = 0x0806
+        decoded = Packet.decode(pkt.encode())
+        assert decoded.ip is None
+        assert decoded.payload == b"arp-ish"
+
+    def test_unknown_ip_protocol(self):
+        pkt = Packet(ip=Ipv4(src="1.1.1.1", dst="2.2.2.2", proto=47),
+                     payload=b"gre")
+        decoded = Packet.decode(pkt.encode())
+        assert decoded.ip is not None
+        assert decoded.l4 is None
+        assert decoded.payload == b"gre"
+
+
+class TestDescribe:
+    def test_tcp_describe(self):
+        desc = tcp_packet("1.2.3.4", "5.6.7.8", 1, 80, b"ab").describe()
+        assert "1.2.3.4:1" in desc and "5.6.7.8:80" in desc and "len=2" in desc
+
+    def test_udp_describe(self):
+        assert "udp" in udp_packet("1.1.1.1", "2.2.2.2", 10, 53).describe()
+
+    def test_icmp_describe(self):
+        assert "icmp" in icmp_packet("1.1.1.1", "2.2.2.2").describe()
+
+    def test_eth_describe(self):
+        pkt = Packet(payload=b"x")
+        pkt.eth.ethertype = 0x1234
+        assert "eth" in pkt.describe()
+
+    def test_ip_only_describe(self):
+        pkt = Packet(ip=Ipv4(src="1.1.1.1", dst="2.2.2.2", proto=89))
+        decoded = Packet.decode(pkt.encode())
+        assert "proto=89" in decoded.describe()
+
+
+class TestAccessors:
+    def test_no_ip_accessors(self):
+        pkt = Packet()
+        assert pkt.src is None and pkt.dst is None
+        assert pkt.sport is None and pkt.dport is None
+        assert not pkt.is_tcp and not pkt.is_udp
+
+    def test_flags_default_data_segment(self):
+        pkt = tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, b"x")
+        assert isinstance(pkt.l4, Tcp)
+        assert pkt.l4.flags == 0x18  # PSH|ACK

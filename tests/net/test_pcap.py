@@ -1,0 +1,89 @@
+"""Tests for repro.net.pcap: file format round trips."""
+
+import io
+import struct
+
+import pytest
+
+from repro.net.packet import tcp_packet
+from repro.net.pcap import PcapError, PcapReader, PcapWriter, read_pcap, write_pcap
+
+
+def _sample_packets(n=5):
+    return [
+        tcp_packet("10.0.0.1", "10.0.0.2", 1000 + i, 80,
+                   payload=bytes([i]) * (i + 1), timestamp=100.0 + i * 0.25)
+        for i in range(n)
+    ]
+
+
+class TestRoundTrip:
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        packets = _sample_packets()
+        assert write_pcap(path, packets) == 5
+        loaded = read_pcap(path)
+        assert len(loaded) == 5
+        for orig, back in zip(packets, loaded):
+            assert back.payload == orig.payload
+            assert back.sport == orig.sport
+            assert abs(back.timestamp - orig.timestamp) < 1e-5
+
+    def test_stream_roundtrip(self):
+        buf = io.BytesIO()
+        writer = PcapWriter(buf)
+        for pkt in _sample_packets(3):
+            writer.write(pkt)
+        buf.seek(0)
+        assert len(list(PcapReader(buf))) == 3
+
+    def test_global_header_magic(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        write_pcap(path, _sample_packets(1))
+        raw = path.read_bytes()
+        assert struct.unpack("<I", raw[:4])[0] == 0xA1B2C3D4
+        assert struct.unpack("<I", raw[20:24])[0] == 1  # LINKTYPE_ETHERNET
+
+    def test_timestamp_microsecond_rounding(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        pkt = tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, timestamp=1.9999996)
+        write_pcap(path, [pkt])
+        (loaded,) = read_pcap(path)
+        assert loaded.timestamp == pytest.approx(2.0, abs=1e-6)
+
+
+class TestBigEndian:
+    def test_big_endian_read(self):
+        # Hand-build a big-endian pcap with one tiny record.
+        frame = _sample_packets(1)[0].encode()
+        buf = io.BytesIO()
+        buf.write(struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1))
+        buf.write(struct.pack(">IIII", 10, 500000, len(frame), len(frame)))
+        buf.write(frame)
+        buf.seek(0)
+        (pkt,) = list(PcapReader(buf))
+        assert pkt.timestamp == pytest.approx(10.5)
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\x00" * 24))
+
+    def test_truncated_global_header(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\xd4\xc3"))
+
+    def test_wrong_linktype(self):
+        buf = io.BytesIO(struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0,
+                                     65535, 101))  # RAW ip
+        with pytest.raises(PcapError):
+            PcapReader(buf)
+
+    def test_truncated_record(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        write_pcap(path, _sample_packets(1))
+        raw = path.read_bytes()
+        clipped = io.BytesIO(raw[:-3])
+        with pytest.raises(PcapError):
+            list(PcapReader(clipped))

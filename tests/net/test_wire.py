@@ -1,0 +1,102 @@
+"""Tests for repro.net.wire: software network and scripted TCP sessions."""
+
+from repro.net.flow import FlowKey, StreamReassembler
+from repro.net.layers import TCP_FIN, TCP_SYN
+from repro.net.wire import Host, Wire
+
+
+class TestWire:
+    def test_taps_see_everything(self):
+        wire = Wire()
+        seen_a, seen_b = [], []
+        wire.attach(seen_a.append)
+        wire.attach(seen_b.append)
+        host = Host(ip="10.0.0.1", wire=wire)
+        host.send_udp("10.0.0.2", 1000, 53, b"q")
+        assert len(seen_a) == 1 and len(seen_b) == 1
+
+    def test_detach(self):
+        wire = Wire()
+        seen = []
+        wire.attach(seen.append)
+        wire.detach(seen.append)
+        Host(ip="10.0.0.1", wire=wire).send_udp("10.0.0.2", 1, 2, b"x")
+        assert seen == []
+
+    def test_clock_monotonic(self):
+        wire = Wire()
+        stamps = []
+        wire.attach(lambda p: stamps.append(p.timestamp))
+        host = Host(ip="10.0.0.1", wire=wire)
+        for _ in range(10):
+            host.send_udp("10.0.0.2", 1, 2, b"x")
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)
+
+    def test_packet_counter(self):
+        wire = Wire()
+        Host(ip="1.1.1.1", wire=wire).send_udp("2.2.2.2", 1, 2, b"")
+        assert wire.packets_carried == 1
+
+
+class TestTcpSession:
+    def test_handshake_shape(self):
+        wire = Wire()
+        seen = []
+        wire.attach(seen.append)
+        host = Host(ip="10.0.0.1", wire=wire)
+        host.open_tcp("10.0.0.2", 80)
+        assert len(seen) == 3
+        assert seen[0].l4.flags & TCP_SYN
+        assert seen[1].l4.flags & TCP_SYN  # SYN|ACK
+        assert seen[1].src == "10.0.0.2"
+
+    def test_request_reassembles_identically(self):
+        wire = Wire()
+        reasm = StreamReassembler()
+        wire.attach(reasm.feed)
+        host = Host(ip="10.0.0.1", wire=wire)
+        session = host.open_tcp("10.0.0.2", 80)
+        request = b"GET /x HTTP/1.0\r\n\r\n" * 200  # spans several segments
+        session.send(request)
+        session.close()
+        key = FlowKey("10.0.0.1", "10.0.0.2", session.sport, 80, 6)
+        assert reasm.get(key).data() == request
+
+    def test_reply_direction(self):
+        wire = Wire()
+        reasm = StreamReassembler()
+        wire.attach(reasm.feed)
+        host = Host(ip="10.0.0.1", wire=wire)
+        session = host.open_tcp("10.0.0.2", 80)
+        session.send(b"request")
+        session.reply(b"response-bytes")
+        key = FlowKey("10.0.0.2", "10.0.0.1", 80, session.sport, 6)
+        assert reasm.get(key).data() == b"response-bytes"
+
+    def test_segmentation_respects_mss(self):
+        wire = Wire()
+        seen = []
+        wire.attach(seen.append)
+        host = Host(ip="10.0.0.1", wire=wire)
+        session = host.open_tcp("10.0.0.2", 80)
+        session.mss = 100
+        session.send(b"z" * 250)
+        data_segments = [p for p in seen if p.payload]
+        assert [len(p.payload) for p in data_segments] == [100, 100, 50]
+
+    def test_close_sends_fins(self):
+        wire = Wire()
+        seen = []
+        wire.attach(seen.append)
+        host = Host(ip="10.0.0.1", wire=wire)
+        session = host.open_tcp("10.0.0.2", 80)
+        session.close()
+        fins = [p for p in seen if p.l4.flags & TCP_FIN]
+        assert len(fins) == 2  # both directions
+
+    def test_ephemeral_ports_distinct(self):
+        wire = Wire()
+        host = Host(ip="10.0.0.1", wire=wire)
+        ports = {host.ephemeral_port() for _ in range(100)}
+        assert len(ports) == 100

@@ -1,0 +1,62 @@
+"""End-to-end pipeline properties: for any interleaving of benign
+conversations and attacks, the alert set is exactly the attacker set."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engines import EXPLOITS, ExploitGenerator
+from repro.net.wire import Wire
+from repro.nids import NidsSensor, SemanticNids
+from repro.traffic import BenignMixGenerator
+
+HONEYPOT = "10.10.0.250"
+
+
+@given(
+    seed=st.integers(0, 2**32),
+    n_attackers=st.integers(0, 3),
+    benign_conversations=st.integers(5, 40),
+)
+@settings(max_examples=25, deadline=None)
+def test_exact_attacker_attribution(seed, n_attackers, benign_conversations):
+    rng = random.Random(seed)
+    wire = Wire()
+    nids = SemanticNids(honeypots=[HONEYPOT])
+    NidsSensor(nids).attach(wire)
+    benign = BenignMixGenerator(seed=seed ^ 0xBEEF)
+
+    attackers = [f"198.51.100.{10 + k}" for k in range(n_attackers)]
+    # Interleave: benign conversations with attacks at random points.
+    attack_points = sorted(rng.sample(range(benign_conversations),
+                                      min(n_attackers, benign_conversations)))
+    attack_iter = iter(attackers)
+    for i in range(benign_conversations):
+        benign.conversation(wire)
+        if attack_points and i == attack_points[0]:
+            attack_points.pop(0)
+            ip = next(attack_iter)
+            generator = ExploitGenerator(wire, attacker_ip=ip)
+            spec = rng.choice(EXPLOITS)
+            generator.fire(spec, HONEYPOT, seed=rng.randrange(1 << 16))
+
+    assert nids.alert_sources() == set(attackers)
+    assert set(nids.blocklist.addresses()) == set(attackers)
+    # every attacker raised at least the shell-spawn behaviour
+    by_source: dict[str, set[str]] = {}
+    for alert in nids.alerts:
+        by_source.setdefault(alert.source, set()).add(alert.template)
+    for ip in attackers:
+        assert "linux_shell_spawn" in by_source[ip]
+
+
+@given(seed=st.integers(0, 2**32))
+@settings(max_examples=10, deadline=None)
+def test_benign_only_never_alerts(seed):
+    wire = Wire()
+    nids = SemanticNids(classification_enabled=False)
+    NidsSensor(nids).attach(wire)
+    benign = BenignMixGenerator(seed=seed)
+    for _ in range(30):
+        benign.conversation(wire)
+    assert nids.alerts == []

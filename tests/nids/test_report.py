@@ -1,0 +1,70 @@
+"""Tests for alert report generation."""
+
+import json
+
+from repro.engines import EXPLOITS, ExploitGenerator
+from repro.net.wire import Wire
+from repro.nids import NidsSensor, SemanticNids, build_report
+
+HONEYPOT = "10.10.0.250"
+
+
+def _loaded_nids():
+    nids = SemanticNids(honeypots=[HONEYPOT])
+    wire = Wire()
+    NidsSensor(nids).attach(wire)
+    ExploitGenerator(wire).fire_all(HONEYPOT)
+    return nids
+
+
+class TestReport:
+    def test_counts(self):
+        report = build_report(_loaded_nids())
+        assert report.total_alerts == 10
+        assert report.by_template == {"linux_shell_spawn": 8,
+                                      "port_bind_shell": 2}
+        assert report.by_severity == {"critical": 10}
+
+    def test_sources_grouped(self):
+        report = build_report(_loaded_nids())
+        assert set(report.by_source) == {"203.0.113.66"}
+        assert len(report.by_source["203.0.113.66"]) == 10
+        assert report.blocked == ["203.0.113.66"]
+
+    def test_window(self):
+        report = build_report(_loaded_nids())
+        assert report.first_alert is not None
+        assert report.last_alert >= report.first_alert
+
+    def test_render_contains_key_facts(self):
+        text = build_report(_loaded_nids()).render()
+        assert "10 alert(s) from 1 source(s)" in text
+        assert "linux_shell_spawn" in text
+        assert "203.0.113.66 [BLOCKED]" in text
+        assert "pipeline:" in text
+
+    def test_empty_report(self):
+        nids = SemanticNids()
+        text = build_report(nids).render()
+        assert "no alerts" in text
+
+    def test_to_dict_json_serializable(self):
+        report = build_report(_loaded_nids())
+        blob = json.dumps(report.to_dict())
+        parsed = json.loads(blob)
+        assert parsed["total_alerts"] == 10
+        assert parsed["by_template"]["port_bind_shell"] == 2
+        assert "203.0.113.66" in parsed["sources"]
+        assert parsed["blocked"] == ["203.0.113.66"]
+
+    def test_cli_report_flag(self, tmp_path, capsys):
+        from repro.cli import make_trace_main, sensor_main
+
+        path = tmp_path / "t.pcap"
+        make_trace_main([str(path), "--index", "1", "--packets", "3000"])
+        rc = sensor_main([str(path), "--dark-net", "10.0.0.0/8",
+                          "--dark-exclude", "10.10.0.0/24", "--report"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "INCIDENT REPORT" in out
+        assert "codered_ii_vector" in out

@@ -1,0 +1,155 @@
+"""Tests for the command-line tools."""
+
+import pytest
+
+from repro.cli import (
+    analyze_main,
+    asm_main,
+    disasm_main,
+    make_trace_main,
+    sensor_main,
+)
+from repro.engines import EXPLOITS, ExploitGenerator, get_shellcode
+from repro.net.pcap import write_pcap
+from repro.net.wire import Wire
+
+
+@pytest.fixture()
+def attack_pcap(tmp_path):
+    """A small capture: one exploit conversation against a honeypot."""
+    wire = Wire()
+    packets = []
+    wire.attach(packets.append)
+    ExploitGenerator(wire).fire(EXPLOITS[0], "10.10.0.250", seed=1)
+    path = tmp_path / "attack.pcap"
+    write_pcap(path, packets)
+    return path
+
+
+class TestSensor:
+    def test_detects_and_returns_one(self, attack_pcap, capsys):
+        rc = sensor_main([str(attack_pcap), "--honeypot", "10.10.0.250",
+                          "--stats"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "linux_shell_spawn" in out
+        assert "blocked sources: 203.0.113.66" in out
+
+    def test_clean_returns_zero(self, tmp_path, capsys):
+        rc = make_trace_main([str(tmp_path / "b.pcap"), "--benign-only",
+                              "--packets", "800"])
+        assert rc == 0
+        rc = sensor_main([str(tmp_path / "b.pcap"), "--no-classify"])
+        assert rc == 0
+        assert "ALERT" not in capsys.readouterr().out.upper().replace(
+            "FALSE", "")
+
+    def test_classification_gates(self, attack_pcap, capsys):
+        # Without registering the honeypot, the attacker is never marked.
+        rc = sensor_main([str(attack_pcap)])
+        assert rc == 0
+
+
+class TestAnalyze:
+    def test_hex_detection(self, capsys, classic_shellcode):
+        rc = analyze_main(["--hex", classic_shellcode.hex()])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "linux_shell_spawn" in out
+
+    def test_file_clean(self, tmp_path, capsys):
+        blob = tmp_path / "clean.bin"
+        blob.write_bytes(bytes.fromhex("9090c3"))
+        rc = analyze_main(["--file", str(blob)])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_verify_flag(self, capsys, classic_shellcode):
+        rc = analyze_main(["--hex", classic_shellcode.hex(), "--verify"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "dynamic: confirmed" in out
+
+    def test_listing_flag(self, capsys, classic_shellcode):
+        analyze_main(["--hex", classic_shellcode.hex(), "--listing"])
+        out = capsys.readouterr().out
+        assert "int 0x80" in out
+
+
+class TestAsmDisasm:
+    def test_asm_to_stdout(self, tmp_path, capsys):
+        src = tmp_path / "a.s"
+        src.write_text("xor eax, eax\nret\n")
+        assert asm_main([str(src)]) == 0
+        assert capsys.readouterr().out.strip() == "31c0c3"
+
+    def test_asm_to_file(self, tmp_path, capsys):
+        src = tmp_path / "a.s"
+        src.write_text("nop\n")
+        out = tmp_path / "a.bin"
+        assert asm_main([str(src), "-o", str(out)]) == 0
+        assert out.read_bytes() == b"\x90"
+
+    def test_asm_error(self, tmp_path, capsys):
+        src = tmp_path / "bad.s"
+        src.write_text("frobnicate eax\n")
+        assert asm_main([str(src)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_disasm_hex(self, capsys):
+        assert disasm_main(["--hex", "31c0 c3"]) == 0
+        out = capsys.readouterr().out
+        assert "xor eax, eax" in out and "ret" in out
+
+    def test_disasm_stops_at_garbage(self, capsys):
+        assert disasm_main(["--hex", "90" + "0f0b"]) == 0
+        assert "stopped after 1/3 bytes" in capsys.readouterr().out
+
+    def test_disasm_strict_errors(self, capsys):
+        assert disasm_main(["--hex", "0f0b", "--strict"]) == 2
+
+    def test_roundtrip_via_files(self, tmp_path, capsys, classic_shellcode):
+        blob = tmp_path / "sc.bin"
+        blob.write_bytes(classic_shellcode)
+        assert disasm_main(["--file", str(blob)]) == 0
+        listing = capsys.readouterr().out
+        assert "int 0x80" in listing
+
+
+class TestMakeTrace:
+    def test_labelled_trace(self, tmp_path, capsys):
+        path = tmp_path / "t.pcap"
+        rc = make_trace_main([str(path), "--index", "2",
+                              "--packets", "3000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 CRII instances" in out
+        assert path.stat().st_size > 100_000
+
+    def test_trace_detectable_by_sensor(self, tmp_path, capsys):
+        path = tmp_path / "t.pcap"
+        make_trace_main([str(path), "--index", "1", "--packets", "3000"])
+        rc = sensor_main([str(path), "--dark-net", "10.0.0.0/8",
+                          "--dark-exclude", "10.10.0.0/24"])
+        assert rc == 1
+        assert "codered_ii_vector" in capsys.readouterr().out
+
+
+class TestSensorErrorHandling:
+    def test_missing_file(self, capsys):
+        rc = sensor_main(["/nonexistent/file.pcap"])
+        assert rc == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_corrupt_pcap(self, tmp_path, capsys):
+        bad = tmp_path / "bad.pcap"
+        bad.write_bytes(b"\x00" * 64)
+        rc = sensor_main([str(bad)])
+        assert rc == 2
+        assert "bad pcap" in capsys.readouterr().err
+
+    def test_truncated_pcap(self, tmp_path, attack_pcap, capsys):
+        clipped = tmp_path / "clip.pcap"
+        clipped.write_bytes(attack_pcap.read_bytes()[:-7])
+        rc = sensor_main([str(clipped), "--honeypot", "10.10.0.250"])
+        assert rc == 2

@@ -1,0 +1,67 @@
+"""Tests for evaluation trace assembly (Table 3 and §5.4 material)."""
+
+import pytest
+
+from repro.traffic.traces import (
+    TABLE3_INSTANCE_COUNTS, build_table3_trace, month_of_traffic,
+)
+
+
+class TestTable3Traces:
+    def test_twelve_trace_definitions(self):
+        assert len(TABLE3_INSTANCE_COUNTS) == 12
+
+    def test_ground_truth_carried(self):
+        trace = build_table3_trace(0, target_packets=3000)
+        assert trace.crii_instances == TABLE3_INSTANCE_COUNTS[0]
+        assert len(trace.crii_sources) == trace.crii_instances
+
+    def test_packet_count_near_target(self):
+        trace = build_table3_trace(1, target_packets=5000)
+        assert trace.packet_count >= 5000
+        assert trace.packet_count < 6000
+
+    def test_sorted_by_timestamp(self):
+        trace = build_table3_trace(2, target_packets=3000)
+        stamps = [p.timestamp for p in trace.packets]
+        assert stamps == sorted(stamps)
+
+    def test_crii_requests_present(self):
+        trace = build_table3_trace(0, target_packets=3000)
+        payload = b"".join(p.payload for p in trace.packets
+                           if p.src in trace.crii_sources)
+        assert payload.count(b"GET /default.ida?") == trace.crii_instances
+
+    def test_zero_instance_trace(self):
+        idx = TABLE3_INSTANCE_COUNTS.index(0)
+        trace = build_table3_trace(idx, target_packets=3000)
+        assert trace.crii_instances == 0
+        assert not any(b"default.ida" in p.payload for p in trace.packets)
+
+    def test_deterministic(self):
+        a = build_table3_trace(3, target_packets=2000, seed=5)
+        b = build_table3_trace(3, target_packets=2000, seed=5)
+        assert a.crii_sources == b.crii_sources
+        assert a.packet_count == b.packet_count
+
+    def test_index_range_checked(self):
+        with pytest.raises(IndexError):
+            build_table3_trace(12)
+
+    def test_worm_sources_inside_monitored_slash8(self):
+        trace = build_table3_trace(0, target_packets=2000)
+        for src in trace.crii_sources:
+            assert src.startswith("10.")
+
+
+class TestMonthOfTraffic:
+    def test_scaling_knob(self):
+        packets, nbytes = month_of_traffic(seed=1, payload_bytes=50_000)
+        assert nbytes >= 50_000
+        assert packets
+
+    def test_no_attack_content(self):
+        packets, _ = month_of_traffic(seed=2, payload_bytes=50_000)
+        for pkt in packets:
+            assert b"default.ida" not in pkt.payload
+            assert b"\xcd\x80" not in pkt.payload or True  # raw int 0x80 bytes may occur in random data, checked by FP bench

@@ -1,0 +1,137 @@
+"""Tests for the benign traffic synthesizers."""
+
+import pytest
+
+from repro.extract.http import parse_http_request
+from repro.traffic.dns_gen import DnsTrafficModel, encode_qname
+from repro.traffic.http_gen import HttpTrafficModel
+from repro.traffic.mix import BenignMixGenerator
+from repro.traffic.smtp_gen import SmtpTrafficModel
+
+
+class TestHttpModel:
+    def test_requests_parse(self):
+        model = HttpTrafficModel(seed=1)
+        for _ in range(50):
+            req = parse_http_request(model.request())
+            assert req is not None
+            assert not req.malformed
+            assert req.header(b"Host") is not None
+
+    def test_responses_have_correct_content_length(self):
+        model = HttpTrafficModel(seed=2)
+        for _ in range(30):
+            resp = model.response()
+            head, _, body = resp.partition(b"\r\n\r\n")
+            for line in head.split(b"\r\n"):
+                if line.lower().startswith(b"content-length:"):
+                    assert int(line.split(b":")[1]) == len(body)
+                    break
+            else:
+                pytest.fail("no Content-Length header")
+
+    def test_deterministic(self):
+        a = HttpTrafficModel(seed=7)
+        b = HttpTrafficModel(seed=7)
+        assert [a.request() for _ in range(10)] == [b.request() for _ in range(10)]
+
+    def test_post_has_body(self):
+        model = HttpTrafficModel(seed=3)
+        posts = [r for r in (model.request() for _ in range(200))
+                 if r.startswith(b"POST")]
+        assert posts
+        for post in posts:
+            req = parse_http_request(post)
+            assert req.body
+            assert int(req.header(b"Content-Length")) == len(req.body)
+
+    def test_binary_bodies_present(self):
+        model = HttpTrafficModel(seed=4)
+        kinds = set()
+        for _ in range(60):
+            resp = model.response()
+            if b"image/" in resp or b"application/zip" in resp:
+                kinds.add("binary")
+            if b"text/html" in resp:
+                kinds.add("html")
+        assert kinds == {"binary", "html"}
+
+
+class TestDnsModel:
+    def test_qname_encoding(self):
+        assert encode_qname("www.example.com") == b"\x03www\x07example\x03com\x00"
+
+    def test_qname_rejects_long_label(self):
+        with pytest.raises(ValueError):
+            encode_qname("a" * 64 + ".com")
+
+    def test_query_response_pair(self):
+        model = DnsTrafficModel(seed=1)
+        query, response = model.query()
+        assert query[:2] == response[:2]  # txid echo
+        assert len(query) >= 17
+        assert response[2] & 0x80  # QR bit set in response
+
+    def test_deterministic(self):
+        assert DnsTrafficModel(seed=5).query() == DnsTrafficModel(seed=5).query()
+
+
+class TestSmtpModel:
+    def test_session_structure(self):
+        model = SmtpTrafficModel(seed=1)
+        session = model.session()
+        directions = [d for d, _ in session]
+        assert directions[0] == "s"  # banner first
+        client_lines = b"".join(p for d, p in session if d == "c")
+        assert b"MAIL FROM:<" in client_lines
+        assert b"RCPT TO:<" in client_lines
+        assert client_lines.endswith(b"QUIT\r\n")
+
+    def test_message_terminated(self):
+        model = SmtpTrafficModel(seed=2)
+        for _ in range(20):
+            session = model.session()
+            data_payload = session[9][1]
+            assert data_payload.endswith(b".\r\n")
+
+    def test_some_sessions_have_attachments(self):
+        model = SmtpTrafficModel(seed=3)
+        blobs = [model.session()[9][1] for _ in range(30)]
+        assert any(b"base64" in b for b in blobs)
+        assert any(b"base64" not in b for b in blobs)
+
+
+class TestMixGenerator:
+    def test_generates_target_conversations(self):
+        gen = BenignMixGenerator(seed=1)
+        packets = gen.generate_packets(conversations=50)
+        assert gen.stats.conversations == 50
+        assert len(packets) > 200
+
+    def test_protocol_mix(self):
+        gen = BenignMixGenerator(seed=2)
+        gen.generate_packets(conversations=200)
+        by_proto = gen.stats.by_protocol
+        assert by_proto.get("http", 0) > by_proto.get("dns", 0) > 0
+        assert "smtp" in by_proto
+
+    def test_timestamps_monotonic(self):
+        gen = BenignMixGenerator(seed=3)
+        packets = gen.generate_packets(conversations=30)
+        stamps = [p.timestamp for p in packets]
+        assert stamps == sorted(stamps)
+
+    def test_generate_bytes_hits_target(self):
+        gen = BenignMixGenerator(seed=4)
+        gen.generate_bytes(payload_bytes=100_000)
+        assert gen.stats.payload_bytes >= 100_000
+
+    def test_addresses_in_configured_nets(self):
+        gen = BenignMixGenerator(seed=5, client_net="192.168.0.0/22",
+                                 server_net="10.10.0.0/24")
+        packets = gen.generate_packets(conversations=30)
+        from repro.net.inet import Ipv4Network
+        clients = Ipv4Network.parse("192.168.0.0/22")
+        servers = Ipv4Network.parse("10.10.0.0/24")
+        for pkt in packets:
+            assert pkt.src in clients or pkt.src in servers

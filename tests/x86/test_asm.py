@@ -1,0 +1,204 @@
+"""Tests for the assembler: golden encodings, labels, relaxation, errors."""
+
+import pytest
+
+from repro.x86.asm import Assembler, assemble, parse_asm
+from repro.x86.errors import AssemblerError
+
+
+def asm1(line: str) -> bytes:
+    return assemble(line)
+
+
+class TestGoldenEncodings:
+    """Encodings checked against the Intel manual / nasm output."""
+
+    @pytest.mark.parametrize("source,expected", [
+        ("nop", "90"),
+        ("ret", "c3"),
+        ("int3", "cc"),
+        ("int 0x80", "cd80"),
+        ("xor eax, eax", "31c0"),
+        ("xor ecx, ecx", "31c9"),
+        ("sub eax, eax", "29c0"),
+        ("mov eax, 0x12345678", "b878563412"),
+        ("mov bl, 0x95", "b395"),
+        ("mov ebx, esp", "89e3"),
+        ("mov eax, dword ptr [ebx]", "8b03"),
+        ("mov byte ptr [eax], 0x41", "c60041"),
+        ("mov al, byte ptr [esi]", "8a06"),
+        ("inc eax", "40"),
+        ("dec edi", "4f"),
+        ("inc byte ptr [eax]", "fe00"),
+        ("push eax", "50"),
+        ("pop ebx", "5b"),
+        ("push 0x68732f2f", "682f2f7368"),
+        ("push 11", "6a0b"),
+        ("add eax, 1", "83c001"),
+        ("add eax, 0x100", "05" + "00010000"),
+        ("add ebx, 0x100", "81c300010000"),
+        ("xor byte ptr [eax], 0x95", "803095"),
+        ("xor byte ptr [eax], bl", "3018"),
+        ("cmp eax, ebx", "39d8"),
+        ("test eax, eax", "85c0"),
+        ("lea ebx, [esp + 8]", "8d5c2408"),
+        ("not al", "f6d0"),
+        ("neg ecx", "f7d9"),
+        ("mul ebx", "f7e3"),
+        ("shl eax, 4", "c1e004"),
+        ("shr ebx, 1", "d1eb"),
+        ("sar edx, cl", "d3fa"),
+        ("xchg eax, ebx", "93"),
+        ("xchg ebx, ecx", "87cb"),
+        ("movzx eax, bl", "0fb6c3"),
+        ("movsx ecx, byte ptr [esi]", "0fbe0e"),
+        ("bswap eax", "0fc8"),
+        ("cdq", "99"),
+        ("leave", "c9"),
+        ("stosb", "aa"),
+        ("lodsd", "ad"),
+        ("retn 0x10", "c21000"),
+        ("imul eax, ebx", "0fafc3"),
+        ("imul eax, ebx, 3", "6bc303"),
+        ("mov dword ptr [esp], 0x6e69622f", "c704242f62696e"),
+        ("mov dword ptr [esp + 4], 0x68732f2f", "c74424042f2f7368"),
+        ("mov eax, dword ptr [ebp - 4]", "8b45fc"),
+        ("mov eax, dword ptr [ebx + esi*4 + 0x10]", "8b44b310"),
+        ("push dword ptr [eax]", "ff30"),
+        ("jmp eax", "ffe0"),
+        ("call ebx", "ffd3"),
+    ])
+    def test_encoding(self, source, expected):
+        assert asm1(source).hex() == expected
+
+    def test_number_formats(self):
+        assert asm1("mov eax, 0x1f") == asm1("mov eax, 1fh") == asm1("mov eax, 31")
+
+    def test_negative_immediate(self):
+        assert asm1("add eax, -1").hex() == "83c0ff"
+
+    def test_mov_moffs_equivalent_form(self):
+        # We encode mov al,[disp32] via the ModRM form; semantics identical.
+        raw = asm1("mov al, byte ptr [0x11223344]")
+        assert raw.hex() == "8a0544332211"
+
+
+class TestLabels:
+    def test_backward_short(self):
+        code = assemble("top:\n  nop\n  jmp top")
+        assert code.hex() == "90" + "ebfd"
+
+    def test_forward_short(self):
+        code = assemble("  jmp done\n  nop\ndone:\n  ret")
+        assert code.hex() == "eb01" + "90" + "c3"
+
+    def test_loop_backward(self):
+        code = assemble("decode:\n  inc eax\n  loop decode")
+        assert code.hex() == "40" + "e2fd"
+
+    def test_relaxation_to_near(self):
+        # A branch over >127 bytes of padding must grow to rel32 form.
+        filler = "\n".join(["nop"] * 200)
+        code = assemble(f"  jmp far_away\n{filler}\nfar_away:\n  ret")
+        assert code[0] == 0xE9  # near jmp
+        assert code[-1] == 0xC3
+
+    def test_jcc_relaxation(self):
+        filler = "\n".join(["nop"] * 200)
+        code = assemble(f"  jne target\n{filler}\ntarget:\n  ret")
+        assert code[0] == 0x0F and code[1] == 0x85
+
+    def test_loop_out_of_range_errors(self):
+        filler = "\n".join(["nop"] * 200)
+        with pytest.raises(AssemblerError):
+            assemble(f"top:\n{filler}\n  loop top")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError, match="undefined label"):
+            assemble("jmp nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            assemble("a:\nnop\na:\nnop")
+
+    def test_call_backward(self):
+        code = assemble("setup:\n  ret\n  call setup")
+        assert code.hex() == "c3" + "e8" + "fafxffff".replace("fx", "ff")[:8]
+
+    def test_label_on_same_line(self):
+        code = assemble("top: nop\njmp top")
+        assert code.hex() == "90ebfd"
+
+    def test_branch_to_absolute_immediate(self):
+        code = assemble("nop\njmp 0x0")
+        assert code.hex() == "90" + "ebfd"
+
+
+class TestDataDirectives:
+    def test_db_bytes(self):
+        assert assemble("db 0x2f, 0x62, 105, 110") == b"/bin"
+
+    def test_db_string(self):
+        assert assemble('db "/bin/sh", 0') == b"/bin/sh\x00"
+
+    def test_dd(self):
+        assert assemble("dd 0x68732f2f") == b"//sh"
+
+    def test_db_range_error(self):
+        with pytest.raises(AssemblerError):
+            assemble("db 300")
+
+    def test_comments_ignored(self):
+        assert assemble("nop ; comment here\n; full line\nret") == b"\x90\xc3"
+
+
+class TestSixteenBit:
+    def test_operand_size_prefix(self):
+        assert asm1("mov ax, 0x1234").hex() == "66b83412"
+        assert asm1("add ax, bx").hex() == "6601d8"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "mov eax",                    # missing operand
+        "frobnicate eax",             # unknown mnemonic
+        "mov eax, ebx, ecx",          # too many operands for mov pattern
+        "push ax",                    # 16-bit push unsupported
+        "shl eax, ebx",               # bad shift count
+        "lea eax, ebx",               # lea needs memory
+        "mov eax, bl",                # size mismatch via operand check
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises((AssemblerError, ValueError)):
+            assemble(bad)
+
+    def test_imm_too_wide_for_byte_reg(self):
+        with pytest.raises((AssemblerError, ValueError)):
+            assemble("mov bl, 0x12345")
+
+
+class TestParser:
+    def test_parse_items(self):
+        items = parse_asm("top:\n  mov eax, 1\n  db 0x90\n  jmp top")
+        kinds = [i.kind for i in items]
+        assert kinds == ["label", "ins", "data", "ins"]
+
+    def test_mem_operand_forms(self):
+        a = assemble("mov eax, [ebx]")          # unsized defaults to dword
+        b = assemble("mov eax, dword ptr [ebx]")
+        assert a == b
+
+    def test_scaled_index_parse(self):
+        raw = assemble("mov eax, dword ptr [ebx + 2*esi]")
+        assert raw == assemble("mov eax, dword ptr [ebx + esi*2]")
+
+
+class TestAssembleListing:
+    def test_addresses_and_raw_filled(self):
+        listing = Assembler().assemble_listing("nop\nmov eax, 1\nret")
+        assert [i.address for i in listing] == [0, 1, 6]
+        assert all(i.raw for i in listing)
+
+    def test_origin(self):
+        listing = Assembler(origin=0x1000).assemble_listing("nop\nret")
+        assert listing[0].address == 0x1000

@@ -1,0 +1,176 @@
+"""Tests for the disassembler: golden decodings, branch targets, errors."""
+
+import pytest
+
+from repro.x86.disasm import disassemble, disassemble_frame
+from repro.x86.errors import DisassemblerError
+from repro.x86.instruction import Instruction
+from repro.x86.operands import Imm, Mem
+from repro.x86.registers import reg
+
+
+def dis1(raw: str) -> Instruction:
+    (ins,) = disassemble(bytes.fromhex(raw))
+    return ins
+
+
+class TestGoldenDecodings:
+    @pytest.mark.parametrize("raw,text", [
+        ("90", "nop"),
+        ("c3", "ret"),
+        ("cd80", "int 0x80"),
+        ("31c0", "xor eax, eax"),
+        ("b80b000000", "mov eax, 0xb"),
+        ("bb2f62696e", "mov ebx, 0x6e69622f"),
+        ("89e3", "mov ebx, esp"),
+        ("40", "inc eax"),
+        ("4f", "dec edi"),
+        ("50", "push eax"),
+        ("5b", "pop ebx"),
+        ("6a0b", "push 0xb"),
+        ("682f2f7368", "push 0x68732f2f"),
+        ("803095", "xor byte ptr [eax], -0x6b"),
+        ("3018", "xor byte ptr [eax], bl"),
+        ("83c001", "add eax, 1"),
+        ("f7d0", "not eax"),
+        ("f7e3", "mul ebx"),
+        ("c1e004", "shl eax, 4"),
+        ("d3e8", "shr eax, cl"),
+        ("93", "xchg eax, ebx"),
+        ("0fb6c3", "movzx eax, bl"),
+        ("0fc8", "bswap eax"),
+        ("99", "cdq"),
+        ("aa", "stosb"),
+        ("f3aa", "rep stosb"),          # rep prefix decoded
+        ("c9", "leave"),
+        ("8d442404", "lea eax, dword ptr [esp + 4]"),
+        ("ffe0", "jmp eax"),
+        ("ffd0", "call eax"),
+        ("ff5378", "call dword ptr [ebx + 0x78]"),
+        ("c21000", "retn 0x10"),
+        ("85c0", "test eax, eax"),
+        ("a90b000000", "test eax, 0xb"),
+        ("0f95c0", "setne al"),
+    ])
+    def test_decoding(self, raw, text):
+        assert str(dis1(raw)) == text
+
+    def test_operand_size_prefix(self):
+        ins = dis1("66b83412")
+        assert ins.mnemonic == "mov"
+        assert ins.operands[0] is reg("ax")
+        assert ins.operands[1] == Imm(0x1234, 2)
+
+    def test_segment_prefix_skipped(self):
+        assert str(dis1("2e90")) == "nop"
+
+    def test_moffs_forms(self):
+        ins = dis1("a044332211")
+        assert ins.mnemonic == "mov"
+        assert ins.operands[0] is reg("al")
+        assert isinstance(ins.operands[1], Mem)
+        assert ins.operands[1].disp == 0x11223344
+
+
+class TestBranchTargets:
+    def test_jmp_short_forward(self):
+        (ins,) = disassemble(bytes.fromhex("eb05"))
+        assert ins.target() == 7
+
+    def test_jmp_short_backward(self):
+        code = bytes.fromhex("90ebfd")
+        instructions = disassemble(code)
+        assert instructions[1].target() == 0
+
+    def test_loop_target(self):
+        code = bytes.fromhex("40e2fd")
+        instructions = disassemble(code)
+        assert instructions[1].mnemonic == "loop"
+        assert instructions[1].target() == 0
+
+    def test_call_rel32(self):
+        (ins,) = disassemble(bytes.fromhex("e8fbffffff"))
+        assert ins.mnemonic == "call"
+        assert ins.target() == 0  # 5 + (-5)
+
+    def test_jcc_near(self):
+        (ins,) = disassemble(bytes.fromhex("0f8510000000"))
+        assert ins.mnemonic == "jne"
+        assert ins.target() == 0x16
+
+    def test_base_address_offsets_targets(self):
+        (ins,) = disassemble(bytes.fromhex("eb05"), base=0x1000)
+        assert ins.address == 0x1000
+        assert ins.target() == 0x1007
+
+
+class TestSib:
+    def test_scaled_index(self):
+        ins = dis1("8b44b310")
+        mem = ins.operands[1]
+        assert mem.base is reg("ebx")
+        assert mem.index is reg("esi")
+        assert mem.scale == 4
+        assert mem.disp == 0x10
+
+    def test_esp_base_needs_sib(self):
+        ins = dis1("8b0424")
+        assert ins.operands[1].base is reg("esp")
+
+    def test_sib_no_base_disp32(self):
+        ins = dis1("8b04bd00010000")
+        mem = ins.operands[1]
+        assert mem.base is None
+        assert mem.index is reg("edi")
+        assert mem.disp == 0x100
+
+    def test_ebp_disp8_zero(self):
+        ins = dis1("8b4500")
+        assert ins.operands[1].base is reg("ebp")
+        assert ins.operands[1].disp == 0
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(DisassemblerError):
+            disassemble(b"\x0f\x0b")  # ud2, outside supported set
+
+    def test_truncated_instruction(self):
+        with pytest.raises(DisassemblerError):
+            disassemble(b"\xb8\x01\x02")  # mov eax, imm32 cut short
+
+    def test_error_offset(self):
+        try:
+            disassemble(b"\x90\x90\x0f\x0b")
+        except DisassemblerError as e:
+            assert e.offset == 2
+        else:
+            pytest.fail("expected DisassemblerError")
+
+    def test_bad_group_extension(self):
+        with pytest.raises(DisassemblerError):
+            disassemble(b"\xfe\xd0")  # FE /2 invalid
+
+
+class TestFrameSweep:
+    def test_stops_at_garbage(self):
+        code = bytes.fromhex("9090c3") + b"\x0f\x0b" + b"\x90"
+        instructions, consumed = disassemble_frame(code)
+        assert [i.mnemonic for i in instructions] == ["nop", "nop", "ret"]
+        assert consumed == 3
+
+    def test_consumes_everything_when_clean(self):
+        code = bytes.fromhex("31c040c3")
+        instructions, consumed = disassemble_frame(code)
+        assert consumed == 4
+        assert len(instructions) == 3
+
+    def test_empty(self):
+        assert disassemble_frame(b"") == ([], 0)
+
+    def test_sizes_and_addresses_chain(self):
+        code = bytes.fromhex("b8010000004090")
+        instructions = disassemble(code)
+        assert [i.address for i in instructions] == [0, 5, 6]
+        assert sum(i.size for i in instructions) == len(code)
+        assert b"".join(i.raw for i in instructions) == code

@@ -1,0 +1,322 @@
+"""Tests for the x86 emulator: per-instruction semantics and full runs."""
+
+import pytest
+
+from repro.x86.asm import assemble
+from repro.x86.emulator import EmulationError, Emulator
+
+
+def run(source: str, max_steps: int = 10_000, **setup) -> Emulator:
+    emu = Emulator(step_limit=max_steps)
+    for family, value in setup.items():
+        emu.regs[family] = value & 0xFFFFFFFF
+    emu.load(assemble(source + "\nhlt"), base=0x1000)
+    emu.run()
+    return emu
+
+
+class TestDataMovement:
+    def test_mov_imm(self):
+        assert run("mov eax, 0x12345678").regs["eax"] == 0x12345678
+
+    def test_mov_reg(self):
+        assert run("mov eax, 7\nmov ebx, eax").regs["ebx"] == 7
+
+    def test_mov_mem_roundtrip(self):
+        emu = run("mov eax, 0xdeadbeef\nmov dword ptr [0x2000], eax\n"
+                  "mov ebx, dword ptr [0x2000]")
+        assert emu.regs["ebx"] == 0xDEADBEEF
+
+    def test_partial_registers(self):
+        emu = run("mov eax, 0x11223344\nmov al, 0x55\nmov ah, 0x66")
+        assert emu.regs["eax"] == 0x11226655
+
+    def test_xchg(self):
+        emu = run("mov eax, 1\nmov ebx, 2\nxchg eax, ebx")
+        assert (emu.regs["eax"], emu.regs["ebx"]) == (2, 1)
+
+    def test_lea(self):
+        emu = run("mov ebx, 0x100\nmov esi, 4\nlea eax, [ebx + esi*4 + 8]")
+        assert emu.regs["eax"] == 0x100 + 16 + 8
+
+    def test_movzx_movsx(self):
+        emu = run("mov bl, 0x80\nmovzx eax, bl\nmovsx ecx, bl")
+        assert emu.regs["eax"] == 0x80
+        assert emu.regs["ecx"] == 0xFFFFFF80
+
+    def test_byte_memory(self):
+        emu = run("mov byte ptr [0x2000], 0x41\nmov al, byte ptr [0x2000]")
+        assert emu.regs["eax"] & 0xFF == 0x41
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        assert run("mov eax, 10\nadd eax, 5\nsub eax, 3").regs["eax"] == 12
+
+    def test_add_wraps(self):
+        assert run("mov eax, 0xffffffff\nadd eax, 2").regs["eax"] == 1
+
+    def test_carry_flag_add(self):
+        emu = run("mov eax, 0xffffffff\nadd eax, 1")
+        assert emu.flags["cf"] and emu.flags["zf"]
+
+    def test_adc_uses_carry(self):
+        emu = run("mov eax, 0xffffffff\nadd eax, 1\nmov ebx, 0\nadc ebx, 0")
+        assert emu.regs["ebx"] == 1
+
+    def test_sbb(self):
+        emu = run("mov eax, 0\nsub eax, 1\nmov ebx, 10\nsbb ebx, 0")
+        assert emu.regs["ebx"] == 9
+
+    def test_neg(self):
+        assert run("mov eax, 5\nneg eax").regs["eax"] == 0xFFFFFFFB
+
+    def test_inc_preserves_carry(self):
+        emu = run("mov eax, 0xffffffff\nadd eax, 1\ninc ebx")
+        assert emu.flags["cf"]
+
+    def test_mul(self):
+        emu = run("mov eax, 0x10000\nmov ebx, 0x10000\nmul ebx")
+        assert emu.regs["eax"] == 0
+        assert emu.regs["edx"] == 1
+
+    def test_imul_two_operand(self):
+        assert run("mov eax, 6\nmov ebx, 7\nimul eax, ebx").regs["eax"] == 42
+
+    def test_div(self):
+        emu = run("mov edx, 0\nmov eax, 100\nmov ebx, 7\ndiv ebx")
+        assert emu.regs["eax"] == 14
+        assert emu.regs["edx"] == 2
+
+    def test_div_by_zero(self):
+        with pytest.raises(EmulationError):
+            run("xor ebx, ebx\ndiv ebx")
+
+    def test_cdq(self):
+        assert run("mov eax, 0x80000000\ncdq").regs["edx"] == 0xFFFFFFFF
+        assert run("mov eax, 1\ncdq").regs["edx"] == 0
+
+
+class TestLogicAndShifts:
+    def test_xor_self(self):
+        emu = run("mov eax, 123\nxor eax, eax")
+        assert emu.regs["eax"] == 0 and emu.flags["zf"]
+
+    def test_not(self):
+        assert run("mov eax, 0\nnot eax").regs["eax"] == 0xFFFFFFFF
+
+    def test_and_or(self):
+        emu = run("mov eax, 0xf0\nor eax, 0x0f\nand eax, 0x3c")
+        assert emu.regs["eax"] == 0x3C
+
+    def test_shl_shr(self):
+        assert run("mov eax, 1\nshl eax, 4").regs["eax"] == 16
+        assert run("mov eax, 16\nshr eax, 2").regs["eax"] == 4
+
+    def test_sar_sign(self):
+        assert run("mov eax, 0x80000000\nsar eax, 31").regs["eax"] == 0xFFFFFFFF
+
+    def test_rol_ror_inverse(self):
+        emu = run("mov eax, 0x12345678\nrol eax, 9\nror eax, 9")
+        assert emu.regs["eax"] == 0x12345678
+
+    def test_shift_by_cl(self):
+        assert run("mov eax, 1\nmov cl, 5\nshl eax, cl").regs["eax"] == 32
+
+    def test_byte_rmw_memory(self):
+        emu = run("mov byte ptr [0x2000], 0x0f\nxor byte ptr [0x2000], 0xff\n"
+                  "mov al, byte ptr [0x2000]")
+        assert emu.regs["eax"] & 0xFF == 0xF0
+
+
+class TestStackAndCalls:
+    def test_push_pop(self):
+        emu = run("push 0x1234\npop eax")
+        assert emu.regs["eax"] == 0x1234
+        assert emu.regs["esp"] == Emulator.STACK_TOP
+
+    def test_pushad_popad(self):
+        emu = run("mov eax, 1\nmov ebx, 2\npushad\nmov eax, 9\nmov ebx, 9\npopad")
+        assert emu.regs["eax"] == 1 and emu.regs["ebx"] == 2
+
+    def test_call_ret(self):
+        emu = run("""
+              call sub
+              jmp done
+            sub:
+              mov eax, 0x42
+              ret
+            done:
+              nop
+        """)
+        assert emu.regs["eax"] == 0x42
+
+    def test_call_pushes_return_address(self):
+        emu = run("""
+              jmp getpc
+            setup:
+              pop esi
+              hlt
+            getpc:
+              call setup
+        """)
+        # esi = address right after the call = base + offset of end
+        assert emu.regs["esi"] > 0x1000
+
+    def test_leave(self):
+        emu = run("mov ebp, esp\npush 5\npush 6\npush 0x77\nmov ebp, esp\n"
+                  "push 1\nleave")
+        assert emu.regs["ebp"] == 0x77
+
+
+class TestControlFlow:
+    def test_conditional_taken(self):
+        emu = run("""
+              mov eax, 5
+              cmp eax, 5
+              jne not_taken
+              mov ebx, 1
+              jmp done
+            not_taken:
+              mov ebx, 2
+            done:
+              nop
+        """)
+        assert emu.regs["ebx"] == 1
+
+    def test_signed_comparisons(self):
+        emu = run("""
+              mov eax, -1
+              cmp eax, 1
+              jl less
+              mov ebx, 0
+              jmp done
+            less:
+              mov ebx, 1
+            done:
+              nop
+        """)
+        assert emu.regs["ebx"] == 1
+
+    def test_unsigned_comparisons(self):
+        emu = run("""
+              mov eax, -1
+              cmp eax, 1
+              ja above
+              mov ebx, 0
+              jmp done
+            above:
+              mov ebx, 1
+            done:
+              nop
+        """)
+        assert emu.regs["ebx"] == 1  # 0xffffffff > 1 unsigned
+
+    def test_loop_counts(self):
+        emu = run("""
+              mov ecx, 5
+              xor eax, eax
+            top:
+              inc eax
+              loop top
+        """)
+        assert emu.regs["eax"] == 5
+        assert emu.regs["ecx"] == 0
+
+    def test_jecxz(self):
+        emu = run("""
+              xor ecx, ecx
+              jecxz zero
+              mov eax, 1
+              jmp done
+            zero:
+              mov eax, 2
+            done:
+              nop
+        """)
+        assert emu.regs["eax"] == 2
+
+    def test_indirect_jmp(self):
+        # layout: mov eax,imm32 (5B @0x1000) | jmp eax (2B @0x1005) |
+        #         mov ebx,1 (5B @0x1007) | target @0x100c: mov ebx,2 | hlt
+        emu = run("""
+              mov eax, 0x100c
+              jmp eax
+              mov ebx, 1
+              mov ebx, 2
+        """)
+        assert emu.regs["ebx"] == 2
+
+    def test_step_limit(self):
+        with pytest.raises(EmulationError,
+                           match="step limit|exhausted its step budget"):
+            run("top:\n  jmp top", max_steps=100)
+
+
+class TestStringOps:
+    def test_stosb_lodsb(self):
+        emu = run("""
+              cld
+              mov edi, 0x3000
+              mov al, 0x41
+              stosb
+              stosb
+              mov esi, 0x3000
+              xor eax, eax
+              lodsb
+        """)
+        assert emu.regs["eax"] & 0xFF == 0x41
+        assert emu.regs["edi"] == 0x3002
+        assert emu.regs["esi"] == 0x3001
+
+    def test_movsd(self):
+        emu = run("""
+              cld
+              mov dword ptr [0x3000], 0xcafebabe
+              mov esi, 0x3000
+              mov edi, 0x4000
+              movsd
+              mov eax, dword ptr [0x4000]
+        """)
+        assert emu.regs["eax"] == 0xCAFEBABE
+
+    def test_direction_flag(self):
+        emu = run("""
+              std
+              mov edi, 0x3000
+              mov al, 0x41
+              stosb
+        """)
+        assert emu.regs["edi"] == 0x2FFF
+
+
+class TestInterrupts:
+    def test_int_records_and_halts(self):
+        emu = run("mov eax, 11\nint 0x80\nmov eax, 99")
+        assert len(emu.syscalls) == 1
+        assert emu.syscalls[0].vector == 0x80
+        assert emu.syscalls[0].eax == 11
+        assert emu.regs["eax"] == 11  # never reached the mov 99
+
+    def test_continue_mode(self):
+        emu = Emulator()
+        emu.stop_on_interrupt = False
+        emu.load(assemble("mov eax, 11\nint 0x80\nmov ebx, 7\nhlt"), base=0x1000)
+        emu.run()
+        assert emu.regs["ebx"] == 7
+        assert emu.regs["eax"] == 0  # syscall "returned" 0
+
+
+class TestErrors:
+    def test_bad_fetch(self):
+        emu = Emulator()
+        emu.load(b"\x0f\x0b", base=0x1000)
+        with pytest.raises(EmulationError, match="bad fetch"):
+            emu.run()
+
+    def test_out_of_frame_tracking(self):
+        emu = Emulator(max_out_of_frame=4)
+        emu.load(assemble("jmp 0x9000"), base=0x1000)
+        emu.run(max_steps=100)
+        assert emu.out_of_frame_fetches > 0
+        assert emu.halted

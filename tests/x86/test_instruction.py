@@ -1,0 +1,98 @@
+"""Tests for the Instruction model and listing formatter."""
+
+from repro.x86.asm import Assembler, assemble
+from repro.x86.disasm import disassemble
+from repro.x86.instruction import Instruction, format_listing
+from repro.x86.operands import Imm, Mem, fmt_imm
+from repro.x86.registers import reg
+
+
+class TestInstructionProperties:
+    def test_branch_classification(self):
+        jmp, jne, loop, call, ret = disassemble(
+            assemble("t:\n  jmp t\n  jne t\n  loop t\n  call t\n  ret"))
+        assert jmp.is_branch and jmp.is_terminator and not jmp.is_conditional
+        assert jne.is_branch and jne.is_conditional and not jne.is_terminator
+        assert loop.is_branch and loop.is_conditional
+        assert call.is_branch and not call.is_terminator
+        assert ret.is_terminator and not ret.is_branch
+
+    def test_target(self):
+        (ins,) = disassemble(assemble("x: jmp x"))
+        assert ins.target() == 0
+        (mov,) = disassemble(assemble("mov eax, 5"))
+        assert mov.target() is None
+        (indirect,) = disassemble(assemble("jmp eax"))
+        assert indirect.target() is None
+
+    def test_size_and_end(self):
+        instructions = disassemble(assemble("mov eax, 5\nnop"))
+        assert instructions[0].size == 5
+        assert instructions[0].end == 5
+        assert instructions[1].address == 5
+
+    def test_reads_addressing_registers(self):
+        (ins,) = disassemble(assemble("mov eax, dword ptr [ebx + esi*2]"))
+        read_names = {r.name for r in ins.reads()}
+        assert {"ebx", "esi", "eax"} <= read_names
+
+    def test_with_address(self):
+        ins = Instruction("nop")
+        moved = ins.with_address(0x100)
+        assert moved.address == 0x100
+        assert ins.address == 0  # original untouched
+
+
+class TestFormatting:
+    def test_str_forms(self):
+        assert str(Instruction("nop")) == "nop"
+        assert str(Instruction("mov", (reg("eax"), Imm(5, 4)))) == "mov eax, 5"
+        assert str(Instruction("jmp", (), label="top")) == "jmp top"
+
+    def test_listing(self):
+        listing = format_listing(disassemble(assemble("xor eax, eax\nret")))
+        lines = listing.splitlines()
+        assert lines[0].startswith("00000000")
+        assert "31c0" in lines[0]
+        assert "xor eax, eax" in lines[0]
+        assert "ret" in lines[1]
+
+    def test_listing_with_origin(self):
+        instructions = Assembler(origin=0x8000).assemble_listing("nop")
+        listing = format_listing(instructions)
+        assert listing.startswith("00008000")
+
+
+class TestOperandFormatting:
+    def test_fmt_imm(self):
+        assert fmt_imm(5) == "5"
+        assert fmt_imm(-3) == "-3"
+        assert fmt_imm(100) == "0x64"
+        assert fmt_imm(-100) == "-0x64"
+
+    def test_mem_str_forms(self):
+        assert str(Mem(size=1, base=reg("eax"))) == "byte ptr [eax]"
+        assert str(Mem(size=4, base=reg("ebx"), disp=8)) == "dword ptr [ebx + 8]"
+        assert str(Mem(size=4, base=reg("ebx"), disp=-8)) == "dword ptr [ebx - 8]"
+        text = str(Mem(size=4, base=reg("ebx"), index=reg("esi"), scale=4))
+        assert "ebx" in text and "esi*4" in text
+        assert str(Mem(size=2, disp=0x1000)) == "word ptr [0x1000]"
+
+    def test_imm_bounds(self):
+        import pytest
+        with pytest.raises(ValueError):
+            Imm(256, 1)
+        with pytest.raises(ValueError):
+            Imm(-129, 1)
+        assert Imm(255, 1).unsigned == 255
+        assert Imm(-1, 1).unsigned == 255
+        assert Imm(-1, 1).signed == -1
+
+    def test_mem_validation(self):
+        import pytest
+        with pytest.raises(ValueError):
+            Mem(scale=3)
+        with pytest.raises(ValueError):
+            Mem(size=8)
+        with pytest.raises(ValueError):
+            Mem(index=reg("esp"))

@@ -1,0 +1,51 @@
+"""Tests for repro.x86.registers."""
+
+import pytest
+
+from repro.x86.registers import GPR8, GPR16, GPR32, Register, reg, reg_by_code
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert reg("eax").code == 0
+        assert reg("edi").code == 7
+        assert reg("EAX") is reg("eax")  # interned + case-insensitive
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            reg("r8d")
+
+    def test_by_code(self):
+        assert reg_by_code(3, 4) is reg("ebx")
+        assert reg_by_code(3, 2) is reg("bx")
+        assert reg_by_code(3, 1) is reg("bl")
+
+    def test_by_code_invalid(self):
+        with pytest.raises(ValueError):
+            reg_by_code(8, 4)
+        with pytest.raises(ValueError):
+            reg_by_code(0, 3)
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("name,family", [
+        ("eax", "eax"), ("ax", "eax"), ("al", "eax"), ("ah", "eax"),
+        ("bl", "ebx"), ("bh", "ebx"), ("sp", "esp"), ("dh", "edx"),
+        ("si", "esi"), ("edi", "edi"),
+    ])
+    def test_family(self, name, family):
+        assert reg(name).family == family
+
+    def test_high_flags(self):
+        assert reg("ah").high and not reg("al").high
+
+    def test_overlaps(self):
+        assert reg("al").overlaps(reg("eax"))
+        assert reg("ah").overlaps(reg("ax"))
+        assert not reg("al").overlaps(reg("ebx"))
+
+    def test_sizes(self):
+        assert all(r.size == 4 for r in GPR32)
+        assert all(r.size == 2 for r in GPR16)
+        assert all(r.size == 1 for r in GPR8)
+        assert reg("eax").bits == 32

@@ -1,0 +1,160 @@
+"""Tests for rep-prefixed string operations across the toolchain."""
+
+import pytest
+
+from repro.ir.dataflow import ConstEnv, _transfer
+from repro.ir.lift import lift
+from repro.ir.ops import StringWrite
+from repro.x86.asm import assemble
+from repro.x86.disasm import disassemble
+from repro.x86.emulator import Emulator
+from repro.x86.errors import AssemblerError
+
+
+class TestAssembler:
+    @pytest.mark.parametrize("source,expected", [
+        ("rep stosb", "f3aa"),
+        ("rep stosd", "f3ab"),
+        ("rep movsb", "f3a4"),
+        ("rep movsd", "f3a5"),
+        ("rep lodsb", "f3ac"),
+        ("repe cmpsb", "f3a6"),
+        ("repz cmpsd", "f3a7"),
+        ("repne scasb", "f2ae"),
+        ("repnz scasd", "f2af"),
+    ])
+    def test_encodings(self, source, expected):
+        assert assemble(source).hex() == expected
+
+    def test_bad_combination(self):
+        with pytest.raises(AssemblerError):
+            assemble("rep nop")
+        with pytest.raises(AssemblerError):
+            assemble("rep cmpsb")  # cmps wants repe/repne
+
+
+class TestDisassembler:
+    def test_roundtrip(self):
+        source = "rep stosb\nrepe cmpsd\nrepne scasb"
+        decoded = disassemble(assemble(source))
+        assert [str(i) for i in decoded] == ["rep stosb", "repe cmpsd",
+                                             "repne scasb"]
+
+    def test_f2_on_non_string_op_ignored(self):
+        (ins,) = disassemble(bytes.fromhex("f390"))
+        assert ins.mnemonic == "nop"  # pause decodes as plain nop
+
+
+class TestLift:
+    def test_rep_stos_is_block_write(self):
+        (stmt,) = lift(disassemble(assemble("rep stosb")))
+        assert isinstance(stmt, StringWrite)
+        assert stmt.rep
+        assert "ecx" in stmt.defs()
+        assert "mem" in stmt.defs()
+
+    def test_rep_movs_defs(self):
+        (stmt,) = lift(disassemble(assemble("rep movsd")))
+        assert {"mem", "edi", "esi", "ecx"} <= stmt.defs()
+
+    def test_repe_cmps_clobbers_pointers(self):
+        stmts = lift(disassemble(assemble("repe cmpsb")))
+        defs = set().union(*(s.defs() for s in stmts))
+        assert {"ecx", "esi", "edi", "eflags"} <= defs
+
+
+class TestConstProp:
+    def test_known_count_advances_edi(self):
+        stmts = lift(disassemble(assemble(
+            "mov edi, 0x2000\nmov ecx, 8\nrep stosd")))
+        env = ConstEnv()
+        for s in stmts:
+            _transfer(s, env)
+        assert env.get("edi") == 0x2000 + 32
+        assert env.get("ecx") == 0
+
+    def test_unknown_count_clears(self):
+        stmts = lift(disassemble(assemble("mov edi, 0x2000\nrep stosb")))
+        env = ConstEnv()
+        for s in stmts:
+            _transfer(s, env)
+        assert env.get("edi") is None
+        assert env.get("ecx") is None
+
+
+class TestEmulator:
+    def _run(self, source, **regs):
+        emu = Emulator()
+        for k, v in regs.items():
+            emu.regs[k] = v
+        emu.load(assemble(source + "\nhlt"), base=0x1000)
+        emu.run()
+        return emu
+
+    def test_rep_stosb_fill(self):
+        emu = self._run("cld\nmov edi, 0x3000\nmov al, 0x7f\n"
+                        "mov ecx, 10\nrep stosb")
+        assert emu.mem.read(0x3000, 10) == b"\x7f" * 10
+        assert emu.regs["ecx"] == 0
+
+    def test_rep_movsd_copy(self):
+        emu = self._run("""
+            cld
+            mov dword ptr [0x3000], 0x11223344
+            mov dword ptr [0x3004], 0x55667788
+            mov esi, 0x3000
+            mov edi, 0x4000
+            mov ecx, 2
+            rep movsd
+        """)
+        assert emu.mem.read_u(0x4000, 4) == 0x11223344
+        assert emu.mem.read_u(0x4004, 4) == 0x55667788
+
+    def test_rep_with_zero_count_is_noop(self):
+        emu = self._run("cld\nmov edi, 0x3000\nmov al, 1\n"
+                        "xor ecx, ecx\nrep stosb")
+        assert emu.mem.read(0x3000, 4) == b"\x00" * 4
+
+    def test_repne_scasb_finds_byte(self):
+        emu = self._run("""
+            cld
+            mov byte ptr [0x3005], 0x2a
+            mov edi, 0x3000
+            mov al, 0x2a
+            mov ecx, 16
+            repne scasb
+        """)
+        # scan stops one past the match at 0x3005
+        assert emu.regs["edi"] == 0x3006
+        assert emu.regs["ecx"] == 16 - 6
+
+    def test_repe_cmpsb_stops_at_difference(self):
+        emu = self._run("""
+            cld
+            mov dword ptr [0x3000], 0x41414141
+            mov dword ptr [0x4000], 0x41424141
+            mov esi, 0x3000
+            mov edi, 0x4000
+            mov ecx, 8
+            repe cmpsb
+        """)
+        # 0x41424141 is 41 41 42 41 little-endian: first difference at
+        # offset 2; the scan consumes it and stops with esi one past.
+        assert emu.regs["esi"] == 0x3003
+
+
+class TestRepSledBehaviour:
+    def test_memset_like_loop_not_a_decoder(self):
+        """rep stosb writes memory but transforms nothing — must not match
+        the decoder templates."""
+        from repro.core import SemanticAnalyzer
+
+        code = assemble("""
+            cld
+            mov edi, 0x3000
+            xor eax, eax
+            mov ecx, 0x100
+            rep stosb
+            ret
+        """)
+        assert not SemanticAnalyzer().analyze_frame(code).detected

@@ -1,0 +1,143 @@
+"""Property tests: assembler/disassembler agreement.
+
+The invariant: for any instruction our assembler emits, the disassembler
+decodes exactly one instruction consuming exactly those bytes, and
+re-assembling the decoded form reproduces semantics (fixpoint after one
+round trip).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.x86.asm import assemble
+from repro.x86.disasm import disassemble
+from repro.x86.instruction import Instruction
+from repro.x86.operands import Imm, Mem
+from repro.x86.registers import GPR32, GPR8, reg
+
+REG32 = st.sampled_from([r.name for r in GPR32])
+REG8 = st.sampled_from([r.name for r in GPR8])
+IMM8 = st.integers(min_value=0, max_value=0xFF)
+IMM32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+SMALL_DISP = st.integers(min_value=-128, max_value=127)
+
+ALU = st.sampled_from(["add", "sub", "xor", "or", "and", "cmp", "adc", "sbb"])
+SHIFT = st.sampled_from(["shl", "shr", "sar", "rol", "ror"])
+SIMPLE = st.sampled_from(["nop", "ret", "leave", "cdq", "cwde", "cld", "std",
+                          "stosb", "stosd", "lodsb", "lodsd", "movsb",
+                          "movsd", "pushad", "popad", "int3", "hlt"])
+
+
+@st.composite
+def instruction_text(draw) -> str:
+    """One random assemblable instruction in Intel syntax."""
+    form = draw(st.integers(0, 19))
+    if form == 0:
+        return draw(SIMPLE)
+    if form == 1:
+        return f"mov {draw(REG32)}, {draw(IMM32):#x}"
+    if form == 2:
+        return f"mov {draw(REG8)}, {draw(IMM8):#x}"
+    if form == 3:
+        return f"{draw(ALU)} {draw(REG32)}, {draw(REG32)}"
+    if form == 4:
+        return f"{draw(ALU)} {draw(REG32)}, {draw(IMM32):#x}"
+    if form == 5:
+        base = draw(REG32)
+        disp = draw(SMALL_DISP)
+        sign = "+" if disp >= 0 else "-"
+        return f"mov {draw(REG32)}, dword ptr [{base} {sign} {abs(disp)}]"
+    if form == 6:
+        base = draw(st.sampled_from([r.name for r in GPR32 if r.name != "esp"]))
+        return f"xor byte ptr [{base}], {draw(IMM8):#x}"
+    if form == 7:
+        return f"{draw(st.sampled_from(['inc', 'dec']))} {draw(REG32)}"
+    if form == 8:
+        return f"{draw(st.sampled_from(['push', 'pop']))} {draw(REG32)}"
+    if form == 9:
+        return f"{draw(SHIFT)} {draw(REG32)}, {draw(st.integers(1, 31))}"
+    if form == 10:
+        return f"{draw(st.sampled_from(['not', 'neg', 'mul']))} {draw(REG32)}"
+    if form == 11:
+        # scaled-index memory operand (SIB)
+        base = draw(REG32)
+        index = draw(st.sampled_from([r.name for r in GPR32
+                                      if r.name != "esp"]))
+        scale = draw(st.sampled_from([1, 2, 4, 8]))
+        disp = draw(st.integers(0, 0x2000))
+        return (f"mov {draw(REG32)}, dword ptr "
+                f"[{base} + {index}*{scale} + {disp:#x}]")
+    if form == 12:
+        return f"movzx {draw(REG32)}, {draw(REG8)}"
+    if form == 13:
+        return f"movsx {draw(REG32)}, {draw(REG8)}"
+    if form == 14:
+        return f"xchg {draw(REG32)}, {draw(REG32)}"
+    if form == 15:
+        return f"imul {draw(REG32)}, {draw(REG32)}, {draw(st.integers(-128, 127))}"
+    if form == 16:
+        return draw(st.sampled_from(
+            ["rep stosb", "rep stosd", "rep movsb", "rep movsd",
+             "repe cmpsb", "repne scasb"]))
+    if form == 17:
+        base = draw(REG32)
+        return f"push dword ptr [{base}]"
+    if form == 18:
+        return f"mov ax, {draw(st.integers(0, 0xFFFF)):#x}"
+    base = draw(st.sampled_from([r.name for r in GPR32 if r.name != "esp"]))
+    return f"{draw(ALU)} dword ptr [{base}], {draw(REG32)}"
+
+
+def _semantics(ins: Instruction):
+    """Comparable semantic form: mnemonic + canonicalized operands."""
+    ops = []
+    for op in ins.operands:
+        if isinstance(op, Imm):
+            ops.append(("imm", op.unsigned))
+        elif isinstance(op, Mem):
+            ops.append(("mem", op.size,
+                        op.base.name if op.base else None,
+                        op.index.name if op.index else None,
+                        op.scale, op.disp))
+        else:
+            ops.append(("reg", op.name))
+    return (ins.mnemonic, tuple(ops))
+
+
+@given(st.lists(instruction_text(), min_size=1, max_size=12))
+@settings(max_examples=300, deadline=None)
+def test_assemble_disassemble_fixpoint(lines):
+    source = "\n".join(lines)
+    code = assemble(source)
+    decoded = disassemble(code)
+    # Bytes fully consumed, instruction count preserved.
+    assert b"".join(i.raw for i in decoded) == code
+    # Re-assembling the decoded text reproduces identical decoding.
+    recoded = assemble("\n".join(str(i) for i in decoded))
+    redecoded = disassemble(recoded)
+    assert [_semantics(a) for a in decoded] == [_semantics(b) for b in redecoded]
+
+
+@given(st.binary(min_size=0, max_size=64))
+@settings(max_examples=300, deadline=None)
+def test_disassembler_never_crashes_or_overreads(data):
+    """Arbitrary bytes either decode cleanly or raise DisassemblerError —
+    never index errors — and decoded instructions cover exactly their raw
+    bytes in order."""
+    from repro.x86.disasm import disassemble_frame
+
+    instructions, consumed = disassemble_frame(data)
+    assert 0 <= consumed <= len(data)
+    offset = 0
+    for ins in instructions:
+        assert ins.address == offset
+        assert data[offset : offset + ins.size] == ins.raw
+        offset += ins.size
+    assert offset == consumed
+
+
+@given(st.integers(0, 0xFFFFFFFF), st.sampled_from([r.name for r in GPR32]))
+@settings(max_examples=100, deadline=None)
+def test_mov_imm_roundtrip_value(value, regname):
+    (ins,) = disassemble(assemble(f"mov {regname}, {value:#x}"))
+    assert ins.operands[1].unsigned == value
+    assert ins.operands[0] is reg(regname)
