@@ -1,0 +1,130 @@
+"""Throughput: the parallel flow-sharded engine vs the serial seed path.
+
+Replays one mixed trace — benign HTTP/SMTP/DNS conversations, Code Red II
+sweeps, and polymorphic (ADMmutate) overflow campaigns — through three
+engine configurations:
+
+- ``seed-serial``: frame cache off, full-stream reanalysis (the behaviour
+  of the original serial pipeline, used as the baseline);
+- ``serial+cache``: the serial engine with the content-hash frame cache
+  and incremental reanalysis;
+- ``parallel-4``: :class:`ParallelSemanticNids` with four flow-sharded
+  workers plus the parent-side payload-digest cache.
+
+The acceptance bar is a >=3x packets/s speedup for parallel-4 over
+seed-serial with a byte-identical alert set; the cache hit rate is
+reported alongside.
+"""
+
+import time
+
+from repro.engines import AdmMutateEngine, generic_overflow_request, get_shellcode
+from repro.engines.codered import CodeRedHost
+from repro.net.layers import TCP_SYN
+from repro.net.packet import tcp_packet
+from repro.nids import ParallelSemanticNids, SemanticNids
+from repro.traffic import BenignMixGenerator
+
+NIDS_KW = dict(dark_networks=["10.0.0.0/8"], dark_exclude=["10.10.0.0/24"],
+               dark_threshold=5)
+
+
+def _tcp_flow(src, dst, sport, dport, request, base_time, mss=536):
+    """SYN + mss-sized data segments + FIN for one request."""
+    out = [tcp_packet(src, dst, sport, dport, flags=TCP_SYN, seq=100,
+                      timestamp=base_time)]
+    seq, t, off = 101, base_time + 0.001, 0
+    while off < len(request):
+        chunk = request[off:off + mss]
+        out.append(tcp_packet(src, dst, sport, dport, payload=chunk,
+                              flags=0x18, seq=seq, timestamp=t))
+        seq += len(chunk)
+        off += len(chunk)
+        t += 0.0005
+    out.append(tcp_packet(src, dst, sport, dport, flags=0x11, seq=seq,
+                          timestamp=t))
+    return out
+
+
+def build_mixed_trace(benign: int, crii: int, poly: int, victims: int,
+                      seed: int = 7):
+    """Benign mix + CRII sweeps + polymorphic overflow campaigns.
+
+    Each attacker first trips the dark-space classifier (so its payloads
+    reach the analysis stages), then replays one request against every
+    victim — the repetition a deployed sensor sees during a worm sweep,
+    and what the content-hash caches exploit.
+    """
+    packets = BenignMixGenerator(seed=seed).generate_packets(benign)
+    shell = get_shellcode("classic-execve").assemble()
+    for i in range(crii):
+        host = CodeRedHost(ip=f"10.{41 + i % 20}.{1 + i}.2", seed=seed + i)
+        base = 0.5 + i * 0.01
+        packets += host.scan_packets(count=8, base_time=base)
+        for v in range(victims):
+            packets += host.exploit_packets(f"10.10.0.{5 + v}",
+                                            base_time=base + 1 + v * 0.003)
+    for i in range(poly):
+        src = f"10.{61 + i % 20}.{1 + i}.3"
+        base = 0.7 + i * 0.01
+        for s in range(8):
+            packets.append(tcp_packet(src, f"10.66.{i + 1}.{s + 1}",
+                                      2000 + s, 80, flags=TCP_SYN, seq=1,
+                                      timestamp=base + s * 0.001))
+        request = generic_overflow_request(
+            AdmMutateEngine(seed=seed + i).mutate(shell, instance=i).data,
+            seed=i)
+        for v in range(victims):
+            packets += _tcp_flow(src, f"10.10.0.{5 + v}", 3000 + v, 80,
+                                 request, base + 1 + v * 0.003)
+    packets.sort(key=lambda p: p.timestamp)
+    return packets
+
+
+def _run(trace, nids):
+    start = time.perf_counter()
+    nids.process_trace(trace)
+    elapsed = time.perf_counter() - start
+    nids.close()
+    alerts = sorted((a.template, a.source) for a in nids.alerts)
+    return elapsed, alerts, nids.stats
+
+
+def test_throughput_parallel_vs_serial(benchmark, report, scale):
+    trace = build_mixed_trace(benign=scale["throughput_benign"],
+                              crii=scale["throughput_crii"],
+                              poly=scale["throughput_poly"],
+                              victims=scale["throughput_victims"])
+    payload_bytes = sum(len(p.payload) for p in trace)
+
+    # Benchmark the headline configuration end-to-end...
+    benchmark.pedantic(
+        lambda: _run(trace, ParallelSemanticNids(workers=4, **NIDS_KW)),
+        rounds=1, iterations=1)
+
+    # ...then measure all three configurations for the comparison table.
+    configs = [
+        ("seed-serial", lambda: SemanticNids(
+            frame_cache_size=0, reanalysis_overlap=None, **NIDS_KW)),
+        ("serial+cache", lambda: SemanticNids(**NIDS_KW)),
+        ("parallel-4", lambda: ParallelSemanticNids(workers=4, **NIDS_KW)),
+    ]
+    rows = [f"{'engine':14s} {'time':>8s} {'pkt/s':>8s} {'MB/s':>7s} "
+            f"{'alerts':>6s} {'cache hit%':>10s}"]
+    results = {}
+    for tag, make in configs:
+        elapsed, alerts, stats = _run(trace, make())
+        results[tag] = (elapsed, alerts)
+        rows.append(
+            f"{tag:14s} {elapsed:7.2f}s {len(trace) / elapsed:8.0f} "
+            f"{payload_bytes / elapsed / 1e6:7.2f} {len(alerts):6d} "
+            f"{stats.frame_cache_hit_rate * 100:9.1f}%")
+
+    speedup = results["seed-serial"][0] / results["parallel-4"][0]
+    rows.append(f"parallel-4 speedup over seed-serial: {speedup:.2f}x "
+                f"(target >= 3x) on {len(trace)} packets")
+    report.table("Throughput — parallel flow-sharded engine", rows)
+
+    assert results["serial+cache"][1] == results["seed-serial"][1]
+    assert results["parallel-4"][1] == results["seed-serial"][1]
+    assert speedup >= 3.0

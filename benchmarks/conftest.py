@@ -29,6 +29,10 @@ SCALES = {
         "admmutate_instances": 100,
         "clet_instances": 100,
         "netsky_size": 8 * 1024,
+        "throughput_benign": 150,
+        "throughput_crii": 20,
+        "throughput_poly": 20,
+        "throughput_victims": 8,
     },
     "paper": {
         "table3_packets": 200_000,
@@ -36,6 +40,10 @@ SCALES = {
         "admmutate_instances": 100,
         "clet_instances": 100,
         "netsky_size": 22 * 1024,
+        "throughput_benign": 600,
+        "throughput_crii": 40,
+        "throughput_poly": 40,
+        "throughput_victims": 12,
     },
 }
 

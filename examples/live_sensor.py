@@ -6,27 +6,43 @@ attacker; attaches the five-stage semantic NIDS as a passive tap; and
 shows alerts arriving in real time as the attacker probes the honeypot
 and then fires real exploits at a production server.
 
-Run:  python examples/live_sensor.py
+Run:  python examples/live_sensor.py [--workers N] [--no-frame-cache]
 """
+
+import argparse
 
 from repro.engines import EXPLOITS, ExploitGenerator
 from repro.net.wire import Host, Wire
-from repro.nids import NidsSensor, SemanticNids
+from repro.nids import NidsSensor, ParallelSemanticNids, SemanticNids
 from repro.traffic import BenignMixGenerator
 
 HONEYPOT = "10.10.0.250"
 PRODUCTION_SERVER = "10.10.0.20"
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="analysis worker processes, sharded by flow "
+                             "(0/1 = serial)")
+    parser.add_argument("--no-frame-cache", action="store_true",
+                        help="disable the content-hash frame cache")
+    args = parser.parse_args(argv)
+
     wire = Wire()
 
-    nids = SemanticNids(
+    kwargs = dict(
         honeypots=[HONEYPOT],
         dark_networks=["10.0.0.0/8"],
         dark_exclude=["10.10.0.0/24"],
         dark_threshold=5,
+        frame_cache_size=0 if args.no_frame_cache else 4096,
     )
+    if args.workers > 1:
+        nids = ParallelSemanticNids(workers=args.workers, **kwargs)
+        print(f"parallel engine: {args.workers} flow-sharded workers")
+    else:
+        nids = SemanticNids(**kwargs)
     sensor = NidsSensor(nids, on_alert=lambda a: print("  ALERT", a.format()))
     sensor.attach(wire)
     print(f"sensor attached; honeypot at {HONEYPOT}\n")
@@ -60,10 +76,12 @@ def main() -> None:
         benign.conversation(wire)
     print()
 
+    sensor.flush()  # drain any analysis still in flight (parallel engine)
     print("final state")
     print("-" * 64)
     print(nids.stats.summary())
     print(f"blocklist: {nids.blocklist.addresses()}")
+    nids.close()
     assert nids.blocklist.is_blocked("203.0.113.66")
     assert nids.alerts_by_template().get("linux_shell_spawn") == 2
     assert nids.alerts_by_template().get("port_bind_shell") == 1

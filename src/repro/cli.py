@@ -45,44 +45,62 @@ def sensor_main(argv: list[str] | None = None) -> int:
                         help="dark-space scan threshold t (default 5)")
     parser.add_argument("--no-classify", action="store_true",
                         help="analyze every payload (the §5.4 mode)")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="analysis worker processes, sharded by flow "
+                             "(0/1 = serial; default 0)")
+    parser.add_argument("--no-frame-cache", action="store_true",
+                        help="disable the content-hash frame cache")
     parser.add_argument("--verify", action="store_true",
                         help="emulate matched frames to confirm behaviour")
     parser.add_argument("--stats", action="store_true",
-                        help="print pipeline statistics")
+                        help="print pipeline statistics (per-stage timings "
+                             "and frame-cache hit rate)")
     parser.add_argument("--report", action="store_true",
                         help="print an incident report at the end")
     args = parser.parse_args(argv)
 
     from .core.emuverify import EmulationVerifier
     from .net.pcap import PcapError, PcapReader
-    from .nids import SemanticNids
+    from .nids import ParallelSemanticNids, SemanticNids
 
-    nids = SemanticNids(
+    kwargs = dict(
         honeypots=args.honeypot,
         dark_networks=args.dark_net or None,
         dark_exclude=args.dark_exclude or None,
         dark_threshold=args.threshold,
         classification_enabled=not args.no_classify,
+        frame_cache_size=0 if args.no_frame_cache else 4096,
     )
+    if args.workers > 1:
+        nids = ParallelSemanticNids(workers=args.workers, **kwargs)
+    else:
+        nids = SemanticNids(**kwargs)
     verifier = EmulationVerifier() if args.verify else None
+
+    def emit(alert) -> None:
+        line = alert.format()
+        if verifier is not None and alert.match is not None:
+            frame = _frame_bytes_for(alert)
+            if frame is not None:
+                verdict = verifier.verify(frame, alert.match)
+                line += f"  [{verdict.verdict}: {verdict.reason}]"
+        print(line)
 
     try:
         with PcapReader(args.pcap) as reader:
             for pkt in reader:
                 for alert in nids.process_packet(pkt):
-                    line = alert.format()
-                    if verifier is not None and alert.match is not None:
-                        frame = _frame_bytes_for(alert)
-                        if frame is not None:
-                            verdict = verifier.verify(frame, alert.match)
-                            line += f"  [{verdict.verdict}: {verdict.reason}]"
-                    print(line)
+                    emit(alert)
+        for alert in nids.flush():
+            emit(alert)
     except FileNotFoundError:
         print(f"error: no such file: {args.pcap}", file=sys.stderr)
         return 2
     except PcapError as exc:
         print(f"error: bad pcap: {exc}", file=sys.stderr)
         return 2
+    finally:
+        nids.close()
 
     if args.report:
         from .nids.report import build_report

@@ -8,8 +8,10 @@ trace, and reports which templates the code satisfies.
 
 from __future__ import annotations
 
+import hashlib
 import time
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 
 from ..x86.disasm import disassemble_frame
 from ..x86.instruction import Instruction
@@ -17,7 +19,7 @@ from .library import paper_templates
 from .matcher import MatchEngine, PreparedTrace, prepare_trace
 from .template import Template, TemplateMatch
 
-__all__ = ["AnalysisResult", "SemanticAnalyzer"]
+__all__ = ["AnalysisResult", "FrameCache", "SemanticAnalyzer"]
 
 
 @dataclass
@@ -29,6 +31,7 @@ class AnalysisResult:
     bytes_consumed: int = 0
     frame_size: int = 0
     elapsed: float = 0.0
+    cached: bool = False  # replayed from the frame cache
 
     @property
     def detected(self) -> bool:
@@ -44,6 +47,47 @@ class AnalysisResult:
         return "; ".join(m.summary() for m in self.matches)
 
 
+class FrameCache:
+    """Bounded LRU of :class:`AnalysisResult` keyed by frame content hash.
+
+    Byte-identical frames are rampant in real attack traffic — a worm's
+    payload is the same across thousands of victims, and even polymorphic
+    engines emit repeated sleds — so a hit here skips the whole
+    disassemble → lift → propagate → match pipeline.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self._entries: OrderedDict[bytes, AnalysisResult] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: bytes) -> AnalysisResult | None:
+        result = self._entries.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return result
+
+    def put(self, key: bytes, result: AnalysisResult) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
 class SemanticAnalyzer:
     """Matches a template set against binary frames.
 
@@ -51,6 +95,12 @@ class SemanticAnalyzer:
     than any meaningful behaviour needs — random payload bytes frequently
     decode to 1-3 junk instructions, and skipping them is a large part of
     the efficiency story.
+
+    ``frame_cache_size`` bounds the content-hash frame cache (0 disables
+    it).  The cache key is ``(sha1(frame bytes), template-set fingerprint,
+    base)``: the fingerprint ties an entry to the exact template set it was
+    computed under, so an analyzer restored with different templates (or a
+    shared cache, later) can never replay a stale match set.
     """
 
     def __init__(
@@ -58,16 +108,45 @@ class SemanticAnalyzer:
         templates: list[Template] | None = None,
         engine: MatchEngine | None = None,
         min_instructions: int = 3,
+        frame_cache_size: int = 4096,
     ) -> None:
         self.templates = templates if templates is not None else paper_templates()
         self.engine = engine or MatchEngine()
         self.min_instructions = min_instructions
         self.frames_analyzed = 0
         self.total_elapsed = 0.0
+        self.frame_cache = FrameCache(frame_cache_size) if frame_cache_size > 0 else None
+        self.template_fingerprint = self._fingerprint()
+
+    def _fingerprint(self) -> bytes:
+        """Stable digest of the template set + matcher configuration."""
+        h = hashlib.sha1()
+        for template in self.templates:
+            h.update(template.describe().encode())
+            h.update(b"\x00")
+        h.update(str(self.min_instructions).encode())
+        return h.digest()
 
     def analyze_frame(self, data: bytes, base: int = 0) -> AnalysisResult:
-        """Disassemble a binary frame and match all templates against it."""
+        """Disassemble a binary frame and match all templates against it.
+
+        With the frame cache enabled, a byte-identical frame seen earlier
+        (under the same template set and load address) replays the stored
+        result without touching the disassembler or matcher.
+        """
         start = time.perf_counter()
+        key = None
+        if self.frame_cache is not None:
+            key = (hashlib.sha1(data).digest()
+                   + self.template_fingerprint
+                   + base.to_bytes(8, "little", signed=True))
+            stored = self.frame_cache.get(key)
+            if stored is not None:
+                result = replace(stored, cached=True,
+                                 elapsed=time.perf_counter() - start)
+                self.frames_analyzed += 1
+                self.total_elapsed += result.elapsed
+                return result
         instructions, consumed = disassemble_frame(data, base)
         result = self._analyze(instructions)
         result.bytes_consumed = consumed
@@ -75,6 +154,8 @@ class SemanticAnalyzer:
         result.elapsed = time.perf_counter() - start
         self.frames_analyzed += 1
         self.total_elapsed += result.elapsed
+        if key is not None:
+            self.frame_cache.put(key, result)
         return result
 
     def analyze_instructions(self, instructions: list[Instruction]) -> AnalysisResult:

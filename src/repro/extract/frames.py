@@ -266,15 +266,41 @@ class BinaryExtractor:
                 best = run.start
         return data[:best]
 
-    @staticmethod
-    def _dedupe(frames: list[BinaryFrame]) -> list[BinaryFrame]:
-        """Drop frames whose data is a suffix/duplicate of an earlier one."""
+    _ORIGIN_SUFFIXES = ("-unicode", "-overflow", "-sled", "-body")
+
+    @classmethod
+    def _origin_group(cls, origin: str) -> str:
+        """Region name an origin was derived from ("http-body-sled" →
+        "http-body"): frames from different regions cannot be substrings
+        of each other by construction, so containment checks only need to
+        run within a group."""
+        for suffix in cls._ORIGIN_SUFFIXES:
+            if origin.endswith(suffix):
+                return origin[: -len(suffix)]
+        return origin
+
+    @classmethod
+    def _dedupe(cls, frames: list[BinaryFrame]) -> list[BinaryFrame]:
+        """Drop frames whose data is a suffix/duplicate of an earlier one.
+
+        Exact duplicates (the common case: the same decoded run reached via
+        two heuristics, or a worm payload repeated verbatim) are caught by a
+        hash set in O(1); the quadratic substring scan is reserved for
+        same-region frames, where one heuristic's frame can genuinely be a
+        suffix of another's.
+        """
         out: list[BinaryFrame] = []
-        seen: list[bytes] = []
+        seen_exact: set[bytes] = set()
+        by_group: dict[str, list[bytes]] = {}
         for frame in sorted(frames, key=lambda f: -len(f.data)):
-            if any(frame.data in prior for prior in seen):
+            if frame.data in seen_exact:
                 continue
-            seen.append(frame.data)
+            group = cls._origin_group(frame.origin)
+            kept = by_group.setdefault(group, [])
+            if any(frame.data in prior for prior in kept):
+                continue
+            seen_exact.add(frame.data)
+            kept.append(frame.data)
             out.append(frame)
         out.sort(key=lambda f: f.offset)
         return out

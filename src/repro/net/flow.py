@@ -74,6 +74,13 @@ class Stream:
     segments: dict[int, bytes] = field(default_factory=dict)
     fin_seen: bool = False
     stats: FlowStats = field(default_factory=FlowStats)
+    #: incremental-assembly cache: the contiguous prefix assembled so far.
+    #: Segments are immutable once inserted (first writer wins), so the
+    #: prefix only ever grows — ``data()`` extends it instead of rebuilding
+    #: the whole byte string on every call (the old O(n^2) per-packet cost).
+    _assembled: bytearray = field(default_factory=bytearray, repr=False)
+    _dirty: bool = False
+    _data_cache: bytes | None = field(default=None, repr=False)
 
     MAX_BUFFER = 4 * 1024 * 1024  # per-stream cap, mirrors real IDS limits
 
@@ -97,11 +104,16 @@ class Stream:
             self.segments = {off + delta: seg for off, seg in self.segments.items()}
             self.base_seq = tcp.seq
             offset = 0
+            # Every cached offset shifted: the assembled prefix is void.
+            self._assembled = bytearray()
+            self._data_cache = None
+            self._dirty = True
         if offset >= self.MAX_BUFFER:
             return
         self._insert(offset, pkt.payload[: self.MAX_BUFFER - offset])
 
     def _insert(self, offset: int, data: bytes) -> None:
+        self._dirty = True  # conservative: extension no-ops if nothing lands
         # Trim against existing segments (first writer wins).
         for seg_off in sorted(self.segments):
             seg = self.segments[seg_off]
@@ -126,16 +138,31 @@ class Stream:
         if data:
             self.segments[offset] = data
 
-    def data(self) -> bytes:
-        """Contiguous stream prefix from offset zero."""
-        out = bytearray()
-        expected = 0
-        for offset in sorted(self.segments):
+    def _extend_assembled(self) -> None:
+        """Advance the cached contiguous prefix over newly landed segments."""
+        if not self._dirty:
+            return
+        expected = len(self._assembled)
+        for offset in sorted(off for off in self.segments if off >= expected):
             if offset != expected:
                 break
-            out += self.segments[offset]
-            expected = offset + len(self.segments[offset])
-        return bytes(out)
+            seg = self.segments[offset]
+            self._assembled += seg
+            expected += len(seg)
+            self._data_cache = None
+        self._dirty = False
+
+    def data(self) -> bytes:
+        """Contiguous stream prefix from offset zero."""
+        self._extend_assembled()
+        if self._data_cache is None:
+            self._data_cache = bytes(self._assembled)
+        return self._data_cache
+
+    def contiguous_length(self) -> int:
+        """Length of the contiguous prefix, without materializing bytes."""
+        self._extend_assembled()
+        return len(self._assembled)
 
     def total_buffered(self) -> int:
         return sum(len(s) for s in self.segments.values())

@@ -4,9 +4,10 @@ wire-attached live sensor."""
 from .alerts import Alert, BlockList
 from .stats import NidsStats, StageTimer
 from .pipeline import SemanticNids
+from .parallel import ParallelSemanticNids
 from .sensor import NidsSensor
 from .report import AlertReport, build_report
 
 __all__ = ["Alert", "BlockList", "NidsStats", "StageTimer", "SemanticNids",
-           "NidsSensor",
+           "ParallelSemanticNids", "NidsSensor",
            "AlertReport", "build_report"]

@@ -1,0 +1,423 @@
+"""Flow-sharded parallel analysis engine.
+
+The expensive stages of the pipeline — binary extraction and semantic
+analysis (disassemble → lift → propagate → match) — are per-payload pure
+functions, so they parallelize cleanly.  :class:`ParallelSemanticNids`
+keeps the stateful stages (defragmentation, classification, stream
+reassembly, alert dedup, blocklist) in the parent process and ships each
+payload that survives classification to one of N single-process worker
+pools, selected by ``hash(FlowKey) % N``:
+
+- **sticky sharding** — all payloads of one flow land on the same worker,
+  preserving per-flow analysis order and letting each worker's
+  content-hash frame cache (`repro.core.analyzer.FrameCache`) see a
+  flow's repeated frames;
+- **picklable work units** — workers receive raw payload ``bytes``, never
+  live ``Stream``/``Template`` objects (templates hold lambdas and do not
+  pickle; each worker builds its own set from ``template_set`` by name);
+- **deterministic merge** — results are drained in submission order, so
+  the alert list, per-stream template dedup, and blocklist updates are
+  byte-identical to a serial run over the same capture;
+- **graceful degradation** — ``workers <= 1`` never spawns a pool, and a
+  dead worker (``BrokenProcessPool``) flips the engine to the serial path:
+  every in-flight payload is re-analyzed in-process, so no alert is lost.
+
+Alerts may surface a few packets later than in the serial engine (they
+are returned once the worker's result is drained); ``flush()`` — called
+automatically by ``process_trace`` — blocks until every pending payload
+has been merged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from ..core.analyzer import SemanticAnalyzer
+from ..core.library import (
+    all_templates,
+    decoder_templates,
+    paper_templates,
+    xor_only_templates,
+)
+from ..extract.frames import BinaryExtractor
+from ..net.flow import FlowKey
+from ..net.packet import Packet
+from .alerts import Alert
+from .pipeline import SemanticNids, _StreamState
+
+__all__ = ["ParallelSemanticNids", "TEMPLATE_SETS", "resolve_template_set"]
+
+#: Template sets addressable *by name*, so worker processes can rebuild
+#: them locally instead of unpickling template objects.
+TEMPLATE_SETS = {
+    "paper": paper_templates,
+    "all": all_templates,
+    "xor-only": xor_only_templates,
+    "decoder": decoder_templates,
+}
+
+
+def resolve_template_set(name: str):
+    """Template list for a named set; raises ``ValueError`` on unknown."""
+    try:
+        factory = TEMPLATE_SETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown template set {name!r}; expected one of "
+            f"{sorted(TEMPLATE_SETS)}") from None
+    return factory()
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MatchRecord:
+    """One template match, flattened to picklable fields."""
+
+    template: str
+    severity: str
+    origin: str
+    detail: str
+
+
+@dataclass
+class WorkResult:
+    """Outcome of analyzing one payload in a worker."""
+
+    matches: list[MatchRecord] = field(default_factory=list)
+    frames_extracted: int = 0
+    frames_analyzed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    extraction_elapsed: float = 0.0
+    analysis_elapsed: float = 0.0
+
+
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(template_set: str, frame_cache_size: int,
+                 min_instructions: int) -> None:
+    """Per-process initializer: build the stateless stage objects once."""
+    _WORKER_STATE["extractor"] = BinaryExtractor()
+    _WORKER_STATE["analyzer"] = SemanticAnalyzer(
+        templates=resolve_template_set(template_set),
+        min_instructions=min_instructions,
+        frame_cache_size=frame_cache_size,
+    )
+
+
+def _analyze_in_worker(payload: bytes) -> WorkResult:
+    """Stages (b)-(e) on one payload; mirrors SemanticNids._analyze_payload
+    minus the parent-side state (dedup, alerts, blocklist)."""
+    extractor: BinaryExtractor = _WORKER_STATE["extractor"]
+    analyzer: SemanticAnalyzer = _WORKER_STATE["analyzer"]
+    result = WorkResult()
+    start = time.perf_counter()
+    frames = extractor.extract(payload)
+    result.extraction_elapsed = time.perf_counter() - start
+    result.frames_extracted = len(frames)
+    for frame in frames:
+        start = time.perf_counter()
+        analysis = analyzer.analyze_frame(frame.data)
+        result.analysis_elapsed += time.perf_counter() - start
+        result.frames_analyzed += 1
+        if analyzer.frame_cache is not None:
+            if analysis.cached:
+                result.cache_hits += 1
+            else:
+                result.cache_misses += 1
+        for match in analysis.matches:
+            result.matches.append(MatchRecord(
+                template=match.template.name,
+                severity=match.template.severity,
+                origin=frame.origin,
+                detail=match.summary(),
+            ))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+class _DoneFuture:
+    """Future-alike wrapping an already-known result, so payload-cache
+    replays flow through the same in-order drain as live worker results."""
+
+    __slots__ = ("_result",)
+
+    def __init__(self, result: WorkResult) -> None:
+        self._result = result
+
+    def done(self) -> bool:
+        return True
+
+    def result(self) -> WorkResult:
+        return self._result
+
+
+@dataclass
+class _Pending:
+    """One in-flight payload awaiting its worker result."""
+
+    future: object  # concurrent.futures.Future[WorkResult] | _DoneFuture
+    timestamp: float
+    source: str | None
+    destination: str | None
+    payload: bytes
+    packet: Packet
+    state: _StreamState | None
+    digest: bytes | None = None  # payload-cache key to fill on completion
+    #: first submission of this digest (owns the worker round-trip); later
+    #: identical payloads share the owner's future and count as cache hits
+    owner: bool = False
+
+
+class ParallelSemanticNids(SemanticNids):
+    """:class:`SemanticNids` with extraction + analysis fanned out across
+    worker processes, sharded by flow.
+
+    Parameters (beyond :class:`SemanticNids`):
+
+    workers:
+        Number of worker processes.  ``None`` = ``os.cpu_count()``;
+        ``<= 1`` degrades to the fully serial path (no pools spawned).
+    template_set:
+        Name of the template set ("paper", "all", "xor-only", "decoder").
+        Named rather than passed as objects so workers can rebuild it —
+        template predicates are lambdas and do not pickle.
+    max_pending:
+        Backpressure bound: once this many payloads are in flight, the
+        oldest results are drained before new work is submitted.
+    payload_cache_size:
+        Bound on the parent-side payload-digest result cache: a payload
+        byte-identical to one already analyzed (a worm's request repeated
+        at every victim) replays the merged :class:`WorkResult` without a
+        worker round-trip at all.  Disabled alongside the frame cache
+        (``frame_cache_size=0``) so "no caching" means none anywhere.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        template_set: str = "paper",
+        max_pending: int = 256,
+        payload_cache_size: int = 2048,
+        **kwargs,
+    ) -> None:
+        if "templates" in kwargs:
+            raise ValueError(
+                "ParallelSemanticNids takes template_set=<name>, not "
+                "templates=: template objects cannot be shipped to workers")
+        self.template_set = template_set
+        super().__init__(templates=resolve_template_set(template_set), **kwargs)
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.max_pending = max_pending
+        self._pending: deque[_Pending] = deque()
+        self._degraded = False
+        self._pools: list[ProcessPoolExecutor] = []
+        caching_on = self.analyzer.frame_cache is not None
+        self.payload_cache_size = payload_cache_size if caching_on else 0
+        self._payload_cache: OrderedDict[bytes, WorkResult] = OrderedDict()
+        #: digest → future of the first, still-pending submission; identical
+        #: payloads arriving before it completes piggyback on that future
+        #: instead of paying another worker round-trip.
+        self._inflight: dict[bytes, object] = {}
+        if self.workers > 1:
+            cache_size = (self.analyzer.frame_cache.max_entries
+                          if self.analyzer.frame_cache is not None else 0)
+            self._pools = [
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_init_worker,
+                    initargs=(template_set, cache_size,
+                              self.analyzer.min_instructions),
+                )
+                for _ in range(self.workers)
+            ]
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "ParallelSemanticNids":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def flush(self) -> list[Alert]:
+        """Drain every pending worker result; returns the alerts raised."""
+        return self._drain(blocking=True)
+
+    def close(self) -> None:
+        """Drain pending work and shut the worker pools down."""
+        self.flush()
+        pools, self._pools = self._pools, []
+        for pool in pools:
+            # wait=True: flush() already drained the queues, so this is
+            # quick, and it avoids interpreter-exit races with the pool's
+            # management thread.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _shard_of(self, pkt: Packet) -> int:
+        try:
+            key = hash(FlowKey.of(pkt))
+        except ValueError:  # no transport flow (e.g. ICMP payload)
+            key = hash((pkt.src, pkt.dst))
+        return key % self.workers
+
+    def _analyze_payload(
+        self, pkt: Packet, payload: bytes, state: _StreamState | None
+    ) -> list[Alert]:
+        if self._degraded or not self._pools:
+            return super()._analyze_payload(pkt, payload, state)
+        digest = None
+        if self.payload_cache_size > 0:
+            digest = hashlib.sha1(payload).digest()
+            cached = self._payload_cache.get(digest)
+            if cached is not None:
+                # Replay through the pending queue so alerts still merge in
+                # submission order, exactly as a live result would.  Every
+                # frame of a replayed payload counts as a cache hit.
+                self._payload_cache.move_to_end(digest)
+                replay = WorkResult(
+                    matches=cached.matches,
+                    frames_extracted=cached.frames_extracted,
+                    frames_analyzed=cached.frames_analyzed,
+                    cache_hits=cached.frames_analyzed,
+                )
+                self.stats.payloads_analyzed += 1
+                self._pending.append(_Pending(
+                    future=_DoneFuture(replay), timestamp=pkt.timestamp,
+                    source=pkt.src, destination=pkt.dst, payload=payload,
+                    packet=pkt, state=state,
+                ))
+                return self._drain(blocking=False)
+            inflight = self._inflight.get(digest)
+            if inflight is not None:
+                # Same payload already on its way to a worker: share the
+                # future rather than paying a second round-trip.
+                self.stats.payloads_analyzed += 1
+                self._pending.append(_Pending(
+                    future=inflight, timestamp=pkt.timestamp, source=pkt.src,
+                    destination=pkt.dst, payload=payload, packet=pkt,
+                    state=state, digest=digest, owner=False,
+                ))
+                return self._drain(blocking=False)
+        shard = self._shard_of(pkt)
+        try:
+            future = self._pools[shard].submit(_analyze_in_worker, payload)
+        except (BrokenProcessPool, RuntimeError, OSError):
+            self._note_worker_failure()
+            return super()._analyze_payload(pkt, payload, state)
+        self.stats.payloads_analyzed += 1
+        self.stats.payloads_offloaded += 1
+        if digest is not None:
+            self._inflight[digest] = future
+        self._pending.append(_Pending(
+            future=future, timestamp=pkt.timestamp, source=pkt.src,
+            destination=pkt.dst, payload=payload, packet=pkt, state=state,
+            digest=digest, owner=True,
+        ))
+        return self._drain(blocking=False)
+
+    # -- merge --------------------------------------------------------------
+
+    def _drain(self, blocking: bool) -> list[Alert]:
+        """Merge completed results in submission order.
+
+        Submission order is what the serial engine would have used, so
+        alerts, dedup decisions, and blocklist updates come out identical
+        no matter how the workers interleave.
+        """
+        out: list[Alert] = []
+        while self._pending:
+            head = self._pending[0]
+            if (not blocking
+                    and len(self._pending) <= self.max_pending
+                    and not head.future.done()):
+                break
+            self._pending.popleft()
+            try:
+                result = head.future.result()
+            except (BrokenProcessPool, OSError, RuntimeError):
+                self._note_worker_failure()
+                if head.owner and head.digest is not None:
+                    self._inflight.pop(head.digest, None)
+                # Recover in-process: undo the submit-time count (the serial
+                # path re-counts) and run stages (b)-(e) locally.
+                self.stats.payloads_analyzed -= 1
+                out.extend(super()._analyze_payload(
+                    head.packet, head.payload, head.state))
+                continue
+            if head.digest is not None:
+                if head.owner:
+                    self._inflight.pop(head.digest, None)
+                    self._payload_cache[head.digest] = result
+                    self._payload_cache.move_to_end(head.digest)
+                    while len(self._payload_cache) > self.payload_cache_size:
+                        self._payload_cache.popitem(last=False)
+                else:
+                    # Piggybacked duplicate: account its frames as hits —
+                    # no worker round-trip or analysis was spent on it.
+                    result = WorkResult(
+                        matches=result.matches,
+                        frames_extracted=result.frames_extracted,
+                        frames_analyzed=result.frames_analyzed,
+                        cache_hits=result.frames_analyzed,
+                    )
+            out.extend(self._merge_result(head, result))
+        return out
+
+    def _merge_result(self, head: _Pending, result: WorkResult) -> list[Alert]:
+        self.stats.frames_extracted += result.frames_extracted
+        self.stats.frames_analyzed += result.frames_analyzed
+        self.stats.frame_cache_hits += result.cache_hits
+        self.stats.frame_cache_misses += result.cache_misses
+        self.stats.extraction.calls += 1
+        self.stats.extraction.elapsed += result.extraction_elapsed
+        self.stats.analysis.calls += result.frames_analyzed
+        self.stats.analysis.elapsed += result.analysis_elapsed
+        out: list[Alert] = []
+        for record in result.matches:
+            state = head.state
+            if state is not None and record.template in state.alerted_templates:
+                continue
+            if state is not None:
+                state.alerted_templates.add(record.template)
+            alert = Alert(
+                timestamp=head.timestamp,
+                source=head.source or "?",
+                destination=head.destination or "?",
+                template=record.template,
+                severity=record.severity,
+                frame_origin=record.origin,
+                detail=record.detail,
+                match=None,  # TemplateMatch objects stay in the worker
+            )
+            self.alerts.append(alert)
+            self.stats.alerts += 1
+            if head.source:
+                self.blocklist.block(head.source, head.timestamp)
+            out.append(alert)
+        return out
+
+    # -- failure handling ---------------------------------------------------
+
+    def _note_worker_failure(self) -> None:
+        """A worker died: record it and degrade to the serial path for all
+        subsequent payloads (pending results are still drained/recovered)."""
+        self.stats.worker_failures += 1
+        self._degraded = True

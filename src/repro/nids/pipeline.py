@@ -53,6 +53,14 @@ class SemanticNids:
         ``False`` reproduces §5.4: every payload is analyzed.
     max_rounds_per_stream:
         Cap on incremental re-analyses of one growing stream.
+    frame_cache_size:
+        Bound on the analyzer's content-hash frame cache; 0 disables it.
+    reanalysis_overlap:
+        When a grown stream is re-analyzed, only the new suffix plus this
+        many already-analyzed bytes are re-extracted (the window covers any
+        frame or sled straddling the boundary).  ``None`` restores the old
+        behaviour of re-scanning the entire stream every round, which is
+        quadratic in transfer length.
     """
 
     def __init__(
@@ -67,6 +75,8 @@ class SemanticNids:
         classification_enabled: bool = True,
         max_rounds_per_stream: int = 64,
         reanalysis_growth: int = 4096,
+        frame_cache_size: int = 4096,
+        reanalysis_overlap: int | None = 16384,
     ) -> None:
         self.classifier = TrafficClassifier(
             honeypots=HoneypotRegistry.of(honeypots or []),
@@ -81,7 +91,8 @@ class SemanticNids:
         self.defragmenter = IpDefragmenter()
         self.reassembler = StreamReassembler()
         self.extractor = BinaryExtractor()
-        self.analyzer = SemanticAnalyzer(templates=templates)
+        self.analyzer = SemanticAnalyzer(templates=templates,
+                                         frame_cache_size=frame_cache_size)
         self.blocklist = BlockList()
         self.stats = NidsStats()
         self.alerts: list[Alert] = []
@@ -90,6 +101,7 @@ class SemanticNids:
         #: after each additional ``reanalysis_growth`` bytes, and at FIN —
         #: bounding the quadratic cost of rescanning long transfers.
         self.reanalysis_growth = reanalysis_growth
+        self.reanalysis_overlap = reanalysis_overlap
         self._stream_state: dict[FlowKey, _StreamState] = {}
 
     # -- packet path ---------------------------------------------------------
@@ -113,8 +125,10 @@ class SemanticNids:
             if stream is None:
                 return []
             state = self._stream_state.setdefault(stream.key, _StreamState())
-            data = stream.data()
-            grown = len(data) - state.analyzed_len
+            # Growth check via the stream's byte counter: no payload is
+            # materialized unless a re-analysis is actually due.
+            contiguous = stream.contiguous_length()
+            grown = contiguous - state.analyzed_len
             should = (
                 grown > 0
                 and state.analysis_rounds < self.max_rounds_per_stream
@@ -126,7 +140,14 @@ class SemanticNids:
             )
             if should:
                 state.analysis_rounds += 1
-                state.analyzed_len = len(data)
+                data = stream.data()
+                if self.reanalysis_overlap is not None:
+                    # Incremental re-analysis: the already-analyzed prefix
+                    # is skipped except for a fixed overlap window sized to
+                    # cover any frame/sled straddling the old boundary.
+                    window_start = max(0, state.analyzed_len - self.reanalysis_overlap)
+                    data = data[window_start:]
+                state.analyzed_len = contiguous
                 new_alerts = self._analyze_payload(pkt, data, state)
         elif pkt.payload:
             new_alerts = self._analyze_payload(pkt, pkt.payload, None)
@@ -137,7 +158,18 @@ class SemanticNids:
         before = len(self.alerts)
         for pkt in packets:
             self.process_packet(pkt)
+        self.flush()
         return self.alerts[before:]
+
+    def flush(self) -> list[Alert]:
+        """Complete any deferred analysis (no-op for the serial engine;
+        the parallel engine drains its worker queues here)."""
+        return []
+
+    def close(self) -> None:
+        """Release engine resources (worker pools, for the parallel
+        engine).  The serial engine holds none."""
+        self.flush()
 
     # -- stages (b)-(e) ---------------------------------------------------------
 
@@ -153,6 +185,11 @@ class SemanticNids:
             with self.stats.analysis.timed():
                 result = self.analyzer.analyze_frame(frame.data)
             self.stats.frames_analyzed += 1
+            if self.analyzer.frame_cache is not None:
+                if result.cached:
+                    self.stats.frame_cache_hits += 1
+                else:
+                    self.stats.frame_cache_misses += 1
             for match in result.matches:
                 name = match.template.name
                 if state is not None and name in state.alerted_templates:

@@ -29,6 +29,14 @@ class AlertReport:
     last_alert: float | None = None
     blocked: list[str] = field(default_factory=list)
     pipeline_summary: str = ""
+    frame_cache_hits: int = 0
+    frame_cache_misses: int = 0
+    worker_failures: int = 0
+
+    @property
+    def frame_cache_hit_rate(self) -> float:
+        total = self.frame_cache_hits + self.frame_cache_misses
+        return self.frame_cache_hits / total if total else 0.0
 
     def to_dict(self) -> dict:
         """Machine-readable form (JSON-serializable)."""
@@ -47,6 +55,12 @@ class AlertReport:
             },
             "window": [self.first_alert, self.last_alert],
             "blocked": list(self.blocked),
+            "frame_cache": {
+                "hits": self.frame_cache_hits,
+                "misses": self.frame_cache_misses,
+                "hit_rate": self.frame_cache_hit_rate,
+            },
+            "worker_failures": self.worker_failures,
         }
 
     def render(self) -> str:
@@ -94,6 +108,9 @@ def build_report(nids: SemanticNids) -> AlertReport:
         by_template=nids.alerts_by_template(),
         blocked=nids.blocklist.addresses(),
         pipeline_summary=nids.stats.summary(),
+        frame_cache_hits=nids.stats.frame_cache_hits,
+        frame_cache_misses=nids.stats.frame_cache_misses,
+        worker_failures=nids.stats.worker_failures,
     )
     for alert in nids.alerts:
         report.by_severity[alert.severity] = (

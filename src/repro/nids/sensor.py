@@ -34,7 +34,17 @@ class NidsSensor:
         wire.attach(self._tap)
 
     def detach(self, wire: Wire) -> None:
+        """Stop observing the wire.  Any analysis still in flight (the
+        parallel engine defers payloads to workers) is drained first so no
+        alert callback is lost."""
         wire.detach(self._tap)
+        self.flush()
+
+    def flush(self) -> None:
+        """Drain deferred analysis and deliver the resulting alerts."""
+        for alert in self.nids.flush():
+            if self.on_alert is not None:
+                self.on_alert(alert)
 
     def _tap(self, pkt: Packet) -> None:
         for alert in self.nids.process_packet(pkt):

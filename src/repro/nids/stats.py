@@ -46,10 +46,23 @@ class NidsStats:
     frames_extracted: int = 0
     frames_analyzed: int = 0
     alerts: int = 0
+    #: content-hash frame cache (repro.core.analyzer.FrameCache) outcomes;
+    #: both stay 0 when the cache is disabled.
+    frame_cache_hits: int = 0
+    frame_cache_misses: int = 0
+    #: parallel engine: payloads shipped to worker processes, and worker
+    #: failures survived by falling back to the serial path.
+    payloads_offloaded: int = 0
+    worker_failures: int = 0
     classify: StageTimer = field(default_factory=lambda: StageTimer("classify"))
     reassembly: StageTimer = field(default_factory=lambda: StageTimer("reassembly"))
     extraction: StageTimer = field(default_factory=lambda: StageTimer("extraction"))
     analysis: StageTimer = field(default_factory=lambda: StageTimer("analysis"))
+
+    @property
+    def frame_cache_hit_rate(self) -> float:
+        total = self.frame_cache_hits + self.frame_cache_misses
+        return self.frame_cache_hits / total if total else 0.0
 
     def summary(self) -> str:
         lines = [
@@ -58,6 +71,17 @@ class NidsStats:
             f"frames={self.frames_extracted} analyzed={self.frames_analyzed} "
             f"alerts={self.alerts}",
         ]
+        if self.frame_cache_hits or self.frame_cache_misses:
+            lines.append(
+                f"frame cache: hits={self.frame_cache_hits} "
+                f"misses={self.frame_cache_misses} "
+                f"hit_rate={self.frame_cache_hit_rate:.1%}"
+            )
+        if self.payloads_offloaded or self.worker_failures:
+            lines.append(
+                f"workers: payloads_offloaded={self.payloads_offloaded} "
+                f"failures={self.worker_failures}"
+            )
         for stage in (self.classify, self.reassembly, self.extraction, self.analysis):
             lines.append(
                 f"  {stage.name:12s} calls={stage.calls:8d} "

@@ -128,6 +128,47 @@ class TestStreamReassembly:
         assert stream.stats.first_seen == 5.0
 
 
+class TestAssemblyCache:
+    """data() is incrementally assembled and cached between calls."""
+
+    def test_repeated_calls_return_cached_object(self):
+        r = StreamReassembler()
+        stream = r.feed(_seg(b"hello", 100))
+        assert stream.data() is stream.data()  # no rebuild per call
+
+    def test_cache_extends_as_segments_land(self):
+        r = StreamReassembler()
+        stream = r.feed(_seg(b"ab", 100))
+        assert stream.data() == b"ab"
+        r.feed(_seg(b"ef", 104))  # hole at 102..103
+        assert stream.data() == b"ab"
+        r.feed(_seg(b"cd", 102))  # hole filled: prefix jumps over both
+        assert stream.data() == b"abcdef"
+
+    def test_contiguous_length_tracks_data(self):
+        r = StreamReassembler()
+        stream = r.feed(_seg(b"abc", 100))
+        r.feed(_seg(b"xyz", 110))  # disjoint tail, not contiguous
+        assert stream.contiguous_length() == 3
+        assert stream.contiguous_length() == len(stream.data())
+
+    def test_overlap_does_not_corrupt_cache(self):
+        r = StreamReassembler()
+        stream = r.feed(_seg(b"abcd", 100))
+        assert stream.data() == b"abcd"
+        r.feed(_seg(b"XXefgh", 102))  # overlapping retransmit + new tail
+        assert stream.data() == b"abcdefgh"
+
+    def test_rebase_invalidates_cache(self):
+        r = StreamReassembler()
+        stream = r.feed(_seg(b"world", 1000))
+        assert stream.data() == b"world"
+        # An earlier segment arrives: base shifts down, offsets move.
+        r.feed(_seg(b"hello", 995))
+        assert stream.data() == b"helloworld"
+        assert stream.contiguous_length() == 10
+
+
 @given(st.binary(min_size=1, max_size=300), st.randoms())
 def test_reassembly_segmentation_property(data, rnd):
     """Any segmentation of a byte stream, delivered in any order,
