@@ -50,6 +50,9 @@ def sensor_main(argv: list[str] | None = None) -> int:
                              "(0/1 = serial; default 0)")
     parser.add_argument("--no-frame-cache", action="store_true",
                         help="disable the content-hash frame cache")
+    parser.add_argument("--max-streams", type=int, default=65536, metavar="N",
+                        help="bound on concurrently tracked TCP streams "
+                             "(evicted oldest-first; default 65536)")
     parser.add_argument("--verify", action="store_true",
                         help="emulate matched frames to confirm behaviour")
     parser.add_argument("--stats", action="store_true",
@@ -70,6 +73,7 @@ def sensor_main(argv: list[str] | None = None) -> int:
         dark_threshold=args.threshold,
         classification_enabled=not args.no_classify,
         frame_cache_size=0 if args.no_frame_cache else 4096,
+        max_streams=args.max_streams,
     )
     if args.workers > 1:
         nids = ParallelSemanticNids(workers=args.workers, **kwargs)
@@ -254,22 +258,38 @@ def make_trace_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=1000)
     parser.add_argument("--benign-only", action="store_true",
                         help="no CRII injection (a §5.4-style capture)")
-    args = parser.parse_args(argv)
 
     from .net.pcap import write_pcap
-    from .traffic import BenignMixGenerator, build_table3_trace
+    from .traffic import BenignMixGenerator, apply_evasion, build_table3_trace
+    from .traffic import evasion_names
 
+    parser.add_argument("--evade", action="append", default=[],
+                        choices=evasion_names(), metavar="TRANSFORM",
+                        help="rewrite the trace through an evasion transform "
+                             f"(repeatable, applied in order; one of: "
+                             f"{', '.join(evasion_names())})")
+    parser.add_argument("--evade-seed", type=int, default=0,
+                        help="seed for evasion randomness (default 0)")
+    args = parser.parse_args(argv)
+
+    def evaded(packets):
+        for name in args.evade:
+            packets = apply_evasion(name, packets, seed=args.evade_seed)
+        return packets
+
+    suffix = f" (evaded: {', '.join(args.evade)})" if args.evade else ""
     if args.benign_only:
         gen = BenignMixGenerator(seed=args.seed)
-        packets = gen.generate_packets(max(1, args.packets // 18))
-        write_pcap(args.output, packets[: args.packets])
-        print(f"wrote {min(len(packets), args.packets)} benign packets "
-              f"to {args.output}")
+        packets = evaded(gen.generate_packets(max(1, args.packets // 18))
+                         [: args.packets])
+        write_pcap(args.output, packets)
+        print(f"wrote {len(packets)} benign packets to {args.output}{suffix}")
         return 0
     trace = build_table3_trace(args.index, target_packets=args.packets,
                                seed=args.seed)
-    write_pcap(args.output, trace.packets)
-    print(f"wrote {trace.packet_count} packets to {args.output} "
+    packets = evaded(trace.packets)
+    write_pcap(args.output, packets)
+    print(f"wrote {len(packets)} packets to {args.output} "
           f"({trace.crii_instances} CRII instances from "
-          f"{', '.join(trace.crii_sources) or 'none'})")
+          f"{', '.join(trace.crii_sources) or 'none'}){suffix}")
     return 0

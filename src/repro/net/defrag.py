@@ -6,6 +6,14 @@ individually never sees the contiguous payload.  :class:`IpDefragmenter`
 sits in front of the pipeline and reassembles fragmented datagrams the
 way the end host would (first-fragment-wins on overlap, BSD-style),
 so the extraction stage always sees whole transport segments.
+
+The reassembler is written to survive *adversarial* fragment streams,
+not just well-formed ones: overlapping fragments are trimmed in both
+directions (a fragment starting before an already-buffered chunk has
+its tail trimmed, teardrop-style overlaps included), retransmitted last
+fragments still establish the datagram length, per-datagram and total
+buffer memory are bounded, and every drop/trim/eviction is counted so
+the pipeline can surface evasion pressure in its statistics.
 """
 
 from __future__ import annotations
@@ -20,29 +28,67 @@ __all__ = ["IpDefragmenter", "fragment_packet"]
 _MF = 0x1  # more-fragments flag (bit 0 of our 3-bit flags field: RFC bit 13)
 _DF = 0x2
 
+#: An IPv4 datagram (header + payload) can never exceed 64 KiB; fragments
+#: claiming bytes beyond this are forged and are dropped outright.
+_MAX_DATAGRAM = 65535
+
 
 @dataclass
 class _FragmentBuffer:
-    """Accumulates the fragments of one datagram."""
+    """Accumulates the fragments of one datagram.
+
+    Chunks are kept non-overlapping by construction: each incoming
+    fragment is trimmed first-writer-wins against everything already
+    buffered — its head against chunks that start at or before it, and
+    its tail against chunks it would run into (the case a fragment
+    arrives *before* a later-offset chunk it overlaps).
+    """
 
     chunks: dict[int, bytes] = field(default_factory=dict)
     total_len: int | None = None  # known once the MF=0 fragment arrives
     first_seen: float = 0.0
+    buffered: int = 0  # bytes currently stored across all chunks
 
-    def add(self, offset: int, data: bytes, last: bool) -> None:
-        # first-writer-wins, like the TCP reassembler
-        for existing_off in sorted(self.chunks):
-            seg = self.chunks[existing_off]
-            if existing_off <= offset < existing_off + len(seg):
-                overlap = existing_off + len(seg) - offset
-                data = data[overlap:]
-                offset += overlap
-                if not data:
-                    return
+    def add(self, offset: int, data: bytes, last: bool) -> tuple[int, int]:
+        """Insert one fragment; returns ``(stored, trimmed)`` byte counts.
+
+        The datagram length claim of an MF=0 fragment is taken from its
+        *untrimmed* extent, before any overlap trimming — a retransmitted
+        or fully-overlapped last fragment must still complete reassembly.
+        First writer wins for the length too: a later, conflicting MF=0
+        claim cannot shrink or grow an already-claimed datagram.
+        """
+        if last and self.total_len is None:
+            self.total_len = offset + len(data)
+        stored = trimmed = 0
+        for seg_off in sorted(self.chunks):
+            seg = self.chunks[seg_off]
+            seg_end = seg_off + len(seg)
+            if seg_end <= offset or seg_off >= offset + len(data):
+                continue
+            if seg_off <= offset:
+                # Existing chunk covers our head: drop the covered bytes.
+                skip = min(len(data), seg_end - offset)
+                trimmed += skip
+                offset += skip
+                data = data[skip:]
+            else:
+                # We start before an existing chunk: keep the fresh head,
+                # drop the covered middle, continue with any tail beyond.
+                head = data[: seg_off - offset]
+                if head:
+                    self.chunks[offset] = head
+                    stored += len(head)
+                trimmed += min(offset + len(data), seg_end) - seg_off
+                data = data[seg_end - offset:]
+                offset = seg_end
+            if not data:
+                break
         if data:
             self.chunks[offset] = data
-        if last:
-            self.total_len = offset + len(data)
+            stored += len(data)
+        self.buffered += stored
+        return stored, trimmed
 
     def complete(self) -> bytes | None:
         if self.total_len is None:
@@ -50,13 +96,15 @@ class _FragmentBuffer:
         out = bytearray()
         expected = 0
         for offset in sorted(self.chunks):
+            if expected >= self.total_len:
+                break  # forged bytes beyond the claimed end: ignore
             if offset != expected:
-                return None
+                return None  # hole
             out += self.chunks[offset]
             expected += len(self.chunks[offset])
-        if expected != self.total_len:
+        if expected < self.total_len:
             return None
-        return bytes(out)
+        return bytes(out[: self.total_len])
 
 
 class IpDefragmenter:
@@ -66,14 +114,26 @@ class IpDefragmenter:
     straight through; fragments return ``None`` until the datagram
     completes, at which point the reassembled packet (with its transport
     header re-decoded) is returned.
+
+    Memory is bounded twice over: a fragment claiming bytes past the
+    64 KiB datagram limit is dropped, and the aggregate buffered bytes
+    across all half-reassembled datagrams are capped at
+    ``max_total_bytes`` (oldest datagrams evicted first), on top of the
+    ``max_datagrams`` entry cap and the idle ``timeout``.
     """
 
-    def __init__(self, max_datagrams: int = 4096, timeout: float = 30.0) -> None:
+    def __init__(self, max_datagrams: int = 4096, timeout: float = 30.0,
+                 max_total_bytes: int = 8 * 1024 * 1024) -> None:
         self._buffers: dict[tuple, _FragmentBuffer] = {}
         self.max_datagrams = max_datagrams
         self.timeout = timeout
+        self.max_total_bytes = max_total_bytes
         self.fragments_seen = 0
+        self.fragments_dropped = 0
+        self.overlaps_trimmed = 0  # bytes removed by first-writer-wins trims
         self.datagrams_reassembled = 0
+        self.datagrams_evicted = 0
+        self.bytes_buffered = 0
 
     def feed(self, pkt: Packet) -> Packet | None:
         if pkt.ip is None:
@@ -83,6 +143,14 @@ class IpDefragmenter:
             return pkt
         self.fragments_seen += 1
 
+        # A fragmented packet's transport header (if any) was parsed out of
+        # the first fragment by Packet.decode; recover the raw IP payload.
+        raw = self._raw_ip_payload(pkt)
+        offset = pkt.ip.frag_offset * 8
+        if offset + len(raw) > _MAX_DATAGRAM:
+            self.fragments_dropped += 1  # forged: no datagram is this big
+            return None
+
         key = (pkt.ip.src, pkt.ip.dst, pkt.ip.ident, pkt.ip.proto)
         buffer = self._buffers.get(key)
         if buffer is None:
@@ -90,27 +158,39 @@ class IpDefragmenter:
             buffer = _FragmentBuffer(first_seen=pkt.timestamp)
             self._buffers[key] = buffer
 
-        # A fragmented packet's transport header (if any) was parsed out of
-        # the first fragment by Packet.decode; recover the raw IP payload.
-        raw = self._raw_ip_payload(pkt)
-        buffer.add(pkt.ip.frag_offset * 8, raw, last=not (pkt.ip.flags & _MF))
+        stored, trimmed = buffer.add(offset, raw, last=not (pkt.ip.flags & _MF))
+        self.bytes_buffered += stored
+        self.overlaps_trimmed += trimmed
+        if trimmed and not stored:
+            # A duplicate/retransmission contributing nothing new.
+            self.fragments_dropped += 1
 
         data = buffer.complete()
         if data is None:
+            if self.bytes_buffered > self.max_total_bytes:
+                self._evict(pkt.timestamp)
             return None
-        del self._buffers[key]
+        self._drop_buffer(key, evicted=False)
         self.datagrams_reassembled += 1
         return self._rebuild(pkt, data)
 
+    def _drop_buffer(self, key: tuple, evicted: bool) -> None:
+        buffer = self._buffers.pop(key)
+        self.bytes_buffered -= buffer.buffered
+        if evicted:
+            self.datagrams_evicted += 1
+
     def _evict(self, now: float) -> None:
-        if len(self._buffers) < self.max_datagrams:
-            stale = [k for k, b in self._buffers.items()
-                     if now - b.first_seen > self.timeout]
-            for k in stale:
-                del self._buffers[k]
-            return
-        oldest = min(self._buffers, key=lambda k: self._buffers[k].first_seen)
-        del self._buffers[oldest]
+        stale = [k for k, b in self._buffers.items()
+                 if now - b.first_seen > self.timeout]
+        for k in stale:
+            self._drop_buffer(k, evicted=True)
+        while self._buffers and (
+                len(self._buffers) >= self.max_datagrams
+                or self.bytes_buffered > self.max_total_bytes):
+            oldest = min(self._buffers,
+                         key=lambda k: self._buffers[k].first_seen)
+            self._drop_buffer(oldest, evicted=True)
 
     @staticmethod
     def _raw_ip_payload(pkt: Packet) -> bytes:
@@ -148,11 +228,15 @@ class IpDefragmenter:
         return pkt
 
 
-def fragment_packet(pkt: Packet, fragment_size: int = 64) -> list[Packet]:
+def fragment_packet(pkt: Packet, fragment_size: int = 64,
+                    ident: int | None = None) -> list[Packet]:
     """Split a packet into IP fragments (the attacker-side tool).
 
     ``fragment_size`` is rounded down to a multiple of 8 (fragment offsets
-    are in 8-byte units).
+    are in 8-byte units).  ``ident`` overrides the IP identification field
+    of the emitted fragments; callers fragmenting several packets of one
+    flow must give each datagram a distinct ident or their fragments will
+    share a reassembly buffer.
     """
     if pkt.ip is None:
         raise ValueError("cannot fragment a packet without an IP header")
@@ -161,6 +245,8 @@ def fragment_packet(pkt: Packet, fragment_size: int = 64) -> list[Packet]:
         data = IpDefragmenter._raw_ip_payload(pkt)
     else:
         data = pkt.payload
+    if ident is None:
+        ident = pkt.ip.ident or 0x4242
     out: list[Packet] = []
     for offset in range(0, len(data), fragment_size):
         chunk = data[offset : offset + fragment_size]
@@ -168,7 +254,7 @@ def fragment_packet(pkt: Packet, fragment_size: int = 64) -> list[Packet]:
         from .layers import Ipv4
 
         ip = Ipv4(src=pkt.ip.src, dst=pkt.ip.dst, proto=pkt.ip.proto,
-                  ttl=pkt.ip.ttl, ident=pkt.ip.ident or 0x4242,
+                  ttl=pkt.ip.ttl, ident=ident,
                   flags=0 if last else _MF, frag_offset=offset // 8)
         out.append(Packet(ip=ip, payload=chunk, timestamp=pkt.timestamp))
     return out

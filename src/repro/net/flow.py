@@ -11,7 +11,7 @@ segments the way a first-writer-wins IDS reassembler does.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator
 
 from .layers import TCP_FIN, TCP_RST, TCP_SYN, Tcp
 from .packet import Packet
@@ -74,6 +74,9 @@ class Stream:
     segments: dict[int, bytes] = field(default_factory=dict)
     fin_seen: bool = False
     stats: FlowStats = field(default_factory=FlowStats)
+    #: bytes currently buffered across all segments, kept incrementally so
+    #: memory accounting never walks the segment dict.
+    buffered: int = 0
     #: incremental-assembly cache: the contiguous prefix assembled so far.
     #: Segments are immutable once inserted (first writer wins), so the
     #: prefix only ever grows — ``data()`` extends it instead of rebuilding
@@ -84,7 +87,8 @@ class Stream:
 
     MAX_BUFFER = 4 * 1024 * 1024  # per-stream cap, mirrors real IDS limits
 
-    def add(self, pkt: Packet) -> None:
+    def add(self, pkt: Packet) -> int:
+        """Merge one segment; returns the bytes trimmed by overlap."""
         tcp = pkt.l4
         assert isinstance(tcp, Tcp)
         self.stats.update(pkt)
@@ -95,12 +99,12 @@ class Stream:
         if tcp.flags & (TCP_FIN | TCP_RST):
             self.fin_seen = True
         if not pkt.payload:
-            return
+            return 0
         offset = (tcp.seq - self.base_seq) & 0xFFFFFFFF
         if offset >= 1 << 31:  # segment precedes the current base: rebase
             delta = (1 << 32) - offset
             if delta >= self.MAX_BUFFER:
-                return
+                return 0
             self.segments = {off + delta: seg for off, seg in self.segments.items()}
             self.base_seq = tcp.seq
             offset = 0
@@ -109,11 +113,13 @@ class Stream:
             self._data_cache = None
             self._dirty = True
         if offset >= self.MAX_BUFFER:
-            return
-        self._insert(offset, pkt.payload[: self.MAX_BUFFER - offset])
+            return 0
+        return self._insert(offset, pkt.payload[: self.MAX_BUFFER - offset])
 
-    def _insert(self, offset: int, data: bytes) -> None:
+    def _insert(self, offset: int, data: bytes) -> int:
+        """First-writer-wins merge; returns the bytes trimmed by overlap."""
         self._dirty = True  # conservative: extension no-ops if nothing lands
+        trimmed = 0
         # Trim against existing segments (first writer wins).
         for seg_off in sorted(self.segments):
             seg = self.segments[seg_off]
@@ -121,22 +127,27 @@ class Stream:
             if seg_end <= offset or seg_off >= offset + len(data):
                 continue
             if seg_off <= offset:
-                skip = seg_end - offset
+                skip = min(len(data), seg_end - offset)
+                trimmed += skip
                 if skip >= len(data):
-                    return
+                    return trimmed
                 offset += skip
                 data = data[skip:]
             else:
                 head = data[: seg_off - offset]
                 if head:
                     self.segments[offset] = head
+                    self.buffered += len(head)
+                trimmed += min(offset + len(data), seg_end) - seg_off
                 tail_off = seg_end
                 tail = data[tail_off - offset:]
                 offset, data = tail_off, tail
                 if not data:
-                    return
+                    return trimmed
         if data:
             self.segments[offset] = data
+            self.buffered += len(data)
+        return trimmed
 
     def _extend_assembled(self) -> None:
         """Advance the cached contiguous prefix over newly landed segments."""
@@ -165,7 +176,7 @@ class Stream:
         return len(self._assembled)
 
     def total_buffered(self) -> int:
-        return sum(len(s) for s in self.segments.values())
+        return self.buffered
 
 
 class StreamReassembler:
@@ -175,13 +186,26 @@ class StreamReassembler:
     stream a packet belonged to (or ``None``) so callers can re-inspect the
     reassembled message after every segment, which is how the NIDS triggers
     extraction as soon as a request is complete enough to parse.
+
+    Memory is bounded by ``max_streams`` (entry count) and
+    ``max_total_bytes`` (aggregate buffered payload, on top of the
+    per-stream ``Stream.MAX_BUFFER``); the least-recently-active stream is
+    evicted first.  ``on_evict`` — called with the evicted stream's
+    :class:`FlowKey` — lets the pipeline drop its own per-stream state in
+    lockstep, so no side table outlives the stream it describes.
     """
 
-    def __init__(self, max_streams: int = 65536) -> None:
+    def __init__(self, max_streams: int = 65536,
+                 max_total_bytes: int = 256 * 1024 * 1024,
+                 on_evict: Callable[[FlowKey], None] | None = None) -> None:
         self.streams: dict[FlowKey, Stream] = {}
         self.max_streams = max_streams
+        self.max_total_bytes = max_total_bytes
+        self.on_evict = on_evict
         self.non_tcp_packets = 0
         self.evicted = 0
+        self.overlaps_trimmed = 0  # bytes dropped by first-writer-wins trims
+        self.bytes_buffered = 0
 
     def feed(self, pkt: Packet) -> Stream | None:
         if not pkt.is_tcp:
@@ -194,13 +218,24 @@ class StreamReassembler:
                 self._evict_oldest()
             stream = Stream(key=key)
             self.streams[key] = stream
-        stream.add(pkt)
+        before = stream.buffered
+        self.overlaps_trimmed += stream.add(pkt)
+        self.bytes_buffered += stream.buffered - before
+        # Keep aggregate memory bounded even against many fat streams; the
+        # stream just fed is spared so an in-progress message survives.
+        while self.bytes_buffered > self.max_total_bytes and len(self.streams) > 1:
+            self._evict_oldest(spare=key)
         return stream
 
-    def _evict_oldest(self) -> None:
-        victim = min(self.streams.values(), key=lambda s: s.stats.last_seen)
+    def _evict_oldest(self, spare: FlowKey | None = None) -> None:
+        victim = min(
+            (s for s in self.streams.values() if s.key != spare),
+            key=lambda s: s.stats.last_seen)
         del self.streams[victim.key]
+        self.bytes_buffered -= victim.buffered
         self.evicted += 1
+        if self.on_evict is not None:
+            self.on_evict(victim.key)
 
     def finished_streams(self) -> Iterator[Stream]:
         """Streams whose FIN/RST has been observed."""

@@ -80,18 +80,32 @@ class Packet:
     def decode(cls, data: bytes, timestamp: float = 0.0) -> "Packet":
         """Parse wire bytes into a packet, degrading gracefully: an
         unrecognized ethertype leaves the bytes in ``payload``; an
-        unrecognized IP protocol leaves the transport bytes in ``payload``."""
+        unrecognized IP protocol leaves the transport bytes in ``payload``.
+
+        Fragments are never transport-decoded: a non-first fragment
+        carries no transport header at all, and a first fragment's header
+        may be split mid-field (a tiny-fragment evasion) — the raw bytes
+        are kept byte-exact in ``payload`` for the defragmenter.  A
+        truncated transport header on an unfragmented packet likewise
+        degrades to a raw payload instead of failing the whole capture.
+        """
         eth, rest = Ethernet.decode(data)
         pkt = cls(eth=eth, timestamp=timestamp)
         if eth.ethertype != 0x0800:
             pkt.payload = rest
             return pkt
         pkt.ip, rest = Ipv4.decode(rest)
+        if pkt.ip.frag_offset > 0 or pkt.ip.flags & 0x1:  # MF
+            pkt.payload = rest
+            return pkt
         decoder = {PROTO_TCP: Tcp, PROTO_UDP: Udp, PROTO_ICMP: Icmp}.get(pkt.ip.proto)
         if decoder is None:
             pkt.payload = rest
             return pkt
-        pkt.l4, pkt.payload = decoder.decode(rest)
+        try:
+            pkt.l4, pkt.payload = decoder.decode(rest)
+        except DecodeError:
+            pkt.payload = rest
         return pkt
 
     def describe(self) -> str:

@@ -48,6 +48,7 @@ class PcapWriter:
         else:
             self._fh = open(path, "wb")
             self._owns = True
+        self._snaplen = snaplen
         self._fh.write(
             struct.pack(
                 "<IHHiIII", _MAGIC_LE, 2, 4, 0, 0, snaplen, _LINKTYPE_ETHERNET
@@ -62,8 +63,12 @@ class PcapWriter:
         usec = int(round((timestamp - sec) * 1_000_000))
         if usec == 1_000_000:  # avoid rounding past the next second
             sec, usec = sec + 1, 0
-        self._fh.write(struct.pack("<IIII", sec, usec, len(data), len(data)))
-        self._fh.write(data)
+        # Honour the snaplen declared in the global header: caplen is the
+        # truncated capture, origlen records the true wire length.
+        captured = data[: self._snaplen]
+        self._fh.write(
+            struct.pack("<IIII", sec, usec, len(captured), len(data)))
+        self._fh.write(captured)
 
     def close(self) -> None:
         if self._owns:

@@ -256,8 +256,12 @@ class ParallelSemanticNids(SemanticNids):
         self.close()
 
     def flush(self) -> list[Alert]:
-        """Drain every pending worker result; returns the alerts raised."""
-        return self._drain(blocking=True)
+        """Finalize unexamined stream tails, then drain every pending
+        worker result; returns the alerts raised."""
+        self._finalize_streams()
+        out = self._drain(blocking=True)
+        self.sync_frontend_stats()
+        return out
 
     def close(self) -> None:
         """Drain pending work and shut the worker pools down."""

@@ -22,6 +22,7 @@ from ..core.template import Template
 from ..extract.frames import BinaryExtractor
 from ..net.defrag import IpDefragmenter
 from ..net.flow import FlowKey, StreamReassembler
+from ..net.layers import Ipv4
 from ..net.packet import Packet
 from .alerts import Alert, BlockList
 from .stats import NidsStats
@@ -61,6 +62,10 @@ class SemanticNids:
         frame or sled straddling the boundary).  ``None`` restores the old
         behaviour of re-scanning the entire stream every round, which is
         quadratic in transfer length.
+    max_streams:
+        Bound on concurrently tracked TCP streams.  Evicting a stream also
+        drops its per-stream analysis state, so the sensor's memory stays
+        bounded under flow-churn floods.
     """
 
     def __init__(
@@ -77,6 +82,7 @@ class SemanticNids:
         reanalysis_growth: int = 4096,
         frame_cache_size: int = 4096,
         reanalysis_overlap: int | None = 16384,
+        max_streams: int = 65536,
     ) -> None:
         self.classifier = TrafficClassifier(
             honeypots=HoneypotRegistry.of(honeypots or []),
@@ -89,7 +95,8 @@ class SemanticNids:
             enabled=classification_enabled,
         )
         self.defragmenter = IpDefragmenter()
-        self.reassembler = StreamReassembler()
+        self.reassembler = StreamReassembler(max_streams=max_streams,
+                                             on_evict=self._on_stream_evicted)
         self.extractor = BinaryExtractor()
         self.analyzer = SemanticAnalyzer(templates=templates,
                                          frame_cache_size=frame_cache_size)
@@ -162,9 +169,59 @@ class SemanticNids:
         return self.alerts[before:]
 
     def flush(self) -> list[Alert]:
-        """Complete any deferred analysis (no-op for the serial engine;
-        the parallel engine drains its worker queues here)."""
-        return []
+        """Complete any deferred analysis: streams with buffered growth
+        that never crossed a re-analysis trigger get one final pass (the
+        parallel engine additionally drains its worker queues here)."""
+        before = len(self.alerts)
+        self._finalize_streams()
+        self.sync_frontend_stats()
+        return self.alerts[before:]
+
+    def _finalize_streams(self) -> None:
+        """End-of-capture analysis of unexamined stream tails.
+
+        Detection must not depend on the attacker's courtesy: a flow that
+        ends without FIN, whose first segment was tiny and whose total
+        growth stayed under ``reanalysis_growth``, would otherwise never
+        be re-analyzed past its first bytes — an evasion by scheduling
+        rather than by reassembly.  Idempotent: a second flush finds no
+        new growth.
+        """
+        for stream in list(self.reassembler.streams.values()):
+            contiguous = stream.contiguous_length()
+            state = self._stream_state.setdefault(stream.key, _StreamState())
+            grown = contiguous - state.analyzed_len
+            if (grown <= 0
+                    or state.analysis_rounds >= self.max_rounds_per_stream):
+                continue
+            state.analysis_rounds += 1
+            data = stream.data()
+            if self.reanalysis_overlap is not None:
+                window_start = max(0, state.analyzed_len - self.reanalysis_overlap)
+                data = data[window_start:]
+            state.analyzed_len = contiguous
+            # Attribution context: the stream's sender, stamped with its
+            # last activity (there is no "current packet" at flush time).
+            pkt = Packet(ip=Ipv4(src=stream.key.src, dst=stream.key.dst,
+                                 proto=stream.key.proto),
+                         timestamp=stream.stats.last_seen)
+            self._analyze_payload(pkt, data, state)
+
+    def _on_stream_evicted(self, key: FlowKey) -> None:
+        """Reassembler eviction hook: drop the matching analysis state so
+        ``_stream_state`` stays bounded by the reassembler's stream cap."""
+        if self._stream_state.pop(key, None) is not None:
+            self.stats.state_evicted += 1
+
+    def sync_frontend_stats(self) -> None:
+        """Copy the reassembly front-end's counters into :class:`NidsStats`
+        (called at flush and report time; the components own the live
+        values)."""
+        self.stats.fragments_dropped = self.defragmenter.fragments_dropped
+        self.stats.datagrams_evicted = self.defragmenter.datagrams_evicted
+        self.stats.overlaps_trimmed = (self.defragmenter.overlaps_trimmed
+                                       + self.reassembler.overlaps_trimmed)
+        self.stats.streams_evicted = self.reassembler.evicted
 
     def close(self) -> None:
         """Release engine resources (worker pools, for the parallel

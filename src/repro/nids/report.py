@@ -32,6 +32,13 @@ class AlertReport:
     frame_cache_hits: int = 0
     frame_cache_misses: int = 0
     worker_failures: int = 0
+    #: reassembly front-end counters (evasion pressure absorbed during the
+    #: run): see :class:`repro.nids.stats.NidsStats`.
+    fragments_dropped: int = 0
+    overlaps_trimmed: int = 0
+    datagrams_evicted: int = 0
+    streams_evicted: int = 0
+    state_evicted: int = 0
 
     @property
     def frame_cache_hit_rate(self) -> float:
@@ -61,6 +68,13 @@ class AlertReport:
                 "hit_rate": self.frame_cache_hit_rate,
             },
             "worker_failures": self.worker_failures,
+            "frontend": {
+                "fragments_dropped": self.fragments_dropped,
+                "overlaps_trimmed": self.overlaps_trimmed,
+                "datagrams_evicted": self.datagrams_evicted,
+                "streams_evicted": self.streams_evicted,
+                "state_evicted": self.state_evicted,
+            },
         }
 
     def render(self) -> str:
@@ -96,6 +110,16 @@ class AlertReport:
             first = min(alerts, key=lambda a: a.timestamp)
             lines.append(f"    first seen t={first.timestamp:.3f} "
                          f"-> {first.destination} ({first.frame_origin})")
+        if (self.fragments_dropped or self.overlaps_trimmed
+                or self.datagrams_evicted or self.streams_evicted
+                or self.state_evicted):
+            lines.append("")
+            lines.append("evasion pressure absorbed:")
+            lines.append(f"  fragments dropped    {self.fragments_dropped}")
+            lines.append(f"  overlap bytes trimmed {self.overlaps_trimmed}")
+            lines.append(f"  evictions: datagrams={self.datagrams_evicted} "
+                         f"streams={self.streams_evicted} "
+                         f"state={self.state_evicted}")
         if self.pipeline_summary:
             lines += ["", "pipeline:", self.pipeline_summary]
         return "\n".join(lines)
@@ -103,6 +127,7 @@ class AlertReport:
 
 def build_report(nids: SemanticNids) -> AlertReport:
     """Summarize a sensor's accumulated alerts."""
+    nids.sync_frontend_stats()
     report = AlertReport(
         total_alerts=len(nids.alerts),
         by_template=nids.alerts_by_template(),
@@ -111,6 +136,11 @@ def build_report(nids: SemanticNids) -> AlertReport:
         frame_cache_hits=nids.stats.frame_cache_hits,
         frame_cache_misses=nids.stats.frame_cache_misses,
         worker_failures=nids.stats.worker_failures,
+        fragments_dropped=nids.stats.fragments_dropped,
+        overlaps_trimmed=nids.stats.overlaps_trimmed,
+        datagrams_evicted=nids.stats.datagrams_evicted,
+        streams_evicted=nids.stats.streams_evicted,
+        state_evicted=nids.stats.state_evicted,
     )
     for alert in nids.alerts:
         report.by_severity[alert.severity] = (

@@ -54,6 +54,17 @@ class NidsStats:
     #: failures survived by falling back to the serial path.
     payloads_offloaded: int = 0
     worker_failures: int = 0
+    #: front-end (reassembly) counters: evasion pressure the sensor absorbed.
+    #: ``overlaps_trimmed`` is bytes discarded by first-writer-wins trimming
+    #: across both the IP defragmenter and the TCP reassembler;
+    #: ``fragments_dropped`` counts forged/duplicate fragments contributing
+    #: nothing; the ``*_evicted`` counters record bounded-memory evictions
+    #: of half-reassembled datagrams, streams, and per-stream analysis state.
+    fragments_dropped: int = 0
+    overlaps_trimmed: int = 0
+    datagrams_evicted: int = 0
+    streams_evicted: int = 0
+    state_evicted: int = 0
     classify: StageTimer = field(default_factory=lambda: StageTimer("classify"))
     reassembly: StageTimer = field(default_factory=lambda: StageTimer("reassembly"))
     extraction: StageTimer = field(default_factory=lambda: StageTimer("extraction"))
@@ -81,6 +92,16 @@ class NidsStats:
             lines.append(
                 f"workers: payloads_offloaded={self.payloads_offloaded} "
                 f"failures={self.worker_failures}"
+            )
+        if (self.fragments_dropped or self.overlaps_trimmed
+                or self.datagrams_evicted or self.streams_evicted
+                or self.state_evicted):
+            lines.append(
+                f"front-end: fragments_dropped={self.fragments_dropped} "
+                f"overlaps_trimmed={self.overlaps_trimmed} "
+                f"datagrams_evicted={self.datagrams_evicted} "
+                f"streams_evicted={self.streams_evicted} "
+                f"state_evicted={self.state_evicted}"
             )
         for stage in (self.classify, self.reassembly, self.extraction, self.analysis):
             lines.append(

@@ -5,6 +5,7 @@ from .dns_gen import DnsTrafficModel, encode_qname
 from .smtp_gen import SmtpTrafficModel
 from .mix import BenignMixGenerator, MixStats
 from .radiation import RadiationGenerator
+from .evasion import EVASIONS, EvasionTransform, apply_evasion, evasion_names
 from .traces import (
     LabeledTrace, TABLE3_INSTANCE_COUNTS, build_table3_trace, month_of_traffic,
 )
@@ -13,6 +14,7 @@ __all__ = [
     "HttpTrafficModel", "DnsTrafficModel", "encode_qname", "SmtpTrafficModel",
     "BenignMixGenerator", "MixStats",
     "RadiationGenerator",
+    "EVASIONS", "EvasionTransform", "apply_evasion", "evasion_names",
     "LabeledTrace", "TABLE3_INSTANCE_COUNTS", "build_table3_trace",
     "month_of_traffic",
 ]

@@ -183,3 +183,43 @@ def test_reassembly_segmentation_property(data, rnd):
     for offset, chunk in segments:
         stream = r.feed(_seg(chunk, 1000 + offset))
     assert stream.data() == data
+
+
+class TestReassemblerHardening:
+    """Eviction callbacks, overlap counters, and byte-budget accounting."""
+
+    def test_on_evict_callback_reports_victims(self):
+        evicted = []
+        r = StreamReassembler(max_streams=2, on_evict=evicted.append)
+        for i in range(4):
+            pkt = _seg(b"x", 100, sport=3000 + i)
+            pkt.timestamp = float(i)
+            r.feed(pkt)
+        assert r.evicted == 2
+        assert [k.sport for k in evicted] == [3000, 3001]
+
+    def test_overlap_trim_counter(self):
+        r = StreamReassembler()
+        r.feed(_seg(b"abcd", 100))
+        r.feed(_seg(b"XXef", 102))  # 2 bytes re-sent
+        assert r.overlaps_trimmed == 2
+
+    def test_bytes_buffered_accounting(self):
+        r = StreamReassembler()
+        r.feed(_seg(b"abcd", 100))
+        r.feed(_seg(b"efgh", 104, sport=1001))
+        assert r.bytes_buffered == 8
+        r.feed(_seg(b"abcd", 100))  # full duplicate: nothing stored
+        assert r.bytes_buffered == 8
+
+    def test_byte_budget_evicts_oldest_not_current(self):
+        evicted = []
+        r = StreamReassembler(max_total_bytes=1000, on_evict=evicted.append)
+        for i in range(5):
+            pkt = _seg(b"z" * 400, 100, sport=4000 + i)
+            pkt.timestamp = float(i)
+            r.feed(pkt)
+        assert r.bytes_buffered <= 1000
+        assert r.evicted >= 2
+        # the stream being fed is never its own eviction victim
+        assert all(k.sport != 4004 for k in evicted)

@@ -87,3 +87,32 @@ class TestErrors:
         clipped = io.BytesIO(raw[:-3])
         with pytest.raises(PcapError):
             list(PcapReader(clipped))
+
+
+class TestSnaplen:
+    def test_write_raw_honours_snaplen(self):
+        buf = io.BytesIO()
+        writer = PcapWriter(buf, snaplen=64)
+        writer.write_raw(1.0, bytes(range(100)))
+        raw = buf.getvalue()
+        sec, usec, caplen, origlen = struct.unpack("<IIII", raw[24:40])
+        assert caplen == 64          # truncated capture
+        assert origlen == 100        # true wire length preserved
+        assert raw[40:] == bytes(range(64))
+
+    def test_reader_returns_truncated_record(self):
+        buf = io.BytesIO()
+        writer = PcapWriter(buf, snaplen=64)
+        writer.write_raw(2.5, bytes(range(100)))
+        buf.seek(0)
+        record = next(PcapReader(buf).records())
+        assert record.data == bytes(range(64))
+        assert record.timestamp == 2.5
+
+    def test_default_snaplen_keeps_whole_packet(self):
+        buf = io.BytesIO()
+        writer = PcapWriter(buf)
+        writer.write_raw(0.0, b"q" * 2000)
+        raw = buf.getvalue()
+        _, _, caplen, origlen = struct.unpack("<IIII", raw[24:40])
+        assert caplen == origlen == 2000

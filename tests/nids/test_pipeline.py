@@ -176,3 +176,25 @@ class TestBlockList:
         assert not bl.is_blocked("4.3.2.1")
         assert len(bl) == 1
         assert bl.addresses() == ["1.2.3.4"]
+
+
+class TestBoundedStreamState:
+    def test_stream_state_bounded_by_max_streams(self):
+        """Per-stream analysis state is evicted in lockstep with the
+        reassembler: a flow-churn flood cannot grow memory without bound."""
+        nids = SemanticNids(classification_enabled=False, max_streams=64)
+        for i in range(500):
+            pkt = tcp_packet(f"10.{i % 200 + 1}.2.3", "10.0.0.1",
+                             1000 + i, 80, payload=b"GET / HTTP/1.0\r\n",
+                             seq=1, timestamp=float(i))
+            nids.process_packet(pkt)
+        assert len(nids.reassembler.streams) <= 64
+        assert len(nids._stream_state) <= 64
+        nids.flush()
+        assert len(nids._stream_state) <= 64
+        assert nids.stats.streams_evicted == 436
+        assert nids.stats.state_evicted == 436
+
+    def test_max_streams_reaches_reassembler(self):
+        nids = SemanticNids(max_streams=7)
+        assert nids.reassembler.max_streams == 7
