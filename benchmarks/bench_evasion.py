@@ -7,9 +7,12 @@ inflation, whether the alert set matched the un-evaded baseline, the
 front-end counters (overlap bytes trimmed, fragments dropped), and wall
 time.  The acceptance bar is MATCH on every row: an attacker gains
 nothing by re-encoding delivery.
-"""
 
-import time
+Wall time per transform comes from a ``bench.*`` tracer span rather than
+a hand-rolled clock, and every engine carries the bench tracer so the
+``bench_tracer`` fixture can print a per-stage time breakdown across the
+whole gauntlet — the same spans ``repro-sensor --trace-out`` streams.
+"""
 
 from repro.engines import (
     AdmMutateEngine,
@@ -70,21 +73,20 @@ def _alert_set(nids):
     return sorted((a.template, a.source) for a in nids.alerts)
 
 
-def _run(packets):
-    nids = SemanticNids(**NIDS_KW)
-    start = time.perf_counter()
-    nids.process_trace(packets)
-    elapsed = time.perf_counter() - start
-    nids.close()
-    return nids, elapsed
+def _run(packets, tracer, tag):
+    nids = SemanticNids(tracer=tracer, **NIDS_KW)
+    with tracer.span(f"bench.{tag}") as span:
+        nids.process_trace(packets)
+        nids.close()
+    return nids, span.duration
 
 
 class TestEvasionGauntletBench:
-    def test_gauntlet(self, scale, report):
+    def test_gauntlet(self, scale, report, bench_tracer):
         poly = max(2, scale["throughput_poly"] // 8)
         crii = max(2, scale["throughput_crii"] // 8)
         trace = build_attack_trace(poly=poly, crii=crii)
-        baseline_nids, baseline_t = _run(trace)
+        baseline_nids, baseline_t = _run(trace, bench_tracer, "baseline")
         baseline = _alert_set(baseline_nids)
         assert baseline, "baseline trace must alert"
 
@@ -99,7 +101,7 @@ class TestEvasionGauntletBench:
         mismatches = []
         for name in evasion_names():
             evaded = apply_evasion(name, trace, seed=3)
-            nids, elapsed = _run(evaded)
+            nids, elapsed = _run(evaded, bench_tracer, name)
             match = _alert_set(nids) == baseline
             if not match:
                 mismatches.append(name)

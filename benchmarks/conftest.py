@@ -18,6 +18,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs import aggregate_spans, Tracer
+
 OUT_DIR = Path(__file__).parent / "out"
 
 SCALE = os.environ.get("REPRO_SCALE", "quick")
@@ -75,3 +77,40 @@ def report():
     path = OUT_DIR / "results.txt"
     with open(path, "a") as fh:
         fh.write("\n".join(lines) + "\n")
+
+
+def stage_breakdown_rows(spans) -> list[str]:
+    """Per-stage time/bytes table from a span stream (what ``--trace-out``
+    emits); shared by every bench that attaches a tracer."""
+    agg = aggregate_spans(spans)
+    rows = [f"{'stage':14s} {'calls':>9s} {'seconds':>9s} {'Mbytes':>8s} "
+            f"{'MB/s':>8s}"]
+    for stage in sorted(agg, key=lambda s: -agg[s]["seconds"]):
+        a = agg[stage]
+        rate = a["bytes"] / a["seconds"] / 1e6 if a["seconds"] else 0.0
+        rows.append(f"{stage:14s} {a['calls']:9d} {a['seconds']:8.3f}s "
+                    f"{a['bytes'] / 1e6:8.2f} {rate:8.1f}")
+    return rows
+
+
+@pytest.fixture
+def bench_tracer(report, request):
+    """An in-memory tracer for one bench.
+
+    Benches attach it to the engines they run (``tracer=bench_tracer``)
+    and time whole configurations with ``bench_tracer.span(...)`` — the
+    same span machinery ``repro-sensor --trace-out`` streams to disk.  On
+    teardown the collected spans are folded into a per-stage time
+    breakdown and appended to the results artifact.
+    """
+    tracer = Tracer(max_spans=2_000_000)
+    yield tracer
+    stage_spans = [s for s in tracer.spans
+                   if not s.stage.startswith("bench.")]
+    if stage_spans:
+        rows = stage_breakdown_rows(stage_spans)
+        if tracer.dropped:
+            rows.append(f"(!) {tracer.dropped} spans dropped at the "
+                        f"in-memory buffer cap — totals are partial")
+        report.table(
+            f"Per-stage span breakdown — {request.node.name}", rows)

@@ -8,10 +8,9 @@ configuration: every packet payload is analyzed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from ..net.inet import int_to_ip, ip_to_int
 from ..net.packet import Packet
+from ..obs import MetricField, MetricsRegistry, StageTimer, Tracer, bind_metrics
 from .darkspace import DarkSpaceMonitor
 from .fanout import SmtpFanoutMonitor
 from .honeypot import HoneypotRegistry
@@ -19,16 +18,32 @@ from .honeypot import HoneypotRegistry
 __all__ = ["TrafficClassifier", "ClassifierStats"]
 
 
-@dataclass
 class ClassifierStats:
     """Counters for the efficiency story: how much traffic the classifier
-    kept away from the CPU-intensive stages."""
+    kept away from the CPU-intensive stages.  Registry-backed views; the
+    attribute names predate the observability layer."""
 
-    packets_seen: int = 0
-    packets_forwarded: int = 0
-    honeypot_marks: int = 0
-    darkspace_marks: int = 0
-    fanout_marks: int = 0
+    packets_seen = MetricField(
+        "repro_classify_packets_total",
+        help="Packets inspected by the classifier.", unit="packets")
+    packets_forwarded = MetricField(
+        "repro_classify_forwarded_total",
+        help="Packets forwarded to the analysis stages.", unit="packets")
+    honeypot_marks = MetricField(
+        "repro_classify_honeypot_marks_total",
+        help="Senders first marked suspicious by honeypot contact.",
+        unit="hosts")
+    darkspace_marks = MetricField(
+        "repro_classify_darkspace_marks_total",
+        help="Senders first marked suspicious by dark-space scanning.",
+        unit="hosts")
+    fanout_marks = MetricField(
+        "repro_classify_fanout_marks_total",
+        help="Senders first marked suspicious by SMTP fan-out.",
+        unit="hosts")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        bind_metrics(self, registry)
 
     @property
     def forward_ratio(self) -> float:
@@ -47,6 +62,8 @@ class TrafficClassifier:
         darkspace: DarkSpaceMonitor | None = None,
         fanout: SmtpFanoutMonitor | None = None,
         enabled: bool = True,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.honeypots = honeypots or HoneypotRegistry()
         self.darkspace = darkspace or DarkSpaceMonitor()
@@ -54,7 +71,8 @@ class TrafficClassifier:
         self.fanout = fanout
         self.enabled = enabled
         self.suspicious: set[int] = set()
-        self.stats = ClassifierStats()
+        self.stats = ClassifierStats(registry)
+        self.timer = StageTimer("classify", registry, tracer)
 
     def mark_suspicious(self, address: str | int) -> None:
         self.suspicious.add(ip_to_int(address))
@@ -64,6 +82,10 @@ class TrafficClassifier:
 
     def classify(self, pkt: Packet) -> bool:
         """Feed a packet; returns True if it should be analyzed further."""
+        with self.timer.timed(nbytes=len(pkt.payload)):
+            return self._classify(pkt)
+
+    def _classify(self, pkt: Packet) -> bool:
         self.stats.packets_seen += 1
         if not self.enabled:
             self.stats.packets_forwarded += 1

@@ -60,12 +60,31 @@ def sensor_main(argv: list[str] | None = None) -> int:
                              "and frame-cache hit rate)")
     parser.add_argument("--report", action="store_true",
                         help="print an incident report at the end")
+    parser.add_argument("--metrics-out", type=Path, metavar="FILE",
+                        help="write the metrics registry snapshot here when "
+                             "the capture has been processed")
+    parser.add_argument("--metrics-format", choices=("json", "prom"),
+                        default="json",
+                        help="snapshot format for --metrics-out: json "
+                             "(repro.obs/v1) or prom (Prometheus text "
+                             "exposition; default json)")
+    parser.add_argument("--trace-out", type=Path, metavar="FILE",
+                        help="stream per-stage spans here as JSON Lines "
+                             "(one span per stage invocation)")
+    parser.add_argument("--heartbeat", type=float, default=0.0,
+                        metavar="SECS",
+                        help="print a progress heartbeat to stderr every "
+                             "SECS seconds of wall time (0 = off)")
     args = parser.parse_args(argv)
+
+    import time
 
     from .core.emuverify import EmulationVerifier
     from .net.pcap import PcapError, PcapReader
     from .nids import ParallelSemanticNids, SemanticNids
+    from .obs import Tracer
 
+    tracer = Tracer(path=str(args.trace_out)) if args.trace_out else None
     kwargs = dict(
         honeypots=args.honeypot,
         dark_networks=args.dark_net or None,
@@ -74,6 +93,7 @@ def sensor_main(argv: list[str] | None = None) -> int:
         classification_enabled=not args.no_classify,
         frame_cache_size=0 if args.no_frame_cache else 4096,
         max_streams=args.max_streams,
+        tracer=tracer,
     )
     if args.workers > 1:
         nids = ParallelSemanticNids(workers=args.workers, **kwargs)
@@ -90,11 +110,16 @@ def sensor_main(argv: list[str] | None = None) -> int:
                 line += f"  [{verdict.verdict}: {verdict.reason}]"
         print(line)
 
+    next_beat = (time.monotonic() + args.heartbeat
+                 if args.heartbeat > 0 else None)
     try:
         with PcapReader(args.pcap) as reader:
             for pkt in reader:
                 for alert in nids.process_packet(pkt):
                     emit(alert)
+                if next_beat is not None and time.monotonic() >= next_beat:
+                    print(_heartbeat_line(nids.stats), file=sys.stderr)
+                    next_beat = time.monotonic() + args.heartbeat
         for alert in nids.flush():
             emit(alert)
     except FileNotFoundError:
@@ -105,6 +130,17 @@ def sensor_main(argv: list[str] | None = None) -> int:
         return 2
     finally:
         nids.close()
+        if tracer is not None:
+            tracer.close()
+    if next_beat is not None:
+        print(_heartbeat_line(nids.stats), file=sys.stderr)
+
+    if args.metrics_out:
+        nids.sync_frontend_stats()
+        if args.metrics_format == "prom":
+            args.metrics_out.write_text(nids.registry.to_prometheus())
+        else:
+            args.metrics_out.write_text(nids.registry.to_json())
 
     if args.report:
         from .nids.report import build_report
@@ -114,6 +150,15 @@ def sensor_main(argv: list[str] | None = None) -> int:
         print(nids.stats.summary())
         print(f"blocked sources: {', '.join(nids.blocklist.addresses()) or 'none'}")
     return 1 if nids.alerts else 0
+
+
+def _heartbeat_line(stats) -> str:
+    """One-line liveness summary (``--heartbeat``)."""
+    return (f"heartbeat: packets={stats.packets} "
+            f"payload_bytes={stats.payload_bytes} "
+            f"payloads={stats.payloads_analyzed} "
+            f"frames={stats.frames_analyzed} alerts={stats.alerts} "
+            f"analyze={stats.analysis.elapsed:.2f}s")
 
 
 def _frame_bytes_for(alert) -> bytes | None:

@@ -13,6 +13,7 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
+from ..obs import ANALYZE_STAGE, MetricsRegistry, StageTimer, Tracer
 from ..x86.disasm import disassemble_frame
 from ..x86.instruction import Instruction
 from .library import paper_templates
@@ -109,14 +110,40 @@ class SemanticAnalyzer:
         engine: MatchEngine | None = None,
         min_instructions: int = 3,
         frame_cache_size: int = 4096,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.templates = templates if templates is not None else paper_templates()
         self.engine = engine or MatchEngine()
         self.min_instructions = min_instructions
-        self.frames_analyzed = 0
-        self.total_elapsed = 0.0
         self.frame_cache = FrameCache(frame_cache_size) if frame_cache_size > 0 else None
         self.template_fingerprint = self._fingerprint()
+        # The analyzer is stages (c)-(e): each gets its own timer, plus
+        # the "analyze" aggregate over a whole analyze_frame call (the
+        # pre-obs ``frames_analyzed``/``total_elapsed`` attributes are
+        # views over that aggregate).
+        if registry is None:
+            registry = MetricsRegistry()
+        self.timer = StageTimer(ANALYZE_STAGE, registry, tracer)
+        self.disassemble_timer = StageTimer("disassemble", registry, tracer)
+        self.lift_timer = StageTimer("lift", registry, tracer)
+        self.match_timer = StageTimer("match", registry, tracer)
+
+    @property
+    def frames_analyzed(self) -> int:
+        return self.timer.calls
+
+    @frames_analyzed.setter
+    def frames_analyzed(self, value: int) -> None:
+        self.timer.calls = value
+
+    @property
+    def total_elapsed(self) -> float:
+        return self.timer.elapsed
+
+    @total_elapsed.setter
+    def total_elapsed(self, value: float) -> None:
+        self.timer.elapsed = value
 
     def _fingerprint(self) -> bytes:
         """Stable digest of the template set + matcher configuration."""
@@ -134,49 +161,49 @@ class SemanticAnalyzer:
         (under the same template set and load address) replays the stored
         result without touching the disassembler or matcher.
         """
-        start = time.perf_counter()
-        key = None
-        if self.frame_cache is not None:
-            key = (hashlib.sha1(data).digest()
-                   + self.template_fingerprint
-                   + base.to_bytes(8, "little", signed=True))
-            stored = self.frame_cache.get(key)
-            if stored is not None:
-                result = replace(stored, cached=True,
-                                 elapsed=time.perf_counter() - start)
-                self.frames_analyzed += 1
-                self.total_elapsed += result.elapsed
-                return result
-        instructions, consumed = disassemble_frame(data, base)
-        result = self._analyze(instructions)
-        result.bytes_consumed = consumed
-        result.frame_size = len(data)
-        result.elapsed = time.perf_counter() - start
-        self.frames_analyzed += 1
-        self.total_elapsed += result.elapsed
-        if key is not None:
-            self.frame_cache.put(key, result)
-        return result
+        with self.timer.timed(nbytes=len(data)):
+            start = time.perf_counter()
+            key = None
+            if self.frame_cache is not None:
+                key = (hashlib.sha1(data).digest()
+                       + self.template_fingerprint
+                       + base.to_bytes(8, "little", signed=True))
+                stored = self.frame_cache.get(key)
+                if stored is not None:
+                    return replace(stored, cached=True,
+                                   elapsed=time.perf_counter() - start)
+            with self.disassemble_timer.timed(nbytes=len(data)):
+                instructions, consumed = disassemble_frame(data, base)
+            result = self._analyze(instructions, nbytes=consumed)
+            result.bytes_consumed = consumed
+            result.frame_size = len(data)
+            result.elapsed = time.perf_counter() - start
+            if key is not None:
+                self.frame_cache.put(key, result)
+            return result
 
     def analyze_instructions(self, instructions: list[Instruction]) -> AnalysisResult:
         """Match against an already-decoded instruction list."""
-        start = time.perf_counter()
-        result = self._analyze(instructions)
-        result.bytes_consumed = sum(i.size for i in instructions)
-        result.frame_size = result.bytes_consumed
-        result.elapsed = time.perf_counter() - start
-        self.frames_analyzed += 1
-        self.total_elapsed += result.elapsed
-        return result
+        nbytes = sum(i.size for i in instructions)
+        with self.timer.timed(nbytes=nbytes):
+            start = time.perf_counter()
+            result = self._analyze(instructions, nbytes=nbytes)
+            result.bytes_consumed = nbytes
+            result.frame_size = result.bytes_consumed
+            result.elapsed = time.perf_counter() - start
+            return result
 
     def prepare(self, instructions: list[Instruction]) -> PreparedTrace:
         """Expose trace preparation (for tests and ablations)."""
         return prepare_trace(instructions)
 
-    def _analyze(self, instructions: list[Instruction]) -> AnalysisResult:
+    def _analyze(self, instructions: list[Instruction],
+                 nbytes: int = 0) -> AnalysisResult:
         result = AnalysisResult(instruction_count=len(instructions))
         if len(instructions) < self.min_instructions:
             return result
-        trace = prepare_trace(instructions)
-        result.matches = self.engine.match_all(self.templates, trace)
+        with self.lift_timer.timed(nbytes=nbytes):
+            trace = prepare_trace(instructions)
+        with self.match_timer.timed(nbytes=nbytes):
+            result.matches = self.engine.match_all(self.templates, trace)
         return result

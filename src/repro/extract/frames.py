@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import MetricField, MetricsRegistry, StageTimer, Tracer, bind_metrics
 from .http import http_response_body, parse_http_request
 from .mime import find_base64_regions, looks_like_smtp_data
 from .repetition import find_byte_runs, find_repeated_dwords
@@ -61,6 +62,21 @@ class BinaryFrame:
 class BinaryExtractor:
     """Extracts binary frames from application payloads."""
 
+    payloads_seen = MetricField(
+        "repro_extract_payloads_total",
+        help="Application payloads scanned for binary content.",
+        unit="payloads")
+    frames_emitted = MetricField(
+        "repro_extract_frames_total",
+        help="Binary frames emitted to the disassembler.", unit="frames")
+    bytes_in = MetricField(
+        "repro_extract_bytes_in_total",
+        help="Payload bytes entering extraction.", unit="bytes")
+    bytes_out = MetricField(
+        "repro_extract_bytes_out_total",
+        help="Frame bytes surviving extraction (the reduction is the "
+             "efficiency story of §4.2).", unit="bytes")
+
     def __init__(
         self,
         min_frame: int = 8,
@@ -71,6 +87,8 @@ class BinaryExtractor:
         raw_binary_threshold: float = 0.20,
         max_frames_per_payload: int = 8,
         raw_frame_cap: int = 4096,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.min_frame = min_frame
         self.max_frame = max_frame
@@ -83,15 +101,17 @@ class BinaryExtractor:
         #: analyzed by prefix only; attacker code reached through an
         #: overflow is located by the other heuristics, with exact offsets.
         self.raw_frame_cap = raw_frame_cap
-        self.payloads_seen = 0
-        self.frames_emitted = 0
-        self.bytes_in = 0
-        self.bytes_out = 0
+        bind_metrics(self, registry)
+        self.timer = StageTimer("extract", registry, tracer)
 
     # -- public -------------------------------------------------------------
 
     def extract(self, payload: bytes) -> list[BinaryFrame]:
         """All binary frames found in one application payload."""
+        with self.timer.timed(nbytes=len(payload)):
+            return self._extract(payload)
+
+    def _extract(self, payload: bytes) -> list[BinaryFrame]:
         self.payloads_seen += 1
         self.bytes_in += len(payload)
         request = parse_http_request(payload)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs import MetricField, MetricsRegistry, StageTimer, Tracer, bind_metrics
 from .layers import Icmp, PROTO_ICMP, PROTO_TCP, PROTO_UDP, Tcp, Udp
 from .packet import Packet
 
@@ -122,18 +123,41 @@ class IpDefragmenter:
     ``max_datagrams`` entry cap and the idle ``timeout``.
     """
 
+    fragments_seen = MetricField(
+        "repro_defrag_fragments_total",
+        help="IP fragments fed to the defragmenter.", unit="fragments")
+    fragments_dropped = MetricField(
+        "repro_defrag_fragments_dropped_total",
+        help="Fragments dropped as forged or contributing nothing.",
+        unit="fragments")
+    overlaps_trimmed = MetricField(
+        "repro_defrag_overlap_bytes_trimmed_total",
+        help="Bytes removed by first-writer-wins fragment trims.",
+        unit="bytes")
+    datagrams_reassembled = MetricField(
+        "repro_defrag_datagrams_reassembled_total",
+        help="Datagrams successfully reassembled.", unit="datagrams")
+    datagrams_evicted = MetricField(
+        "repro_defrag_datagrams_evicted_total",
+        help="Half-reassembled datagrams evicted (caps/timeout).",
+        unit="datagrams")
+    bytes_buffered = MetricField(
+        "repro_defrag_buffered_bytes", kind="gauge",
+        help="Bytes currently buffered across half-reassembled datagrams.",
+        unit="bytes")
+
     def __init__(self, max_datagrams: int = 4096, timeout: float = 30.0,
-                 max_total_bytes: int = 8 * 1024 * 1024) -> None:
+                 max_total_bytes: int = 8 * 1024 * 1024,
+                 registry: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
         self._buffers: dict[tuple, _FragmentBuffer] = {}
         self.max_datagrams = max_datagrams
         self.timeout = timeout
         self.max_total_bytes = max_total_bytes
-        self.fragments_seen = 0
-        self.fragments_dropped = 0
-        self.overlaps_trimmed = 0  # bytes removed by first-writer-wins trims
-        self.datagrams_reassembled = 0
-        self.datagrams_evicted = 0
-        self.bytes_buffered = 0
+        bind_metrics(self, registry)
+        #: the defragmenter and the TCP reassembler share the "reassemble"
+        #: stage: together they are the reassembly front-end.
+        self.timer = StageTimer("reassemble", registry, tracer)
 
     def feed(self, pkt: Packet) -> Packet | None:
         if pkt.ip is None:
@@ -141,6 +165,10 @@ class IpDefragmenter:
         is_fragment = bool(pkt.ip.flags & _MF) or pkt.ip.frag_offset > 0
         if not is_fragment:
             return pkt
+        with self.timer.timed(nbytes=len(pkt.payload)):
+            return self._feed_fragment(pkt)
+
+    def _feed_fragment(self, pkt: Packet) -> Packet | None:
         self.fragments_seen += 1
 
         # A fragmented packet's transport header (if any) was parsed out of

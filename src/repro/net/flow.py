@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from ..obs import MetricField, MetricsRegistry, StageTimer, Tracer, bind_metrics
 from .layers import TCP_FIN, TCP_RST, TCP_SYN, Tcp
 from .packet import Packet
 
@@ -195,22 +196,48 @@ class StreamReassembler:
     lockstep, so no side table outlives the stream it describes.
     """
 
+    non_tcp_packets = MetricField(
+        "repro_reassembly_non_tcp_packets_total",
+        help="Packets seen by the reassembler without a TCP flow.",
+        unit="packets")
+    evicted = MetricField(
+        "repro_reassembly_streams_evicted_total",
+        help="TCP streams evicted under the stream/byte caps.",
+        unit="streams")
+    overlaps_trimmed = MetricField(
+        "repro_reassembly_overlap_bytes_trimmed_total",
+        help="Bytes dropped by first-writer-wins segment trims.",
+        unit="bytes")
+    bytes_buffered = MetricField(
+        "repro_reassembly_buffered_bytes", kind="gauge",
+        help="Bytes currently buffered across all tracked streams.",
+        unit="bytes")
+
     def __init__(self, max_streams: int = 65536,
                  max_total_bytes: int = 256 * 1024 * 1024,
-                 on_evict: Callable[[FlowKey], None] | None = None) -> None:
+                 on_evict: Callable[[FlowKey], None] | None = None,
+                 registry: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
         self.streams: dict[FlowKey, Stream] = {}
         self.max_streams = max_streams
         self.max_total_bytes = max_total_bytes
         self.on_evict = on_evict
-        self.non_tcp_packets = 0
-        self.evicted = 0
-        self.overlaps_trimmed = 0  # bytes dropped by first-writer-wins trims
-        self.bytes_buffered = 0
+        reg = bind_metrics(self, registry)
+        self._active_streams = reg.gauge(
+            "repro_reassembly_active_streams",
+            help="TCP streams currently tracked.", unit="streams")
+        #: shares the "reassemble" stage with the IP defragmenter — the
+        #: two components are one front-end in the stage breakdown.
+        self.timer = StageTimer("reassemble", registry, tracer)
 
     def feed(self, pkt: Packet) -> Stream | None:
         if not pkt.is_tcp:
             self.non_tcp_packets += 1
             return None
+        with self.timer.timed(nbytes=len(pkt.payload)):
+            return self._feed_tcp(pkt)
+
+    def _feed_tcp(self, pkt: Packet) -> Stream:
         key = FlowKey.of(pkt)
         stream = self.streams.get(key)
         if stream is None:
@@ -225,6 +252,7 @@ class StreamReassembler:
         # stream just fed is spared so an in-progress message survives.
         while self.bytes_buffered > self.max_total_bytes and len(self.streams) > 1:
             self._evict_oldest(spare=key)
+        self._active_streams.value = len(self.streams)
         return stream
 
     def _evict_oldest(self, spare: FlowKey | None = None) -> None:
@@ -234,6 +262,7 @@ class StreamReassembler:
         del self.streams[victim.key]
         self.bytes_buffered -= victim.buffered
         self.evicted += 1
+        self._active_streams.value = len(self.streams)
         if self.on_evict is not None:
             self.on_evict(victim.key)
 

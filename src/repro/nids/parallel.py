@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import hashlib
 import os
-import time
 from collections import OrderedDict, deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -48,6 +47,7 @@ from ..core.library import (
 from ..extract.frames import BinaryExtractor
 from ..net.flow import FlowKey
 from ..net.packet import Packet
+from ..obs import MetricsRegistry
 from .alerts import Alert
 from .pipeline import SemanticNids, _StreamState
 
@@ -91,15 +91,20 @@ class MatchRecord:
 
 @dataclass
 class WorkResult:
-    """Outcome of analyzing one payload in a worker."""
+    """Outcome of analyzing one payload in a worker.
+
+    ``metrics`` is the worker registry's picklable delta for this payload
+    (stage timings, extraction counters); the parent merges it, which is
+    how worker-side stage time lands in ``--metrics-out``.  Replayed and
+    piggybacked results carry ``metrics=None`` — no new work was done.
+    """
 
     matches: list[MatchRecord] = field(default_factory=list)
     frames_extracted: int = 0
     frames_analyzed: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
-    extraction_elapsed: float = 0.0
-    analysis_elapsed: float = 0.0
+    metrics: dict | None = None
 
 
 _WORKER_STATE: dict = {}
@@ -108,11 +113,14 @@ _WORKER_STATE: dict = {}
 def _init_worker(template_set: str, frame_cache_size: int,
                  min_instructions: int) -> None:
     """Per-process initializer: build the stateless stage objects once."""
-    _WORKER_STATE["extractor"] = BinaryExtractor()
+    registry = MetricsRegistry()
+    _WORKER_STATE["registry"] = registry
+    _WORKER_STATE["extractor"] = BinaryExtractor(registry=registry)
     _WORKER_STATE["analyzer"] = SemanticAnalyzer(
         templates=resolve_template_set(template_set),
         min_instructions=min_instructions,
         frame_cache_size=frame_cache_size,
+        registry=registry,
     )
 
 
@@ -122,14 +130,10 @@ def _analyze_in_worker(payload: bytes) -> WorkResult:
     extractor: BinaryExtractor = _WORKER_STATE["extractor"]
     analyzer: SemanticAnalyzer = _WORKER_STATE["analyzer"]
     result = WorkResult()
-    start = time.perf_counter()
     frames = extractor.extract(payload)
-    result.extraction_elapsed = time.perf_counter() - start
     result.frames_extracted = len(frames)
     for frame in frames:
-        start = time.perf_counter()
         analysis = analyzer.analyze_frame(frame.data)
-        result.analysis_elapsed += time.perf_counter() - start
         result.frames_analyzed += 1
         if analyzer.frame_cache is not None:
             if analysis.cached:
@@ -143,6 +147,9 @@ def _analyze_in_worker(payload: bytes) -> WorkResult:
                 origin=frame.origin,
                 detail=match.summary(),
             ))
+    # Ship only what this payload changed; the components timed themselves
+    # into the worker-local registry above.
+    result.metrics = _WORKER_STATE["registry"].collect_delta()
     return result
 
 
@@ -390,10 +397,17 @@ class ParallelSemanticNids(SemanticNids):
         self.stats.frames_analyzed += result.frames_analyzed
         self.stats.frame_cache_hits += result.cache_hits
         self.stats.frame_cache_misses += result.cache_misses
-        self.stats.extraction.calls += 1
-        self.stats.extraction.elapsed += result.extraction_elapsed
-        self.stats.analysis.calls += result.frames_analyzed
-        self.stats.analysis.elapsed += result.analysis_elapsed
+        if result.metrics is not None:
+            # Live worker result: fold its registry delta (stage timings,
+            # extraction counters) into the parent registry — the stats
+            # stage-timer views pick the numbers up from there.
+            self.registry.merge_delta(result.metrics)
+        else:
+            # Cache replay / piggyback: no stage work happened anywhere,
+            # but the call counts must match what a serial engine (whose
+            # analyzer replays hits through analyze_frame) would record.
+            self.stats.extraction.calls += 1
+            self.stats.analysis.calls += result.frames_analyzed
         out: list[Alert] = []
         for record in result.matches:
             state = head.state

@@ -24,6 +24,7 @@ from ..net.defrag import IpDefragmenter
 from ..net.flow import FlowKey, StreamReassembler
 from ..net.layers import Ipv4
 from ..net.packet import Packet
+from ..obs import MetricsRegistry, NullTracer, Tracer
 from .alerts import Alert, BlockList
 from .stats import NidsStats
 
@@ -83,7 +84,16 @@ class SemanticNids:
         frame_cache_size: int = 4096,
         reanalysis_overlap: int | None = 16384,
         max_streams: int = 65536,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
+        #: one registry per sensor: every component registers its metrics
+        #: here, and ``--metrics-out`` snapshots it.  The stage timers in
+        #: ``self.stats`` are views over the same labeled metrics the
+        #: components time into, so no syncing is ever needed for those.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NullTracer()
+        obs = dict(registry=self.registry, tracer=self.tracer)
         self.classifier = TrafficClassifier(
             honeypots=HoneypotRegistry.of(honeypots or []),
             darkspace=DarkSpaceMonitor(
@@ -93,15 +103,18 @@ class SemanticNids:
             fanout=(SmtpFanoutMonitor(threshold=smtp_fanout_threshold)
                     if smtp_fanout_threshold is not None else None),
             enabled=classification_enabled,
+            **obs,
         )
-        self.defragmenter = IpDefragmenter()
+        self.defragmenter = IpDefragmenter(**obs)
         self.reassembler = StreamReassembler(max_streams=max_streams,
-                                             on_evict=self._on_stream_evicted)
-        self.extractor = BinaryExtractor()
+                                             on_evict=self._on_stream_evicted,
+                                             **obs)
+        self.extractor = BinaryExtractor(**obs)
         self.analyzer = SemanticAnalyzer(templates=templates,
-                                         frame_cache_size=frame_cache_size)
+                                         frame_cache_size=frame_cache_size,
+                                         **obs)
         self.blocklist = BlockList()
-        self.stats = NidsStats()
+        self.stats = NidsStats(self.registry, self.tracer)
         self.alerts: list[Alert] = []
         self.max_rounds_per_stream = max_rounds_per_stream
         #: a growing stream is re-analyzed on its first payload bytes, then
@@ -121,14 +134,15 @@ class SemanticNids:
         if whole is None:
             return []  # fragment buffered; the datagram is not complete yet
         pkt = whole
-        with self.stats.classify.timed():
-            forward = self.classifier.classify(pkt)
+        # The components time themselves (classifier/reassembler/extractor/
+        # analyzer each own a StageTimer on the shared registry); the
+        # ``stats`` timers are views over the same metrics.
+        forward = self.classifier.classify(pkt)
         if not forward:
             return []
         new_alerts: list[Alert] = []
         if pkt.is_tcp:
-            with self.stats.reassembly.timed():
-                stream = self.reassembler.feed(pkt)
+            stream = self.reassembler.feed(pkt)
             if stream is None:
                 return []
             state = self._stream_state.setdefault(stream.key, _StreamState())
@@ -234,13 +248,11 @@ class SemanticNids:
         self, pkt: Packet, payload: bytes, state: _StreamState | None
     ) -> list[Alert]:
         self.stats.payloads_analyzed += 1
-        with self.stats.extraction.timed():
-            frames = self.extractor.extract(payload)
+        frames = self.extractor.extract(payload)
         self.stats.frames_extracted += len(frames)
         out: list[Alert] = []
         for frame in frames:
-            with self.stats.analysis.timed():
-                result = self.analyzer.analyze_frame(frame.data)
+            result = self.analyzer.analyze_frame(frame.data)
             self.stats.frames_analyzed += 1
             if self.analyzer.frame_cache is not None:
                 if result.cached:

@@ -1,74 +1,109 @@
 """Per-stage counters and timing for the NIDS pipeline.
 
 The paper's efficiency claims (§5.1: 2.36-3.27 s per exploit, Netsky in
-6.5 s vs 40 s for [5]) are about how much work each stage does; these
-counters are what the timing benchmarks report.
+6.5 s vs 40 s for [5]) are about how much work each stage does.  Since
+the observability refactor, :class:`NidsStats` owns no numbers — every
+attribute is a view over a metric in the pipeline's shared
+:class:`~repro.obs.MetricsRegistry` (the thing ``--metrics-out``
+exports), and the stage timers are views over the same labeled stage
+metrics the components themselves time into.  The historical attribute
+names are unchanged.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass, field
+from ..obs import (
+    ANALYZE_STAGE,
+    MetricField,
+    MetricsRegistry,
+    NullTracer,
+    StageTimer,
+    Tracer,
+    bind_metrics,
+)
 
 __all__ = ["StageTimer", "NidsStats"]
 
 
-@dataclass
-class StageTimer:
-    """Accumulated wall-clock time and invocation count for one stage."""
-
-    name: str
-    calls: int = 0
-    elapsed: float = 0.0
-
-    @contextmanager
-    def timed(self):
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.elapsed += time.perf_counter() - start
-            self.calls += 1
-
-    @property
-    def mean(self) -> float:
-        return self.elapsed / self.calls if self.calls else 0.0
-
-
-@dataclass
 class NidsStats:
-    """End-to-end pipeline statistics."""
+    """End-to-end pipeline statistics: a view over the metrics registry.
 
-    packets: int = 0
-    payload_bytes: int = 0
-    payloads_analyzed: int = 0
-    frames_extracted: int = 0
-    frames_analyzed: int = 0
-    alerts: int = 0
+    Attribute-to-metric mapping (all documented in
+    docs/observability.md): plain counters are :class:`MetricField`
+    descriptors — reads and ``+=`` behave like the pre-refactor ints —
+    and the stage timers share the ``repro_stage_*{stage=...}`` metrics
+    with the components doing the timing, so both always agree.
+    """
+
+    packets = MetricField(
+        "repro_packets_total", help="Packets fed to the sensor.",
+        unit="packets")
+    payload_bytes = MetricField(
+        "repro_payload_bytes_total",
+        help="Transport payload bytes fed to the sensor.", unit="bytes")
+    payloads_analyzed = MetricField(
+        "repro_payloads_analyzed_total",
+        help="Payloads that reached extraction (stage b).", unit="payloads")
+    frames_extracted = MetricField(
+        "repro_frames_extracted_total",
+        help="Binary frames emitted by extraction.", unit="frames")
+    frames_analyzed = MetricField(
+        "repro_frames_analyzed_total",
+        help="Frames that went through semantic analysis.", unit="frames")
+    alerts = MetricField(
+        "repro_alerts_total", help="Alerts raised.", unit="alerts")
     #: content-hash frame cache (repro.core.analyzer.FrameCache) outcomes;
     #: both stay 0 when the cache is disabled.
-    frame_cache_hits: int = 0
-    frame_cache_misses: int = 0
+    frame_cache_hits = MetricField(
+        "repro_frame_cache_hits_total",
+        help="Frame-cache hits (payload-cache replays included).",
+        unit="frames")
+    frame_cache_misses = MetricField(
+        "repro_frame_cache_misses_total",
+        help="Frame-cache misses.", unit="frames")
     #: parallel engine: payloads shipped to worker processes, and worker
     #: failures survived by falling back to the serial path.
-    payloads_offloaded: int = 0
-    worker_failures: int = 0
-    #: front-end (reassembly) counters: evasion pressure the sensor absorbed.
-    #: ``overlaps_trimmed`` is bytes discarded by first-writer-wins trimming
-    #: across both the IP defragmenter and the TCP reassembler;
-    #: ``fragments_dropped`` counts forged/duplicate fragments contributing
-    #: nothing; the ``*_evicted`` counters record bounded-memory evictions
-    #: of half-reassembled datagrams, streams, and per-stream analysis state.
-    fragments_dropped: int = 0
-    overlaps_trimmed: int = 0
-    datagrams_evicted: int = 0
-    streams_evicted: int = 0
-    state_evicted: int = 0
-    classify: StageTimer = field(default_factory=lambda: StageTimer("classify"))
-    reassembly: StageTimer = field(default_factory=lambda: StageTimer("reassembly"))
-    extraction: StageTimer = field(default_factory=lambda: StageTimer("extraction"))
-    analysis: StageTimer = field(default_factory=lambda: StageTimer("analysis"))
+    payloads_offloaded = MetricField(
+        "repro_payloads_offloaded_total",
+        help="Payloads shipped to worker processes.", unit="payloads")
+    worker_failures = MetricField(
+        "repro_worker_failures_total",
+        help="Worker failures survived by degrading to the serial path.",
+        unit="failures")
+    #: front-end (reassembly) aggregates: evasion pressure the sensor
+    #: absorbed, synced from the defragmenter/reassembler at flush and
+    #: report time (``overlaps_trimmed`` sums both components).
+    fragments_dropped = MetricField(
+        "repro_frontend_fragments_dropped_total",
+        help="Forged/duplicate IP fragments contributing nothing.",
+        unit="fragments")
+    overlaps_trimmed = MetricField(
+        "repro_frontend_overlap_bytes_trimmed_total",
+        help="Bytes discarded by first-writer-wins trimming "
+             "(IP defragmenter + TCP reassembler).", unit="bytes")
+    datagrams_evicted = MetricField(
+        "repro_frontend_datagrams_evicted_total",
+        help="Half-reassembled datagrams evicted under memory pressure.",
+        unit="datagrams")
+    streams_evicted = MetricField(
+        "repro_frontend_streams_evicted_total",
+        help="TCP streams evicted under memory pressure.", unit="streams")
+    state_evicted = MetricField(
+        "repro_frontend_state_evicted_total",
+        help="Per-stream analysis states dropped with their stream.",
+        unit="streams")
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
+        self.registry = bind_metrics(self, registry)
+        tracer = tracer if tracer is not None else NullTracer()
+        # Historical attribute names; the stage labels are the canonical
+        # pipeline stage names (classify/reassemble/extract + the
+        # analyze aggregate over disassemble/lift/match).
+        self.classify = StageTimer("classify", self.registry, tracer)
+        self.reassembly = StageTimer("reassemble", self.registry, tracer)
+        self.extraction = StageTimer("extract", self.registry, tracer)
+        self.analysis = StageTimer(ANALYZE_STAGE, self.registry, tracer)
 
     @property
     def frame_cache_hit_rate(self) -> float:

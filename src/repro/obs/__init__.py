@@ -1,0 +1,42 @@
+"""repro.obs — zero-dependency observability for the pipeline.
+
+Three pieces:
+
+- :mod:`repro.obs.registry` — counters, gauges, histograms; JSON and
+  Prometheus export; picklable deltas for the parallel engine's workers;
+- :mod:`repro.obs.tracer` — opt-in per-stage spans (in-memory or JSONL);
+- :mod:`repro.obs.stage` — :class:`StageTimer`, the per-stage timing
+  view every component shares.
+
+See docs/observability.md for the full metric catalog.
+"""
+
+from .registry import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricField,
+    MetricsRegistry,
+    bind_metrics,
+)
+from .stage import ANALYZE_STAGE, PIPELINE_STAGES, StageTimer
+from .tracer import NullTracer, Span, Tracer, aggregate_spans, read_spans
+
+__all__ = [
+    "ANALYZE_STAGE",
+    "LATENCY_BUCKETS",
+    "PIPELINE_STAGES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricField",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "StageTimer",
+    "Tracer",
+    "aggregate_spans",
+    "bind_metrics",
+    "read_spans",
+]

@@ -1,0 +1,155 @@
+"""Per-stage span tracing.
+
+A :class:`Span` is one timed unit of pipeline work — "the extract stage
+spent 180 µs over 1460 bytes of stream 10.1.2.3:4711→10.10.0.5:80".
+The :class:`Tracer` collects spans either into a bounded in-memory
+buffer (benchmarks read them back directly) or streams them as JSON
+Lines to a file (``repro-sensor --trace-out``), one object per line, so
+a run can be post-processed with nothing fancier than ``jq``.
+
+Tracing is opt-in and separate from metrics: metrics are always-on
+aggregates (cheap, fixed cardinality), spans are per-event records
+(cost proportional to traffic) for drilling into *which* payload was
+slow.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer", "NullTracer", "read_spans", "aggregate_spans"]
+
+
+@dataclass
+class Span:
+    """One timed stage execution.  ``attrs`` carries stage-specific
+    context (flow endpoints, frame counts, template names)."""
+
+    stage: str
+    start: float = 0.0
+    duration: float = 0.0
+    nbytes: int = 0
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        out = {"stage": self.stage, "start": round(self.start, 9),
+               "duration": round(self.duration, 9), "bytes": self.nbytes}
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+
+class Tracer:
+    """Collects spans in memory or streams them to a JSONL sink.
+
+    ``max_spans`` bounds the in-memory buffer; once full, further spans
+    are counted in :attr:`dropped` instead of stored (a tracer must
+    never become the memory flood it is instrumenting).  File-backed
+    tracers never buffer, so ``dropped`` stays 0.
+    """
+
+    def __init__(self, path: str | None = None, max_spans: int = 100_000,
+                 clock=time.perf_counter) -> None:
+        self.path = path
+        self.max_spans = max_spans
+        self.clock = clock
+        self.spans: list[Span] = []
+        self.emitted = 0
+        self.dropped = 0
+        self._fh = open(path, "w", encoding="utf-8") if path else None
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def emit(self, span: Span) -> None:
+        self.emitted += 1
+        if self._fh is not None:
+            self._fh.write(json.dumps(span.to_dict(),
+                                      separators=(",", ":")) + "\n")
+        elif len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+
+    @contextmanager
+    def span(self, stage: str, nbytes: int = 0, **attrs):
+        """Time a block; yields the :class:`Span`, finalized on exit.
+
+        The yielded span's ``duration`` is valid *after* the block, so
+        callers (the benchmarks) can read their elapsed time from the
+        same object the sensor exports — one timing code path.
+        """
+        s = Span(stage=stage, start=self.clock(), nbytes=nbytes, attrs=attrs)
+        try:
+            yield s
+        finally:
+            s.duration = self.clock() - s.start
+            self.emit(s)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullTracer(Tracer):
+    """The default when tracing is off: ``span()`` costs two clock reads
+    and nothing is stored.  ``enabled`` lets hot paths skip building
+    ``attrs`` dicts entirely."""
+
+    def __init__(self) -> None:
+        super().__init__(path=None, max_spans=0)
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def emit(self, span: Span) -> None:
+        pass
+
+    @contextmanager
+    def span(self, stage: str, nbytes: int = 0, **attrs):
+        yield _NULL_SPAN
+
+
+_NULL_SPAN = Span(stage="")
+
+
+def read_spans(path: str) -> list[Span]:
+    """Load a ``--trace-out`` JSONL file back into Span objects."""
+    spans = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            spans.append(Span(stage=obj["stage"], start=obj.get("start", 0.0),
+                              duration=obj.get("duration", 0.0),
+                              nbytes=obj.get("bytes", 0),
+                              attrs=obj.get("attrs", {})))
+    return spans
+
+
+def aggregate_spans(spans: list[Span]) -> dict[str, dict]:
+    """Fold spans into a per-stage breakdown:
+    ``{stage: {calls, seconds, bytes}}`` — what the benchmark report and
+    the heartbeat line print."""
+    agg: dict[str, dict] = {}
+    for span in spans:
+        row = agg.setdefault(span.stage,
+                             {"calls": 0, "seconds": 0.0, "bytes": 0})
+        row["calls"] += 1
+        row["seconds"] += span.duration
+        row["bytes"] += span.nbytes
+    return agg

@@ -1,0 +1,106 @@
+"""Tests for span tracing: in-memory buffering, JSONL streaming, and
+the null tracer's no-op contract."""
+
+import json
+
+import pytest
+
+from repro.obs import NullTracer, Span, Tracer, aggregate_spans, read_spans
+
+
+class TestTracerBuffer:
+    def test_span_times_the_block(self):
+        ticks = iter([10.0, 10.25])
+        tracer = Tracer(clock=lambda: next(ticks))
+        with tracer.span("extract", nbytes=1460) as span:
+            pass
+        assert span.duration == 0.25
+        assert span.nbytes == 1460
+        assert tracer.spans == [span]
+        assert tracer.emitted == 1
+
+    def test_span_finalized_even_on_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("match"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert len(tracer.spans) == 1
+        assert tracer.spans[0].duration >= 0.0
+
+    def test_attrs_carried(self):
+        tracer = Tracer()
+        with tracer.span("analyze", flow="10.0.0.1:80") as span:
+            pass
+        assert span.attrs == {"flow": "10.0.0.1:80"}
+
+    def test_max_spans_drops_and_counts(self):
+        """The tracer must never become the memory flood it instruments:
+        over the cap, spans are counted in ``dropped``, not stored."""
+        tracer = Tracer(max_spans=2)
+        for _ in range(5):
+            with tracer.span("classify"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+        assert tracer.emitted == 5
+
+
+class TestTracerFile:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with Tracer(path=str(path)) as tracer:
+            with tracer.span("extract", nbytes=100):
+                pass
+            with tracer.span("match", template="xor_decrypt_loop"):
+                pass
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["stage"] == "extract"
+        assert first["bytes"] == 100
+        assert set(first) == {"stage", "start", "duration", "bytes"}
+
+        spans = read_spans(str(path))
+        assert [s.stage for s in spans] == ["extract", "match"]
+        assert spans[0].nbytes == 100
+        assert spans[1].attrs == {"template": "xor_decrypt_loop"}
+
+    def test_file_backed_never_buffers(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with Tracer(path=str(path), max_spans=1) as tracer:
+            for _ in range(10):
+                with tracer.span("classify"):
+                    pass
+        assert tracer.spans == []
+        assert tracer.dropped == 0
+        assert len(path.read_text().strip().splitlines()) == 10
+
+
+class TestNullTracer:
+    def test_disabled_and_silent(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        with tracer.span("extract", nbytes=5):
+            pass
+        tracer.emit(Span(stage="x"))
+        assert tracer.spans == []
+        assert tracer.emitted == 0
+
+    def test_real_tracer_is_enabled(self):
+        assert Tracer().enabled
+
+
+class TestAggregate:
+    def test_aggregate_spans(self):
+        spans = [
+            Span(stage="extract", duration=0.1, nbytes=100),
+            Span(stage="extract", duration=0.3, nbytes=50),
+            Span(stage="match", duration=1.0),
+        ]
+        agg = aggregate_spans(spans)
+        assert agg["extract"]["calls"] == 2
+        assert agg["extract"]["seconds"] == pytest.approx(0.4)
+        assert agg["extract"]["bytes"] == 150
+        assert agg["match"]["calls"] == 1

@@ -90,3 +90,64 @@ class TestDocsConsistency:
             if isinstance(obj, type) and issubclass(obj, template_module.Node) \
                     and obj is not template_module.Node:
                 assert name in doc, f"node {name} missing from docs/templates.md"
+
+
+class TestDocsChecker:
+    """tools/check_docs.py is the CI docs gate; prove it passes on the
+    current tree AND that each check can actually fail."""
+
+    @pytest.fixture()
+    def checker(self):
+        import importlib.util
+        spec = importlib.util.spec_from_file_location(
+            "check_docs",
+            Path(__file__).parent.parent / "tools" / "check_docs.py")
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod
+
+    def test_current_docs_pass(self, checker, capsys):
+        assert checker.main() == 0
+
+    def test_detects_broken_link(self, checker):
+        errors = []
+        checker.check_links(README, "[x](no/such/file.md)", errors)
+        assert errors
+
+    def test_detects_broken_anchor(self, checker):
+        errors = []
+        checker.check_links(README, "[x](../README.md#no-such-heading)",
+                            errors)
+        assert errors
+
+    def test_detects_missing_file_path(self, checker):
+        errors = []
+        checker.check_file_paths(README, "see `benchmarks/bench_gone.py`",
+                                 errors)
+        assert errors
+
+    def test_detects_stale_module_ref(self, checker):
+        errors = []
+        checker.check_dotted_refs(README, "uses repro.nids.vanished", errors)
+        assert errors
+
+    def test_detects_stale_attribute_ref(self, checker):
+        errors = []
+        checker.check_dotted_refs(
+            README, "calls repro.obs.read_spans and repro.obs.gone_fn",
+            errors)
+        assert errors == [
+            f"{README.name}: repro.obs.gone_fn is stale "
+            "(repro.obs has no 'gone_fn')"]
+
+    def test_detects_unknown_flag(self, checker):
+        errors = []
+        checker.check_flags(README, "run with `--no-such-flag`", errors,
+                            checker.cli_flags())
+        assert errors
+
+    def test_known_flag_accepted(self, checker):
+        errors = []
+        checker.check_flags(README, "`--metrics-out` and `--benchmark-only`",
+                            errors, checker.cli_flags())
+        assert errors == []
