@@ -53,6 +53,23 @@ def sensor_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-streams", type=int, default=65536, metavar="N",
                         help="bound on concurrently tracked TCP streams "
                              "(evicted oldest-first; default 65536)")
+    parser.add_argument("--analysis-deadline-ms", type=float, default=None,
+                        metavar="MS",
+                        help="per-payload analysis budget in deterministic "
+                             "instruction units (10000/ms); payloads that "
+                             "exhaust it get a degraded alert instead of "
+                             "stalling the sensor (default: no budget)")
+    parser.add_argument("--quarantine-out", type=Path, metavar="FILE",
+                        help="write inputs whose faults the stage firewall "
+                             "contained to this pcap (plus FILE.meta.jsonl)")
+    parser.add_argument("--breaker-threshold", type=int, default=3,
+                        metavar="N",
+                        help="consecutive worker-pool failures before a "
+                             "shard's circuit breaker opens (default 3)")
+    parser.add_argument("--no-self-heal", action="store_true",
+                        help="legacy worker-failure policy: first failure "
+                             "degrades the engine to the serial path "
+                             "permanently (no pool rebuilds or breakers)")
     parser.add_argument("--verify", action="store_true",
                         help="emulate matched frames to confirm behaviour")
     parser.add_argument("--stats", action="store_true",
@@ -83,8 +100,11 @@ def sensor_main(argv: list[str] | None = None) -> int:
     from .net.pcap import PcapError, PcapReader
     from .nids import ParallelSemanticNids, SemanticNids
     from .obs import Tracer
+    from .resilience import QuarantineWriter
 
     tracer = Tracer(path=str(args.trace_out)) if args.trace_out else None
+    quarantine = (QuarantineWriter(args.quarantine_out)
+                  if args.quarantine_out else None)
     kwargs = dict(
         honeypots=args.honeypot,
         dark_networks=args.dark_net or None,
@@ -93,10 +113,16 @@ def sensor_main(argv: list[str] | None = None) -> int:
         classification_enabled=not args.no_classify,
         frame_cache_size=0 if args.no_frame_cache else 4096,
         max_streams=args.max_streams,
+        analysis_deadline_ms=args.analysis_deadline_ms,
+        quarantine=quarantine,
         tracer=tracer,
     )
     if args.workers > 1:
-        nids = ParallelSemanticNids(workers=args.workers, **kwargs)
+        nids = ParallelSemanticNids(
+            workers=args.workers,
+            self_heal=not args.no_self_heal,
+            breaker_threshold=args.breaker_threshold,
+            **kwargs)
     else:
         nids = SemanticNids(**kwargs)
     verifier = EmulationVerifier() if args.verify else None
@@ -113,13 +139,21 @@ def sensor_main(argv: list[str] | None = None) -> int:
     next_beat = (time.monotonic() + args.heartbeat
                  if args.heartbeat > 0 else None)
     try:
-        with PcapReader(args.pcap) as reader:
+        # salvage=True: a capture whose final record was cut off (sensor
+        # host crash, disk-full) still yields its complete prefix; the
+        # truncation is counted (repro_pcap_truncated_total) and noted.
+        with PcapReader(args.pcap, salvage=True,
+                        registry=nids.registry) as reader:
             for pkt in reader:
                 for alert in nids.process_packet(pkt):
                     emit(alert)
                 if next_beat is not None and time.monotonic() >= next_beat:
                     print(_heartbeat_line(nids.stats), file=sys.stderr)
                     next_beat = time.monotonic() + args.heartbeat
+            if reader.truncated:
+                print(f"warning: capture truncated mid-record; salvaged "
+                      f"{reader.records_read} complete record(s)",
+                      file=sys.stderr)
         for alert in nids.flush():
             emit(alert)
     except FileNotFoundError:
@@ -132,6 +166,11 @@ def sensor_main(argv: list[str] | None = None) -> int:
         nids.close()
         if tracer is not None:
             tracer.close()
+        if quarantine is not None:
+            quarantine.close()
+            if quarantine.written:
+                print(f"quarantined {quarantine.written} input(s) to "
+                      f"{args.quarantine_out}", file=sys.stderr)
     if next_beat is not None:
         print(_heartbeat_line(nids.stats), file=sys.stderr)
 

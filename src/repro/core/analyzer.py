@@ -13,6 +13,7 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
+from ..errors import DeadlineExceeded
 from ..obs import ANALYZE_STAGE, MetricsRegistry, StageTimer, Tracer
 from ..x86.disasm import disassemble_frame
 from ..x86.instruction import Instruction
@@ -128,6 +129,10 @@ class SemanticAnalyzer:
         self.disassemble_timer = StageTimer("disassemble", registry, tracer)
         self.lift_timer = StageTimer("lift", registry, tracer)
         self.match_timer = StageTimer("match", registry, tracer)
+        self._deadline_trips = registry.counter(
+            "repro_deadline_exceeded_total",
+            help="Payload analyses aborted by the per-payload deadline.",
+            unit="payloads")
 
     @property
     def frames_analyzed(self) -> int:
@@ -154,12 +159,20 @@ class SemanticAnalyzer:
         h.update(str(self.min_instructions).encode())
         return h.digest()
 
-    def analyze_frame(self, data: bytes, base: int = 0) -> AnalysisResult:
+    def analyze_frame(self, data: bytes, base: int = 0,
+                      deadline=None) -> AnalysisResult:
         """Disassemble a binary frame and match all templates against it.
 
         With the frame cache enabled, a byte-identical frame seen earlier
         (under the same template set and load address) replays the stored
         result without touching the disassembler or matcher.
+
+        ``deadline`` is a :class:`repro.resilience.Deadline` shared across
+        every frame of one payload; the disassemble/lift/match loop
+        charges it cooperatively and the whole call raises
+        :class:`~repro.errors.DeadlineExceeded` when the budget runs out.
+        A frame aborted mid-analysis is never cached (the raise skips the
+        ``put``), so a later run with a larger budget starts clean.
         """
         with self.timer.timed(nbytes=len(data)):
             start = time.perf_counter()
@@ -170,11 +183,20 @@ class SemanticAnalyzer:
                        + base.to_bytes(8, "little", signed=True))
                 stored = self.frame_cache.get(key)
                 if stored is not None:
+                    # Replays cost (nearly) nothing, so they are free even
+                    # for an exhausted deadline.
                     return replace(stored, cached=True,
                                    elapsed=time.perf_counter() - start)
-            with self.disassemble_timer.timed(nbytes=len(data)):
-                instructions, consumed = disassemble_frame(data, base)
-            result = self._analyze(instructions, nbytes=consumed)
+            try:
+                with self.disassemble_timer.timed(nbytes=len(data)):
+                    instructions, consumed = disassemble_frame(
+                        data, base,
+                        tick=deadline.tick if deadline is not None else None)
+                result = self._analyze(instructions, nbytes=consumed,
+                                       deadline=deadline)
+            except DeadlineExceeded:
+                self._deadline_trips.inc()
+                raise
             result.bytes_consumed = consumed
             result.frame_size = len(data)
             result.elapsed = time.perf_counter() - start
@@ -198,12 +220,20 @@ class SemanticAnalyzer:
         return prepare_trace(instructions)
 
     def _analyze(self, instructions: list[Instruction],
-                 nbytes: int = 0) -> AnalysisResult:
+                 nbytes: int = 0, deadline=None) -> AnalysisResult:
         result = AnalysisResult(instruction_count=len(instructions))
         if len(instructions) < self.min_instructions:
             return result
+        if deadline is not None:
+            # Charge lift and match up front, proportionally to the work
+            # they are about to do: one unit per instruction lifted, one
+            # per instruction-template pair matched.  Deterministic —
+            # the same payload trips at the same point on every machine.
+            deadline.tick(len(instructions))
         with self.lift_timer.timed(nbytes=nbytes):
             trace = prepare_trace(instructions)
+        if deadline is not None:
+            deadline.tick(len(instructions) * max(1, len(self.templates)))
         with self.match_timer.timed(nbytes=nbytes):
             result.matches = self.engine.match_all(self.templates, trace)
         return result

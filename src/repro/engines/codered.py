@@ -67,7 +67,11 @@ class CodeRedHost:
     _rng: random.Random = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self._rng = random.Random((hash(self.ip) & 0xFFFF) ^ (self.seed << 16))
+        # ip_to_int, not hash(): str hashes are salted per interpreter
+        # (PYTHONHASHSEED), which would make "seeded" traces differ
+        # between runs.
+        self._rng = random.Random(
+            (ip_to_int(self.ip) & 0xFFFF) ^ (self.seed << 16))
 
     def pick_target(self) -> str:
         me = ip_to_int(self.ip)

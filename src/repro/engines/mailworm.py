@@ -15,6 +15,7 @@ import base64
 import random
 from dataclasses import dataclass, field
 
+from ..net.inet import ip_to_int
 from ..net.packet import Packet
 from ..net.wire import Host, Wire
 from .admmutate import AdmMutateEngine
@@ -51,7 +52,11 @@ class MailWormHost:
     _rng: random.Random = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self._rng = random.Random((hash(self.ip) & 0xFFFF) ^ (self.seed << 8))
+        # ip_to_int, not hash(): str hashes are salted per interpreter
+        # (PYTHONHASHSEED), which would make "seeded" traces differ
+        # between runs.
+        self._rng = random.Random(
+            (ip_to_int(self.ip) & 0xFFFF) ^ (self.seed << 8))
 
     def _message(self, attachment: bytes, victim: str) -> bytes:
         encoded = base64.encodebytes(attachment).decode().replace("\n", "\r\n")

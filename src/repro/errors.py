@@ -1,0 +1,107 @@
+"""Typed exception hierarchy for the whole pipeline.
+
+Fault containment (see docs/robustness.md) needs to tell *what kind* of
+failure escaped a stage: a malformed packet is routine hostile input, a
+stalled analysis is an attack on the detector itself (Bania-style
+emulation evasion), and a dead worker is an operational fault.  Every
+stage raises (or wraps foreign exceptions into) one of these types, so
+the stage firewall in :mod:`repro.nids.pipeline` can count, quarantine,
+and degrade with precision instead of guessing from bare ``ValueError``.
+
+The hierarchy is deliberately shallow::
+
+    ReproError
+    ├── DecodeError          (also ValueError)  — malformed wire bytes
+    ├── FlowKeyError         (also ValueError)  — packet has no transport flow
+    ├── ReassemblyError                         — defragmenter / stream faults
+    ├── ExtractionError                         — stage (b) faults
+    ├── AnalysisError                           — stages (c)-(e) faults
+    │   └── DeadlineExceeded                    — per-payload budget exhausted
+    ├── CaptureError         (also ValueError)  — pcap-level faults
+    │   └── TruncatedCaptureError               — capture ends mid-record
+    └── WorkerError                             — worker-process faults
+
+Several leaves double as ``ValueError`` so pre-existing ``except
+ValueError`` call sites (and tests) keep working; new code should catch
+the typed class.  This module imports nothing from the rest of the
+package — it must stay a leaf so every layer can use it.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "AnalysisError",
+    "CaptureError",
+    "DeadlineExceeded",
+    "DecodeError",
+    "ExtractionError",
+    "FlowKeyError",
+    "ReassemblyError",
+    "ReproError",
+    "TruncatedCaptureError",
+    "WorkerError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every typed failure raised by this package."""
+
+
+class DecodeError(ReproError, ValueError):
+    """Bytes cannot be parsed as the requested protocol layer.
+
+    Also a ``ValueError`` for backward compatibility with callers that
+    predate the typed hierarchy.
+    """
+
+
+class FlowKeyError(ReproError, ValueError):
+    """The packet has no transport flow (no IP header or no ports), so a
+    :class:`~repro.net.flow.FlowKey` cannot be formed."""
+
+
+class ReassemblyError(ReproError):
+    """IP defragmentation or TCP stream reassembly failed."""
+
+
+class ExtractionError(ReproError):
+    """Binary detection/extraction (stage b) failed on a payload."""
+
+
+class AnalysisError(ReproError):
+    """Semantic analysis (disassemble → lift → match) failed on a frame."""
+
+
+class DeadlineExceeded(AnalysisError):
+    """The per-payload analysis budget ran out.
+
+    Raised cooperatively from the disassemble/lift/match loop when a
+    payload exhausts its :class:`repro.resilience.deadline.Deadline` —
+    the containment answer to payloads crafted to stall the detector.
+    ``units_spent`` records how much budget was consumed before tripping.
+    """
+
+    def __init__(self, message: str = "analysis deadline exceeded",
+                 units_spent: int = 0) -> None:
+        super().__init__(message)
+        self.units_spent = units_spent
+
+
+class CaptureError(ReproError, ValueError):
+    """A capture file cannot be read or written."""
+
+
+class TruncatedCaptureError(CaptureError):
+    """A pcap file ends mid-record (partial header or body).
+
+    ``complete_records`` counts the records that were fully read before
+    the truncation point, so salvage tooling can report what survived.
+    """
+
+    def __init__(self, message: str, complete_records: int = 0) -> None:
+        super().__init__(message)
+        self.complete_records = complete_records
+
+
+class WorkerError(ReproError):
+    """A worker process failed (crash, broken pool, lost result)."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from ..errors import FlowKeyError
 from ..obs import MetricField, MetricsRegistry, StageTimer, Tracer, bind_metrics
 from .layers import TCP_FIN, TCP_RST, TCP_SYN, Tcp
 from .packet import Packet
@@ -33,7 +34,7 @@ class FlowKey:
     @classmethod
     def of(cls, pkt: Packet) -> "FlowKey":
         if pkt.ip is None or pkt.sport is None:
-            raise ValueError("packet has no transport flow")
+            raise FlowKeyError("packet has no transport flow")
         return cls(pkt.ip.src, pkt.ip.dst, pkt.sport, pkt.dport, pkt.ip.proto)
 
     def reverse(self) -> "FlowKey":

@@ -15,6 +15,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
+from ..errors import DecodeError
 from .inet import (
     bytes_to_mac,
     checksum,
@@ -25,6 +26,7 @@ from .inet import (
 )
 
 __all__ = [
+    "DecodeError",
     "Ethernet",
     "Ipv4",
     "Tcp",
@@ -54,10 +56,6 @@ TCP_RST = 0x04
 TCP_PSH = 0x08
 TCP_ACK = 0x10
 TCP_URG = 0x20
-
-
-class DecodeError(ValueError):
-    """Raised when bytes cannot be parsed as the requested layer."""
 
 
 @dataclass

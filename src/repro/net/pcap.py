@@ -13,17 +13,22 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import BinaryIO, Iterable, Iterator
 
+from ..errors import CaptureError, TruncatedCaptureError
+from ..obs import MetricsRegistry
 from .packet import Packet
 
-__all__ = ["PcapWriter", "PcapReader", "write_pcap", "read_pcap", "PcapError"]
+__all__ = ["PcapWriter", "PcapReader", "write_pcap", "read_pcap",
+           "PcapError", "TruncatedCaptureError"]
 
 _MAGIC_LE = 0xA1B2C3D4
 _MAGIC_BE = 0xD4C3B2A1
 _LINKTYPE_ETHERNET = 1
 
 
-class PcapError(ValueError):
-    """Raised for malformed pcap files."""
+#: Historical name for capture-level failures.  An alias (not a subclass)
+#: so the typed :class:`~repro.errors.TruncatedCaptureError` stays
+#: catchable as ``PcapError`` at pre-existing call sites.
+PcapError = CaptureError
 
 
 @dataclass
@@ -82,9 +87,33 @@ class PcapWriter:
 
 
 class PcapReader:
-    """Streaming pcap reader yielding decoded :class:`Packet` objects."""
+    """Streaming pcap reader yielding decoded :class:`Packet` objects.
 
-    def __init__(self, path: str | Path | BinaryIO) -> None:
+    A capture that ends mid-record — a sensor crash, a full disk, a
+    partial transfer — raises the typed
+    :class:`~repro.errors.TruncatedCaptureError` by default.  With
+    ``salvage=True`` the reader instead yields the complete record
+    prefix, sets :attr:`truncated`, and counts the event in the
+    ``repro_pcap_truncated_total`` counter of ``registry`` (when given),
+    so a production replay survives a damaged tail without silently
+    pretending the file was whole.
+    """
+
+    def __init__(self, path: str | Path | BinaryIO, *,
+                 salvage: bool = False,
+                 registry: MetricsRegistry | None = None) -> None:
+        self.salvage = salvage
+        #: set once a truncated final record has been encountered (and,
+        #: under ``salvage``, swallowed).
+        self.truncated = False
+        #: complete records read so far (the salvageable prefix length).
+        self.records_read = 0
+        self._truncated_counter = (
+            registry.counter(
+                "repro_pcap_truncated_total",
+                help="Captures that ended mid-record (salvaged or raised).",
+                unit="captures")
+            if registry is not None else None)
         if hasattr(path, "read"):
             self._fh: BinaryIO = path  # type: ignore[assignment]
             self._owns = False
@@ -93,7 +122,8 @@ class PcapReader:
             self._owns = True
         header = self._fh.read(24)
         if len(header) < 24:
-            raise PcapError("truncated pcap global header")
+            # Nothing salvageable before the global header is complete.
+            raise TruncatedCaptureError("truncated pcap global header")
         (magic,) = struct.unpack("<I", header[:4])
         if magic == _MAGIC_LE:
             self._endian = "<"
@@ -115,12 +145,26 @@ class PcapReader:
             if not header:
                 return
             if len(header) < 16:
-                raise PcapError("truncated pcap record header")
+                if self._note_truncation("truncated pcap record header"):
+                    return
             sec, usec, caplen, _origlen = struct.unpack(fmt, header)
             data = self._fh.read(caplen)
             if len(data) < caplen:
-                raise PcapError("truncated pcap record body")
+                if self._note_truncation("truncated pcap record body"):
+                    return
+            self.records_read += 1
             yield PcapRecord(timestamp=sec + usec / 1_000_000, data=data)
+
+    def _note_truncation(self, message: str) -> bool:
+        """Record a mid-record truncation; returns True when salvaging
+        (stop iteration cleanly) and raises otherwise."""
+        self.truncated = True
+        if self._truncated_counter is not None:
+            self._truncated_counter.inc()
+        if self.salvage:
+            return True
+        raise TruncatedCaptureError(message,
+                                    complete_records=self.records_read)
 
     def __iter__(self) -> Iterator[Packet]:
         for rec in self.records():

@@ -18,9 +18,22 @@ pools, selected by ``hash(FlowKey) % N``:
 - **deterministic merge** — results are drained in submission order, so
   the alert list, per-stream template dedup, and blocklist updates are
   byte-identical to a serial run over the same capture;
-- **graceful degradation** — ``workers <= 1`` never spawns a pool, and a
-  dead worker (``BrokenProcessPool``) flips the engine to the serial path:
-  every in-flight payload is re-analyzed in-process, so no alert is lost.
+- **worker self-healing** — a dead worker (``BrokenProcessPool``) costs
+  one failure on that shard's circuit breaker: the pool is rebuilt, the
+  in-flight payload is retried once, and only ``breaker_threshold``
+  *consecutive* failures open the breaker — after which the shard's
+  payloads ride the in-process serial path while a capped exponential
+  backoff elapses, then a single probe payload decides whether the shard
+  re-closes.  Other shards never notice.  ``self_heal=False`` restores
+  the old one-shot policy (first failure degrades the whole engine to
+  serial, permanently);  ``workers <= 1`` never spawns a pool.
+  Either way no alert is ever lost: stranded payloads are re-analyzed
+  in-process.
+
+Worker-side stage faults (extraction/analysis exceptions, analysis
+deadlines) are contained *in the worker* and shipped back as
+:class:`FaultRecord` entries on the result; the parent quarantines the
+payload and emits the same degraded alert the serial engine would.
 
 Alerts may surface a few packets later than in the serial engine (they
 are returned once the worker's result is drained); ``flush()`` — called
@@ -32,8 +45,9 @@ from __future__ import annotations
 
 import hashlib
 import os
+import time
 from collections import OrderedDict, deque
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
@@ -44,10 +58,14 @@ from ..core.library import (
     paper_templates,
     xor_only_templates,
 )
+from ..errors import DeadlineExceeded, FlowKeyError
 from ..extract.frames import BinaryExtractor
 from ..net.flow import FlowKey
 from ..net.packet import Packet
 from ..obs import MetricsRegistry
+from ..resilience.breaker import CLOSED, HALF_OPEN, CircuitBreaker
+from ..resilience.deadline import Deadline
+from ..resilience.firewall import DEADLINE_TEMPLATE, FAULT_TEMPLATE
 from .alerts import Alert
 from .pipeline import SemanticNids, _StreamState
 
@@ -90,6 +108,22 @@ class MatchRecord:
 
 
 @dataclass
+class FaultRecord:
+    """One contained worker-side stage fault, flattened for pickling.
+
+    The worker catches the exception (so one poisoned payload cannot take
+    the pool down), and the parent turns the record into the same
+    quarantine entry + degraded alert the serial engine's stage firewall
+    would have produced.
+    """
+
+    stage: str
+    exc_type: str
+    message: str
+    deadline: bool = False  # DeadlineExceeded → the deadline template
+
+
+@dataclass
 class WorkResult:
     """Outcome of analyzing one payload in a worker.
 
@@ -105,13 +139,15 @@ class WorkResult:
     cache_hits: int = 0
     cache_misses: int = 0
     metrics: dict | None = None
+    faults: list[FaultRecord] = field(default_factory=list)
 
 
 _WORKER_STATE: dict = {}
 
 
 def _init_worker(template_set: str, frame_cache_size: int,
-                 min_instructions: int) -> None:
+                 min_instructions: int,
+                 deadline_units: int | None = None) -> None:
     """Per-process initializer: build the stateless stage objects once."""
     registry = MetricsRegistry()
     _WORKER_STATE["registry"] = registry
@@ -122,18 +158,41 @@ def _init_worker(template_set: str, frame_cache_size: int,
         frame_cache_size=frame_cache_size,
         registry=registry,
     )
+    _WORKER_STATE["deadline_units"] = deadline_units
 
 
 def _analyze_in_worker(payload: bytes) -> WorkResult:
     """Stages (b)-(e) on one payload; mirrors SemanticNids._analyze_payload
-    minus the parent-side state (dedup, alerts, blocklist)."""
+    minus the parent-side state (dedup, alerts, blocklist).
+
+    Stage faults are contained here — recorded on ``result.faults`` rather
+    than raised — so an exception in extraction or analysis costs one
+    degraded alert, not a ``BrokenProcessPool``-sized recovery."""
     extractor: BinaryExtractor = _WORKER_STATE["extractor"]
     analyzer: SemanticAnalyzer = _WORKER_STATE["analyzer"]
+    deadline_units = _WORKER_STATE.get("deadline_units")
     result = WorkResult()
-    frames = extractor.extract(payload)
+    try:
+        frames = extractor.extract(payload)
+    except Exception as exc:  # noqa: BLE001 — firewall: contain, don't crash
+        result.faults.append(FaultRecord(
+            stage="extract", exc_type=type(exc).__name__, message=str(exc)))
+        frames = []
     result.frames_extracted = len(frames)
+    deadline = Deadline(deadline_units) if deadline_units else None
     for frame in frames:
-        analysis = analyzer.analyze_frame(frame.data)
+        try:
+            analysis = analyzer.analyze_frame(frame.data, deadline=deadline)
+        except DeadlineExceeded as exc:
+            result.faults.append(FaultRecord(
+                stage="analyze", exc_type=type(exc).__name__,
+                message=str(exc), deadline=True))
+            break  # the budget is per-payload: remaining frames forfeit
+        except Exception as exc:  # noqa: BLE001 — contain per-frame faults
+            result.faults.append(FaultRecord(
+                stage="analyze", exc_type=type(exc).__name__,
+                message=str(exc)))
+            continue
         result.frames_analyzed += 1
         if analyzer.frame_cache is not None:
             if analysis.cached:
@@ -189,6 +248,15 @@ class _Pending:
     #: first submission of this digest (owns the worker round-trip); later
     #: identical payloads share the owner's future and count as cache hits
     owner: bool = False
+    #: shard the payload was submitted to (-1 for replays/piggybacks: they
+    #: never touched a pool, so they never move a breaker)
+    shard: int = -1
+    #: pool generation at submit time — a rebuild bumps the shard's
+    #: generation, so the N futures stranded by ONE dead worker count as
+    #: one breaker failure, not N
+    gen: int = -1
+    #: half-open probe payload: its outcome alone re-closes or re-opens
+    probe: bool = False
 
 
 class ParallelSemanticNids(SemanticNids):
@@ -213,6 +281,19 @@ class ParallelSemanticNids(SemanticNids):
         at every victim) replays the merged :class:`WorkResult` without a
         worker round-trip at all.  Disabled alongside the frame cache
         (``frame_cache_size=0``) so "no caching" means none anywhere.
+    self_heal:
+        ``True`` (default): per-shard circuit breakers + pool rebuilds +
+        retry-once, per the module docstring.  ``False``: legacy one-shot
+        policy — the first worker failure degrades the engine to the
+        serial path permanently.
+    breaker_threshold:
+        Consecutive pool failures on one shard before its breaker opens.
+    breaker_backoff / breaker_backoff_cap:
+        Initial and maximum open-state backoff, in seconds (each re-open
+        doubles the wait).  ``breaker_backoff=0`` probes immediately —
+        what the deterministic chaos tests use.
+    breaker_clock:
+        Injectable monotonic clock for the breakers (tests).
     """
 
     def __init__(
@@ -221,6 +302,11 @@ class ParallelSemanticNids(SemanticNids):
         template_set: str = "paper",
         max_pending: int = 256,
         payload_cache_size: int = 2048,
+        self_heal: bool = True,
+        breaker_threshold: int = 3,
+        breaker_backoff: float = 0.5,
+        breaker_backoff_cap: float = 30.0,
+        breaker_clock=None,
         **kwargs,
     ) -> None:
         if "templates" in kwargs:
@@ -231,6 +317,7 @@ class ParallelSemanticNids(SemanticNids):
         super().__init__(templates=resolve_template_set(template_set), **kwargs)
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.max_pending = max_pending
+        self.self_heal = self_heal
         self._pending: deque[_Pending] = deque()
         self._degraded = False
         self._pools: list[ProcessPoolExecutor] = []
@@ -241,18 +328,34 @@ class ParallelSemanticNids(SemanticNids):
         #: payloads arriving before it completes piggyback on that future
         #: instead of paying another worker round-trip.
         self._inflight: dict[bytes, object] = {}
+        self._breakers: list[CircuitBreaker] = []
+        self._pool_gen: list[int] = []
         if self.workers > 1:
             cache_size = (self.analyzer.frame_cache.max_entries
                           if self.analyzer.frame_cache is not None else 0)
+            # Kept whole for pool rebuilds after a worker death.
+            self._initargs = (template_set, cache_size,
+                              self.analyzer.min_instructions,
+                              self._deadline_units)
             self._pools = [
                 ProcessPoolExecutor(
                     max_workers=1,
                     initializer=_init_worker,
-                    initargs=(template_set, cache_size,
-                              self.analyzer.min_instructions),
+                    initargs=self._initargs,
                 )
                 for _ in range(self.workers)
             ]
+            clock = breaker_clock if breaker_clock is not None else time.monotonic
+            self._breakers = [
+                CircuitBreaker(
+                    threshold=breaker_threshold,
+                    backoff_base=breaker_backoff,
+                    backoff_cap=breaker_backoff_cap,
+                    clock=clock,
+                )
+                for _ in range(self.workers)
+            ]
+            self._pool_gen = [0] * self.workers
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -285,7 +388,7 @@ class ParallelSemanticNids(SemanticNids):
     def _shard_of(self, pkt: Packet) -> int:
         try:
             key = hash(FlowKey.of(pkt))
-        except ValueError:  # no transport flow (e.g. ICMP payload)
+        except FlowKeyError:  # no transport flow (e.g. ICMP payload)
             key = hash((pkt.src, pkt.dst))
         return key % self.workers
 
@@ -308,6 +411,7 @@ class ParallelSemanticNids(SemanticNids):
                     frames_extracted=cached.frames_extracted,
                     frames_analyzed=cached.frames_analyzed,
                     cache_hits=cached.frames_analyzed,
+                    faults=cached.faults,
                 )
                 self.stats.payloads_analyzed += 1
                 self._pending.append(_Pending(
@@ -328,11 +432,40 @@ class ParallelSemanticNids(SemanticNids):
                 ))
                 return self._drain(blocking=False)
         shard = self._shard_of(pkt)
+        probe = False
+        if self.self_heal and self._breakers:
+            breaker = self._breakers[shard]
+            if not self._breaker_allow(shard):
+                # Shard cooling off (open, or a probe already out): the
+                # payload rides the serial path in-process.  Other shards
+                # keep their pools — this is per-shard containment.
+                self.stats.serial_fallback_payloads += 1
+                return super()._analyze_payload(pkt, payload, state)
+            if breaker.state == HALF_OPEN:
+                probe = True
+                breaker.begin_probe()
         try:
             future = self._pools[shard].submit(_analyze_in_worker, payload)
-        except (BrokenProcessPool, RuntimeError, OSError):
-            self._note_worker_failure()
-            return super()._analyze_payload(pkt, payload, state)
+        except (BrokenProcessPool, CancelledError, RuntimeError, OSError):
+            if not self.self_heal:
+                self._note_worker_failure()
+                return super()._analyze_payload(pkt, payload, state)
+            self.stats.worker_failures += 1
+            self._breaker_failure(shard)
+            self._rebuild_pool(shard)
+            future = None
+            if not self._breakers[shard].is_open:
+                try:
+                    self.stats.worker_retries += 1
+                    future = self._pools[shard].submit(
+                        _analyze_in_worker, payload)
+                except (BrokenProcessPool, CancelledError, RuntimeError,
+                        OSError):
+                    self._breaker_failure(shard)
+                    future = None
+            if future is None:
+                self.stats.serial_fallback_payloads += 1
+                return super()._analyze_payload(pkt, payload, state)
         self.stats.payloads_analyzed += 1
         self.stats.payloads_offloaded += 1
         if digest is not None:
@@ -340,7 +473,8 @@ class ParallelSemanticNids(SemanticNids):
         self._pending.append(_Pending(
             future=future, timestamp=pkt.timestamp, source=pkt.src,
             destination=pkt.dst, payload=payload, packet=pkt, state=state,
-            digest=digest, owner=True,
+            digest=digest, owner=True, shard=shard,
+            gen=self._pool_gen[shard] if self._pool_gen else -1, probe=probe,
         ))
         return self._drain(blocking=False)
 
@@ -363,34 +497,80 @@ class ParallelSemanticNids(SemanticNids):
             self._pending.popleft()
             try:
                 result = head.future.result()
-            except (BrokenProcessPool, OSError, RuntimeError):
-                self._note_worker_failure()
-                if head.owner and head.digest is not None:
-                    self._inflight.pop(head.digest, None)
-                # Recover in-process: undo the submit-time count (the serial
-                # path re-counts) and run stages (b)-(e) locally.
-                self.stats.payloads_analyzed -= 1
-                out.extend(super()._analyze_payload(
-                    head.packet, head.payload, head.state))
+            except (BrokenProcessPool, CancelledError, OSError, RuntimeError):
+                out.extend(self._recover_pending(head))
                 continue
-            if head.digest is not None:
-                if head.owner:
-                    self._inflight.pop(head.digest, None)
-                    self._payload_cache[head.digest] = result
-                    self._payload_cache.move_to_end(head.digest)
-                    while len(self._payload_cache) > self.payload_cache_size:
-                        self._payload_cache.popitem(last=False)
-                else:
-                    # Piggybacked duplicate: account its frames as hits —
-                    # no worker round-trip or analysis was spent on it.
-                    result = WorkResult(
-                        matches=result.matches,
-                        frames_extracted=result.frames_extracted,
-                        frames_analyzed=result.frames_analyzed,
-                        cache_hits=result.frames_analyzed,
-                    )
-            out.extend(self._merge_result(head, result))
+            if head.shard >= 0:
+                self._breaker_success(head.shard)
+            out.extend(self._finish_pending(head, result))
         return out
+
+    def _finish_pending(self, head: _Pending, result: WorkResult) -> list[Alert]:
+        """Payload-cache bookkeeping + merge for one completed payload."""
+        if head.digest is not None:
+            if head.owner:
+                self._inflight.pop(head.digest, None)
+                self._payload_cache[head.digest] = result
+                self._payload_cache.move_to_end(head.digest)
+                while len(self._payload_cache) > self.payload_cache_size:
+                    self._payload_cache.popitem(last=False)
+            else:
+                # Piggybacked duplicate: account its frames as hits —
+                # no worker round-trip or analysis was spent on it.
+                result = WorkResult(
+                    matches=result.matches,
+                    frames_extracted=result.frames_extracted,
+                    frames_analyzed=result.frames_analyzed,
+                    cache_hits=result.frames_analyzed,
+                    faults=result.faults,
+                )
+        return self._merge_result(head, result)
+
+    def _recover_pending(self, head: _Pending) -> list[Alert]:
+        """The pool died under an in-flight payload: heal the shard (or
+        degrade, without ``self_heal``) and make sure the payload still
+        gets analyzed — retried on the rebuilt pool, or in-process."""
+        if head.owner and head.digest is not None:
+            self._inflight.pop(head.digest, None)
+        if not self.self_heal:
+            self._note_worker_failure()
+            # Recover in-process: undo the submit-time count (the serial
+            # path re-counts) and run stages (b)-(e) locally.
+            self.stats.payloads_analyzed -= 1
+            return super()._analyze_payload(
+                head.packet, head.payload, head.state)
+        if head.shard < 0:
+            # Piggyback on a future that broke: the owner's recovery (just
+            # above it in the queue) already charged the breaker; this one
+            # only needs its payload analyzed.
+            self.stats.serial_fallback_payloads += 1
+            self.stats.payloads_analyzed -= 1
+            return super()._analyze_payload(
+                head.packet, head.payload, head.state)
+        shard = head.shard
+        if head.gen == self._pool_gen[shard]:
+            # First stranded future of this pool generation: this is THE
+            # failure event.  Later futures stranded by the same death see
+            # a newer generation and skip straight to the retry.
+            self.stats.worker_failures += 1
+            self._breaker_failure(shard)
+            self._rebuild_pool(shard)
+        if not self._breakers[shard].is_open:
+            self.stats.worker_retries += 1
+            try:
+                # Blocking retry-once keeps the drain in submission order.
+                result = self._pools[shard].submit(
+                    _analyze_in_worker, head.payload).result()
+            except (BrokenProcessPool, CancelledError, OSError, RuntimeError):
+                self.stats.worker_failures += 1
+                self._breaker_failure(shard)
+                self._rebuild_pool(shard)
+            else:
+                self._breaker_success(shard)
+                return self._finish_pending(head, result)
+        self.stats.serial_fallback_payloads += 1
+        self.stats.payloads_analyzed -= 1
+        return super()._analyze_payload(head.packet, head.payload, head.state)
 
     def _merge_result(self, head: _Pending, result: WorkResult) -> list[Alert]:
         self.stats.frames_extracted += result.frames_extracted
@@ -430,12 +610,79 @@ class ParallelSemanticNids(SemanticNids):
             if head.source:
                 self.blocklist.block(head.source, head.timestamp)
             out.append(alert)
+        # Worker-contained stage faults: run them through the parent's
+        # firewall (count + quarantine) and emit the degraded alert the
+        # serial engine would have — identical template/detail strings, so
+        # serial/parallel alert parity holds under faults too.
+        for fault in result.faults:
+            template = DEADLINE_TEMPLATE if fault.deadline else FAULT_TEMPLATE
+            detail = f"{fault.exc_type}: {fault.message}"
+            stage = self.firewall.contain_record(
+                fault.stage, reason=template, detail=detail,
+                pkt=head.packet, payload=head.payload)
+            out.extend(self._degraded_alert(
+                stage, template, detail, head.timestamp, head.source,
+                head.destination, head.state))
         return out
 
     # -- failure handling ---------------------------------------------------
 
     def _note_worker_failure(self) -> None:
-        """A worker died: record it and degrade to the serial path for all
-        subsequent payloads (pending results are still drained/recovered)."""
+        """A worker died (``self_heal=False``): record it and degrade to the
+        serial path for all subsequent payloads (pending results are still
+        drained/recovered)."""
         self.stats.worker_failures += 1
         self._degraded = True
+
+    def _breaker_allow(self, shard: int) -> bool:
+        """May this shard's pool take a payload right now?  Counts the
+        open→half-open transition when the backoff has elapsed."""
+        breaker = self._breakers[shard]
+        was_open = breaker.state
+        allowed = breaker.allow()
+        if was_open != breaker.state and breaker.state == HALF_OPEN:
+            self.stats.breaker_half_open += 1
+        self._sync_breaker_gauge()
+        return allowed
+
+    def _breaker_failure(self, shard: int) -> None:
+        breaker = self._breakers[shard]
+        was_open = breaker.is_open
+        breaker.record_failure()
+        if breaker.is_open and not was_open:
+            self.stats.breaker_opened += 1
+        elif breaker.is_open:  # half-open probe failed: re-opened
+            self.stats.breaker_opened += 1
+        self._sync_breaker_gauge()
+
+    def _breaker_success(self, shard: int) -> None:
+        breaker = self._breakers[shard]
+        was_closed = breaker.state == CLOSED
+        breaker.record_success()
+        if not was_closed:
+            self.stats.breaker_closed += 1
+        self._sync_breaker_gauge()
+
+    def _sync_breaker_gauge(self) -> None:
+        self.stats.breaker_open_shards = sum(
+            1 for b in self._breakers if b.state != CLOSED)
+
+    def _rebuild_pool(self, shard: int) -> None:
+        """Tear the shard's broken pool down and spawn a fresh one.
+
+        Bumping the generation first means every future stranded by the
+        old pool is recognized as already-accounted-for in
+        ``_recover_pending`` — one worker death is one breaker failure.
+        """
+        self._pool_gen[shard] += 1
+        self.stats.pool_rebuilds += 1
+        old = self._pools[shard]
+        try:
+            old.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 — already-broken pools may throw
+            pass
+        self._pools[shard] = ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_init_worker,
+            initargs=self._initargs,
+        )

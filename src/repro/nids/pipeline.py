@@ -7,6 +7,13 @@ Stages (c)-(e) live in :class:`repro.core.SemanticAnalyzer`; this module
 owns the plumbing: per-packet classification, TCP stream reassembly with
 incremental re-analysis, per-stream alert deduplication, and the response
 blocklist.
+
+Every stage runs behind the :class:`~repro.resilience.StageFirewall`
+(docs/robustness.md): an exception escaping a stage is counted,
+optionally quarantined, and surfaced as a degraded-mode alert — the
+sensor keeps processing the next packet instead of dying on hostile
+input.  ``analysis_deadline_ms`` additionally bounds the work any one
+payload can extract from stages (c)-(e).
 """
 
 from __future__ import annotations
@@ -19,12 +26,16 @@ from ..classify.fanout import SmtpFanoutMonitor
 from ..classify.honeypot import HoneypotRegistry
 from ..core.analyzer import SemanticAnalyzer
 from ..core.template import Template
+from ..errors import DeadlineExceeded
 from ..extract.frames import BinaryExtractor
 from ..net.defrag import IpDefragmenter
 from ..net.flow import FlowKey, StreamReassembler
 from ..net.layers import Ipv4
 from ..net.packet import Packet
 from ..obs import MetricsRegistry, NullTracer, Tracer
+from ..resilience.deadline import Deadline
+from ..resilience.firewall import DEGRADED_SEVERITY, StageFirewall
+from ..resilience.quarantine import QuarantineWriter
 from .alerts import Alert, BlockList
 from .stats import NidsStats
 
@@ -67,6 +78,15 @@ class SemanticNids:
         Bound on concurrently tracked TCP streams.  Evicting a stream also
         drops its per-stream analysis state, so the sensor's memory stays
         bounded under flow-churn floods.
+    analysis_deadline_ms:
+        Per-payload analysis budget, in deterministic instruction units
+        (:data:`repro.resilience.UNITS_PER_MS` per ms).  A payload that
+        exhausts it is cut off with a ``resilience.deadline-exceeded``
+        degraded alert instead of stalling the sensor.  ``None`` = no
+        budget.
+    quarantine:
+        Optional :class:`~repro.resilience.QuarantineWriter`; every input
+        whose fault the stage firewall contains is preserved there.
     """
 
     def __init__(
@@ -84,6 +104,8 @@ class SemanticNids:
         frame_cache_size: int = 4096,
         reanalysis_overlap: int | None = 16384,
         max_streams: int = 65536,
+        analysis_deadline_ms: float | None = None,
+        quarantine: QuarantineWriter | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
     ) -> None:
@@ -114,6 +136,11 @@ class SemanticNids:
                                          frame_cache_size=frame_cache_size,
                                          **obs)
         self.blocklist = BlockList()
+        self.firewall = StageFirewall(self.registry, quarantine=quarantine)
+        self.analysis_deadline_ms = analysis_deadline_ms
+        self._deadline_units = (
+            Deadline.from_ms(analysis_deadline_ms).budget_units
+            if analysis_deadline_ms else None)
         self.stats = NidsStats(self.registry, self.tracer)
         self.alerts: list[Alert] = []
         self.max_rounds_per_stream = max_rounds_per_stream
@@ -127,22 +154,37 @@ class SemanticNids:
     # -- packet path ---------------------------------------------------------
 
     def process_packet(self, pkt: Packet) -> list[Alert]:
-        """Feed one packet; returns any alerts it produced."""
+        """Feed one packet; returns any alerts it produced.
+
+        Stage faults (defragmentation, classification, reassembly) are
+        contained per-packet: the offender is counted and quarantined,
+        a degraded alert is returned, and the next packet proceeds
+        through an intact pipeline.
+        """
         self.stats.packets += 1
         self.stats.payload_bytes += len(pkt.payload)
-        whole = self.defragmenter.feed(pkt)
+        try:
+            whole = self.defragmenter.feed(pkt)
+        except Exception as exc:
+            return self._contain_packet_fault("reassemble", pkt, exc)
         if whole is None:
             return []  # fragment buffered; the datagram is not complete yet
         pkt = whole
         # The components time themselves (classifier/reassembler/extractor/
         # analyzer each own a StageTimer on the shared registry); the
         # ``stats`` timers are views over the same metrics.
-        forward = self.classifier.classify(pkt)
+        try:
+            forward = self.classifier.classify(pkt)
+        except Exception as exc:
+            return self._contain_packet_fault("classify", pkt, exc)
         if not forward:
             return []
         new_alerts: list[Alert] = []
         if pkt.is_tcp:
-            stream = self.reassembler.feed(pkt)
+            try:
+                stream = self.reassembler.feed(pkt)
+            except Exception as exc:
+                return self._contain_packet_fault("reassemble", pkt, exc)
             if stream is None:
                 return []
             state = self._stream_state.setdefault(stream.key, _StreamState())
@@ -248,11 +290,29 @@ class SemanticNids:
         self, pkt: Packet, payload: bytes, state: _StreamState | None
     ) -> list[Alert]:
         self.stats.payloads_analyzed += 1
-        frames = self.extractor.extract(payload)
+        try:
+            frames = self.extractor.extract(payload)
+        except Exception as exc:
+            return self._contain_payload_fault("extract", pkt, payload,
+                                               state, exc)
         self.stats.frames_extracted += len(frames)
         out: list[Alert] = []
+        deadline = (Deadline(self._deadline_units)
+                    if self._deadline_units else None)
         for frame in frames:
-            result = self.analyzer.analyze_frame(frame.data)
+            try:
+                result = self.analyzer.analyze_frame(frame.data,
+                                                     deadline=deadline)
+            except DeadlineExceeded as exc:
+                # The budget is per-payload: nothing is left for the
+                # remaining frames either.
+                out.extend(self._contain_payload_fault(
+                    "analyze", pkt, payload, state, exc))
+                break
+            except Exception as exc:
+                out.extend(self._contain_payload_fault(
+                    "analyze", pkt, payload, state, exc))
+                continue
             self.stats.frames_analyzed += 1
             if self.analyzer.frame_cache is not None:
                 if result.cached:
@@ -281,6 +341,57 @@ class SemanticNids:
                     self.blocklist.block(pkt.src, pkt.timestamp)
                 out.append(alert)
         return out
+
+    # -- fault containment -------------------------------------------------------
+
+    def _contain_packet_fault(self, site: str, pkt: Packet,
+                              exc: Exception) -> list[Alert]:
+        """A per-packet stage threw: count, quarantine, alert degraded."""
+        stage = self.firewall.contain(site, exc, pkt=pkt,
+                                      payload=pkt.payload or None)
+        return self._degraded_alert(
+            stage, self.firewall.template_for(exc),
+            f"{type(exc).__name__}: {exc}",
+            pkt.timestamp, pkt.src, pkt.dst, None)
+
+    def _contain_payload_fault(self, site: str, pkt: Packet, payload: bytes,
+                               state: _StreamState | None,
+                               exc: Exception) -> list[Alert]:
+        """Extraction/analysis threw on a payload: same containment, but
+        the quarantined evidence is the (possibly reassembled) payload and
+        the degraded alert dedups per stream like any template alert."""
+        stage = self.firewall.contain(site, exc, pkt=pkt, payload=payload)
+        return self._degraded_alert(
+            stage, self.firewall.template_for(exc),
+            f"{type(exc).__name__}: {exc}",
+            pkt.timestamp, pkt.src, pkt.dst, state)
+
+    def _degraded_alert(self, stage: str, template: str, detail: str,
+                        timestamp: float, source: str | None,
+                        destination: str | None,
+                        state: _StreamState | None) -> list[Alert]:
+        """Containment is visible: emit the degraded-mode alert.
+
+        Deliberately NOT a blocklist trigger — faults can be provoked by
+        spoofed traffic, and auto-blocking on them would hand attackers a
+        denial-of-service primitive.
+        """
+        if state is not None:
+            if template in state.alerted_templates:
+                return []
+            state.alerted_templates.add(template)
+        alert = Alert(
+            timestamp=timestamp,
+            source=source or "?",
+            destination=destination or "?",
+            template=template,
+            severity=DEGRADED_SEVERITY,
+            frame_origin=stage,
+            detail=detail,
+        )
+        self.alerts.append(alert)
+        self.stats.alerts += 1
+        return [alert]
 
     # -- reporting ----------------------------------------------------------------
 

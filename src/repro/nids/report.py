@@ -14,7 +14,8 @@ from .pipeline import SemanticNids
 
 __all__ = ["AlertReport", "build_report"]
 
-_SEVERITY_ORDER = {"critical": 0, "high": 1, "medium": 2, "low": 3}
+_SEVERITY_ORDER = {"critical": 0, "high": 1, "medium": 2, "low": 3,
+                   "degraded": 4}
 
 
 @dataclass
@@ -39,6 +40,16 @@ class AlertReport:
     datagrams_evicted: int = 0
     streams_evicted: int = 0
     state_evicted: int = 0
+    #: fault containment (docs/robustness.md): stage faults the firewall
+    #: absorbed, inputs quarantined, deadline trips, and the parallel
+    #: engine's self-healing activity.
+    stage_faults: dict[str, int] = field(default_factory=dict)
+    quarantined: int = 0
+    deadline_trips: int = 0
+    pool_rebuilds: int = 0
+    worker_retries: int = 0
+    serial_fallback_payloads: int = 0
+    breaker_trips: int = 0
 
     @property
     def frame_cache_hit_rate(self) -> float:
@@ -68,6 +79,15 @@ class AlertReport:
                 "hit_rate": self.frame_cache_hit_rate,
             },
             "worker_failures": self.worker_failures,
+            "resilience": {
+                "stage_faults": dict(self.stage_faults),
+                "quarantined": self.quarantined,
+                "deadline_trips": self.deadline_trips,
+                "pool_rebuilds": self.pool_rebuilds,
+                "worker_retries": self.worker_retries,
+                "serial_fallback_payloads": self.serial_fallback_payloads,
+                "breaker_trips": self.breaker_trips,
+            },
             "frontend": {
                 "fragments_dropped": self.fragments_dropped,
                 "overlaps_trimmed": self.overlaps_trimmed,
@@ -120,9 +140,30 @@ class AlertReport:
             lines.append(f"  evictions: datagrams={self.datagrams_evicted} "
                          f"streams={self.streams_evicted} "
                          f"state={self.state_evicted}")
+        if (self.stage_faults or self.quarantined or self.deadline_trips
+                or self.pool_rebuilds or self.breaker_trips):
+            lines.append("")
+            lines.append("faults contained:")
+            for stage in sorted(self.stage_faults):
+                lines.append(f"  {stage:10s} {self.stage_faults[stage]}")
+            if self.quarantined:
+                lines.append(f"  quarantined inputs    {self.quarantined}")
+            if self.deadline_trips:
+                lines.append(f"  deadline trips        {self.deadline_trips}")
+            if self.pool_rebuilds or self.breaker_trips:
+                lines.append(
+                    f"  self-heal: pool_rebuilds={self.pool_rebuilds} "
+                    f"retries={self.worker_retries} "
+                    f"serial_fallback={self.serial_fallback_payloads} "
+                    f"breaker_trips={self.breaker_trips}")
         if self.pipeline_summary:
             lines += ["", "pipeline:", self.pipeline_summary]
         return "\n".join(lines)
+
+
+def _metric_value(nids: SemanticNids, name: str) -> int:
+    metric = nids.registry.get(name)
+    return int(metric.value) if metric is not None else 0
 
 
 def build_report(nids: SemanticNids) -> AlertReport:
@@ -141,6 +182,13 @@ def build_report(nids: SemanticNids) -> AlertReport:
         datagrams_evicted=nids.stats.datagrams_evicted,
         streams_evicted=nids.stats.streams_evicted,
         state_evicted=nids.stats.state_evicted,
+        stage_faults=nids.firewall.faults_by_stage(),
+        quarantined=nids.firewall.quarantined,
+        deadline_trips=_metric_value(nids, "repro_deadline_exceeded_total"),
+        pool_rebuilds=nids.stats.pool_rebuilds,
+        worker_retries=nids.stats.worker_retries,
+        serial_fallback_payloads=nids.stats.serial_fallback_payloads,
+        breaker_trips=nids.stats.breaker_opened,
     )
     for alert in nids.alerts:
         report.by_severity[alert.severity] = (

@@ -5,6 +5,11 @@ network." (§4) — :class:`NidsSensor` is that machine in our simulation:
 attach it to a :class:`~repro.net.wire.Wire` and every transmitted packet
 flows through the five-stage pipeline; alerts surface via an optional
 callback.
+
+The callback runs behind the pipeline's stage firewall: an exception in
+the operator's ``on_alert`` handler is contained as a ``deliver`` fault
+(counted, quarantine-logged) instead of killing the tap — a buggy
+response script must not blind the sensor.
 """
 
 from __future__ import annotations
@@ -43,13 +48,27 @@ class NidsSensor:
     def flush(self) -> None:
         """Drain deferred analysis and deliver the resulting alerts."""
         for alert in self.nids.flush():
-            if self.on_alert is not None:
-                self.on_alert(alert)
+            self._deliver(alert)
 
     def _tap(self, pkt: Packet) -> None:
         for alert in self.nids.process_packet(pkt):
-            if self.on_alert is not None:
-                self.on_alert(alert)
+            self._deliver(alert)
+
+    def _deliver(self, alert: Alert) -> None:
+        """Hand one alert to the operator callback, firewalled.
+
+        No degraded alert is emitted for a delivery fault (it would have
+        to be delivered through the same broken callback) — the fault
+        counter and quarantine entry are the signal.
+        """
+        if self.on_alert is None:
+            return
+        try:
+            self.on_alert(alert)
+        except Exception as exc:  # noqa: BLE001 — operator code is untrusted
+            self.nids.firewall.contain_record(
+                "deliver", reason="resilience.stage-fault",
+                detail=f"{type(exc).__name__}: {exc}")
 
     @property
     def alerts(self) -> list[Alert]:

@@ -92,6 +92,43 @@ class NidsStats:
         "repro_frontend_state_evicted_total",
         help="Per-stream analysis states dropped with their stream.",
         unit="streams")
+    #: worker self-healing (parallel engine, docs/robustness.md): the
+    #: per-shard circuit breakers, pool rebuilds, and the payloads that
+    #: rode the serial path while a shard was cooling off.  All zero on a
+    #: serial engine and on any clean parallel run.
+    breaker_opened = MetricField(
+        "repro_breaker_opened_total",
+        help="Shard breakers tripped open (incl. failed probes reopening).",
+        unit="transitions")
+    breaker_half_open = MetricField(
+        "repro_breaker_half_open_total",
+        help="Shard breakers entering half-open to probe a rebuilt pool.",
+        unit="transitions")
+    breaker_closed = MetricField(
+        "repro_breaker_closed_total",
+        help="Shard breakers re-closed by a successful result.",
+        unit="transitions")
+    breaker_open_shards = MetricField(
+        "repro_breaker_open_shards", kind="gauge",
+        help="Shards currently open or half-open (not taking full load).",
+        unit="shards")
+    pool_rebuilds = MetricField(
+        "repro_pool_rebuilds_total",
+        help="Broken worker pools torn down and respawned.", unit="pools")
+    worker_retries = MetricField(
+        "repro_worker_retries_total",
+        help="In-flight payloads retried on a rebuilt pool.",
+        unit="payloads")
+    serial_fallback_payloads = MetricField(
+        "repro_serial_fallback_payloads_total",
+        help="Payloads analyzed in-process because a shard was unavailable.",
+        unit="payloads")
+    #: capture salvage: incremented by PcapReader(salvage=True) when it
+    #: shares the sensor registry (``repro-sensor`` wires this up).
+    pcap_truncated = MetricField(
+        "repro_pcap_truncated_total",
+        help="Captures that ended mid-record (salvaged or raised).",
+        unit="captures")
 
     def __init__(self, registry: MetricsRegistry | None = None,
                  tracer: Tracer | None = None) -> None:
@@ -127,6 +164,16 @@ class NidsStats:
             lines.append(
                 f"workers: payloads_offloaded={self.payloads_offloaded} "
                 f"failures={self.worker_failures}"
+            )
+        if (self.pool_rebuilds or self.worker_retries
+                or self.serial_fallback_payloads or self.breaker_opened):
+            lines.append(
+                f"self-heal: pool_rebuilds={self.pool_rebuilds} "
+                f"retries={self.worker_retries} "
+                f"serial_fallback={self.serial_fallback_payloads} "
+                f"breaker opened={self.breaker_opened} "
+                f"half_open={self.breaker_half_open} "
+                f"closed={self.breaker_closed}"
             )
         if (self.fragments_dropped or self.overlaps_trimmed
                 or self.datagrams_evicted or self.streams_evicted

@@ -1,0 +1,55 @@
+"""repro.resilience — fault containment for a sensor that must not die.
+
+A NIDS parses attacker-controlled bytes for a living, so "crash on
+malformed input" is a remotely triggerable blind spot.  This package is
+the containment layer threaded through the pipeline (see
+docs/robustness.md):
+
+- :mod:`repro.resilience.firewall` — per-stage fault counting and
+  degraded-mode alerting glue (the pipeline catches, the firewall
+  records);
+- :mod:`repro.resilience.quarantine` — offending inputs preserved to a
+  replayable pcap + JSONL sidecar;
+- :mod:`repro.resilience.deadline` — deterministic per-payload analysis
+  budgets (instruction units, not wall clock);
+- :mod:`repro.resilience.breaker` — per-shard circuit breakers behind
+  the parallel engine's worker self-healing;
+- :mod:`repro.resilience.chaos` — seeded fault injection proving all of
+  the above.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .chaos import (
+    FaultInjector,
+    InjectedFault,
+    build_stall_payload,
+    truncate_capture,
+)
+from .deadline import UNITS_PER_MS, Deadline
+from .firewall import (
+    CONTAINED_STAGES,
+    DEADLINE_TEMPLATE,
+    DEGRADED_SEVERITY,
+    FAULT_TEMPLATE,
+    StageFirewall,
+)
+from .quarantine import QuarantineWriter
+
+__all__ = [
+    "CLOSED",
+    "CONTAINED_STAGES",
+    "DEADLINE_TEMPLATE",
+    "DEGRADED_SEVERITY",
+    "FAULT_TEMPLATE",
+    "HALF_OPEN",
+    "OPEN",
+    "UNITS_PER_MS",
+    "CircuitBreaker",
+    "Deadline",
+    "FaultInjector",
+    "InjectedFault",
+    "QuarantineWriter",
+    "StageFirewall",
+    "build_stall_payload",
+    "truncate_capture",
+]

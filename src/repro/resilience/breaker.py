@@ -1,0 +1,103 @@
+"""Per-shard circuit breaker for worker self-healing.
+
+The parallel engine's original failure policy was one-shot: the first
+dead worker flipped the whole engine to the serial path forever.  Safe,
+but it means a single transient fault (an OOM kill, a crashed child)
+permanently costs all parallelism for the rest of a long capture.  The
+breaker replaces that with the classic three-state machine, one breaker
+per shard so a crash-looping flow cannot take down its neighbours:
+
+- **closed** — work flows to the shard's pool; each pool breakage counts
+  one consecutive failure, any successful result resets the count;
+- **open** — after ``threshold`` consecutive failures the shard stops
+  receiving work (payloads degrade to the in-process serial path) for a
+  capped exponential backoff;
+- **half-open** — once the backoff elapses, exactly one probe payload is
+  allowed through the rebuilt pool: success re-closes the breaker,
+  failure reopens it with doubled backoff.
+
+The breaker itself is pure state: no pools, no metrics, an injectable
+clock — so its transitions are unit-testable and the chaos harness can
+drive it deterministically (``backoff_base=0`` makes probes immediate).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with capped exponential backoff."""
+
+    def __init__(self, threshold: int = 3, backoff_base: float = 0.5,
+                 backoff_cap: float = 30.0, clock=time.monotonic) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        self.threshold = threshold
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.clock = clock
+        self.state = CLOSED
+        self.failures = 0        # consecutive, since the last success
+        self.trips = 0           # times the breaker has opened
+        self.backoff = backoff_base
+        self.opened_at = 0.0
+        #: a probe has been dispatched and its outcome is still unknown;
+        #: the engine must not send more work until it resolves.
+        self.probe_pending = False
+
+    @property
+    def is_open(self) -> bool:
+        return self.state == OPEN
+
+    def allow(self) -> bool:
+        """May the next payload go to this shard's pool?
+
+        Transitions ``open`` → ``half-open`` when the backoff has
+        elapsed; the call that observes that transition owns the probe.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self.clock() - self.opened_at >= self.backoff:
+                self.state = HALF_OPEN
+                self.probe_pending = False
+                return True
+            return False
+        # half-open: one probe in flight at a time.
+        return not self.probe_pending
+
+    def begin_probe(self) -> None:
+        self.probe_pending = True
+
+    def record_failure(self) -> None:
+        """One pool-breakage event (not one payload — a single crash that
+        strands several in-flight payloads is still one failure)."""
+        self.failures += 1
+        if self.state == HALF_OPEN:
+            # Failed probe: reopen and wait longer before the next one.
+            self.backoff = min(self.backoff_cap, max(
+                self.backoff * 2, self.backoff_base))
+            self._open()
+        elif self.state == CLOSED and self.failures >= self.threshold:
+            self.backoff = self.backoff_base
+            self._open()
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.probe_pending = False
+        if self.state != CLOSED:
+            self.state = CLOSED
+            self.backoff = self.backoff_base
+
+    def _open(self) -> None:
+        self.state = OPEN
+        self.trips += 1
+        self.opened_at = self.clock()
+        self.probe_pending = False

@@ -1,0 +1,161 @@
+"""Deterministic chaos harness: prove the containment layer, on demand.
+
+Fault tolerance that is never exercised is fault tolerance that does not
+exist.  This module injects the failure modes the resilience layer
+claims to survive — decode faults, worker-process kills, analysis
+stalls, truncated captures — in a *seeded, replayable* way, so the chaos
+suite (``tests/nids/test_chaos.py``) can assert byte-identical behaviour
+run after run and CI can pin a seed matrix.
+
+Injection is monkeypatch-style: hooks are installed by context manager
+and always restored, so a failing assertion never leaks a wrapped
+classifier into the next test.  The injector records every fault it
+fires (:attr:`FaultInjector.injected`) — a chaos run that injected
+nothing proves nothing, and the tests assert on this log.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import DecodeError
+
+__all__ = ["FaultInjector", "InjectedFault", "build_stall_payload",
+           "truncate_capture"]
+
+#: Single-byte opcodes that decode cleanly but are neither NOP-like (so
+#: the sled detector does not swallow them into the sled) nor a repeated
+#: dword pattern (so the return-address trimmer keeps them).  Period 8:
+#: bytes four apart always differ.
+_STALL_OPCODES = bytes([0x60, 0x61, 0x9C, 0x9D, 0xD7, 0xA4, 0xAA, 0xAC])
+
+
+def build_stall_payload(instructions: int = 40_000, sled: int = 48) -> bytes:
+    """A payload crafted to stall the analyzer (Bania-style).
+
+    A short NOP sled triggers extraction; the body is a long stream of
+    valid single-byte instructions, so the disassemble → lift → match
+    loop visits ``instructions``-many instructions on one frame.  Against
+    a per-payload deadline whose budget is below that count, analysis
+    deterministically trips :class:`~repro.errors.DeadlineExceeded`.
+    """
+    body = instructions - sled
+    reps = max(1, (body + len(_STALL_OPCODES) - 1) // len(_STALL_OPCODES))
+    return b"\x90" * sled + (_STALL_OPCODES * reps)[:body]
+
+
+def truncate_capture(src: str | Path, dst: str | Path, drop: int = 8) -> int:
+    """Copy ``src`` minus its last ``drop`` bytes — a capture that died
+    mid-record (a crashed sensor, a full disk).  Returns bytes written."""
+    data = Path(src).read_bytes()
+    if drop >= len(data):
+        raise ValueError("cannot drop the whole capture")
+    Path(dst).write_bytes(data[:-drop])
+    return len(data) - drop
+
+
+@dataclass
+class InjectedFault:
+    """One fault the injector actually fired (the proof-of-injection log)."""
+
+    kind: str
+    at: int
+    detail: str = ""
+
+
+class FaultInjector:
+    """Seeded fault injection with self-restoring hooks."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.injected: list[InjectedFault] = []
+
+    def pick(self, population: int, k: int) -> set[int]:
+        """``k`` distinct indices in ``range(population)``, deterministic
+        for the injector's seed."""
+        k = min(k, population)
+        return set(self.rng.sample(range(population), k))
+
+    # -- decode faults -------------------------------------------------------
+
+    @contextmanager
+    def decode_faults(self, nids, should_fault):
+        """Wrap the engine's classifier so chosen packets raise
+        :class:`~repro.errors.DecodeError` mid-pipeline.
+
+        ``should_fault(index, pkt)`` decides per classify call; faulted
+        calls never reach the real classifier (the packet is the fault).
+        """
+        classifier = nids.classifier
+        # The hook is an instance-dict override; remember whether one was
+        # already installed (nested injectors) so restore is exact.
+        had_override = "classify" in classifier.__dict__
+        original = classifier.classify
+        calls = itertools.count()
+
+        def chaotic_classify(pkt):
+            index = next(calls)
+            if should_fault(index, pkt):
+                self.injected.append(InjectedFault(
+                    "decode", index, detail=str(pkt.src)))
+                raise DecodeError(
+                    f"chaos: injected decode fault at packet {index}")
+            return original(pkt)
+
+        classifier.classify = chaotic_classify
+        try:
+            yield self
+        finally:
+            if had_override:
+                classifier.classify = original
+            else:
+                del classifier.__dict__["classify"]
+
+    # -- worker kills --------------------------------------------------------
+
+    def kill_shard(self, engine, shard: int) -> int:
+        """SIGTERM every worker process of one shard pool; returns how
+        many were killed.  The next result drained from that shard raises
+        ``BrokenProcessPool``, which is exactly the event the self-healing
+        path must absorb."""
+        pool = engine._pools[shard]
+        procs = list(getattr(pool, "_processes", {}).values())
+        if not procs:
+            # Flow→shard routing is hash-salted per run; a shard that saw
+            # no payloads yet has no worker.  Force the spawn so the kill
+            # actually lands (a dead pool stays dead: nothing to do).
+            try:
+                pool.submit(len, b"probe").result()
+            except Exception:
+                pass
+            procs = list(getattr(pool, "_processes", {}).values())
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            proc.join(timeout=10)
+        self.injected.append(InjectedFault(
+            "worker-kill", shard, detail=f"{len(procs)} process(es)"))
+        return len(procs)
+
+    # -- analysis stalls -----------------------------------------------------
+
+    def stall_payload(self, instructions: int = 40_000) -> bytes:
+        """A deterministic detector-stalling payload (logged)."""
+        payload = build_stall_payload(instructions)
+        self.injected.append(InjectedFault(
+            "stall", instructions, detail=f"{len(payload)} bytes"))
+        return payload
+
+    # -- capture truncation --------------------------------------------------
+
+    def truncate(self, src: str | Path, dst: str | Path, drop: int = 8) -> int:
+        """Truncated-capture fault (logged); see :func:`truncate_capture`."""
+        written = truncate_capture(src, dst, drop=drop)
+        self.injected.append(InjectedFault(
+            "truncate", drop, detail=f"{written} bytes kept"))
+        return written

@@ -1,0 +1,77 @@
+"""Per-payload analysis deadlines: the anti-stall budget.
+
+Bania's *Evading network-level emulation* shows attackers craft payloads
+whose whole purpose is to make the *detector* do unbounded work — a
+decoder loop that spins, a frame that decodes into an enormous
+instruction stream.  Wall-clock timers are the obvious defence but make
+every run nondeterministic (the same payload passes on a fast machine
+and trips on a loaded CI runner), and POSIX signal alarms do not compose
+with worker processes.  The portable mechanism is an **instruction-count
+budget**: the disassemble → lift → match loop calls
+:meth:`Deadline.tick` as it consumes instructions, and the deadline
+raises :class:`~repro.errors.DeadlineExceeded` the moment the budget is
+gone — same payload, same verdict, every machine.
+
+The budget is configured in *milliseconds* (``--analysis-deadline-ms``)
+for operators, converted at :data:`UNITS_PER_MS` — a fixed calibration
+constant chosen so one unit approximates one instruction-visit on
+commodity hardware.  The conversion is part of the contract: changing
+the constant changes which payloads are quarantined.
+"""
+
+from __future__ import annotations
+
+from ..errors import DeadlineExceeded
+
+__all__ = ["UNITS_PER_MS", "Deadline"]
+
+#: Instruction-visit units one millisecond of budget buys.  Calibrated
+#: against the semantic analyzer's measured throughput (~10 visited
+#: instructions/µs through disassemble+lift+match on the reference
+#: hardware); deliberately a fixed constant so deadline verdicts are
+#: deterministic and machine-independent.
+UNITS_PER_MS = 10_000
+
+
+class Deadline:
+    """A cooperative analysis budget shared by all frames of one payload.
+
+    ``tick(n)`` charges ``n`` units and raises
+    :class:`~repro.errors.DeadlineExceeded` once the total charge
+    exceeds ``budget_units``.  A deadline is cheap enough to consult
+    per-instruction (one integer add and compare), and carrying one
+    object across every frame of a payload is what makes the budget
+    *per-payload*: an attacker cannot reset it by splitting work across
+    frames.
+    """
+
+    __slots__ = ("budget_units", "spent")
+
+    def __init__(self, budget_units: int) -> None:
+        if budget_units <= 0:
+            raise ValueError("deadline budget must be positive")
+        self.budget_units = budget_units
+        self.spent = 0
+
+    @classmethod
+    def from_ms(cls, ms: float) -> "Deadline":
+        """Deadline holding ``ms`` milliseconds' worth of units."""
+        return cls(max(1, int(ms * UNITS_PER_MS)))
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.budget_units - self.spent)
+
+    @property
+    def expired(self) -> bool:
+        return self.spent > self.budget_units
+
+    def tick(self, units: int = 1) -> None:
+        """Charge ``units``; raises once the budget is exhausted."""
+        self.spent += units
+        if self.spent > self.budget_units:
+            raise DeadlineExceeded(
+                f"analysis budget exhausted after {self.spent} units "
+                f"(budget {self.budget_units})",
+                units_spent=self.spent,
+            )

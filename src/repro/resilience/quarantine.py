@@ -1,0 +1,120 @@
+"""Crash quarantine: preserve what hurt us, then move on.
+
+When the stage firewall contains a fault, the offending input must not
+simply vanish — an operator (or an analyst chasing a crafted
+detector-evasion payload) needs the exact bytes to reproduce the
+failure offline.  :class:`QuarantineWriter` appends each offender to a
+standard pcap (openable in tcpdump/Wireshark, replayable through
+``repro-sensor``) plus a JSON-Lines sidecar (``<path>.meta.jsonl``)
+recording *why* each record is there.
+
+Failure-proof by construction: quarantine runs inside the fault path,
+so its own errors are swallowed and counted (``write_errors``) — a full
+disk must not turn containment into a crash.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..net.layers import Ipv4
+from ..net.packet import Packet
+from ..net.pcap import PcapWriter
+
+__all__ = ["QuarantineWriter"]
+
+#: Synthetic-packet payload cap: an IPv4 total length is 16 bits, so a
+#: reassembled stream payload larger than this is truncated on write
+#: (the sidecar records the original length).
+_MAX_SYNTH_PAYLOAD = 65000
+
+
+class QuarantineWriter:
+    """Appends quarantined packets/payloads to a pcap + JSONL sidecar.
+
+    Files are opened lazily on the first record, so configuring a
+    quarantine path costs nothing on a clean run.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.meta_path = self.path.with_name(self.path.name + ".meta.jsonl")
+        self.written = 0
+        self.write_errors = 0
+        self._pcap: PcapWriter | None = None
+        self._meta = None
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, reason: str, stage: str, pkt: Packet | None = None,
+               payload: bytes | None = None, detail: str = "") -> None:
+        """Quarantine one offender.
+
+        ``pkt`` is the triggering packet when one exists; ``payload`` is
+        the analyzed byte string when the fault happened past reassembly
+        (the stream payload differs from any single packet).  Either or
+        both may be given; at least one should be.
+        """
+        try:
+            record_pkt = pkt
+            truncated_from = None
+            if record_pkt is None or (payload is not None
+                                      and payload != record_pkt.payload):
+                record_pkt, truncated_from = self._synthesize(pkt, payload)
+            self._open()
+            self._pcap.write(record_pkt)
+            entry = {
+                "index": self.written,
+                "timestamp": record_pkt.timestamp,
+                "reason": reason,
+                "stage": stage,
+                "source": record_pkt.src or "?",
+                "destination": record_pkt.dst or "?",
+                "payload_len": len(payload if payload is not None
+                                   else record_pkt.payload),
+                "detail": detail,
+            }
+            if truncated_from is not None:
+                entry["truncated_from"] = truncated_from
+            self._meta.write(json.dumps(entry) + "\n")
+            self._meta.flush()
+            self.written += 1
+        except Exception:
+            # Quarantine is best-effort evidence collection inside the
+            # fault path; its own failure must never propagate.
+            self.write_errors += 1
+
+    def _synthesize(self, pkt: Packet | None,
+                    payload: bytes | None) -> tuple[Packet, int | None]:
+        """A writable packet carrying ``payload`` (attribution copied
+        from ``pkt`` when available)."""
+        data = payload if payload is not None else b""
+        truncated_from = None
+        if len(data) > _MAX_SYNTH_PAYLOAD:
+            truncated_from = len(data)
+            data = data[:_MAX_SYNTH_PAYLOAD]
+        ip = (Ipv4(src=pkt.ip.src, dst=pkt.ip.dst, proto=pkt.ip.proto)
+              if pkt is not None and pkt.ip is not None else Ipv4())
+        return Packet(ip=ip, payload=data,
+                      timestamp=pkt.timestamp if pkt else 0.0), truncated_from
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _open(self) -> None:
+        if self._pcap is None:
+            self._pcap = PcapWriter(self.path)
+            self._meta = open(self.meta_path, "w")
+
+    def close(self) -> None:
+        if self._pcap is not None:
+            self._pcap.close()
+            self._meta.close()
+            self._pcap = None
+            self._meta = None
+
+    def __enter__(self) -> "QuarantineWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -384,7 +384,7 @@ def disassemble(data: bytes, base: int = 0) -> list[Instruction]:
 
 
 def disassemble_frame(
-    data: bytes, base: int = 0, limit: int | None = None
+    data: bytes, base: int = 0, limit: int | None = None, tick=None
 ) -> tuple[list[Instruction], int]:
     """Tolerant sweep for extracted network frames.
 
@@ -393,6 +393,12 @@ def disassemble_frame(
     blocks) are simply not decoded.  This mirrors how the paper's pipeline
     prunes "excess code from the program frame".  ``limit`` caps the number
     of instructions decoded (used by windowed whole-binary scanning).
+
+    ``tick`` is the cooperative deadline hook (one call per decoded
+    instruction); whatever it raises — in the pipeline,
+    :class:`repro.errors.DeadlineExceeded` — propagates to the caller,
+    which is how a payload crafted to decode into an enormous instruction
+    stream gets cut off mid-sweep.
     """
     out: list[Instruction] = []
     offset = 0
@@ -403,6 +409,8 @@ def disassemble_frame(
             ins = _DEFAULT.decode_one(data, offset, base + offset)
         except DisassemblerError:
             break
+        if tick is not None:
+            tick()
         out.append(ins)
         offset += ins.size
     return out, offset

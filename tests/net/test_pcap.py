@@ -5,8 +5,10 @@ import struct
 
 import pytest
 
+from repro.errors import CaptureError, TruncatedCaptureError
 from repro.net.packet import tcp_packet
 from repro.net.pcap import PcapError, PcapReader, PcapWriter, read_pcap, write_pcap
+from repro.obs import MetricsRegistry
 
 
 def _sample_packets(n=5):
@@ -87,6 +89,57 @@ class TestErrors:
         clipped = io.BytesIO(raw[:-3])
         with pytest.raises(PcapError):
             list(PcapReader(clipped))
+
+
+class TestSalvage:
+    """A capture that died mid-record (crashed sensor, full disk)."""
+
+    def _clipped(self, tmp_path, n=5, drop=7):
+        path = tmp_path / "t.pcap"
+        write_pcap(path, _sample_packets(n))
+        return io.BytesIO(path.read_bytes()[:-drop])
+
+    def test_strict_raises_typed_error_with_prefix_count(self, tmp_path):
+        reader = PcapReader(self._clipped(tmp_path))
+        with pytest.raises(TruncatedCaptureError) as exc_info:
+            list(reader)
+        assert exc_info.value.complete_records == 4
+        # The typed error still satisfies the historical catch sites.
+        assert isinstance(exc_info.value, (PcapError, CaptureError, ValueError))
+
+    def test_salvage_yields_complete_prefix(self, tmp_path):
+        reader = PcapReader(self._clipped(tmp_path), salvage=True)
+        packets = list(reader)
+        assert len(packets) == 4
+        assert reader.truncated
+        assert reader.records_read == 4
+        assert packets[0].payload == b"\x00"
+
+    def test_salvage_counts_truncation_in_registry(self, tmp_path):
+        registry = MetricsRegistry()
+        list(PcapReader(self._clipped(tmp_path), salvage=True,
+                        registry=registry))
+        assert registry.get("repro_pcap_truncated_total").value == 1
+
+    def test_clean_capture_not_marked_truncated(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        write_pcap(path, _sample_packets(3))
+        registry = MetricsRegistry()
+        reader = PcapReader(path, salvage=True, registry=registry)
+        assert len(list(reader)) == 3
+        assert not reader.truncated
+        assert registry.get("repro_pcap_truncated_total").value == 0
+
+    def test_truncated_mid_header_salvages_too(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        write_pcap(path, _sample_packets(2))
+        raw = path.read_bytes()
+        # Cut inside the second record's 16-byte header.
+        first_len = len(raw) - 24
+        buf = io.BytesIO(raw[:24 + first_len // 2 + 5])
+        reader = PcapReader(buf, salvage=True)
+        assert len(list(reader)) >= 1
+        assert reader.truncated
 
 
 class TestSnaplen:

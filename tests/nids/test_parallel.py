@@ -197,6 +197,8 @@ class TestPayloadCache:
 
 class TestDegradation:
     def test_worker_crash_falls_back_to_serial(self):
+        # Legacy one-shot policy (self_heal=False): the first worker death
+        # permanently degrades the engine to the serial path.
         first = codered_trace(attackers=1, victims=2)
         second = codered_trace(attackers=2, victims=2, seed=11, subnet=80)
         serial = run_trace(SemanticNids(**DARK_KW), first + second)
@@ -204,10 +206,13 @@ class TestDegradation:
         # payload cache off: repeated payloads must actually reach the
         # (dead) pools for the failure path to trigger.
         engine = ParallelSemanticNids(workers=2, payload_cache_size=0,
-                                      **DARK_KW)
+                                      self_heal=False, **DARK_KW)
         engine.process_trace(first)  # spawns the worker processes
         assert engine.stats.payloads_offloaded > 0
         for pool in engine._pools:  # simulate every worker dying
+            # Flow→shard routing is hash-salted per run, so a pool may
+            # not have spawned yet; force the spawn so the kill lands.
+            pool.submit(len, b"warm").result()
             for proc in (pool._processes or {}).values():
                 proc.kill()
         engine.process_trace(second)
@@ -216,6 +221,56 @@ class TestDegradation:
         assert engine._degraded
         assert engine.stats.worker_failures >= 1
         assert alert_set(engine) == alert_set(serial)
+
+    def test_worker_crash_self_heals(self):
+        # Default policy: a worker death rebuilds the pool and retries;
+        # the engine stays parallel and no alert is lost.
+        first = codered_trace(attackers=1, victims=2)
+        second = codered_trace(attackers=2, victims=2, seed=11, subnet=80)
+        serial = run_trace(SemanticNids(**DARK_KW), first + second)
+
+        engine = ParallelSemanticNids(workers=2, payload_cache_size=0,
+                                      breaker_backoff=0.0, **DARK_KW)
+        engine.process_trace(first)
+        assert engine.stats.payloads_offloaded > 0
+        for pool in engine._pools:
+            pool.submit(len, b"warm").result()  # force the spawn (see above)
+            for proc in (pool._processes or {}).values():
+                proc.kill()
+        engine.process_trace(second)
+        engine.close()
+
+        assert not engine._degraded
+        assert engine.stats.pool_rebuilds >= 1
+        assert alert_set(engine) == alert_set(serial)
+        # Healed: the breakers are closed again by the end of the run.
+        assert all(b.state == "closed" for b in engine._breakers)
+
+    def test_future_failure_mid_stream_keeps_submission_order(self):
+        # A future that breaks with payloads queued behind it must not
+        # reorder the merge: the drain recovers the broken head in place
+        # and the alert sequence matches the serial engine's exactly.
+        trace = codered_trace(attackers=3, victims=3)
+        serial = run_trace(SemanticNids(**DARK_KW), trace)
+
+        engine = ParallelSemanticNids(workers=2, payload_cache_size=0,
+                                      max_pending=10_000,
+                                      breaker_backoff=0.0, **DARK_KW)
+        killed = False
+        for i, pkt in enumerate(trace):
+            engine.process_packet(pkt)
+            if not killed and len(engine._pending) >= 3:
+                # Strand the queued futures mid-stream.
+                for pool in engine._pools:
+                    for proc in (pool._processes or {}).values():
+                        proc.kill()
+                killed = True
+        engine.flush()
+        engine.close()
+
+        assert killed, "test needs in-flight payloads to strand"
+        assert [(a.source, a.template) for a in engine.alerts] == \
+            [(a.source, a.template) for a in serial.alerts]
 
     def test_template_objects_rejected(self):
         from repro.core.library import paper_templates

@@ -1,0 +1,126 @@
+"""Tests for the per-shard circuit breaker state machine."""
+
+import pytest
+
+from repro.resilience import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make(threshold=3, backoff=0.5, cap=30.0, clock=None):
+    return CircuitBreaker(threshold=threshold, backoff_base=backoff,
+                          backoff_cap=cap,
+                          clock=clock if clock is not None else FakeClock())
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        b = make()
+        assert b.state == CLOSED
+        assert b.allow()
+
+    def test_failures_below_threshold_stay_closed(self):
+        b = make(threshold=3)
+        b.record_failure()
+        b.record_failure()
+        assert b.state == CLOSED
+        assert b.allow()
+
+    def test_success_resets_consecutive_count(self):
+        b = make(threshold=3)
+        for _ in range(10):  # never 3 in a row
+            b.record_failure()
+            b.record_failure()
+            b.record_success()
+        assert b.state == CLOSED
+        assert b.failures == 0
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+
+
+class TestOpen:
+    def test_opens_at_threshold(self):
+        b = make(threshold=3)
+        for _ in range(3):
+            b.record_failure()
+        assert b.state == OPEN
+        assert b.trips == 1
+        assert not b.allow()
+
+    def test_backoff_gates_the_probe(self):
+        clock = FakeClock()
+        b = make(threshold=1, backoff=5.0, clock=clock)
+        b.record_failure()
+        assert not b.allow()
+        clock.advance(4.9)
+        assert not b.allow()
+        clock.advance(0.2)
+        assert b.allow()  # backoff elapsed: half-open, probe allowed
+        assert b.state == HALF_OPEN
+
+    def test_zero_backoff_probes_immediately(self):
+        b = make(threshold=1, backoff=0.0)
+        b.record_failure()
+        assert b.allow()
+        assert b.state == HALF_OPEN
+
+
+class TestHalfOpen:
+    def _half_open(self, clock, backoff=1.0, cap=30.0):
+        b = make(threshold=1, backoff=backoff, cap=cap, clock=clock)
+        b.record_failure()
+        clock.advance(backoff)
+        assert b.allow()
+        return b
+
+    def test_single_probe_at_a_time(self):
+        clock = FakeClock()
+        b = self._half_open(clock)
+        assert b.allow()  # probe not yet dispatched
+        b.begin_probe()
+        assert not b.allow()  # one probe in flight: hold further work
+
+    def test_probe_success_recloses_and_resets_backoff(self):
+        clock = FakeClock()
+        b = self._half_open(clock)
+        b.begin_probe()
+        b.record_success()
+        assert b.state == CLOSED
+        assert b.failures == 0
+        assert b.backoff == 1.0
+        assert b.allow()
+
+    def test_probe_failure_reopens_with_doubled_backoff(self):
+        clock = FakeClock()
+        b = self._half_open(clock, backoff=1.0)
+        b.begin_probe()
+        b.record_failure()
+        assert b.state == OPEN
+        assert b.trips == 2
+        assert b.backoff == 2.0
+        clock.advance(1.5)
+        assert not b.allow()  # old backoff would have elapsed; doubled one not
+        clock.advance(0.5)
+        assert b.allow()
+
+    def test_backoff_is_capped(self):
+        clock = FakeClock()
+        b = make(threshold=1, backoff=1.0, cap=4.0, clock=clock)
+        b.record_failure()
+        for _ in range(5):  # fail every probe: 2.0, 4.0, 4.0, ...
+            clock.advance(b.backoff)
+            assert b.allow()
+            b.begin_probe()
+            b.record_failure()
+        assert b.backoff == 4.0

@@ -1,0 +1,92 @@
+"""Tests for the deterministic per-payload analysis deadline."""
+
+import pytest
+
+from repro.core.analyzer import SemanticAnalyzer
+from repro.errors import AnalysisError, DeadlineExceeded
+from repro.resilience import UNITS_PER_MS, Deadline, build_stall_payload
+
+
+class TestDeadline:
+    def test_from_ms_conversion(self):
+        assert Deadline.from_ms(5).budget_units == 5 * UNITS_PER_MS
+        assert Deadline.from_ms(0.5).budget_units == UNITS_PER_MS // 2
+
+    def test_from_ms_floor_is_one_unit(self):
+        assert Deadline.from_ms(0.00000001).budget_units == 1
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+
+    def test_tick_within_budget(self):
+        d = Deadline(10)
+        for _ in range(10):
+            d.tick()
+        assert d.spent == 10
+        assert d.remaining == 0
+        assert not d.expired
+
+    def test_tick_past_budget_raises(self):
+        d = Deadline(3)
+        d.tick(3)
+        with pytest.raises(DeadlineExceeded) as exc_info:
+            d.tick()
+        assert d.expired
+        assert exc_info.value.units_spent == 4
+        # DeadlineExceeded is an AnalysisError: analyze-stage callers
+        # that catch the family catch the deadline too.
+        assert isinstance(exc_info.value, AnalysisError)
+
+    def test_bulk_tick_charges_once(self):
+        d = Deadline(100)
+        with pytest.raises(DeadlineExceeded):
+            d.tick(101)
+        assert d.spent == 101
+
+
+class TestAnalyzerDeadline:
+    """The disassemble → lift → match loop charges cooperatively."""
+
+    def test_stall_payload_trips_deterministically(self):
+        analyzer = SemanticAnalyzer()
+        stall = build_stall_payload(instructions=80_000)
+        spent = []
+        for _ in range(2):
+            deadline = Deadline.from_ms(5)  # 50k units < 80k instructions
+            with pytest.raises(DeadlineExceeded) as exc_info:
+                analyzer.analyze_frame(stall, deadline=deadline)
+            spent.append(exc_info.value.units_spent)
+        assert spent[0] == spent[1]  # same payload, same trip point
+
+    def test_trip_counted_in_registry(self):
+        analyzer = SemanticAnalyzer()
+        with pytest.raises(DeadlineExceeded):
+            analyzer.analyze_frame(build_stall_payload(80_000),
+                                   deadline=Deadline.from_ms(5))
+        assert analyzer._deadline_trips.value == 1
+
+    def test_aborted_frame_is_not_cached(self):
+        analyzer = SemanticAnalyzer()
+        stall = build_stall_payload(80_000)
+        with pytest.raises(DeadlineExceeded):
+            analyzer.analyze_frame(stall, deadline=Deadline.from_ms(5))
+        # A later run with room to finish starts clean — no poisoned
+        # cache entry claiming the frame was analyzed.
+        result = analyzer.analyze_frame(stall)
+        assert not result.cached
+        assert result.instruction_count >= 80_000
+
+    def test_small_frame_passes_under_budget(self, classic_shellcode):
+        analyzer = SemanticAnalyzer()
+        deadline = Deadline.from_ms(5)
+        result = analyzer.analyze_frame(classic_shellcode,
+                                        deadline=deadline)
+        assert deadline.spent > 0
+        assert not deadline.expired
+        assert result.frame_size == len(classic_shellcode)
+
+    def test_no_deadline_means_no_budget(self):
+        analyzer = SemanticAnalyzer()
+        result = analyzer.analyze_frame(build_stall_payload(80_000))
+        assert result.instruction_count >= 80_000

@@ -148,8 +148,16 @@ class TestSensorErrorHandling:
         assert rc == 2
         assert "bad pcap" in capsys.readouterr().err
 
-    def test_truncated_pcap(self, tmp_path, attack_pcap, capsys):
+    def test_truncated_pcap_salvages_prefix(self, tmp_path, attack_pcap,
+                                            capsys):
+        # A capture clipped mid-record is salvaged, not rejected: the
+        # complete prefix is analyzed (and still alerts) and the damage
+        # is reported on stderr.  docs/robustness.md, "salvage".
         clipped = tmp_path / "clip.pcap"
         clipped.write_bytes(attack_pcap.read_bytes()[:-7])
         rc = sensor_main([str(clipped), "--honeypot", "10.10.0.250"])
-        assert rc == 2
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "linux_shell_spawn" in captured.out
+        assert "truncated mid-record" in captured.err
+        assert "salvaged 5 complete record(s)" in captured.err
