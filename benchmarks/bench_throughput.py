@@ -23,13 +23,19 @@ fixture, and a paired run with metric recording suppressed checks that
 the always-on metrics cost <= 3% of wall time.
 """
 
+import json
+from pathlib import Path
+
 import repro.obs.stage as stage_mod
 from repro.engines import AdmMutateEngine, generic_overflow_request, get_shellcode
 from repro.engines.codered import CodeRedHost
 from repro.net.layers import TCP_SYN
 from repro.net.packet import tcp_packet
 from repro.nids import ParallelSemanticNids, SemanticNids
+from repro.obs import aggregate_spans, Tracer
 from repro.traffic import BenignMixGenerator
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
 NIDS_KW = dict(dark_networks=["10.0.0.0/8"], dark_exclude=["10.10.0.0/24"],
                dark_threshold=5)
@@ -167,6 +173,103 @@ def test_throughput_parallel_vs_serial(benchmark, report, scale, bench_tracer):
     # Lenient CI bound (single runs jitter); the reported number is the
     # one held to the 3% target.
     assert overhead <= 0.10
+
+
+def test_fastpath_admission(report, scale, bench_tracer):
+    """Fast-path admission layer: prefilter on vs off, identical alerts.
+
+    Replays the mixed trace through the serial engine with the template
+    anchor prefilter enabled and disabled.  The prefilter is a pure
+    work-skipper — anchors are necessary conditions — so the alert
+    streams must be byte-identical; the win is wall time.  Results land
+    in ``BENCH_throughput.json`` at the repo root (consumed by the CI
+    perf-smoke job): per-configuration seconds and per-stage span
+    totals, the on-over-off speedup, and the prefilter's skip/prune
+    counters.
+    """
+    trace = build_mixed_trace(benign=scale["throughput_benign"],
+                              crii=scale["throughput_crii"],
+                              poly=scale["throughput_poly"],
+                              victims=scale["throughput_victims"])
+    payload_bytes = sum(len(p.payload) for p in trace)
+
+    # Fresh engines per round; min-of-3 per config (single runs jitter).
+    # Each config gets its own tracer so the per-stage totals in the
+    # JSON artifact are per-configuration, not commingled.
+    configs = {}
+    for tag, fastpath in [("fastpath-off", False), ("fastpath-on", True)]:
+        best, best_alerts, best_stats, best_tracer = None, None, None, None
+        for _ in range(3):
+            tracer = Tracer(max_spans=2_000_000)
+            elapsed, alerts, stats = _run(
+                trace, SemanticNids(fastpath=fastpath, tracer=tracer,
+                                    **NIDS_KW),
+                bench_tracer, tag)
+            if best is None or elapsed < best:
+                best, best_alerts, best_stats = elapsed, alerts, stats
+                best_tracer = tracer
+        stages = {
+            stage: {"calls": agg["calls"],
+                    "seconds": round(agg["seconds"], 4),
+                    "bytes": agg["bytes"]}
+            for stage, agg in aggregate_spans(best_tracer.spans).items()
+        }
+        configs[tag] = dict(elapsed=best, alerts=best_alerts,
+                            stats=best_stats, stages=stages)
+
+    off, on = configs["fastpath-off"], configs["fastpath-on"]
+    speedup = off["elapsed"] / on["elapsed"]
+    stats = on["stats"]
+    skip_rate = (stats.fastpath_frames_skipped /
+                 max(1, stats.fastpath_frames_skipped
+                     + stats.frames_analyzed))
+
+    rows = [f"{'config':14s} {'time':>8s} {'pkt/s':>8s} {'MB/s':>7s} "
+            f"{'alerts':>6s}"]
+    for tag in ("fastpath-off", "fastpath-on"):
+        c = configs[tag]
+        rows.append(f"{tag:14s} {c['elapsed']:7.2f}s "
+                    f"{len(trace) / c['elapsed']:8.0f} "
+                    f"{payload_bytes / c['elapsed'] / 1e6:7.2f} "
+                    f"{len(c['alerts']):6d}")
+    rows.append(f"fastpath speedup (on over off): {speedup:.2f}x on "
+                f"{len(trace)} packets, alerts byte-identical")
+    rows.append(f"prefilter: frames_skipped={stats.fastpath_frames_skipped} "
+                f"(skip rate {skip_rate * 100:.1f}%) "
+                f"anchor_hits={stats.fastpath_anchor_hits} "
+                f"starts_pruned={stats.fastpath_starts_pruned}")
+    report.table("Fast-path admission — prefilter on vs off", rows)
+
+    payload = {
+        "scale": dict(scale),
+        "packets": len(trace),
+        "payload_bytes": payload_bytes,
+        "configs": {
+            tag: {
+                "seconds": round(c["elapsed"], 4),
+                "packets_per_s": round(len(trace) / c["elapsed"], 1),
+                "alerts": len(c["alerts"]),
+                "stages": c["stages"],
+            }
+            for tag, c in configs.items()
+        },
+        "speedup_on_over_off": round(speedup, 3),
+        "alerts_identical": off["alerts"] == on["alerts"],
+        "prefilter": {
+            "frames_skipped": stats.fastpath_frames_skipped,
+            "frame_skip_rate": round(skip_rate, 4),
+            "anchor_hits": stats.fastpath_anchor_hits,
+            "starts_pruned": stats.fastpath_starts_pruned,
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    report.row(f"wrote {BENCH_JSON.name}")
+
+    # Soundness is absolute; speed is asserted leniently here (CI hosts
+    # jitter) — the perf-smoke job holds the artifact to >= 1.0x.
+    assert off["alerts"] == on["alerts"]
+    assert stats.fastpath_starts_pruned > 0
+    assert speedup >= 1.0
 
 
 def test_stall_isolation_under_deadline(report, scale, bench_tracer):

@@ -1,109 +1,14 @@
-"""Aho-Corasick multi-pattern matching, from scratch.
+"""Back-compat shim: the automaton moved to :mod:`repro.fastpath.multimatch`.
 
-The substrate for the Snort-style signature baseline: real signature IDSs
-match thousands of byte patterns simultaneously with exactly this
-automaton, so the comparison benchmark exercises the same algorithmic
-machinery a syntactic IDS would.
-
-Classic construction: a trie over all patterns (goto function), BFS-built
-failure links, and output sets merged along failure chains.  Matching is
-a single pass over the input, O(n + matches).
+The Aho-Corasick implementation started life here as the substrate for
+the Snort-style signature baseline.  The fast-path admission layer now
+uses the same automaton as its prefilter scan engine, so the code lives
+in ``repro.fastpath.multimatch``; this module keeps the original import
+path working.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
+from ..fastpath.multimatch import AhoCorasick, PatternMatch
 
 __all__ = ["AhoCorasick", "PatternMatch"]
-
-
-@dataclass(frozen=True)
-class PatternMatch:
-    """One occurrence: pattern index and the offset of its first byte."""
-
-    pattern: int
-    start: int
-    end: int
-
-
-class AhoCorasick:
-    """Multi-pattern byte matcher.
-
-    >>> ac = AhoCorasick([b"he", b"she", b"his", b"hers"])
-    >>> [(m.pattern, m.start) for m in ac.search(b"ushers")]
-    [(1, 1), (0, 2), (3, 2)]
-    """
-
-    def __init__(self, patterns: list[bytes]) -> None:
-        if any(not p for p in patterns):
-            raise ValueError("empty patterns are not allowed")
-        self.patterns = list(patterns)
-        # state -> {byte: state}
-        self._goto: list[dict[int, int]] = [{}]
-        # state -> pattern indices ending here
-        self._output: list[list[int]] = [[]]
-        self._fail: list[int] = [0]
-        for index, pattern in enumerate(self.patterns):
-            self._insert(pattern, index)
-        self._build_failure_links()
-
-    def _insert(self, pattern: bytes, index: int) -> None:
-        state = 0
-        for byte in pattern:
-            nxt = self._goto[state].get(byte)
-            if nxt is None:
-                nxt = len(self._goto)
-                self._goto.append({})
-                self._output.append([])
-                self._fail.append(0)
-                self._goto[state][byte] = nxt
-            state = nxt
-        self._output[state].append(index)
-
-    def _build_failure_links(self) -> None:
-        queue: deque[int] = deque()
-        for state in self._goto[0].values():
-            self._fail[state] = 0
-            queue.append(state)
-        while queue:
-            state = queue.popleft()
-            for byte, nxt in self._goto[state].items():
-                queue.append(nxt)
-                fail = self._fail[state]
-                while fail and byte not in self._goto[fail]:
-                    fail = self._fail[fail]
-                self._fail[nxt] = self._goto[fail].get(byte, 0)
-                if self._fail[nxt] == nxt:
-                    self._fail[nxt] = 0
-                self._output[nxt] = (self._output[nxt]
-                                     + self._output[self._fail[nxt]])
-
-    def search(self, data: bytes) -> list[PatternMatch]:
-        """All occurrences of all patterns in ``data``."""
-        out: list[PatternMatch] = []
-        state = 0
-        for pos, byte in enumerate(data):
-            while state and byte not in self._goto[state]:
-                state = self._fail[state]
-            state = self._goto[state].get(byte, 0)
-            for pattern in self._output[state]:
-                length = len(self.patterns[pattern])
-                out.append(PatternMatch(pattern=pattern,
-                                        start=pos - length + 1, end=pos + 1))
-        return out
-
-    def contains_any(self, data: bytes) -> bool:
-        """Fast boolean scan (stops at the first hit)."""
-        state = 0
-        for byte in data:
-            while state and byte not in self._goto[state]:
-                state = self._fail[state]
-            state = self._goto[state].get(byte, 0)
-            if self._output[state]:
-                return True
-        return False
-
-    @property
-    def num_states(self) -> int:
-        return len(self._goto)

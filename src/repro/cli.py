@@ -50,6 +50,10 @@ def sensor_main(argv: list[str] | None = None) -> int:
                              "(0/1 = serial; default 0)")
     parser.add_argument("--no-frame-cache", action="store_true",
                         help="disable the content-hash frame cache")
+    parser.add_argument("--no-fastpath", action="store_true",
+                        help="disable the template anchor prefilter "
+                             "(fast-path admission); results are identical "
+                             "either way — the prefilter only skips work")
     parser.add_argument("--max-streams", type=int, default=65536, metavar="N",
                         help="bound on concurrently tracked TCP streams "
                              "(evicted oldest-first; default 65536)")
@@ -112,6 +116,7 @@ def sensor_main(argv: list[str] | None = None) -> int:
         dark_threshold=args.threshold,
         classification_enabled=not args.no_classify,
         frame_cache_size=0 if args.no_frame_cache else 4096,
+        fastpath=not args.no_fastpath,
         max_streams=args.max_streams,
         analysis_deadline_ms=args.analysis_deadline_ms,
         quarantine=quarantine,

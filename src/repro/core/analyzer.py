@@ -103,6 +103,17 @@ class SemanticAnalyzer:
     base)``: the fingerprint ties an entry to the exact template set it was
     computed under, so an analyzer restored with different templates (or a
     shared cache, later) can never replay a stale match set.
+
+    ``fastpath`` enables the template anchor prefilter
+    (:mod:`repro.fastpath`): one Aho-Corasick pass over the frame decides
+    which templates can possibly match; frames ruled out for every
+    template skip disassemble/lift/match entirely, and anchor offsets
+    prune match start positions for the rest.  Anchors are necessary
+    conditions, so results are byte-identical with the flag off — the
+    prefilter only skips work.  It disengages while a deadline is active
+    (skipped frames would not charge deterministic deadline ticks, so
+    deadline-trip alerts could diverge between on and off).  Default off
+    here; the NIDS pipeline enables it (``--no-fastpath`` disables).
     """
 
     def __init__(
@@ -113,12 +124,21 @@ class SemanticAnalyzer:
         frame_cache_size: int = 4096,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        fastpath: bool = False,
     ) -> None:
         self.templates = templates if templates is not None else paper_templates()
         self.engine = engine or MatchEngine()
         self.min_instructions = min_instructions
         self.frame_cache = FrameCache(frame_cache_size) if frame_cache_size > 0 else None
         self.template_fingerprint = self._fingerprint()
+        if fastpath:
+            # Imported here, not at module top: repro.fastpath compiles
+            # anchors *from* core templates, so a top-level import would
+            # be circular whenever repro.fastpath is imported first.
+            from ..fastpath import CompiledPrefilter
+            self.prefilter = CompiledPrefilter(self.templates)
+        else:
+            self.prefilter = None
         # The analyzer is stages (c)-(e): each gets its own timer, plus
         # the "analyze" aggregate over a whole analyze_frame call (the
         # pre-obs ``frames_analyzed``/``total_elapsed`` attributes are
@@ -133,6 +153,19 @@ class SemanticAnalyzer:
             "repro_deadline_exceeded_total",
             help="Payload analyses aborted by the per-payload deadline.",
             unit="payloads")
+        self._frames_skipped = registry.counter(
+            "repro_fastpath_frames_skipped_total",
+            help="Frames the anchor prefilter ruled out for every "
+                 "template (no disassembly performed).", unit="frames")
+        self._anchor_hits = registry.counter(
+            "repro_fastpath_anchor_hits_total",
+            help="Anchor pattern occurrences found by prefilter scans.",
+            unit="occurrences")
+        self._starts_pruned = registry.counter(
+            "repro_fastpath_candidate_starts_pruned_total",
+            help="Match start positions skipped via anchor offsets "
+                 "(ruled-out templates count their whole trace).",
+            unit="positions")
 
     @property
     def frames_analyzed(self) -> int:
@@ -187,13 +220,31 @@ class SemanticAnalyzer:
                     # for an exhausted deadline.
                     return replace(stored, cached=True,
                                    elapsed=time.perf_counter() - start)
+            # Fast-path admission: one multi-pattern pass decides which
+            # templates can possibly match.  Anchors are necessary
+            # conditions, so a frame with no surviving template cannot
+            # produce a match and skips the decode pipeline outright.
+            # Disengaged under a deadline — a skipped frame would charge
+            # no deterministic ticks, and deadline-trip alerts must stay
+            # byte-identical with the prefilter off.  Skipped frames are
+            # never cached, so cache entries always hold full-analysis
+            # results identical with the prefilter off.
+            scan = None
+            if self.prefilter is not None and deadline is None:
+                scan = self.prefilter.scan(data)
+                self._anchor_hits.inc(scan.anchor_hits)
+                if not scan.any_survivor:
+                    self._frames_skipped.inc()
+                    return AnalysisResult(frame_size=len(data),
+                                          elapsed=time.perf_counter() - start)
             try:
                 with self.disassemble_timer.timed(nbytes=len(data)):
                     instructions, consumed = disassemble_frame(
                         data, base,
                         tick=deadline.tick if deadline is not None else None)
                 result = self._analyze(instructions, nbytes=consumed,
-                                       deadline=deadline)
+                                       deadline=deadline, scan=scan,
+                                       base=base)
             except DeadlineExceeded:
                 self._deadline_trips.inc()
                 raise
@@ -220,7 +271,8 @@ class SemanticAnalyzer:
         return prepare_trace(instructions)
 
     def _analyze(self, instructions: list[Instruction],
-                 nbytes: int = 0, deadline=None) -> AnalysisResult:
+                 nbytes: int = 0, deadline=None, scan=None,
+                 base: int = 0) -> AnalysisResult:
         result = AnalysisResult(instruction_count=len(instructions))
         if len(instructions) < self.min_instructions:
             return result
@@ -235,5 +287,13 @@ class SemanticAnalyzer:
         if deadline is not None:
             deadline.tick(len(instructions) * max(1, len(self.templates)))
         with self.match_timer.timed(nbytes=nbytes):
-            result.matches = self.engine.match_all(self.templates, trace)
+            if scan is not None:
+                pruned_before = self.engine.starts_pruned
+                result.matches = self.engine.match_all(
+                    self.templates, trace, prefilter=self.prefilter,
+                    scan=scan, base=base)
+                self._starts_pruned.inc(
+                    self.engine.starts_pruned - pruned_before)
+            else:
+                result.matches = self.engine.match_all(self.templates, trace)
         return result

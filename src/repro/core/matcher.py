@@ -51,12 +51,14 @@ class PreparedTrace:
             self.defs = [frozenset(s.defs()) for s in self.stmts]
         if not self.features:
             self.features = _trace_features(self.stmts)
-        self._feature_cum: dict[str, list[int]] = {}
+        self._feature_cum: dict[str, object] = {}
+        self._anchor_cum: dict[frozenset[int], object] = {}
+        self._spans = None  # lazy (k1, k2) post-prefix opcode key arrays
 
     def __len__(self) -> int:
         return len(self.stmts)
 
-    def feature_cum(self, feature: str) -> list[int]:
+    def feature_cum(self, feature: str):
         """Prefix counts of one feature kind (lazily built), used to reject
         start windows that cannot contain a required node kind."""
         cum = self._feature_cum.get(feature)
@@ -78,10 +80,76 @@ class PreparedTrace:
                     return isinstance(stmt, Branch)
                 return True
 
-            cum = [0]
+            import numpy as np
+
+            counts = [0]
             for stmt in self.stmts:
-                cum.append(cum[-1] + (1 if has(stmt) else 0))
+                counts.append(counts[-1] + (1 if has(stmt) else 0))
+            cum = np.asarray(counts, dtype=np.int64)
             self._feature_cum[feature] = cum
+        return cum
+
+    def _opcode_keys(self):
+        """Per-position post-prefix leading bytes of each statement's
+        instruction, as two integer arrays (lazily built, shared by every
+        anchor cum of this trace): ``k1[i]`` is the first byte after any
+        legacy prefixes (-1 when the position has no raw instruction),
+        ``k2[i]`` is ``(first << 8) | second`` (-1 when there is no
+        second byte)."""
+        import numpy as np
+
+        keys = self._spans
+        if keys is None:
+            from ..x86.disasm import _OPSIZE_PREFIX, _PREFIXES
+
+            strip = _PREFIXES | {_OPSIZE_PREFIX}
+            n = len(self.stmts)
+            k1 = np.full(n, -1, dtype=np.int32)
+            k2 = np.full(n, -1, dtype=np.int32)
+            for i, stmt in enumerate(self.stmts):
+                ins = stmt.ins
+                if ins is None or not ins.raw:
+                    continue
+                raw = ins.raw
+                j = 0
+                while j < len(raw) - 1 and raw[j] in strip:
+                    j += 1
+                k1[i] = raw[j]
+                if j + 1 < len(raw):
+                    k2[i] = (raw[j] << 8) | raw[j + 1]
+            self._spans = keys = (k1, k2)
+        return keys
+
+    def anchor_cum(self, key: frozenset[int], ones, twos, has_long):
+        """Prefix counts of trace positions whose instruction could
+        satisfy one prefilter clause.
+
+        ``ones``/``twos`` are the clause's anchor patterns as sorted
+        integer keys (``CompiledPrefilter.clause_hits``).  Anchor
+        patterns are the post-prefix leading bytes of every instruction
+        encoding able to lift to the clause's node, so a position whose
+        instruction starts with none of them provably cannot satisfy it —
+        which makes the cum a sound start-window filter, exactly like
+        :meth:`feature_cum`.  A clause carrying patterns too long for the
+        key form (``has_long``) counts every position: no pruning, still
+        sound.  Cached by clause identity (``key``) since templates share
+        clauses.
+        """
+        import numpy as np
+
+        cum = self._anchor_cum.get(key)
+        if cum is None:
+            n = len(self.stmts)
+            if has_long:
+                hit = np.ones(n, dtype=bool)
+            else:
+                k1, k2 = self._opcode_keys()
+                hit = np.isin(k1, ones)
+                if len(twos):
+                    hit |= np.isin(k2, twos)
+            cum = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(hit, out=cum[1:])
+            self._anchor_cum[key] = cum
         return cum
 
 
@@ -135,11 +203,23 @@ class MatchEngine:
         #: backtracking budget per (template, frame) pair; prevents
         #: adversarial frames from stalling the sensor.
         self.max_candidates = max_candidates
+        #: candidate start positions rejected via fast-path anchor
+        #: information (templates ruled out count their whole trace).
+        self.starts_pruned = 0
 
     # -- public API --------------------------------------------------------
 
-    def match(self, template: Template, trace: PreparedTrace) -> TemplateMatch | None:
-        """First match of ``template`` in ``trace``, or ``None``."""
+    def match(self, template: Template, trace: PreparedTrace,
+              clause_hits=None, base: int = 0) -> TemplateMatch | None:
+        """First match of ``template`` in ``trace``, or ``None``.
+
+        ``clause_hits`` is optional fast-path anchor information for this
+        template (``CompiledPrefilter.clause_hits``): per necessary-
+        condition clause, the post-prefix opcode keys of every producing
+        instruction encoding.  Start windows containing no instruction
+        able to produce some clause are rejected the same way the feature
+        cums reject them — a pure pruning that cannot change the outcome.
+        """
         n = len(trace)
         if n == 0 or not template.nodes:
             return None
@@ -153,11 +233,30 @@ class MatchEngine:
         # [start, start+span) — rejecting sled/junk starts in O(#features).
         span = self._max_span(template)
         cums = [(trace.feature_cum(f)) for f in template.required_features]
+        anchor_cums = ([trace.anchor_cum(ids, ones, twos, has_long)
+                        for ids, ones, twos, has_long in clause_hits]
+                       if clause_hits else [])
 
-        for start in range(n):
-            end = min(n, start + span)
-            if any(cum[end] - cum[start] == 0 for cum in cums):
-                continue
+        # All start windows are filtered in one vectorized pass instead of
+        # a per-start Python loop: only the surviving candidates reach the
+        # backtracking search.  The two filter stages are kept separate so
+        # ``starts_pruned`` counts exactly the windows the anchors reject
+        # on top of the feature rejection.
+        import numpy as np
+
+        starts_arr = np.arange(n, dtype=np.int64)
+        ends_arr = np.minimum(n, starts_arr + span)
+        ok = np.ones(n, dtype=bool)
+        for cum in cums:
+            ok &= cum[ends_arr] > cum[starts_arr]
+        if anchor_cums:
+            ok_anchored = ok.copy()
+            for cum in anchor_cums:
+                ok_anchored &= cum[ends_arr] > cum[starts_arr]
+            self.starts_pruned += int(ok.sum() - ok_anchored.sum())
+            ok = ok_anchored
+
+        for start in np.flatnonzero(ok).tolist():
             ctx = MatchContext(
                 trace=trace.stmts, envs=trace.envs,
                 pos_by_address=trace.pos_by_address, first_pos=-1,
@@ -177,11 +276,26 @@ class MatchEngine:
                           for i in range(len(template.nodes)))
         return (template.max_gap + 1) * total_nodes + 1
 
-    def match_all(self, templates: list[Template], trace: PreparedTrace) -> list[TemplateMatch]:
-        """Match every template; returns all hits (one match per template)."""
+    def match_all(self, templates: list[Template], trace: PreparedTrace,
+                  prefilter=None, scan=None,
+                  base: int = 0) -> list[TemplateMatch]:
+        """Match every template; returns all hits (one match per template).
+
+        With a fast-path ``prefilter`` (:class:`repro.fastpath.
+        CompiledPrefilter`) and its ``scan`` of the frame, templates whose
+        necessary-condition anchors are absent are skipped outright and
+        the surviving templates' anchor offsets prune start positions.
+        """
         out = []
         for template in templates:
-            m = self.match(template, trace)
+            clause_hits = None
+            if prefilter is not None and scan is not None:
+                if not scan.survives(template.name):
+                    self.starts_pruned += len(trace)
+                    continue
+                clause_hits = prefilter.clause_hits(template.name, scan)
+            m = self.match(template, trace, clause_hits=clause_hits,
+                           base=base)
             if m is not None:
                 out.append(m)
         return out

@@ -505,6 +505,12 @@ class Template:
     whose requirements the trace cannot satisfy — the common case on
     benign frames.  Features are derived automatically from the node
     types when not given explicitly.
+
+    ``always_scan`` opts the template out of the fast-path byte prefilter
+    (:mod:`repro.fastpath.anchors`): frames are always fully analyzed
+    against it.  Set it for templates whose nodes admit no sound
+    necessary-condition byte anchors; the anchor compiler also applies it
+    automatically when it cannot derive a single clause.
     """
 
     name: str
@@ -516,6 +522,7 @@ class Template:
     ordered: bool = True
     repeats: dict[int, tuple[int, int]] = field(default_factory=dict)
     required_features: frozenset[str] = frozenset()
+    always_scan: bool = False
 
     def __post_init__(self) -> None:
         if not self.required_features:

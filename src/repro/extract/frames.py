@@ -26,7 +26,7 @@ from ..obs import MetricField, MetricsRegistry, StageTimer, Tracer, bind_metrics
 from .http import http_response_body, parse_http_request
 from .mime import find_base64_regions, looks_like_smtp_data
 from .repetition import find_byte_runs, find_repeated_dwords
-from .sled import find_sleds
+from .sled import find_sleds, screen_regions
 from .unicode import find_unicode_runs, percent_decode
 
 __all__ = ["BinaryFrame", "BinaryExtractor", "binary_fraction"]
@@ -107,7 +107,14 @@ class BinaryExtractor:
     # -- public -------------------------------------------------------------
 
     def extract(self, payload: bytes) -> list[BinaryFrame]:
-        """All binary frames found in one application payload."""
+        """All binary frames found in one application payload.
+
+        Accepts the zero-copy ``memoryview`` payloads the decode chain
+        produces; the view is materialized exactly once, here, where the
+        protocol parsers need real ``bytes`` (and where frame data — the
+        frame-cache key — is about to be derived)."""
+        if not isinstance(payload, bytes):
+            payload = bytes(payload)
         with self.timer.timed(nbytes=len(payload)):
             return self._extract(payload)
 
@@ -139,13 +146,20 @@ class BinaryExtractor:
             ("http-target", request.target_offset, request.target),
             ("http-body", request.body_offset, request.body),
         ]
-        for name, base_offset, region in regions:
+        # One vectorized pass decides which regions can hold a sled at
+        # all; the per-region sled detector then runs only where it can
+        # find something (identical results, see screen_regions).
+        sled_mask = screen_regions([r for _, _, r in regions],
+                                   min_length=self.sled_min)
+        for (name, base_offset, region), sled_ok in zip(regions, sled_mask):
             if len(region) < self.min_frame:
                 continue
-            frames.extend(self._scan_region(name, base_offset, region))
+            frames.extend(self._scan_region(name, base_offset, region,
+                                            sled_ok=bool(sled_ok)))
         return frames
 
-    def _scan_region(self, name: str, base: int, region: bytes) -> list[BinaryFrame]:
+    def _scan_region(self, name: str, base: int, region: bytes,
+                     sled_ok: bool = True) -> list[BinaryFrame]:
         frames: list[BinaryFrame] = []
 
         # 1. %uXXXX runs decode straight to binary frames.
@@ -177,7 +191,8 @@ class BinaryExtractor:
                 ))
 
         # 3. Sleds inside the region (e.g. binary POST bodies).
-        frames.extend(self._sled_frames(name, base, region))
+        if sled_ok:
+            frames.extend(self._sled_frames(name, base, region))
         return frames
 
     # -- HTTP responses (server-to-client content) ----------------------------
@@ -203,12 +218,14 @@ class BinaryExtractor:
         the delivery channel of email worms (the paper's named future
         work)."""
         frames: list[BinaryFrame] = []
-        for region in find_base64_regions(payload):
+        regions = [region for region in find_base64_regions(payload)
+                   if len(region.data) >= self.min_frame]
+        sled_mask = screen_regions([r.data for r in regions],
+                                   min_length=self.sled_min)
+        for region, sled_ok in zip(regions, sled_mask):
             decoded = region.data
-            if len(decoded) < self.min_frame:
-                continue
-            sled_frames = self._sled_frames("b64-attachment", region.start,
-                                            decoded)
+            sled_frames = (self._sled_frames("b64-attachment", region.start,
+                                             decoded) if sled_ok else [])
             if sled_frames:
                 frames.extend(sled_frames)
                 continue

@@ -15,7 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["NOP_LIKE", "SledRegion", "find_sleds", "sled_density"]
+__all__ = ["NOP_LIKE", "SledRegion", "find_sleds", "screen_regions",
+           "sled_density"]
 
 # Single-byte x86 instructions safe to slide through.  This is the set
 # ADMmutate-style engines draw from: nop, the 16-bit prefix'd nop pairs are
@@ -56,6 +57,46 @@ def sled_density(data: bytes) -> float:
         return 0.0
     arr = np.frombuffer(data, dtype=np.uint8)
     return float(_NOP_TABLE[arr].mean())
+
+
+def screen_regions(regions, min_length: int = 24) -> np.ndarray:
+    """Batched sled pre-screen: which regions can possibly hold a sled.
+
+    Boolean mask over ``regions`` applying :func:`find_sleds`' quick
+    reject — fewer than ``min_length`` NOP-like bytes total — to every
+    buffer with ONE table gather over their concatenation plus one
+    ``np.add.reduceat``, instead of a numpy round-trip per region.  The
+    predicate is byte-for-byte the same as the scalar reject, so callers
+    may skip :func:`find_sleds` for masked-out regions without changing
+    any result.
+    """
+    count = len(regions)
+    mask = np.zeros(count, dtype=bool)
+    if count == 0:
+        return mask
+    sizes = np.fromiter((len(r) for r in regions), dtype=np.int64,
+                        count=count)
+    total = int(sizes.sum())
+    if total == 0:
+        return mask
+    buf = np.empty(total, dtype=np.uint8)
+    pos = 0
+    for region in regions:
+        n = len(region)
+        if n:
+            buf[pos:pos + n] = np.frombuffer(region, dtype=np.uint8)
+            pos += n
+    hits = _NOP_TABLE[buf].astype(np.int64)
+    starts = np.zeros(count, dtype=np.int64)
+    np.cumsum(sizes[:-1], out=starts[1:])
+    nonempty = sizes > 0
+    # reduceat over the starts of non-empty regions: empty regions sit
+    # between consecutive starts and contribute zero bytes, so each sum
+    # covers exactly one region's bytes.
+    counts = np.zeros(count, dtype=np.int64)
+    counts[nonempty] = np.add.reduceat(hits, starts[nonempty])
+    mask[:] = counts >= min_length
+    return mask
 
 
 def find_sleds(

@@ -1,0 +1,36 @@
+"""Fast-path admission layer.
+
+The paper's §5.5 running-time argument is that semantic matching is
+affordable because most traffic never reaches it.  This package pushes
+that gate one stage deeper: before a frame is disassembled, a compiled
+multi-pattern byte prefilter checks whether the frame can possibly
+satisfy *any* template, and per-template anchor hits prune the match
+engine's candidate start positions.
+
+Soundness invariant: every anchor is a **necessary condition** derived
+from the lifter's instruction->IR mapping (see :mod:`.anchors`), so the
+prefilter may only skip work, never change results.  The differential
+harness in ``tests/nids/test_fastpath_parity.py`` pins byte-identical
+alert streams with the layer on and off.
+"""
+
+from .anchors import (
+    AnchorClause,
+    CompiledPrefilter,
+    PrefilterScan,
+    TemplateAnchors,
+    compile_prefilter,
+    derive_anchors,
+)
+from .multimatch import AhoCorasick, PatternMatch
+
+__all__ = [
+    "AhoCorasick",
+    "AnchorClause",
+    "CompiledPrefilter",
+    "PatternMatch",
+    "PrefilterScan",
+    "TemplateAnchors",
+    "compile_prefilter",
+    "derive_anchors",
+]

@@ -1,0 +1,380 @@
+"""Template anchor compiler: necessary-condition byte prefiltering.
+
+For each template node kind we derive the *complete* set of opcode byte
+patterns whose instructions could lift (:mod:`repro.ir.lift`) to a
+statement satisfying that node.  Because a decoded instruction's raw
+bytes are a contiguous substring of the frame, a frame that contains no
+byte of a node's producer set cannot contain any instruction able to
+satisfy that node — anywhere, under any disassembly offset the sweep
+tries.  That makes each derived pattern set a **necessary condition**:
+
+- per template, every anchorable node contributes one *clause* (a set of
+  byte patterns, at least one of which must occur in the frame);
+- a template can match a frame only if **every** clause is hit (CNF);
+- a frame can be skipped entirely only if every template is ruled out.
+
+Soundness rests on two properties, both pinned by tests:
+
+1. *Producer completeness*: the per-node sets below enumerate every
+   opcode the disassembler (:mod:`repro.x86.disasm`) decodes into an
+   instruction the lifter turns into a node-satisfying statement.
+   Over-approximating (listing extra opcodes) only costs performance;
+   under-approximating would lose detections, so nodes whose producer
+   sets are broad or hard to pin down (``PointerStep``, ``RegCompute``,
+   ``RegFromEsp`` — satisfiable by ``inc``/``dec``/``lea``/plain ALU
+   bytes that are ubiquitous in text and binary data) contribute **no
+   clause**, which is a sound weakening.
+2. *Encoding-prefix form*: every pattern is the leading byte(s) of the
+   producing instruction's encoding once legacy prefixes are stripped
+   (``cd 80`` = opcode + immediate, ``0f 8x`` = the two-byte opcode), so
+   a decoded instruction can satisfy a node only if its own post-prefix
+   leading bytes equal one of the node's patterns — which is what lets
+   the matcher prune candidate start positions per instruction
+   (:meth:`repro.core.matcher.PreparedTrace.anchor_cum`), a strictly
+   stronger check than looking for the bytes anywhere in the frame.
+
+A template for which no clause can be derived is treated as
+``always_scan`` (never prefiltered); templates may also opt out
+explicitly via :attr:`repro.core.template.Template.always_scan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.template import (
+    ConstBytesWrite,
+    ConstCapture,
+    IndirectCall,
+    LoadFrom,
+    LoopBack,
+    MemRmw,
+    Node,
+    PushValue,
+    StoreTo,
+    Syscall,
+    Template,
+)
+from .multimatch import AhoCorasick
+
+__all__ = [
+    "AnchorClause",
+    "TemplateAnchors",
+    "CompiledPrefilter",
+    "PrefilterScan",
+    "compile_prefilter",
+    "derive_anchors",
+]
+
+
+def _singles(*codes: int) -> frozenset[bytes]:
+    return frozenset(bytes([c]) for c in codes)
+
+
+# Opcodes whose memory-destination forms lift to the read-modify-write
+# ``Store(src=BinOp(op, Load(mem), ...))`` / ``Store(src=UnOp(op, ...))``
+# shape MemRmw matches, per lifted (normalized) operation name.  Group-1
+# immediate forms (0x80-0x83) select the operation via ModRM /reg, so the
+# opcode byte alone admits all eight ALU ops; inc/dec (0xFE/0xFF /0 /1)
+# lift to add/sub with a constant-1 key; shift opcodes (0xC0/0xC1,
+# 0xD0-0xD3) select via /reg too, and the lifter folds sal->shl,
+# rcl->rol, rcr->ror.
+_GROUP1_IMM = _singles(0x80, 0x81, 0x82, 0x83)
+_INCDEC_RM = _singles(0xFE, 0xFF)
+_SHIFT_RM = _singles(0xC0, 0xC1, 0xD0, 0xD1, 0xD2, 0xD3)
+_RMW_PRODUCERS: dict[str, frozenset[bytes]] = {
+    "add": _singles(0x00, 0x01, 0x10, 0x11) | _GROUP1_IMM | _INCDEC_RM,
+    "sub": _singles(0x28, 0x29, 0x18, 0x19) | _GROUP1_IMM | _INCDEC_RM,
+    "xor": _singles(0x30, 0x31) | _GROUP1_IMM,
+    "or": _singles(0x08, 0x09) | _GROUP1_IMM,
+    "and": _singles(0x20, 0x21) | _GROUP1_IMM,
+    "shl": _SHIFT_RM,
+    "shr": _SHIFT_RM,
+    "sar": _SHIFT_RM,
+    "rol": _SHIFT_RM,
+    "ror": _SHIFT_RM,
+    "not": _singles(0xF6, 0xF7),
+    "neg": _singles(0xF6, 0xF7),
+}
+
+# ``Assign(src=Load(mem))`` with a register base (LoadFrom): mov r,rm
+# (8A/8B), xchg reg,mem (86/87 — lifts to a Load assign plus a store),
+# lodsb/lodsd (AC/AD — Load through esi), movzx/movsx from memory
+# (0F B6/B7/BE/BF).  The moffs loads (A0/A1) produce a base-less MemRef
+# that LoadFrom provably rejects (``_mem_base_reg`` returns None), so
+# they are deliberately not anchors.
+_LOAD_PRODUCERS = (_singles(0x86, 0x87, 0x8A, 0x8B, 0xAC, 0xAD)
+                   | frozenset(bytes([0x0F, b])
+                               for b in (0xB6, 0xB7, 0xBE, 0xBF)))
+
+# ``Store(src=Reg)`` with a register base (StoreTo): mov rm,r (88/89)
+# only — every other store form lifts with a BinOp/UnOp/Const/Unknown
+# source, and the moffs stores (A2/A3) are base-less like the loads.
+_STORETO_PRODUCERS = _singles(0x88, 0x89)
+
+# ``Branch`` with a *known* target in the jmp/jcc/loop family (LoopBack):
+# short jcc (70-7F), loops + jecxz (E0-E3), jmp rel (E9/EB), near jcc
+# (0F 80-8F).  ``jmp r/m`` (FF /4) and ``call`` decode with no target
+# and cannot satisfy LoopBack.
+_LOOPBACK_PRODUCERS = (_singles(*range(0x70, 0x80), 0xE0, 0xE1, 0xE2, 0xE3,
+                                0xE9, 0xEB)
+                       | frozenset(bytes([0x0F, b])
+                                   for b in range(0x80, 0x90)))
+
+# ``Push`` statements: push r32 (50-57), pushad (60 — eight pushes),
+# push imm (68/6A), push r/m (FF /6).
+_PUSH_PRODUCERS = _singles(*range(0x50, 0x58), 0x60, 0x68, 0x6A, 0xFF)
+
+# ``Store`` whose source expression can resolve to a constant — directly
+# (mov rm,imm: C6/C7) or through constant propagation of a register
+# source (mov rm,r: 88/89; mov moffs,acc: A2/A3).  ALU/shift stores
+# carry BinOp/UnOp sources that ``_resolve`` provably rejects.
+_CONST_STORE_PRODUCERS = _singles(0x88, 0x89, 0xA2, 0xA3, 0xC6, 0xC7)
+
+# ``Branch(kind="call", target=None)`` (IndirectCall): call r/m (FF /2)
+# only — call rel32 (E8) decodes with a concrete target.
+_CALL_RM_PRODUCERS = _singles(0xFF)
+
+
+def _node_patterns(node: Node) -> frozenset[bytes] | None:
+    """The complete producer byte patterns for one node, or ``None`` when
+    the node is not soundly anchorable."""
+    if isinstance(node, MemRmw):
+        out: frozenset[bytes] = frozenset()
+        for op in node.ops:
+            producers = _RMW_PRODUCERS.get(op)
+            if producers is None:
+                return None  # unknown op: refuse to anchor (sound)
+            out |= producers
+        return out or None
+    if isinstance(node, LoadFrom):
+        return _LOAD_PRODUCERS
+    if isinstance(node, StoreTo):
+        return _STORETO_PRODUCERS
+    if isinstance(node, LoopBack):
+        return _LOOPBACK_PRODUCERS
+    if isinstance(node, Syscall):
+        if not 0 <= node.vector <= 0xFF:
+            return None
+        patterns = {bytes([0xCD, node.vector])}
+        if node.vector == 3:
+            patterns.add(b"\xCC")  # int3 also lifts to Interrupt(3)
+        return frozenset(patterns)
+    if isinstance(node, (ConstBytesWrite, ConstCapture)):
+        return _PUSH_PRODUCERS | _CONST_STORE_PRODUCERS
+    if isinstance(node, PushValue):
+        return _PUSH_PRODUCERS
+    if isinstance(node, IndirectCall):
+        return _CALL_RM_PRODUCERS
+    # PointerStep / RegCompute / RegFromEsp / unknown future nodes:
+    # producer sets too broad (or unenumerated) to anchor soundly.
+    return None
+
+
+@dataclass(frozen=True)
+class AnchorClause:
+    """One CNF clause: the frame must contain >= 1 of these patterns for
+    the owning template's ``label`` node to be satisfiable."""
+
+    label: str
+    patterns: frozenset[bytes]
+
+
+@dataclass(frozen=True)
+class TemplateAnchors:
+    """The compiled necessary conditions of one template."""
+
+    template_name: str
+    clauses: tuple[AnchorClause, ...]
+    always_scan: bool = False
+
+
+def derive_anchors(template: Template) -> TemplateAnchors:
+    """Derive the anchor clause set of one template.
+
+    Optional nodes (``repeats`` minimum of 0) are not necessary and so
+    contribute no clause.  A template yielding zero clauses — or flagged
+    ``always_scan`` — is never prefiltered.
+    """
+    if template.always_scan:
+        return TemplateAnchors(template.name, (), always_scan=True)
+    clauses: list[AnchorClause] = []
+    for i, node in enumerate(template.nodes):
+        min_rep = template.repeats.get(i, (1, 1))[0]
+        if min_rep < 1:
+            continue  # optional node: not a necessary condition
+        patterns = _node_patterns(node)
+        if patterns:
+            clauses.append(AnchorClause(label=type(node).__name__,
+                                        patterns=patterns))
+    if not clauses:
+        return TemplateAnchors(template.name, (), always_scan=True)
+    return TemplateAnchors(template.name, tuple(clauses))
+
+
+@dataclass
+class PrefilterScan:
+    """Result of one prefilter pass over a frame.
+
+    The scan records only *which* anchor patterns occur (plus a total
+    occurrence count for the metrics): frame survival is a pure presence
+    question, and start-position pruning matches clause patterns against
+    decoded instruction encodings rather than frame offsets, so keeping
+    per-pattern offset lists would be pay-for-nothing work on every
+    frame.
+    """
+
+    #: template name -> survives (False = soundly ruled out)
+    survivors: dict[str, bool]
+    #: ids of anchor patterns occurring at least once in the frame
+    present: frozenset[int]
+    #: total anchor occurrences found in the frame
+    anchor_hits: int = 0
+
+    @property
+    def any_survivor(self) -> bool:
+        return any(self.survivors.values())
+
+    def survives(self, name: str) -> bool:
+        # Unknown templates are never filtered (sound default).
+        return self.survivors.get(name, True)
+
+
+class CompiledPrefilter:
+    """All templates' anchor clauses compiled into one automaton.
+
+    One :meth:`scan` pass answers, per template, "can this frame possibly
+    match?" and yields the anchor occurrence offsets the match engine
+    uses to prune candidate start positions.
+    """
+
+    def __init__(self, templates: list[Template]) -> None:
+        self.anchors = [derive_anchors(t) for t in templates]
+        self._pattern_ids: dict[bytes, int] = {}
+        #: template name -> list of per-clause frozensets of pattern ids
+        self.clause_ids: dict[str, list[frozenset[int]]] = {}
+        for anchors in self.anchors:
+            clause_ids: list[frozenset[int]] = []
+            for clause in anchors.clauses:
+                ids = frozenset(self._intern(p)
+                                for p in sorted(clause.patterns))
+                clause_ids.append(ids)
+            self.clause_ids[anchors.template_name] = clause_ids
+        self.patterns: list[bytes] = sorted(self._pattern_ids,
+                                            key=self._pattern_ids.get)
+        self.pattern_lengths = {pid: len(p)
+                                for p, pid in self._pattern_ids.items()}
+        # Scan plan: anchor patterns are opcode prefixes, so in practice
+        # they are 1-2 bytes — both scannable as one vectorized table
+        # gather over the frame.  Anything longer (future templates)
+        # falls back to the Aho-Corasick automaton.
+        self._len1_table: np.ndarray | None = None
+        self._len2_table: np.ndarray | None = None
+        long_patterns: list[bytes] = []
+        self._long_pids: list[int] = []
+        for pattern, pid in self._pattern_ids.items():
+            if len(pattern) == 1:
+                if self._len1_table is None:
+                    self._len1_table = np.full(256, -1, dtype=np.int16)
+                self._len1_table[pattern[0]] = pid
+            elif len(pattern) == 2:
+                if self._len2_table is None:
+                    self._len2_table = np.full(65536, -1, dtype=np.int32)
+                self._len2_table[(pattern[0] << 8) | pattern[1]] = pid
+            else:
+                long_patterns.append(pattern)
+                self._long_pids.append(pid)
+        self.automaton = (AhoCorasick(long_patterns)
+                          if long_patterns else None)
+        self.always_scan = {a.template_name for a in self.anchors
+                            if a.always_scan}
+        # Start-pruning form of each clause: the pattern bytes as integer
+        # keys matchable against a decoded instruction's post-prefix
+        # leading bytes (see anchor_cum).  Patterns longer than two bytes
+        # (none today) disable pruning for their clause — a sound
+        # weakening; the frame-level scan still uses them.
+        self.clause_prune: dict[str, list[tuple[frozenset[int],
+                                                np.ndarray, np.ndarray,
+                                                bool]]] = {}
+        for anchors in self.anchors:
+            entries = []
+            for ids in self.clause_ids[anchors.template_name]:
+                ones: list[int] = []
+                twos: list[int] = []
+                has_long = False
+                for pid in sorted(ids):
+                    pattern = self.patterns[pid]
+                    if len(pattern) == 1:
+                        ones.append(pattern[0])
+                    elif len(pattern) == 2:
+                        twos.append((pattern[0] << 8) | pattern[1])
+                    else:
+                        has_long = True
+                entries.append((ids,
+                                np.asarray(sorted(ones), dtype=np.int32),
+                                np.asarray(sorted(twos), dtype=np.int32),
+                                has_long))
+            self.clause_prune[anchors.template_name] = entries
+
+    def _intern(self, pattern: bytes) -> int:
+        if pattern not in self._pattern_ids:
+            self._pattern_ids[pattern] = len(self._pattern_ids)
+        return self._pattern_ids[pattern]
+
+    def scan(self, data) -> PrefilterScan:
+        """One vectorized multi-pattern pass; verdicts for every compiled
+        template."""
+        arr = np.frombuffer(data, dtype=np.uint8)
+        present: set[int] = set()
+        hits = 0
+        if self._len1_table is not None and arr.size:
+            # Byte histogram once; a pattern is present iff its byte
+            # value occurs, and its occurrence count is the byte count.
+            counts = np.bincount(arr, minlength=256)
+            seen = self._len1_table[counts > 0]
+            present.update(seen[seen >= 0].tolist())
+            hits += int(counts[self._len1_table >= 0].sum())
+        if self._len2_table is not None and arr.size > 1:
+            pairs = (arr[:-1].astype(np.int32) << 8) | arr[1:]
+            pids = self._len2_table[pairs]
+            hit = pids >= 0
+            n_hits = int(np.count_nonzero(hit))
+            if n_hits:
+                hits += n_hits
+                present.update(np.unique(pids[hit]).tolist())
+        if self.automaton is not None:
+            for m in self.automaton.search(bytes(data)):
+                present.add(self._long_pids[m.pattern])
+                hits += 1
+        survivors = {
+            anchors.template_name: (
+                anchors.always_scan
+                or all(ids & present
+                       for ids in self.clause_ids[anchors.template_name])
+            )
+            for anchors in self.anchors
+        }
+        return PrefilterScan(survivors=survivors,
+                             present=frozenset(present), anchor_hits=hits)
+
+    def clause_hits(
+        self, name: str, scan: PrefilterScan
+    ) -> list[tuple[frozenset[int], np.ndarray, np.ndarray, bool]] | None:
+        """Start-pruning information for a surviving template: one
+        ``(pattern-id key, 1-byte keys, 2-byte keys, has_long)`` tuple
+        per necessary-condition clause.  The key lets callers cache
+        derived per-trace data across templates sharing a clause; the
+        sorted integer arrays are matched against each decoded
+        instruction's post-prefix leading bytes by
+        :meth:`repro.core.matcher.PreparedTrace.anchor_cum`.  ``None``
+        for always-scan templates (no pruning information)."""
+        if name in self.always_scan:
+            return None
+        return self.clause_prune.get(name) or None
+
+
+def compile_prefilter(templates: list[Template]) -> CompiledPrefilter:
+    """Compile the prefilter for a template set."""
+    return CompiledPrefilter(templates)

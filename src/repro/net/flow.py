@@ -73,7 +73,9 @@ class Stream:
 
     key: FlowKey
     base_seq: int | None = None
-    segments: dict[int, bytes] = field(default_factory=dict)
+    #: offset → segment bytes; zero-copy ``memoryview`` slices land here
+    #: as-is and are only realized when the assembled prefix is built.
+    segments: dict[int, bytes | memoryview] = field(default_factory=dict)
     fin_seen: bool = False
     stats: FlowStats = field(default_factory=FlowStats)
     #: bytes currently buffered across all segments, kept incrementally so

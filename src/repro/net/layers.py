@@ -46,6 +46,15 @@ __all__ = [
 
 ETHERTYPE_IPV4 = 0x0800
 
+
+def _as_bytes(payload) -> bytes:
+    """Materialize a zero-copy payload view for header concatenation.
+
+    Decoded packets carry ``memoryview`` payloads (see
+    :meth:`repro.net.packet.Packet.decode`); encoding concatenates, so
+    the view is realized here — the one copy on the encode path."""
+    return payload if isinstance(payload, bytes) else bytes(payload)
+
 PROTO_ICMP = 1
 PROTO_TCP = 6
 PROTO_UDP = 17
@@ -71,7 +80,7 @@ class Ethernet:
     def encode(self, payload: bytes) -> bytes:
         return mac_to_bytes(self.dst) + mac_to_bytes(self.src) + struct.pack(
             ">H", self.ethertype
-        ) + payload
+        ) + _as_bytes(payload)
 
     @classmethod
     def decode(cls, data: bytes) -> tuple["Ethernet", bytes]:
@@ -111,6 +120,7 @@ class Ipv4:
         return self.HEADER_LEN + len(self.options)
 
     def encode(self, payload: bytes) -> bytes:
+        payload = _as_bytes(payload)
         if len(self.options) % 4:
             raise ValueError("IPv4 options must be a multiple of 4 bytes")
         ihl = self.header_length() // 4
@@ -184,6 +194,7 @@ class Tcp:
         return self.HEADER_LEN + len(self.options)
 
     def encode(self, payload: bytes, src: int = 0, dst: int = 0) -> bytes:
+        payload = _as_bytes(payload)
         if len(self.options) % 4:
             raise ValueError("TCP options must be a multiple of 4 bytes")
         data_offset = self.header_length() // 4
@@ -251,6 +262,7 @@ class Udp:
     HEADER_LEN = 8
 
     def encode(self, payload: bytes, src: int = 0, dst: int = 0) -> bytes:
+        payload = _as_bytes(payload)
         length = self.HEADER_LEN + len(payload)
         header = struct.pack(">HHHH", self.sport, self.dport, length, 0)
         pseudo = pseudo_header(src, dst, PROTO_UDP, length)
@@ -282,6 +294,7 @@ class Icmp:
     HEADER_LEN = 8
 
     def encode(self, payload: bytes, src: int = 0, dst: int = 0) -> bytes:
+        payload = _as_bytes(payload)
         header = struct.pack(">BBHHH", self.type, self.code, 0, self.ident, self.seq)
         csum = checksum(header + payload)
         return header[:2] + struct.pack(">H", csum) + header[4:] + payload

@@ -32,12 +32,18 @@ class Packet:
     ``l4`` is one of :class:`Tcp`, :class:`Udp`, :class:`Icmp`, or ``None``
     when the transport protocol is unrecognized (the raw transport bytes are
     then left in ``payload``).
+
+    ``payload`` may be a ``memoryview`` into the captured record buffer:
+    :meth:`decode` slices zero-copy through the layer chain, so a packet's
+    payload bytes are not copied until something materializes them (stream
+    assembly, extraction, or :meth:`encode`).  Views compare equal to the
+    same bytes and support ``len``/slicing, so consumers are agnostic.
     """
 
     eth: Ethernet = field(default_factory=Ethernet)
     ip: Ipv4 | None = None
     l4: Tcp | Udp | Icmp | None = None
-    payload: bytes = b""
+    payload: bytes | memoryview = b""
     timestamp: float = 0.0
 
     # -- convenience accessors used throughout the NIDS ---------------------
@@ -88,8 +94,12 @@ class Packet:
         are kept byte-exact in ``payload`` for the defragmenter.  A
         truncated transport header on an unfragmented packet likewise
         degrades to a raw payload instead of failing the whole capture.
+
+        Decoding is zero-copy: the byte buffer is wrapped in a
+        ``memoryview`` once, and every layer hands the next a sub-view, so
+        the payload left on the packet references the original buffer.
         """
-        eth, rest = Ethernet.decode(data)
+        eth, rest = Ethernet.decode(memoryview(data))
         pkt = cls(eth=eth, timestamp=timestamp)
         if eth.ethertype != 0x0800:
             pkt.payload = rest

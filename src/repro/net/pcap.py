@@ -24,6 +24,24 @@ _MAGIC_LE = 0xA1B2C3D4
 _MAGIC_BE = 0xD4C3B2A1
 _LINKTYPE_ETHERNET = 1
 
+#: Precompiled header codecs — one ``struct`` format parse at import time
+#: instead of one per record (the per-record ``struct.unpack(fmt, ...)``
+#: re-parse was measurable on million-record captures).
+_MAGIC_STRUCT = struct.Struct("<I")
+_GLOBAL_HEADER = {
+    "<": struct.Struct("<IHHiIII"),
+    ">": struct.Struct(">IHHiIII"),
+}
+_RECORD_HEADER = {
+    "<": struct.Struct("<IIII"),
+    ">": struct.Struct(">IIII"),
+}
+_RECORD_HEADER_LEN = _RECORD_HEADER["<"].size  # 16 both ways
+
+#: Read granularity for the buffered record loop: large enough that a
+#: typical record costs no file-object call at all.
+_READ_CHUNK = 256 * 1024
+
 
 #: Historical name for capture-level failures.  An alias (not a subclass)
 #: so the typed :class:`~repro.errors.TruncatedCaptureError` stays
@@ -54,11 +72,8 @@ class PcapWriter:
             self._fh = open(path, "wb")
             self._owns = True
         self._snaplen = snaplen
-        self._fh.write(
-            struct.pack(
-                "<IHHiIII", _MAGIC_LE, 2, 4, 0, 0, snaplen, _LINKTYPE_ETHERNET
-            )
-        )
+        self._fh.write(_GLOBAL_HEADER["<"].pack(
+            _MAGIC_LE, 2, 4, 0, 0, snaplen, _LINKTYPE_ETHERNET))
 
     def write(self, packet: Packet) -> None:
         self.write_raw(packet.timestamp, packet.encode())
@@ -69,11 +84,12 @@ class PcapWriter:
         if usec == 1_000_000:  # avoid rounding past the next second
             sec, usec = sec + 1, 0
         # Honour the snaplen declared in the global header: caplen is the
-        # truncated capture, origlen records the true wire length.
+        # truncated capture, origlen records the true wire length.  One
+        # write call per record: header + body together.
         captured = data[: self._snaplen]
         self._fh.write(
-            struct.pack("<IIII", sec, usec, len(captured), len(data)))
-        self._fh.write(captured)
+            _RECORD_HEADER["<"].pack(sec, usec, len(captured), len(data))
+            + captured)
 
     def close(self) -> None:
         if self._owns:
@@ -124,31 +140,49 @@ class PcapReader:
         if len(header) < 24:
             # Nothing salvageable before the global header is complete.
             raise TruncatedCaptureError("truncated pcap global header")
-        (magic,) = struct.unpack("<I", header[:4])
+        (magic,) = _MAGIC_STRUCT.unpack(header[:4])
         if magic == _MAGIC_LE:
             self._endian = "<"
         elif magic == _MAGIC_BE:
             self._endian = ">"
         else:
             raise PcapError(f"bad pcap magic: {magic:#010x}")
-        _vmaj, _vmin, _tz, _sig, _snap, linktype = struct.unpack(
-            self._endian + "HHiIII", header[4:]
-        )
+        _vmaj, _vmin, _tz, _sig, _snap, linktype = (
+            _GLOBAL_HEADER[self._endian].unpack(header))[1:]
         if linktype != _LINKTYPE_ETHERNET:
             raise PcapError(f"unsupported linktype {linktype} (want Ethernet)")
+        # Buffered record loop state: records are sliced out of large read
+        # chunks instead of paying two file-object calls per record.
+        self._buf = b""
+        self._pos = 0
+
+    def _read_buffered(self, need: int) -> bytes:
+        """Exactly ``need`` bytes from the chunked stream, or the short
+        tail at end-of-file."""
+        buf, pos = self._buf, self._pos
+        while len(buf) - pos < need:
+            chunk = self._fh.read(max(_READ_CHUNK, need - (len(buf) - pos)))
+            if not chunk:
+                break
+            if pos:  # compact the consumed prefix before growing
+                buf, pos = buf[pos:], 0
+            buf += chunk
+        out = buf[pos:pos + need]
+        self._buf, self._pos = buf, pos + len(out)
+        return out
 
     def records(self) -> Iterator[PcapRecord]:
         """Yield raw records without protocol decoding."""
-        fmt = self._endian + "IIII"
+        unpack = _RECORD_HEADER[self._endian].unpack
         while True:
-            header = self._fh.read(16)
+            header = self._read_buffered(_RECORD_HEADER_LEN)
             if not header:
                 return
-            if len(header) < 16:
+            if len(header) < _RECORD_HEADER_LEN:
                 if self._note_truncation("truncated pcap record header"):
                     return
-            sec, usec, caplen, _origlen = struct.unpack(fmt, header)
-            data = self._fh.read(caplen)
+            sec, usec, caplen, _origlen = unpack(header)
+            data = self._read_buffered(caplen)
             if len(data) < caplen:
                 if self._note_truncation("truncated pcap record body"):
                     return

@@ -147,7 +147,8 @@ _WORKER_STATE: dict = {}
 
 def _init_worker(template_set: str, frame_cache_size: int,
                  min_instructions: int,
-                 deadline_units: int | None = None) -> None:
+                 deadline_units: int | None = None,
+                 fastpath: bool = False) -> None:
     """Per-process initializer: build the stateless stage objects once."""
     registry = MetricsRegistry()
     _WORKER_STATE["registry"] = registry
@@ -157,6 +158,7 @@ def _init_worker(template_set: str, frame_cache_size: int,
         min_instructions=min_instructions,
         frame_cache_size=frame_cache_size,
         registry=registry,
+        fastpath=fastpath,
     )
     _WORKER_STATE["deadline_units"] = deadline_units
 
@@ -336,7 +338,8 @@ class ParallelSemanticNids(SemanticNids):
             # Kept whole for pool rebuilds after a worker death.
             self._initargs = (template_set, cache_size,
                               self.analyzer.min_instructions,
-                              self._deadline_units)
+                              self._deadline_units,
+                              self.fastpath)
             self._pools = [
                 ProcessPoolExecutor(
                     max_workers=1,
@@ -397,6 +400,8 @@ class ParallelSemanticNids(SemanticNids):
     ) -> list[Alert]:
         if self._degraded or not self._pools:
             return super()._analyze_payload(pkt, payload, state)
+        if not isinstance(payload, bytes):
+            payload = bytes(payload)  # zero-copy views do not pickle
         digest = None
         if self.payload_cache_size > 0:
             digest = hashlib.sha1(payload).digest()

@@ -87,6 +87,11 @@ class SemanticNids:
     quarantine:
         Optional :class:`~repro.resilience.QuarantineWriter`; every input
         whose fault the stage firewall contains is preserved there.
+    fastpath:
+        Enable the template anchor prefilter (:mod:`repro.fastpath`) in
+        the analyzer.  Anchors are necessary conditions, so the alert
+        stream is byte-identical with it off (``--no-fastpath``) — it
+        only skips provably fruitless work.  Default on.
     """
 
     def __init__(
@@ -108,6 +113,7 @@ class SemanticNids:
         quarantine: QuarantineWriter | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        fastpath: bool = True,
     ) -> None:
         #: one registry per sensor: every component registers its metrics
         #: here, and ``--metrics-out`` snapshots it.  The stage timers in
@@ -134,7 +140,9 @@ class SemanticNids:
         self.extractor = BinaryExtractor(**obs)
         self.analyzer = SemanticAnalyzer(templates=templates,
                                          frame_cache_size=frame_cache_size,
+                                         fastpath=fastpath,
                                          **obs)
+        self.fastpath = fastpath
         self.blocklist = BlockList()
         self.firewall = StageFirewall(self.registry, quarantine=quarantine)
         self.analysis_deadline_ms = analysis_deadline_ms

@@ -33,6 +33,11 @@ class AlertReport:
     frame_cache_hits: int = 0
     frame_cache_misses: int = 0
     worker_failures: int = 0
+    #: fast-path admission (repro.fastpath): prefilter activity during the
+    #: run; all zero with ``--no-fastpath``.
+    fastpath_frames_skipped: int = 0
+    fastpath_anchor_hits: int = 0
+    fastpath_starts_pruned: int = 0
     #: reassembly front-end counters (evasion pressure absorbed during the
     #: run): see :class:`repro.nids.stats.NidsStats`.
     fragments_dropped: int = 0
@@ -79,6 +84,11 @@ class AlertReport:
                 "hit_rate": self.frame_cache_hit_rate,
             },
             "worker_failures": self.worker_failures,
+            "fastpath": {
+                "frames_skipped": self.fastpath_frames_skipped,
+                "anchor_hits": self.fastpath_anchor_hits,
+                "starts_pruned": self.fastpath_starts_pruned,
+            },
             "resilience": {
                 "stage_faults": dict(self.stage_faults),
                 "quarantined": self.quarantined,
@@ -140,6 +150,13 @@ class AlertReport:
             lines.append(f"  evictions: datagrams={self.datagrams_evicted} "
                          f"streams={self.streams_evicted} "
                          f"state={self.state_evicted}")
+        if (self.fastpath_frames_skipped or self.fastpath_anchor_hits
+                or self.fastpath_starts_pruned):
+            lines.append("")
+            lines.append("fast-path admission:")
+            lines.append(f"  frames skipped        {self.fastpath_frames_skipped}")
+            lines.append(f"  anchor hits           {self.fastpath_anchor_hits}")
+            lines.append(f"  match starts pruned   {self.fastpath_starts_pruned}")
         if (self.stage_faults or self.quarantined or self.deadline_trips
                 or self.pool_rebuilds or self.breaker_trips):
             lines.append("")
@@ -177,6 +194,9 @@ def build_report(nids: SemanticNids) -> AlertReport:
         frame_cache_hits=nids.stats.frame_cache_hits,
         frame_cache_misses=nids.stats.frame_cache_misses,
         worker_failures=nids.stats.worker_failures,
+        fastpath_frames_skipped=nids.stats.fastpath_frames_skipped,
+        fastpath_anchor_hits=nids.stats.fastpath_anchor_hits,
+        fastpath_starts_pruned=nids.stats.fastpath_starts_pruned,
         fragments_dropped=nids.stats.fragments_dropped,
         overlaps_trimmed=nids.stats.overlaps_trimmed,
         datagrams_evicted=nids.stats.datagrams_evicted,

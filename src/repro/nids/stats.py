@@ -61,6 +61,23 @@ class NidsStats:
     frame_cache_misses = MetricField(
         "repro_frame_cache_misses_total",
         help="Frame-cache misses.", unit="frames")
+    #: fast-path admission (repro.fastpath): shares the analyzer's counters
+    #: via registry aliasing, so serial-engine numbers show up here with no
+    #: extra plumbing; parallel workers merge theirs through the registry
+    #: delta.  All zero with ``--no-fastpath``.
+    fastpath_frames_skipped = MetricField(
+        "repro_fastpath_frames_skipped_total",
+        help="Frames the anchor prefilter ruled out for every "
+             "template (no disassembly performed).", unit="frames")
+    fastpath_anchor_hits = MetricField(
+        "repro_fastpath_anchor_hits_total",
+        help="Anchor pattern occurrences found by prefilter scans.",
+        unit="occurrences")
+    fastpath_starts_pruned = MetricField(
+        "repro_fastpath_candidate_starts_pruned_total",
+        help="Match start positions skipped via anchor offsets "
+             "(ruled-out templates count their whole trace).",
+        unit="positions")
     #: parallel engine: payloads shipped to worker processes, and worker
     #: failures survived by falling back to the serial path.
     payloads_offloaded = MetricField(
@@ -159,6 +176,13 @@ class NidsStats:
                 f"frame cache: hits={self.frame_cache_hits} "
                 f"misses={self.frame_cache_misses} "
                 f"hit_rate={self.frame_cache_hit_rate:.1%}"
+            )
+        if (self.fastpath_frames_skipped or self.fastpath_anchor_hits
+                or self.fastpath_starts_pruned):
+            lines.append(
+                f"fastpath: frames_skipped={self.fastpath_frames_skipped} "
+                f"anchor_hits={self.fastpath_anchor_hits} "
+                f"starts_pruned={self.fastpath_starts_pruned}"
             )
         if self.payloads_offloaded or self.worker_failures:
             lines.append(

@@ -151,174 +151,16 @@ class Disassembler:
         return regbits, Mem(size=size, base=base, index=index, scale=scale,
                             disp=disp)
 
-    # -- main decode switch ----------------------------------------------------
+    # -- main decode dispatch --------------------------------------------------
 
     def _decode(self, cur: _Cursor, opcode: int, opsize: int, address: int) -> Instruction:
-        if opcode in _SIMPLE:
-            return Instruction(_SIMPLE[opcode])
-
-        # ALU block 0x00-0x3D.
-        if opcode < 0x40 and (opcode & 7) <= 5 and opcode not in (0x0F,):
-            group = opcode >> 3
-            if group < 8:
-                return self._alu(cur, _GROUP1[group], opcode & 7, opsize)
-
-        if 0x40 <= opcode <= 0x47:
-            return Instruction("inc", (reg_by_code(opcode - 0x40, 4),))
-        if 0x48 <= opcode <= 0x4F:
-            return Instruction("dec", (reg_by_code(opcode - 0x48, 4),))
-        if 0x50 <= opcode <= 0x57:
-            return Instruction("push", (reg_by_code(opcode - 0x50, 4),))
-        if 0x58 <= opcode <= 0x5F:
-            return Instruction("pop", (reg_by_code(opcode - 0x58, 4),))
-
-        if opcode == 0x68:
-            return Instruction("push", (Imm(cur.imm(4), 4),))
-        if opcode == 0x6A:
-            return Instruction("push", (Imm(cur.imm(1), 1),))
-        if opcode == 0x69:
-            regbits, rm = self._modrm(cur, opsize)
-            return Instruction("imul", (reg_by_code(regbits, opsize), rm,
-                                        Imm(cur.imm(opsize), opsize)))
-        if opcode == 0x6B:
-            regbits, rm = self._modrm(cur, opsize)
-            return Instruction("imul", (reg_by_code(regbits, opsize), rm,
-                                        Imm(cur.imm(1), 1)))
-
-        if 0x70 <= opcode <= 0x7F:
-            rel = cur.imm(1)
-            return Instruction(_COND[opcode - 0x70],
-                               (Imm(address + (cur.pos - cur.start) + rel, 4),))
-
-        if opcode in (0x80, 0x82):
-            regbits, rm = self._modrm(cur, 1)
-            return Instruction(_GROUP1[regbits], (rm, Imm(cur.imm(1), 1)))
-        if opcode == 0x81:
-            regbits, rm = self._modrm(cur, opsize)
-            return Instruction(_GROUP1[regbits], (rm, Imm(cur.imm(opsize), opsize)))
-        if opcode == 0x83:
-            regbits, rm = self._modrm(cur, opsize)
-            return Instruction(_GROUP1[regbits],
-                               (rm, Imm(cur.imm(1), opsize)))
-
-        if opcode in (0x84, 0x85):
-            size = 1 if opcode == 0x84 else opsize
-            regbits, rm = self._modrm(cur, size)
-            return Instruction("test", (rm, reg_by_code(regbits, size)))
-        if opcode in (0x86, 0x87):
-            size = 1 if opcode == 0x86 else opsize
-            regbits, rm = self._modrm(cur, size)
-            return Instruction("xchg", (rm, reg_by_code(regbits, size)))
-
-        if 0x88 <= opcode <= 0x8B:
-            size = 1 if opcode in (0x88, 0x8A) else opsize
-            regbits, rm = self._modrm(cur, size)
-            r = reg_by_code(regbits, size)
-            if opcode in (0x88, 0x89):
-                return Instruction("mov", (rm, r))
-            return Instruction("mov", (r, rm))
-        if opcode == 0x8D:
-            regbits, rm = self._modrm(cur, opsize)
-            if not isinstance(rm, Mem):
-                raise DisassemblerError("lea with register source", cur.start)
-            return Instruction("lea", (reg_by_code(regbits, opsize), rm))
-        if opcode == 0x8F:
-            regbits, rm = self._modrm(cur, opsize)
-            if regbits != 0:
-                raise DisassemblerError(f"bad 8F /{regbits}", cur.start)
-            return Instruction("pop", (rm,))
-
-        if 0x91 <= opcode <= 0x97:
-            return Instruction("xchg", (reg_by_code(0, opsize),
-                                        reg_by_code(opcode - 0x90, opsize)))
-
-        # moffs forms.
-        if opcode in (0xA0, 0xA1, 0xA2, 0xA3):
-            size = 1 if opcode in (0xA0, 0xA2) else opsize
-            mem = Mem(size=size, disp=cur.imm(4))
-            acc = reg_by_code(0, size)
-            if opcode in (0xA0, 0xA1):
-                return Instruction("mov", (acc, mem))
-            return Instruction("mov", (mem, acc))
-
-        if opcode in (0xA8, 0xA9):
-            size = 1 if opcode == 0xA8 else opsize
-            return Instruction("test", (reg_by_code(0, size),
-                                        Imm(cur.imm(size), size)))
-
-        if 0xB0 <= opcode <= 0xB7:
-            return Instruction("mov", (reg_by_code(opcode - 0xB0, 1),
-                                       Imm(cur.imm(1), 1)))
-        if 0xB8 <= opcode <= 0xBF:
-            return Instruction("mov", (reg_by_code(opcode - 0xB8, opsize),
-                                       Imm(cur.imm(opsize), opsize)))
-
-        if opcode in (0xC0, 0xC1):
-            size = 1 if opcode == 0xC0 else opsize
-            regbits, rm = self._modrm(cur, size)
-            if regbits == 6:
-                raise DisassemblerError("invalid shift group /6", cur.start)
-            return Instruction(_SHIFT[regbits], (rm, Imm(cur.imm(1, signed=False), 1)))
-        if opcode == 0xC2:
-            return Instruction("retn", (Imm(cur.imm(2, signed=False), 2),))
-        if opcode in (0xC6, 0xC7):
-            size = 1 if opcode == 0xC6 else opsize
-            regbits, rm = self._modrm(cur, size)
-            if regbits != 0:
-                raise DisassemblerError(f"bad C6/C7 /{regbits}", cur.start)
-            return Instruction("mov", (rm, Imm(cur.imm(size), size)))
-        if opcode == 0xCD:
-            return Instruction("int", (Imm(cur.imm(1, signed=False), 1),))
-
-        if 0xD0 <= opcode <= 0xD3:
-            size = 1 if opcode in (0xD0, 0xD2) else opsize
-            regbits, rm = self._modrm(cur, size)
-            if regbits == 6:
-                raise DisassemblerError("invalid shift group /6", cur.start)
-            count: Operand = Imm(1, 1) if opcode in (0xD0, 0xD1) else reg_by_code(1, 1)
-            return Instruction(_SHIFT[regbits], (rm, count))
-
-        if 0xE0 <= opcode <= 0xE3:
-            mnem = ["loopne", "loope", "loop", "jecxz"][opcode - 0xE0]
-            rel = cur.imm(1)
-            return Instruction(mnem, (Imm(address + (cur.pos - cur.start) + rel, 4),))
-
-        if opcode == 0xE8:
-            rel = cur.imm(4)
-            return Instruction("call", (Imm(address + (cur.pos - cur.start) + rel, 4),))
-        if opcode == 0xE9:
-            rel = cur.imm(4)
-            return Instruction("jmp", (Imm(address + (cur.pos - cur.start) + rel, 4),))
-        if opcode == 0xEB:
-            rel = cur.imm(1)
-            return Instruction("jmp", (Imm(address + (cur.pos - cur.start) + rel, 4),))
-
-        if opcode in (0xF6, 0xF7):
-            size = 1 if opcode == 0xF6 else opsize
-            regbits, rm = self._modrm(cur, size)
-            if regbits == 0 or regbits == 1:
-                return Instruction("test", (rm, Imm(cur.imm(size), size)))
-            mnem = [None, None, "not", "neg", "mul", "imul", "div", "idiv"][regbits]
-            return Instruction(mnem, (rm,))
-
-        if opcode == 0xFE:
-            regbits, rm = self._modrm(cur, 1)
-            if regbits == 0:
-                return Instruction("inc", (rm,))
-            if regbits == 1:
-                return Instruction("dec", (rm,))
-            raise DisassemblerError(f"bad FE /{regbits}", cur.start)
-        if opcode == 0xFF:
-            regbits, rm = self._modrm(cur, opsize)
-            table = {0: "inc", 1: "dec", 2: "call", 4: "jmp", 6: "push"}
-            if regbits not in table:
-                raise DisassemblerError(f"bad FF /{regbits}", cur.start)
-            return Instruction(table[regbits], (rm,))
-
-        if opcode == 0x0F:
-            return self._decode_0f(cur, opsize, address)
-
-        raise DisassemblerError(f"unknown opcode {opcode:#04x}", cur.start)
+        """Dispatch through the precomputed 256-entry handler table (built
+        once at import): one list index replaces the historical if/elif
+        chain, which cost up to ~40 comparisons per instruction."""
+        handler = _ONE_BYTE[opcode]
+        if handler is None:
+            raise DisassemblerError(f"unknown opcode {opcode:#04x}", cur.start)
+        return handler(self, cur, opcode, opsize, address)
 
     def _alu(self, cur: _Cursor, mnem: str, form: int, opsize: int) -> Instruction:
         if form == 0:
@@ -339,27 +181,10 @@ class Disassembler:
 
     def _decode_0f(self, cur: _Cursor, opsize: int, address: int) -> Instruction:
         sub = cur.u8()
-        if 0x80 <= sub <= 0x8F:
-            rel = cur.imm(4)
-            return Instruction(_COND[sub - 0x80],
-                               (Imm(address + (cur.pos - cur.start) + rel, 4),))
-        if 0x90 <= sub <= 0x9F:
-            regbits, rm = self._modrm(cur, 1)
-            return Instruction("set" + _COND[sub - 0x90][1:], (rm,))
-        if sub == 0xAF:
-            regbits, rm = self._modrm(cur, opsize)
-            return Instruction("imul", (reg_by_code(regbits, opsize), rm))
-        if sub in (0xB6, 0xB7):
-            src_size = 1 if sub == 0xB6 else 2
-            regbits, rm = self._modrm(cur, src_size)
-            return Instruction("movzx", (reg_by_code(regbits, 4), rm))
-        if sub in (0xBE, 0xBF):
-            src_size = 1 if sub == 0xBE else 2
-            regbits, rm = self._modrm(cur, src_size)
-            return Instruction("movsx", (reg_by_code(regbits, 4), rm))
-        if 0xC8 <= sub <= 0xCF:
-            return Instruction("bswap", (reg_by_code(sub - 0xC8, 4),))
-        raise DisassemblerError(f"unknown opcode 0f {sub:#04x}", cur.start)
+        handler = _TWO_BYTE[sub]
+        if handler is None:
+            raise DisassemblerError(f"unknown opcode 0f {sub:#04x}", cur.start)
+        return handler(self, cur, sub, opsize, address)
 
     # -- sweeps ---------------------------------------------------------------
 
@@ -374,6 +199,333 @@ class Disassembler:
             offset += ins.size
         return out
 
+
+# -- opcode handlers ----------------------------------------------------------
+#
+# Every handler shares the signature ``(dis, cur, opcode, opsize, address)``
+# so dispatch is a single list index into the 256-entry tables built below.
+# Handlers for an opcode *family* recover the variant from ``opcode`` itself
+# (direction bit, register number, immediate width), exactly as the old
+# branch bodies did.
+
+_GROUP5 = {0: "inc", 1: "dec", 2: "call", 4: "jmp", 6: "push"}
+
+
+def _op_simple(dis, cur, opcode, opsize, address):
+    return Instruction(_SIMPLE[opcode])
+
+
+def _op_alu(dis, cur, opcode, opsize, address):
+    return dis._alu(cur, _GROUP1[opcode >> 3], opcode & 7, opsize)
+
+
+def _op_inc_reg(dis, cur, opcode, opsize, address):
+    return Instruction("inc", (reg_by_code(opcode - 0x40, 4),))
+
+
+def _op_dec_reg(dis, cur, opcode, opsize, address):
+    return Instruction("dec", (reg_by_code(opcode - 0x48, 4),))
+
+
+def _op_push_reg(dis, cur, opcode, opsize, address):
+    return Instruction("push", (reg_by_code(opcode - 0x50, 4),))
+
+
+def _op_pop_reg(dis, cur, opcode, opsize, address):
+    return Instruction("pop", (reg_by_code(opcode - 0x58, 4),))
+
+
+def _op_push_imm32(dis, cur, opcode, opsize, address):
+    return Instruction("push", (Imm(cur.imm(4), 4),))
+
+
+def _op_push_imm8(dis, cur, opcode, opsize, address):
+    return Instruction("push", (Imm(cur.imm(1), 1),))
+
+
+def _op_imul_imm(dis, cur, opcode, opsize, address):
+    isize = opsize if opcode == 0x69 else 1
+    regbits, rm = dis._modrm(cur, opsize)
+    return Instruction("imul", (reg_by_code(regbits, opsize), rm,
+                                Imm(cur.imm(isize), isize)))
+
+
+def _op_jcc_short(dis, cur, opcode, opsize, address):
+    rel = cur.imm(1)
+    return Instruction(_COND[opcode - 0x70],
+                       (Imm(address + (cur.pos - cur.start) + rel, 4),))
+
+
+def _op_group1_imm8(dis, cur, opcode, opsize, address):
+    regbits, rm = dis._modrm(cur, 1)
+    return Instruction(_GROUP1[regbits], (rm, Imm(cur.imm(1), 1)))
+
+
+def _op_group1_imm(dis, cur, opcode, opsize, address):
+    regbits, rm = dis._modrm(cur, opsize)
+    return Instruction(_GROUP1[regbits], (rm, Imm(cur.imm(opsize), opsize)))
+
+
+def _op_group1_imm8_ext(dis, cur, opcode, opsize, address):
+    # 0x83: sign-extended imm8 against an opsize operand.
+    regbits, rm = dis._modrm(cur, opsize)
+    return Instruction(_GROUP1[regbits], (rm, Imm(cur.imm(1), opsize)))
+
+
+def _op_test_rm(dis, cur, opcode, opsize, address):
+    size = 1 if opcode == 0x84 else opsize
+    regbits, rm = dis._modrm(cur, size)
+    return Instruction("test", (rm, reg_by_code(regbits, size)))
+
+
+def _op_xchg_rm(dis, cur, opcode, opsize, address):
+    size = 1 if opcode == 0x86 else opsize
+    regbits, rm = dis._modrm(cur, size)
+    return Instruction("xchg", (rm, reg_by_code(regbits, size)))
+
+
+def _op_mov_rm(dis, cur, opcode, opsize, address):
+    size = 1 if opcode in (0x88, 0x8A) else opsize
+    regbits, rm = dis._modrm(cur, size)
+    r = reg_by_code(regbits, size)
+    if opcode in (0x88, 0x89):
+        return Instruction("mov", (rm, r))
+    return Instruction("mov", (r, rm))
+
+
+def _op_lea(dis, cur, opcode, opsize, address):
+    regbits, rm = dis._modrm(cur, opsize)
+    if not isinstance(rm, Mem):
+        raise DisassemblerError("lea with register source", cur.start)
+    return Instruction("lea", (reg_by_code(regbits, opsize), rm))
+
+
+def _op_pop_rm(dis, cur, opcode, opsize, address):
+    regbits, rm = dis._modrm(cur, opsize)
+    if regbits != 0:
+        raise DisassemblerError(f"bad 8F /{regbits}", cur.start)
+    return Instruction("pop", (rm,))
+
+
+def _op_xchg_eax(dis, cur, opcode, opsize, address):
+    return Instruction("xchg", (reg_by_code(0, opsize),
+                                reg_by_code(opcode - 0x90, opsize)))
+
+
+def _op_moffs(dis, cur, opcode, opsize, address):
+    size = 1 if opcode in (0xA0, 0xA2) else opsize
+    mem = Mem(size=size, disp=cur.imm(4))
+    acc = reg_by_code(0, size)
+    if opcode in (0xA0, 0xA1):
+        return Instruction("mov", (acc, mem))
+    return Instruction("mov", (mem, acc))
+
+
+def _op_test_acc_imm(dis, cur, opcode, opsize, address):
+    size = 1 if opcode == 0xA8 else opsize
+    return Instruction("test", (reg_by_code(0, size),
+                                Imm(cur.imm(size), size)))
+
+
+def _op_mov_r8_imm(dis, cur, opcode, opsize, address):
+    return Instruction("mov", (reg_by_code(opcode - 0xB0, 1),
+                               Imm(cur.imm(1), 1)))
+
+
+def _op_mov_r32_imm(dis, cur, opcode, opsize, address):
+    return Instruction("mov", (reg_by_code(opcode - 0xB8, opsize),
+                               Imm(cur.imm(opsize), opsize)))
+
+
+def _op_shift_imm(dis, cur, opcode, opsize, address):
+    size = 1 if opcode == 0xC0 else opsize
+    regbits, rm = dis._modrm(cur, size)
+    if regbits == 6:
+        raise DisassemblerError("invalid shift group /6", cur.start)
+    return Instruction(_SHIFT[regbits], (rm, Imm(cur.imm(1, signed=False), 1)))
+
+
+def _op_retn(dis, cur, opcode, opsize, address):
+    return Instruction("retn", (Imm(cur.imm(2, signed=False), 2),))
+
+
+def _op_mov_rm_imm(dis, cur, opcode, opsize, address):
+    size = 1 if opcode == 0xC6 else opsize
+    regbits, rm = dis._modrm(cur, size)
+    if regbits != 0:
+        raise DisassemblerError(f"bad C6/C7 /{regbits}", cur.start)
+    return Instruction("mov", (rm, Imm(cur.imm(size), size)))
+
+
+def _op_int(dis, cur, opcode, opsize, address):
+    return Instruction("int", (Imm(cur.imm(1, signed=False), 1),))
+
+
+def _op_shift_1cl(dis, cur, opcode, opsize, address):
+    size = 1 if opcode in (0xD0, 0xD2) else opsize
+    regbits, rm = dis._modrm(cur, size)
+    if regbits == 6:
+        raise DisassemblerError("invalid shift group /6", cur.start)
+    count: Operand = Imm(1, 1) if opcode in (0xD0, 0xD1) else reg_by_code(1, 1)
+    return Instruction(_SHIFT[regbits], (rm, count))
+
+
+def _op_loop(dis, cur, opcode, opsize, address):
+    mnem = ["loopne", "loope", "loop", "jecxz"][opcode - 0xE0]
+    rel = cur.imm(1)
+    return Instruction(mnem, (Imm(address + (cur.pos - cur.start) + rel, 4),))
+
+
+def _op_call_rel32(dis, cur, opcode, opsize, address):
+    rel = cur.imm(4)
+    return Instruction("call", (Imm(address + (cur.pos - cur.start) + rel, 4),))
+
+
+def _op_jmp_rel32(dis, cur, opcode, opsize, address):
+    rel = cur.imm(4)
+    return Instruction("jmp", (Imm(address + (cur.pos - cur.start) + rel, 4),))
+
+
+def _op_jmp_rel8(dis, cur, opcode, opsize, address):
+    rel = cur.imm(1)
+    return Instruction("jmp", (Imm(address + (cur.pos - cur.start) + rel, 4),))
+
+
+def _op_group3(dis, cur, opcode, opsize, address):
+    size = 1 if opcode == 0xF6 else opsize
+    regbits, rm = dis._modrm(cur, size)
+    if regbits == 0 or regbits == 1:
+        return Instruction("test", (rm, Imm(cur.imm(size), size)))
+    mnem = [None, None, "not", "neg", "mul", "imul", "div", "idiv"][regbits]
+    return Instruction(mnem, (rm,))
+
+
+def _op_incdec_rm8(dis, cur, opcode, opsize, address):
+    regbits, rm = dis._modrm(cur, 1)
+    if regbits == 0:
+        return Instruction("inc", (rm,))
+    if regbits == 1:
+        return Instruction("dec", (rm,))
+    raise DisassemblerError(f"bad FE /{regbits}", cur.start)
+
+
+def _op_group5(dis, cur, opcode, opsize, address):
+    regbits, rm = dis._modrm(cur, opsize)
+    mnem = _GROUP5.get(regbits)
+    if mnem is None:
+        raise DisassemblerError(f"bad FF /{regbits}", cur.start)
+    return Instruction(mnem, (rm,))
+
+
+def _op_escape_0f(dis, cur, opcode, opsize, address):
+    return dis._decode_0f(cur, opsize, address)
+
+
+def _op0f_jcc_near(dis, cur, sub, opsize, address):
+    rel = cur.imm(4)
+    return Instruction(_COND[sub - 0x80],
+                       (Imm(address + (cur.pos - cur.start) + rel, 4),))
+
+
+def _op0f_setcc(dis, cur, sub, opsize, address):
+    regbits, rm = dis._modrm(cur, 1)
+    return Instruction("set" + _COND[sub - 0x90][1:], (rm,))
+
+
+def _op0f_imul(dis, cur, sub, opsize, address):
+    regbits, rm = dis._modrm(cur, opsize)
+    return Instruction("imul", (reg_by_code(regbits, opsize), rm))
+
+
+def _op0f_movzx(dis, cur, sub, opsize, address):
+    src_size = 1 if sub == 0xB6 else 2
+    regbits, rm = dis._modrm(cur, src_size)
+    return Instruction("movzx", (reg_by_code(regbits, 4), rm))
+
+
+def _op0f_movsx(dis, cur, sub, opsize, address):
+    src_size = 1 if sub == 0xBE else 2
+    regbits, rm = dis._modrm(cur, src_size)
+    return Instruction("movsx", (reg_by_code(regbits, 4), rm))
+
+
+def _op0f_bswap(dis, cur, sub, opsize, address):
+    return Instruction("bswap", (reg_by_code(sub - 0xC8, 4),))
+
+
+def _build_tables() -> tuple[list, list]:
+    """Populate the one-byte and ``0F`` dispatch tables (import time only)."""
+    one: list = [None] * 256
+    # ALU block 0x00-0x3D: forms 0-5 of the eight group-1 operations.
+    for opcode in range(0x40):
+        if (opcode & 7) <= 5:
+            one[opcode] = _op_alu
+    for opcode in range(0x40, 0x48):
+        one[opcode] = _op_inc_reg
+    for opcode in range(0x48, 0x50):
+        one[opcode] = _op_dec_reg
+    for opcode in range(0x50, 0x58):
+        one[opcode] = _op_push_reg
+    for opcode in range(0x58, 0x60):
+        one[opcode] = _op_pop_reg
+    one[0x68] = _op_push_imm32
+    one[0x69] = _op_imul_imm
+    one[0x6A] = _op_push_imm8
+    one[0x6B] = _op_imul_imm
+    for opcode in range(0x70, 0x80):
+        one[opcode] = _op_jcc_short
+    one[0x80] = one[0x82] = _op_group1_imm8
+    one[0x81] = _op_group1_imm
+    one[0x83] = _op_group1_imm8_ext
+    one[0x84] = one[0x85] = _op_test_rm
+    one[0x86] = one[0x87] = _op_xchg_rm
+    for opcode in range(0x88, 0x8C):
+        one[opcode] = _op_mov_rm
+    one[0x8D] = _op_lea
+    one[0x8F] = _op_pop_rm
+    for opcode in range(0x91, 0x98):
+        one[opcode] = _op_xchg_eax
+    for opcode in range(0xA0, 0xA4):
+        one[opcode] = _op_moffs
+    one[0xA8] = one[0xA9] = _op_test_acc_imm
+    for opcode in range(0xB0, 0xB8):
+        one[opcode] = _op_mov_r8_imm
+    for opcode in range(0xB8, 0xC0):
+        one[opcode] = _op_mov_r32_imm
+    one[0xC0] = one[0xC1] = _op_shift_imm
+    one[0xC2] = _op_retn
+    one[0xC6] = one[0xC7] = _op_mov_rm_imm
+    one[0xCD] = _op_int
+    for opcode in range(0xD0, 0xD4):
+        one[opcode] = _op_shift_1cl
+    for opcode in range(0xE0, 0xE4):
+        one[opcode] = _op_loop
+    one[0xE8] = _op_call_rel32
+    one[0xE9] = _op_jmp_rel32
+    one[0xEB] = _op_jmp_rel8
+    one[0xF6] = one[0xF7] = _op_group3
+    one[0xFE] = _op_incdec_rm8
+    one[0xFF] = _op_group5
+    one[0x0F] = _op_escape_0f
+    # Single-mnemonic opcodes last: they must win any overlap, matching
+    # the old chain where the _SIMPLE lookup ran first.
+    for opcode in _SIMPLE:
+        one[opcode] = _op_simple
+
+    two: list = [None] * 256
+    for sub in range(0x80, 0x90):
+        two[sub] = _op0f_jcc_near
+    for sub in range(0x90, 0xA0):
+        two[sub] = _op0f_setcc
+    two[0xAF] = _op0f_imul
+    two[0xB6] = two[0xB7] = _op0f_movzx
+    two[0xBE] = two[0xBF] = _op0f_movsx
+    for sub in range(0xC8, 0xD0):
+        two[sub] = _op0f_bswap
+    return one, two
+
+
+_ONE_BYTE, _TWO_BYTE = _build_tables()
 
 _DEFAULT = Disassembler()
 

@@ -1,0 +1,268 @@
+"""Differential alert parity: fast-path admission on vs off.
+
+The prefilter's contract is that it may only *skip* work, never change
+results — anchors are necessary conditions, so a frame or start position
+it rules out provably cannot match.  This suite holds the whole pipeline
+to that contract: for every corpus, every evasion-gauntlet transform,
+and every chaos seed, the engine with the fast path enabled must emit an
+alert stream byte-identical to ``--no-fastpath``.
+
+The anchor-compilation unit tests pin the other half of the story: every
+library template either yields a non-empty anchor clause set (each
+clause derived only from nodes the template *requires*) or is explicitly
+marked ``always_scan`` and never filtered.
+"""
+
+import os
+
+import pytest
+
+from repro.core import SemanticAnalyzer
+from repro.core.library import paper_templates
+from repro.core.template import (
+    PointerStep,
+    RegCompute,
+    RegFromEsp,
+    Template,
+)
+from repro.engines import (
+    AdmMutateEngine,
+    CletEngine,
+    generic_overflow_request,
+    get_shellcode,
+    shellcode_names,
+)
+from repro.engines.codered import CodeRedHost
+from repro.engines.generator import ExploitGenerator
+from repro.fastpath import CompiledPrefilter, derive_anchors
+from repro.net.layers import TCP_SYN
+from repro.net.packet import tcp_packet
+from repro.net.wire import Wire
+from repro.nids import ParallelSemanticNids, SemanticNids
+from repro.resilience import FaultInjector
+from repro.traffic import apply_evasion, evasion_names
+
+HONEYPOT = "10.10.0.250"
+DARK_KW = dict(dark_networks=["10.0.0.0/8"], dark_exclude=["10.10.0.0/24"],
+               dark_threshold=5)
+EVASION_SEED = 3
+CHAOS_SEEDS = [int(s) for s in
+               os.environ.get("CHAOS_SEEDS", "0,1,2").split(",")]
+
+
+def alert_stream(nids):
+    """The full comparable alert stream, degraded alerts included."""
+    return sorted((a.template, a.source, a.severity) for a in nids.alerts)
+
+
+def run_serial(packets, kwargs, fastpath):
+    nids = SemanticNids(fastpath=fastpath, **kwargs)
+    nids.process_trace(packets)
+    nids.close()
+    return nids
+
+
+def tcp_flow(src, dst, sport, dport, request, base_time, mss=536):
+    out = [tcp_packet(src, dst, sport, dport, flags=TCP_SYN, seq=100,
+                      timestamp=base_time)]
+    seq, t, off = 101, base_time + 0.001, 0
+    while off < len(request):
+        chunk = request[off:off + mss]
+        out.append(tcp_packet(src, dst, sport, dport, payload=chunk,
+                              flags=0x18, seq=seq, timestamp=t))
+        seq += len(chunk)
+        off += len(chunk)
+        t += 0.0005
+    out.append(tcp_packet(src, dst, sport, dport, flags=0x11, seq=seq,
+                          timestamp=t))
+    return out
+
+
+def table1_trace():
+    wire = Wire()
+    packets = []
+    wire.attach(packets.append)
+    ExploitGenerator(wire).fire_all(HONEYPOT)
+    return packets
+
+
+def polymorphic_trace(instances=2, seed=9):
+    shell = get_shellcode("classic-execve").assemble()
+    packets = []
+    for i in range(instances):
+        for engine, ip_base in ((AdmMutateEngine(seed=seed + i), 50),
+                                (CletEngine(seed=seed + i), 70)):
+            src = f"10.{ip_base + i}.1.3"
+            for s in range(8):  # trip the dark-space classifier first
+                packets.append(tcp_packet(
+                    src, f"10.77.{i + 1}.{s + 1}", 2000 + s, 80,
+                    flags=TCP_SYN, seq=1, timestamp=float(i) + s * 0.001))
+            request = generic_overflow_request(
+                engine.mutate(shell, instance=i).data, seed=i)
+            packets += tcp_flow(src, "10.10.0.7", 3000 + i, 80, request,
+                                10.0 + i)
+    packets.sort(key=lambda p: p.timestamp)
+    return packets
+
+
+def codered_trace(attackers=2, victims=2, seed=5, subnet=40):
+    packets = []
+    for i in range(attackers):
+        host = CodeRedHost(ip=f"10.{subnet + i}.1.2", seed=seed + i)
+        packets += host.scan_packets(count=8, base_time=float(i))
+        for v in range(victims):
+            packets += host.exploit_packets(f"10.10.0.{5 + v}",
+                                            base_time=10.0 + i + v * 0.01)
+    packets.sort(key=lambda p: p.timestamp)
+    return packets
+
+
+CORPORA = {
+    "table1": (table1_trace, dict(honeypots=[HONEYPOT])),
+    "polymorphic": (polymorphic_trace, DARK_KW),
+    "codered": (codered_trace, DARK_KW),
+}
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    """name -> (packets, sensor kwargs, fastpath-off baseline stream)."""
+    out = {}
+    for name, (build, kwargs) in CORPORA.items():
+        packets = build()
+        baseline = alert_stream(run_serial(packets, kwargs, fastpath=False))
+        assert baseline, f"corpus {name} must alert"
+        out[name] = (packets, kwargs, baseline)
+    return out
+
+
+class TestEvasionParity:
+    """Fastpath-on == fastpath-off over every gauntlet transform."""
+
+    @pytest.mark.parametrize("corpus", sorted(CORPORA))
+    def test_unevaded_parity(self, corpora, corpus):
+        packets, kwargs, baseline = corpora[corpus]
+        assert alert_stream(run_serial(packets, kwargs, True)) == baseline
+
+    @pytest.mark.parametrize("corpus", sorted(CORPORA))
+    @pytest.mark.parametrize("transform", evasion_names())
+    def test_evaded_parity(self, corpora, corpus, transform):
+        packets, kwargs, _ = corpora[corpus]
+        evaded = apply_evasion(transform, packets, seed=EVASION_SEED)
+        off = alert_stream(run_serial(evaded, kwargs, False))
+        on = alert_stream(run_serial(evaded, kwargs, True))
+        assert on == off
+
+    @pytest.mark.parametrize("corpus", sorted(CORPORA))
+    def test_parallel_parity(self, corpora, corpus):
+        packets, kwargs, baseline = corpora[corpus]
+        streams = {}
+        for fastpath in (False, True):
+            nids = ParallelSemanticNids(workers=2, fastpath=fastpath,
+                                        **kwargs)
+            nids.process_trace(packets)
+            nids.close()
+            streams[fastpath] = alert_stream(nids)
+        assert streams[True] == streams[False] == baseline
+
+
+class TestChaosParity:
+    """Same injected faults, same alerts, fast path on or off.
+
+    Decode faults are keyed by classify-call index, which the prefilter
+    (downstream of classification) cannot perturb — so the same seed
+    yields the same fault plan in both runs and the full alert streams,
+    degraded alerts included, must agree.
+    """
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_decode_fault_parity(self, corpora, seed):
+        packets, kwargs, _ = corpora["codered"]
+        streams = {}
+        for fastpath in (False, True):
+            injector = FaultInjector(seed=seed)
+            faulted = injector.pick(len(packets), k=3)
+            nids = SemanticNids(fastpath=fastpath, **kwargs)
+            with injector.decode_faults(nids,
+                                        lambda i, pkt: i in faulted):
+                nids.process_trace(packets)
+            nids.close()
+            assert injector.injected, "chaos must actually fire"
+            streams[fastpath] = alert_stream(nids)
+        assert streams[True] == streams[False]
+
+
+class TestAnchorCompilation:
+    """Every library template compiles to usable, necessary anchors."""
+
+    @pytest.mark.parametrize("template", paper_templates(),
+                             ids=lambda t: t.name)
+    def test_anchors_or_always_scan(self, template):
+        anchors = derive_anchors(template)
+        if anchors.always_scan:
+            return  # explicitly opted out of filtering
+        assert anchors.clauses, template.name
+        for clause in anchors.clauses:
+            assert clause.patterns, (template.name, clause.label)
+            assert all(isinstance(p, bytes) and p for p in clause.patterns)
+
+    @pytest.mark.parametrize("template", paper_templates(),
+                             ids=lambda t: t.name)
+    def test_clauses_come_only_from_required_nodes(self, template):
+        """A clause derived from an optional node would be an unsound
+        filter: the node can be absent from a genuine match."""
+        anchors = derive_anchors(template)
+        if anchors.always_scan:
+            return
+        required = sum(
+            1 for i in range(len(template.nodes))
+            if template.repeats.get(i, (1, 1))[0] >= 1)
+        assert len(anchors.clauses) <= required
+
+    def test_unanchorable_nodes_yield_no_clause(self):
+        """Node kinds with unbounded producer encodings contribute no
+        clause (sound weakening), so a template made only of them must
+        fall back to always-scan."""
+        template = Template(
+            name="unanchorable",
+            nodes=[RegFromEsp(), PointerStep(), RegCompute()])
+        anchors = derive_anchors(template)
+        assert anchors.always_scan
+
+    def test_always_scan_template_never_filtered(self):
+        flagged = [Template(name=t.name, nodes=t.nodes, repeats=t.repeats,
+                            max_gap=t.max_gap, always_scan=True)
+                   for t in paper_templates()]
+        prefilter = CompiledPrefilter(flagged)
+        scan = prefilter.scan(b"\x00" * 64)  # no anchors present
+        for template in flagged:
+            assert scan.survives(template.name)
+            assert prefilter.clause_hits(template.name, scan) is None
+        assert scan.any_survivor
+
+    def test_unknown_template_survives_by_default(self):
+        prefilter = CompiledPrefilter(paper_templates())
+        scan = prefilter.scan(b"\x00" * 64)
+        assert scan.survives("not-a-template")
+
+    @pytest.mark.parametrize("name", shellcode_names())
+    def test_anchors_necessary_on_real_shellcode(self, name):
+        """End-to-end necessity: any template that matches a real
+        shellcode frame must also survive that frame's prefilter scan —
+        otherwise the anchor set filters out a true positive."""
+        data = get_shellcode(name).assemble()
+        analyzer = SemanticAnalyzer()  # fastpath off: ground truth
+        matched = set(analyzer.analyze_frame(data).matched_names())
+        scan = CompiledPrefilter(analyzer.templates).scan(data)
+        for template_name in matched:
+            assert scan.survives(template_name), template_name
+
+    def test_frame_skip_only_when_no_survivor(self):
+        prefilter = CompiledPrefilter(paper_templates())
+        scan = prefilter.scan(b"ASCII text only, no opcodes here...")
+        analyzer = SemanticAnalyzer(fastpath=True, frame_cache_size=0)
+        if not scan.any_survivor:
+            result = analyzer.analyze_frame(
+                b"ASCII text only, no opcodes here...")
+            assert result.instruction_count == 0
+            assert not result.matches
