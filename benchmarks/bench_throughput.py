@@ -262,7 +262,16 @@ def test_fastpath_admission(report, scale, bench_tracer):
             "starts_pruned": stats.fastpath_starts_pruned,
         },
     }
-    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    # Merge, don't clobber: the match-engine benchmark stores its own
+    # section (and the append-style run history) in the same artifact.
+    bench = {}
+    if BENCH_JSON.exists():
+        try:
+            bench = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            bench = {}
+    bench.update(payload)
+    BENCH_JSON.write_text(json.dumps(bench, indent=2) + "\n")
     report.row(f"wrote {BENCH_JSON.name}")
 
     # Soundness is absolute; speed is asserted leniently here (CI hosts
@@ -270,6 +279,121 @@ def test_fastpath_admission(report, scale, bench_tracer):
     assert off["alerts"] == on["alerts"]
     assert stats.fastpath_starts_pruned > 0
     assert speedup >= 1.0
+
+
+def test_compiled_match_engine(report, scale, bench_tracer):
+    """Compiled match plans + lifted-IR memoization vs the interpreter.
+
+    Replays the mixed trace through the serial engine twice: once on the
+    recursive template-walk interpreter (the seed matcher), once on
+    compiled match plans with the lifted-IR cache — both with the frame
+    cache off, so every analyzed frame pays the full match cost and the
+    comparison isolates the match engine itself.  Alerts must be
+    byte-identical; the win is the combined disassemble+lift+match span.
+
+    Results merge into ``BENCH_throughput.json`` under ``match_engine``,
+    and every run appends a compact entry to the artifact's ``history``
+    list — the seed-relative speedup trajectory the CI perf-smoke job
+    records and gates on (compiled must never regress >10% against the
+    interpreter).
+    """
+    trace = build_mixed_trace(benign=scale["throughput_benign"],
+                              crii=scale["throughput_crii"],
+                              poly=scale["throughput_poly"],
+                              victims=scale["throughput_victims"])
+    payload_bytes = sum(len(p.payload) for p in trace)
+
+    engine_kw = {
+        "interpreted": dict(compiled=False, frame_cache_size=0),
+        "compiled": dict(compiled=True, frame_cache_size=0,
+                         ir_cache_size=4096),
+    }
+    configs = {}
+    for tag, kw in engine_kw.items():
+        best, best_alerts, best_tracer = None, None, None
+        for _ in range(3):
+            tracer = Tracer(max_spans=2_000_000)
+            elapsed, alerts, _ = _run(
+                trace, SemanticNids(fastpath=True, tracer=tracer,
+                                    **kw, **NIDS_KW),
+                bench_tracer, f"engine-{tag}")
+            if best is None or elapsed < best:
+                best, best_alerts, best_tracer = elapsed, alerts, tracer
+        stages = {
+            stage: {"calls": agg["calls"],
+                    "seconds": round(agg["seconds"], 4),
+                    "bytes": agg["bytes"]}
+            for stage, agg in aggregate_spans(best_tracer.spans).items()
+        }
+        configs[tag] = dict(elapsed=best, alerts=best_alerts, stages=stages)
+
+    def match_analyze(c):
+        """The spans the match engine owns: decode, lift, match.  (The
+        enclosing ``analyze`` span also carries cache/prefilter overhead,
+        so the inner spans are the honest comparison.)"""
+        return sum(c["stages"].get(s, {"seconds": 0.0})["seconds"]
+                   for s in ("disassemble", "lift", "match"))
+
+    interp, comp = configs["interpreted"], configs["compiled"]
+    wall_speedup = interp["elapsed"] / comp["elapsed"]
+    span_speedup = match_analyze(interp) / max(1e-9, match_analyze(comp))
+
+    rows = [f"{'engine':14s} {'time':>8s} {'pkt/s':>8s} "
+            f"{'match+analyze':>14s} {'alerts':>6s}"]
+    for tag in ("interpreted", "compiled"):
+        c = configs[tag]
+        rows.append(f"{tag:14s} {c['elapsed']:7.2f}s "
+                    f"{len(trace) / c['elapsed']:8.0f} "
+                    f"{match_analyze(c):13.2f}s {len(c['alerts']):6d}")
+    rows.append(f"compiled speedup: {wall_speedup:.2f}x wall, "
+                f"{span_speedup:.2f}x on match+analyze spans "
+                f"(target >= 3x) — alerts byte-identical")
+    report.table("Compiled match engine — plans + IR cache vs interpreter",
+                 rows)
+
+    entry = {
+        "scale": dict(scale),
+        "packets": len(trace),
+        "interpreted_packets_per_s": round(len(trace) / interp["elapsed"], 1),
+        "compiled_packets_per_s": round(len(trace) / comp["elapsed"], 1),
+        "wall_speedup": round(wall_speedup, 3),
+        "match_analyze_speedup": round(span_speedup, 3),
+    }
+    bench = {}
+    if BENCH_JSON.exists():
+        try:
+            bench = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            bench = {}
+    bench["match_engine"] = {
+        "configs": {
+            tag: {
+                "seconds": round(c["elapsed"], 4),
+                "packets_per_s": round(len(trace) / c["elapsed"], 1),
+                "match_analyze_seconds": round(match_analyze(c), 4),
+                "alerts": len(c["alerts"]),
+                "stages": c["stages"],
+            }
+            for tag, c in configs.items()
+        },
+        "payload_bytes": payload_bytes,
+        "wall_speedup": entry["wall_speedup"],
+        "match_analyze_speedup": entry["match_analyze_speedup"],
+        "alerts_identical": interp["alerts"] == comp["alerts"],
+    }
+    # Append-style trajectory: one compact entry per recorded run, so
+    # the artifact carries the speedup history across CI runs that
+    # restore it, not just the latest point.
+    bench.setdefault("history", []).append(entry)
+    BENCH_JSON.write_text(json.dumps(bench, indent=2) + "\n")
+    report.row(f"merged match_engine into {BENCH_JSON.name} "
+               f"(history: {len(bench['history'])} entries)")
+
+    # Soundness is absolute; speed is asserted leniently here (CI hosts
+    # jitter) — the perf-smoke gate holds the artifact to >= 0.9x and
+    # the reported number is the one held to the 3x target.
+    assert interp["alerts"] == comp["alerts"]
+    assert span_speedup >= 1.2
 
 
 def test_stall_isolation_under_deadline(report, scale, bench_tracer):

@@ -54,6 +54,10 @@ def sensor_main(argv: list[str] | None = None) -> int:
                         help="disable the template anchor prefilter "
                              "(fast-path admission); results are identical "
                              "either way — the prefilter only skips work")
+    parser.add_argument("--no-compiled", action="store_true",
+                        help="run the matcher's recursive interpreter "
+                             "instead of compiled match plans; alerts and "
+                             "budget accounting are identical either way")
     parser.add_argument("--max-streams", type=int, default=65536, metavar="N",
                         help="bound on concurrently tracked TCP streams "
                              "(evicted oldest-first; default 65536)")
@@ -117,6 +121,7 @@ def sensor_main(argv: list[str] | None = None) -> int:
         classification_enabled=not args.no_classify,
         frame_cache_size=0 if args.no_frame_cache else 4096,
         fastpath=not args.no_fastpath,
+        compiled=not args.no_compiled,
         max_streams=args.max_streams,
         analysis_deadline_ms=args.analysis_deadline_ms,
         quarantine=quarantine,

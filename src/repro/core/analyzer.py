@@ -17,11 +17,11 @@ from ..errors import DeadlineExceeded
 from ..obs import ANALYZE_STAGE, MetricsRegistry, StageTimer, Tracer
 from ..x86.disasm import disassemble_frame
 from ..x86.instruction import Instruction
-from .library import paper_templates
+from .library import library_digest, paper_templates
 from .matcher import MatchEngine, PreparedTrace, prepare_trace
 from .template import Template, TemplateMatch
 
-__all__ = ["AnalysisResult", "FrameCache", "SemanticAnalyzer"]
+__all__ = ["AnalysisResult", "FrameCache", "IRCache", "SemanticAnalyzer"]
 
 
 @dataclass
@@ -90,6 +90,56 @@ class FrameCache:
         return self.hits / total if total else 0.0
 
 
+@dataclass
+class IREntry:
+    """Memoized front-end work for one unique frame: the decoded
+    instruction list plus, once some template needed it, the prepared
+    (lifted + const-propagated) trace with its lazily built feature and
+    anchor index arrays."""
+
+    instructions: list[Instruction]
+    consumed: int
+    trace: PreparedTrace | None = None
+
+
+class IRCache:
+    """Bounded LRU of :class:`IREntry` keyed by frame content digest.
+
+    One level below the frame cache: entries do not depend on the
+    template set, only on the bytes and load address, so the decoded
+    instructions and the prepared trace survive template-set changes
+    (and the prepared trace carries every per-frame index the match
+    plans build — feature cums, anchor cums, statement kind masks —
+    so those are built once per unique frame, not once per analysis).
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self._entries: OrderedDict[bytes, IREntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: bytes) -> IREntry | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: bytes, entry: IREntry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class SemanticAnalyzer:
     """Matches a template set against binary frames.
 
@@ -125,11 +175,18 @@ class SemanticAnalyzer:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         fastpath: bool = False,
+        compiled: bool = True,
+        ir_cache_size: int | None = None,
     ) -> None:
         self.templates = templates if templates is not None else paper_templates()
-        self.engine = engine or MatchEngine()
+        self.engine = engine or MatchEngine(compiled=compiled)
         self.min_instructions = min_instructions
         self.frame_cache = FrameCache(frame_cache_size) if frame_cache_size > 0 else None
+        # The IR cache follows the frame cache's size by default, so the
+        # "no caching" ablation (frame_cache_size=0) disables both.
+        if ir_cache_size is None:
+            ir_cache_size = frame_cache_size
+        self.ir_cache = IRCache(ir_cache_size) if ir_cache_size > 0 else None
         self.template_fingerprint = self._fingerprint()
         if fastpath:
             # Imported here, not at module top: repro.fastpath compiles
@@ -166,6 +223,26 @@ class SemanticAnalyzer:
             help="Match start positions skipped via anchor offsets "
                  "(ruled-out templates count their whole trace).",
             unit="positions")
+        self._ir_cache_hits = registry.counter(
+            "repro_ir_cache_hits_total",
+            help="Frames whose decoded instructions (and, when already "
+                 "built, prepared trace) were replayed from the IR "
+                 "memoization cache.", unit="frames")
+        self._budget_trips = registry.counter(
+            "repro_match_budget_trips_total",
+            help="Per-(template, frame) searches cut short by the "
+                 "max_candidates backtracking budget.", unit="searches")
+        self._plan_compile_seconds = registry.counter(
+            "repro_match_plan_compile_seconds",
+            help="Cumulative time spent compiling templates into match "
+                 "plans.", unit="seconds")
+        # Compile the library's match plans eagerly at load time so the
+        # first frame doesn't pay compilation inside its match span.
+        compile_before = self.engine.plan_compile_seconds
+        if self.engine.compiled:
+            self.engine.compile_plans(self.templates)
+        self._plan_compile_seconds.inc(
+            self.engine.plan_compile_seconds - compile_before)
 
     @property
     def frames_analyzed(self) -> int:
@@ -186,9 +263,7 @@ class SemanticAnalyzer:
     def _fingerprint(self) -> bytes:
         """Stable digest of the template set + matcher configuration."""
         h = hashlib.sha1()
-        for template in self.templates:
-            h.update(template.describe().encode())
-            h.update(b"\x00")
+        h.update(library_digest(self.templates))
         h.update(str(self.min_instructions).encode())
         return h.digest()
 
@@ -210,8 +285,11 @@ class SemanticAnalyzer:
         with self.timer.timed(nbytes=len(data)):
             start = time.perf_counter()
             key = None
+            digest = None
+            if self.frame_cache is not None or self.ir_cache is not None:
+                digest = hashlib.sha1(data).digest()
             if self.frame_cache is not None:
-                key = (hashlib.sha1(data).digest()
+                key = (digest
                        + self.template_fingerprint
                        + base.to_bytes(8, "little", signed=True))
                 stored = self.frame_cache.get(key)
@@ -237,17 +315,39 @@ class SemanticAnalyzer:
                     self._frames_skipped.inc()
                     return AnalysisResult(frame_size=len(data),
                                           elapsed=time.perf_counter() - start)
-            try:
-                with self.disassemble_timer.timed(nbytes=len(data)):
-                    instructions, consumed = disassemble_frame(
-                        data, base,
-                        tick=deadline.tick if deadline is not None else None)
-                result = self._analyze(instructions, nbytes=consumed,
-                                       deadline=deadline, scan=scan,
-                                       base=base)
-            except DeadlineExceeded:
-                self._deadline_trips.inc()
-                raise
+            # Lifted-IR memoization: identical frame content skips
+            # disassemble + lift even when the match step must re-run
+            # (different template set, evicted frame-cache entry, or the
+            # frame cache disabled).  Like the prefilter, it disengages
+            # under a deadline — replayed IR would charge no disassembly
+            # ticks, so deadline-trip behaviour could diverge.
+            entry = None
+            if self.ir_cache is not None and deadline is None:
+                ir_key = digest + base.to_bytes(8, "little", signed=True)
+                entry = self.ir_cache.get(ir_key)
+                if entry is not None:
+                    self._ir_cache_hits.inc()
+                else:
+                    with self.disassemble_timer.timed(nbytes=len(data)):
+                        instructions, consumed = disassemble_frame(data, base)
+                    entry = IREntry(instructions, consumed)
+                    self.ir_cache.put(ir_key, entry)
+                result = self._analyze(entry.instructions,
+                                       nbytes=entry.consumed, scan=scan,
+                                       base=base, entry=entry)
+                consumed = entry.consumed
+            else:
+                try:
+                    with self.disassemble_timer.timed(nbytes=len(data)):
+                        instructions, consumed = disassemble_frame(
+                            data, base,
+                            tick=deadline.tick if deadline is not None else None)
+                    result = self._analyze(instructions, nbytes=consumed,
+                                           deadline=deadline, scan=scan,
+                                           base=base)
+                except DeadlineExceeded:
+                    self._deadline_trips.inc()
+                    raise
             result.bytes_consumed = consumed
             result.frame_size = len(data)
             result.elapsed = time.perf_counter() - start
@@ -272,7 +372,7 @@ class SemanticAnalyzer:
 
     def _analyze(self, instructions: list[Instruction],
                  nbytes: int = 0, deadline=None, scan=None,
-                 base: int = 0) -> AnalysisResult:
+                 base: int = 0, entry: IREntry | None = None) -> AnalysisResult:
         result = AnalysisResult(instruction_count=len(instructions))
         if len(instructions) < self.min_instructions:
             return result
@@ -282,11 +382,18 @@ class SemanticAnalyzer:
             # per instruction-template pair matched.  Deterministic —
             # the same payload trips at the same point on every machine.
             deadline.tick(len(instructions))
-        with self.lift_timer.timed(nbytes=nbytes):
-            trace = prepare_trace(instructions)
+        if entry is not None and entry.trace is not None:
+            trace = entry.trace
+        else:
+            with self.lift_timer.timed(nbytes=nbytes):
+                trace = prepare_trace(instructions)
+            if entry is not None:
+                entry.trace = trace
         if deadline is not None:
             deadline.tick(len(instructions) * max(1, len(self.templates)))
         with self.match_timer.timed(nbytes=nbytes):
+            trips_before = self.engine.budget_trips
+            compile_before = self.engine.plan_compile_seconds
             if scan is not None:
                 pruned_before = self.engine.starts_pruned
                 result.matches = self.engine.match_all(
@@ -296,4 +403,7 @@ class SemanticAnalyzer:
                     self.engine.starts_pruned - pruned_before)
             else:
                 result.matches = self.engine.match_all(self.templates, trace)
+            self._budget_trips.inc(self.engine.budget_trips - trips_before)
+            self._plan_compile_seconds.inc(
+                self.engine.plan_compile_seconds - compile_before)
         return result

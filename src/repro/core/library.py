@@ -24,6 +24,8 @@ original template set would miss.
 
 from __future__ import annotations
 
+import hashlib
+
 from .template import (
     ConstBytesWrite,
     ConstCapture,
@@ -51,6 +53,7 @@ def sockaddr_port(value: int) -> int:
     return ((value >> 16) & 0xFF) << 8 | ((value >> 24) & 0xFF)
 
 __all__ = [
+    "library_digest",
     "sockaddr_port",
     "xor_decrypt_loop",
     "admmutate_alt_decoder",
@@ -63,6 +66,23 @@ __all__ = [
     "decoder_templates",
     "all_templates",
 ]
+
+
+def library_digest(templates: list[Template]) -> bytes:
+    """Order-sensitive digest of a template set.
+
+    The digest changes whenever any template's structure changes (see
+    :meth:`Template.fingerprint`) or the set's membership/order changes.
+    The analyzer folds it into its frame-cache key, and the compiled
+    match-plan and lifted-IR caches inherit invalidation from it: a new
+    library digest means new cache keys, so no stale plan or cached
+    result can ever be replayed against an edited template set.
+    """
+    h = hashlib.sha1()
+    for template in templates:
+        h.update(template.fingerprint())
+        h.update(b"\x00")
+    return h.digest()
 
 
 def xor_decrypt_loop() -> Template:

@@ -22,6 +22,7 @@ the practical cost.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..ir.cfg import build_cfg, linearize
@@ -30,6 +31,13 @@ from ..ir.lift import lift
 from ..ir.ops import Stmt
 from ..x86.instruction import Instruction
 from ..ir.ops import Pop as _PopStmt, Push as _PushStmt, Reg as _RegExpr
+from .matchplan import (
+    CompiledOrdered,
+    CompiledUnordered,
+    TemplatePlan,
+    compile_plan,
+    plan_data,
+)
 from .template import Bindings, LoopBack, MatchContext, Template, TemplateMatch
 
 __all__ = ["MatchEngine", "prepare_trace", "PreparedTrace"]
@@ -199,13 +207,41 @@ def prepare_trace(instructions: list[Instruction]) -> PreparedTrace:
 class MatchEngine:
     """Matches one or more templates against prepared traces."""
 
-    def __init__(self, max_candidates: int = 200_000) -> None:
+    def __init__(self, max_candidates: int = 200_000,
+                 compiled: bool = True) -> None:
         #: backtracking budget per (template, frame) pair; prevents
         #: adversarial frames from stalling the sensor.
         self.max_candidates = max_candidates
+        #: execute templates through compiled match plans
+        #: (:mod:`repro.core.matchplan`); the interpreted walk remains as
+        #: the differential reference implementation.
+        self.compiled = compiled
         #: candidate start positions rejected via fast-path anchor
         #: information (templates ruled out count their whole trace).
         self.starts_pruned = 0
+        #: (template, frame) searches cut short by ``max_candidates``.
+        self.budget_trips = 0
+        #: cumulative seconds spent compiling match plans.
+        self.plan_compile_seconds = 0.0
+        # Plan cache keyed by template identity: each cached plan holds a
+        # strong reference to its template, so an id() can never be
+        # recycled while its entry lives.
+        self._plans: dict[int, TemplatePlan] = {}
+
+    def plan_for(self, template: Template) -> TemplatePlan:
+        """The compiled :class:`TemplatePlan` for ``template`` (cached)."""
+        plan = self._plans.get(id(template))
+        if plan is None:
+            t0 = time.perf_counter()
+            plan = compile_plan(template)
+            self.plan_compile_seconds += time.perf_counter() - t0
+            self._plans[id(template)] = plan
+        return plan
+
+    def compile_plans(self, templates) -> None:
+        """Eagerly compile plans for a template library (load time)."""
+        for template in templates:
+            self.plan_for(template)
 
     # -- public API --------------------------------------------------------
 
@@ -256,12 +292,38 @@ class MatchEngine:
             self.starts_pruned += int(ok.sum() - ok_anchored.sum())
             ok = ok_anchored
 
-        for start in np.flatnonzero(ok).tolist():
-            ctx = MatchContext(
-                trace=trace.stmts, envs=trace.envs,
-                pos_by_address=trace.pos_by_address, first_pos=-1,
-            )
-            result = self._match_from(template, trace, start, ctx, budget, last_use)
+        starts = np.flatnonzero(ok).tolist()
+        if self.compiled:
+            result = self._run_compiled(template, trace, starts, budget)
+        else:
+            result = None
+            for start in starts:
+                ctx = MatchContext(
+                    trace=trace.stmts, envs=trace.envs,
+                    pos_by_address=trace.pos_by_address, first_pos=-1,
+                )
+                result = self._match_from(template, trace, start, ctx,
+                                          budget, last_use)
+                if result is not None:
+                    break
+                if budget[0] <= 0:
+                    break
+        if budget[0] <= 0:
+            self.budget_trips += 1
+        return result
+
+    def _run_compiled(self, template: Template, trace: PreparedTrace,
+                      starts, budget) -> TemplateMatch | None:
+        plan = self.plan_for(template)
+        kinds, def_masks, fam_bit = plan_data(trace)
+        ctx = MatchContext(
+            trace=trace.stmts, envs=trace.envs,
+            pos_by_address=trace.pos_by_address, first_pos=-1,
+        )
+        cls = CompiledOrdered if plan.ordered else CompiledUnordered
+        executor = cls(plan, trace, kinds, def_masks, fam_bit, ctx, budget)
+        for start in starts:
+            result = executor.run(start)
             if result is not None:
                 return result
             if budget[0] <= 0:

@@ -548,6 +548,27 @@ class Template:
             lines.append(f"  {i}: {node.describe()}{suffix}")
         return "\n".join(lines)
 
+    def fingerprint(self) -> bytes:
+        """Stable structural digest of this template.
+
+        Covers everything the matcher's behaviour depends on: the node
+        sequence (via each node's :meth:`~Node.describe`), ordering
+        policy, gap tolerance, repetition bounds, feature requirements,
+        and the prefilter opt-out.  Two templates with equal fingerprints
+        produce identical match plans and identical match results, so
+        every derived cache (frame cache, compiled match plans) is keyed
+        on — and invalidated by — this digest.
+        """
+        import hashlib
+
+        h = hashlib.sha1()
+        h.update(self.describe().encode())
+        h.update(f"|ordered={self.ordered}|gap={self.max_gap}".encode())
+        h.update(f"|repeats={sorted(self.repeats.items())}".encode())
+        h.update(f"|features={sorted(self.required_features)}".encode())
+        h.update(f"|always_scan={self.always_scan}".encode())
+        return h.digest()
+
 
 @dataclass
 class TemplateMatch:

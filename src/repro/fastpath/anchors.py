@@ -57,7 +57,7 @@ from ..core.template import (
     Syscall,
     Template,
 )
-from .multimatch import AhoCorasick
+from .multimatch import VectorScanSet
 
 __all__ = [
     "AnchorClause",
@@ -73,46 +73,92 @@ def _singles(*codes: int) -> frozenset[bytes]:
     return frozenset(bytes([c]) for c in codes)
 
 
+def _modrm_bytes(digits, require_base: bool,
+                 include_reg: bool) -> list[int]:
+    """All ModRM byte values whose reg field is in ``digits`` and whose
+    mod/rm encode an eligible operand form.
+
+    ``require_base=True`` keeps only memory forms with a decodable base
+    register: mod 00/01/10, excluding the base-less ``[disp32]`` form
+    (mod=00, rm=101) that ``_mem_base_reg`` provably rejects.  SIB forms
+    (rm=100) are kept — they may carry a base.  ``include_reg=True``
+    additionally admits register operands (mod=11), for group opcodes
+    whose register forms also lift to the node's shape.
+    """
+    out = []
+    for modrm in range(256):
+        if ((modrm >> 3) & 7) not in digits:
+            continue
+        mod = modrm >> 6
+        if mod == 3:
+            if not include_reg:
+                continue
+        elif require_base and mod == 0 and (modrm & 7) == 5:
+            continue
+        out.append(modrm)
+    return out
+
+
+_ALL_DIGITS = frozenset(range(8))
+
+
+def _opmod(opcodes, digits=_ALL_DIGITS, require_base: bool = True,
+           include_reg: bool = False) -> frozenset[bytes]:
+    """Two-byte ``opcode + ModRM`` patterns for the given opcodes, with
+    the reg field constrained to ``digits`` (the /n of group opcodes)."""
+    modrms = _modrm_bytes(digits, require_base, include_reg)
+    return frozenset(bytes([op, modrm])
+                     for op in opcodes for modrm in modrms)
+
+
 # Opcodes whose memory-destination forms lift to the read-modify-write
 # ``Store(src=BinOp(op, Load(mem), ...))`` / ``Store(src=UnOp(op, ...))``
-# shape MemRmw matches, per lifted (normalized) operation name.  Group-1
-# immediate forms (0x80-0x83) select the operation via ModRM /reg, so the
-# opcode byte alone admits all eight ALU ops; inc/dec (0xFE/0xFF /0 /1)
-# lift to add/sub with a constant-1 key; shift opcodes (0xC0/0xC1,
-# 0xD0-0xD3) select via /reg too, and the lifter folds sal->shl,
+# shape MemRmw matches, per lifted (normalized) operation name.  Every
+# producer is a full ``opcode + ModRM`` pair: group opcodes (0x80-0x83
+# immediates, 0xFE/0xFF inc/dec, 0xC0/0xC1/0xD0-0xD3 shifts, 0xF6/0xF7
+# not/neg) select the operation via the ModRM reg field, so pinning the
+# digit excludes the unrelated group members (e.g. ``cmp`` at /7, which
+# lifts to Compare, not Store) — and requiring a based memory form
+# excludes the register destinations MemRmw cannot match.  Digit maps
+# follow the lifter's normalization: adc->add, sbb->sub, sal->shl,
 # rcl->rol, rcr->ror.
-_GROUP1_IMM = _singles(0x80, 0x81, 0x82, 0x83)
-_INCDEC_RM = _singles(0xFE, 0xFF)
-_SHIFT_RM = _singles(0xC0, 0xC1, 0xD0, 0xD1, 0xD2, 0xD3)
+_GROUP1 = (0x80, 0x81, 0x82, 0x83)
+_SHIFT_OPS = (0xC0, 0xC1, 0xD0, 0xD1, 0xD2, 0xD3)
 _RMW_PRODUCERS: dict[str, frozenset[bytes]] = {
-    "add": _singles(0x00, 0x01, 0x10, 0x11) | _GROUP1_IMM | _INCDEC_RM,
-    "sub": _singles(0x28, 0x29, 0x18, 0x19) | _GROUP1_IMM | _INCDEC_RM,
-    "xor": _singles(0x30, 0x31) | _GROUP1_IMM,
-    "or": _singles(0x08, 0x09) | _GROUP1_IMM,
-    "and": _singles(0x20, 0x21) | _GROUP1_IMM,
-    "shl": _SHIFT_RM,
-    "shr": _SHIFT_RM,
-    "sar": _SHIFT_RM,
-    "rol": _SHIFT_RM,
-    "ror": _SHIFT_RM,
-    "not": _singles(0xF6, 0xF7),
-    "neg": _singles(0xF6, 0xF7),
+    "add": (_opmod((0x00, 0x01, 0x10, 0x11)) | _opmod(_GROUP1, {0, 2})
+            | _opmod((0xFE, 0xFF), {0})),
+    "sub": (_opmod((0x28, 0x29, 0x18, 0x19)) | _opmod(_GROUP1, {3, 5})
+            | _opmod((0xFE, 0xFF), {1})),
+    "xor": _opmod((0x30, 0x31)) | _opmod(_GROUP1, {6}),
+    "or": _opmod((0x08, 0x09)) | _opmod(_GROUP1, {1}),
+    "and": _opmod((0x20, 0x21)) | _opmod(_GROUP1, {4}),
+    "shl": _opmod(_SHIFT_OPS, {4, 6}),
+    "shr": _opmod(_SHIFT_OPS, {5}),
+    "sar": _opmod(_SHIFT_OPS, {7}),
+    "rol": _opmod(_SHIFT_OPS, {0, 2}),
+    "ror": _opmod(_SHIFT_OPS, {1, 3}),
+    "not": _opmod((0xF6, 0xF7), {2}),
+    "neg": _opmod((0xF6, 0xF7), {3}),
 }
 
 # ``Assign(src=Load(mem))`` with a register base (LoadFrom): mov r,rm
 # (8A/8B), xchg reg,mem (86/87 — lifts to a Load assign plus a store),
-# lodsb/lodsd (AC/AD — Load through esi), movzx/movsx from memory
-# (0F B6/B7/BE/BF).  The moffs loads (A0/A1) produce a base-less MemRef
-# that LoadFrom provably rejects (``_mem_base_reg`` returns None), so
-# they are deliberately not anchors.
-_LOAD_PRODUCERS = (_singles(0x86, 0x87, 0x8A, 0x8B, 0xAC, 0xAD)
-                   | frozenset(bytes([0x0F, b])
-                               for b in (0xB6, 0xB7, 0xBE, 0xBF)))
+# lodsb/lodsd (AC/AD — Load through esi, no ModRM), movzx/movsx from
+# memory (0F B6/B7/BE/BF + ModRM, three-byte patterns).  All ModRM forms
+# are based-memory only: register sources lift to plain register
+# assigns, and the moffs loads (A0/A1) produce a base-less MemRef that
+# LoadFrom provably rejects (``_mem_base_reg`` returns None).
+_LOAD_PRODUCERS = (_opmod((0x86, 0x87, 0x8A, 0x8B))
+                   | _singles(0xAC, 0xAD)
+                   | frozenset(bytes([0x0F, op, modrm])
+                               for op in (0xB6, 0xB7, 0xBE, 0xBF)
+                               for modrm in _modrm_bytes(_ALL_DIGITS, True,
+                                                         False)))
 
 # ``Store(src=Reg)`` with a register base (StoreTo): mov rm,r (88/89)
 # only — every other store form lifts with a BinOp/UnOp/Const/Unknown
 # source, and the moffs stores (A2/A3) are base-less like the loads.
-_STORETO_PRODUCERS = _singles(0x88, 0x89)
+_STORETO_PRODUCERS = _opmod((0x88, 0x89))
 
 # ``Branch`` with a *known* target in the jmp/jcc/loop family (LoopBack):
 # short jcc (70-7F), loops + jecxz (E0-E3), jmp rel (E9/EB), near jcc
@@ -123,19 +169,37 @@ _LOOPBACK_PRODUCERS = (_singles(*range(0x70, 0x80), 0xE0, 0xE1, 0xE2, 0xE3,
                        | frozenset(bytes([0x0F, b])
                                    for b in range(0x80, 0x90)))
 
+# Relative-branch geometry of the LoopBack producers, used by the
+# positional in-frame-target screen: opcode byte at frame offset ``p``
+# jumps to ``p + size + rel`` where ``rel`` immediately follows the
+# opcode.  Branch displacement widths are prefix-independent (the
+# operand-size prefix does not shrink branch immediates in this decoder),
+# so the arithmetic holds wherever the opcode sits in an instruction.
+_LOOPBACK_REL8 = frozenset(range(0x70, 0x80)) | {0xE0, 0xE1, 0xE2, 0xE3,
+                                                 0xEB}
+
 # ``Push`` statements: push r32 (50-57), pushad (60 — eight pushes),
-# push imm (68/6A), push r/m (FF /6).
-_PUSH_PRODUCERS = _singles(*range(0x50, 0x58), 0x60, 0x68, 0x6A, 0xFF)
+# push imm (68/6A), and the group-5 push (FF /6 — all ModRM forms:
+# ``push r32`` via mod=11 and ``push [mem]`` both lift to Push).
+_PUSH_PRODUCERS = (_singles(*range(0x50, 0x58), 0x60, 0x68, 0x6A)
+                   | _opmod((0xFF,), {6}, require_base=False,
+                            include_reg=True))
 
 # ``Store`` whose source expression can resolve to a constant — directly
-# (mov rm,imm: C6/C7) or through constant propagation of a register
+# (mov rm,imm: C6/C7 /0) or through constant propagation of a register
 # source (mov rm,r: 88/89; mov moffs,acc: A2/A3).  ALU/shift stores
-# carry BinOp/UnOp sources that ``_resolve`` provably rejects.
-_CONST_STORE_PRODUCERS = _singles(0x88, 0x89, 0xA2, 0xA3, 0xC6, 0xC7)
+# carry BinOp/UnOp sources that ``_resolve`` provably rejects.  No base
+# requirement: the consuming nodes (ConstBytesWrite/ConstCapture) accept
+# any store destination, ``[disp32]`` included.
+_CONST_STORE_PRODUCERS = (_opmod((0x88, 0x89), require_base=False)
+                          | _singles(0xA2, 0xA3)
+                          | _opmod((0xC6, 0xC7), {0}, require_base=False))
 
 # ``Branch(kind="call", target=None)`` (IndirectCall): call r/m (FF /2)
-# only — call rel32 (E8) decodes with a concrete target.
-_CALL_RM_PRODUCERS = _singles(0xFF)
+# only, register and memory forms alike — call rel32 (E8) decodes with a
+# concrete target, and the other group-5 digits are not calls.
+_CALL_RM_PRODUCERS = _opmod((0xFF,), {2}, require_base=False,
+                            include_reg=True)
 
 
 def _node_patterns(node: Node) -> frozenset[bytes] | None:
@@ -171,6 +235,63 @@ def _node_patterns(node: Node) -> frozenset[bytes] | None:
     # PointerStep / RegCompute / RegFromEsp / unknown future nodes:
     # producer sets too broad (or unenumerated) to anchor soundly.
     return None
+
+
+def _loopback_target_in_frame(arr: np.ndarray) -> bool:
+    """Positional necessary condition for LoopBack: some occurrence of a
+    relative-branch opcode byte jumps to an offset *inside* the frame.
+
+    A decoded branch satisfying LoopBack must have its target resolve to
+    a decoded trace position, and every decoded instruction's address
+    lies in ``[base, base + len(frame))`` — so the branch's target offset
+    ``p + size + rel`` (prefix-independent, see ``_LOOPBACK_REL8``) must
+    land in ``[0, len(frame))``.  Scanning every occurrence of the
+    producer bytes over-approximates the set of decodable branches, so a
+    frame where no occurrence targets in-frame provably cannot satisfy
+    LoopBack under any disassembly offset.
+    """
+    n = int(arr.size)
+    if n < 2:
+        return False
+    rel8 = _REL8_LOOKUP[arr[:-1]]
+    idx = np.flatnonzero(rel8)
+    if idx.size:
+        rel = arr[idx + 1].astype(np.int64)
+        rel = np.where(rel >= 128, rel - 256, rel)
+        target = idx + 2 + rel
+        if bool(np.any((target >= 0) & (target < n))):
+            return True
+    if n >= 5:
+        idx = np.flatnonzero(arr[:n - 4] == 0xE9)
+        if idx.size:
+            target = idx + 5 + _rel32(arr, idx + 1)
+            if bool(np.any((target >= 0) & (target < n))):
+                return True
+    if n >= 6:
+        idx = np.flatnonzero(arr[:n - 5] == 0x0F)
+        if idx.size:
+            second = arr[idx + 1]
+            idx = idx[(second >= 0x80) & (second <= 0x8F)]
+        if idx.size:
+            target = idx + 6 + _rel32(arr, idx + 2)
+            if bool(np.any((target >= 0) & (target < n))):
+                return True
+    return False
+
+
+_REL8_LOOKUP = np.zeros(256, dtype=bool)
+for _b in _LOOPBACK_REL8:
+    _REL8_LOOKUP[_b] = True
+del _b
+
+
+def _rel32(arr: np.ndarray, at: np.ndarray) -> np.ndarray:
+    """Signed little-endian 32-bit displacements read at ``at``."""
+    rel = (arr[at].astype(np.int64)
+           | (arr[at + 1].astype(np.int64) << 8)
+           | (arr[at + 2].astype(np.int64) << 16)
+           | (arr[at + 3].astype(np.int64) << 24))
+    return np.where(rel >= 1 << 31, rel - (1 << 32), rel)
 
 
 @dataclass(frozen=True)
@@ -266,50 +387,42 @@ class CompiledPrefilter:
                                             key=self._pattern_ids.get)
         self.pattern_lengths = {pid: len(p)
                                 for p, pid in self._pattern_ids.items()}
-        # Scan plan: anchor patterns are opcode prefixes, so in practice
-        # they are 1-2 bytes — both scannable as one vectorized table
-        # gather over the frame.  Anything longer (future templates)
-        # falls back to the Aho-Corasick automaton.
-        self._len1_table: np.ndarray | None = None
-        self._len2_table: np.ndarray | None = None
-        long_patterns: list[bytes] = []
-        self._long_pids: list[int] = []
-        for pattern, pid in self._pattern_ids.items():
-            if len(pattern) == 1:
-                if self._len1_table is None:
-                    self._len1_table = np.full(256, -1, dtype=np.int16)
-                self._len1_table[pattern[0]] = pid
-            elif len(pattern) == 2:
-                if self._len2_table is None:
-                    self._len2_table = np.full(65536, -1, dtype=np.int32)
-                self._len2_table[(pattern[0] << 8) | pattern[1]] = pid
-            else:
-                long_patterns.append(pattern)
-                self._long_pids.append(pid)
-        self.automaton = (AhoCorasick(long_patterns)
-                          if long_patterns else None)
+        # Scan plan: one vectorized presence pass over all patterns
+        # (1-3 bytes today; anything longer falls back to Aho-Corasick
+        # inside the scan set).
+        self.scan_set = VectorScanSet(self.patterns)
         self.always_scan = {a.template_name for a in self.anchors
                             if a.always_scan}
+        #: templates whose anchor clauses include a required LoopBack —
+        #: additionally gated by the positional in-frame-target screen.
+        self.loopback_gated = {
+            a.template_name for a in self.anchors
+            if any(c.label == "LoopBack" for c in a.clauses)}
         # Start-pruning form of each clause: the pattern bytes as integer
         # keys matchable against a decoded instruction's post-prefix
-        # leading bytes (see anchor_cum).  Patterns longer than two bytes
-        # (none today) disable pruning for their clause — a sound
-        # weakening; the frame-level scan still uses them.
+        # leading bytes (see anchor_cum).  A three-byte pattern (0F-map
+        # opcode + ModRM) contributes its two-byte opcode prefix — the
+        # producing instruction's post-prefix leading bytes necessarily
+        # begin with it, so the weaker two-byte key is still a sound
+        # filter.  Patterns of 4+ bytes (none today) disable pruning for
+        # their clause; the frame-level scan still uses them.
         self.clause_prune: dict[str, list[tuple[frozenset[int],
                                                 np.ndarray, np.ndarray,
                                                 bool]]] = {}
         for anchors in self.anchors:
             entries = []
             for ids in self.clause_ids[anchors.template_name]:
-                ones: list[int] = []
-                twos: list[int] = []
+                ones: set[int] = set()
+                twos: set[int] = set()
                 has_long = False
                 for pid in sorted(ids):
                     pattern = self.patterns[pid]
                     if len(pattern) == 1:
-                        ones.append(pattern[0])
+                        ones.add(pattern[0])
                     elif len(pattern) == 2:
-                        twos.append((pattern[0] << 8) | pattern[1])
+                        twos.add((pattern[0] << 8) | pattern[1])
+                    elif len(pattern) == 3:
+                        twos.add((pattern[0] << 8) | pattern[1])
                     else:
                         has_long = True
                 entries.append((ids,
@@ -327,27 +440,7 @@ class CompiledPrefilter:
         """One vectorized multi-pattern pass; verdicts for every compiled
         template."""
         arr = np.frombuffer(data, dtype=np.uint8)
-        present: set[int] = set()
-        hits = 0
-        if self._len1_table is not None and arr.size:
-            # Byte histogram once; a pattern is present iff its byte
-            # value occurs, and its occurrence count is the byte count.
-            counts = np.bincount(arr, minlength=256)
-            seen = self._len1_table[counts > 0]
-            present.update(seen[seen >= 0].tolist())
-            hits += int(counts[self._len1_table >= 0].sum())
-        if self._len2_table is not None and arr.size > 1:
-            pairs = (arr[:-1].astype(np.int32) << 8) | arr[1:]
-            pids = self._len2_table[pairs]
-            hit = pids >= 0
-            n_hits = int(np.count_nonzero(hit))
-            if n_hits:
-                hits += n_hits
-                present.update(np.unique(pids[hit]).tolist())
-        if self.automaton is not None:
-            for m in self.automaton.search(bytes(data)):
-                present.add(self._long_pids[m.pattern])
-                hits += 1
+        present, hits = self.scan_set.presence(arr)
         survivors = {
             anchors.template_name: (
                 anchors.always_scan
@@ -356,6 +449,16 @@ class CompiledPrefilter:
             )
             for anchors in self.anchors
         }
+        # Positional LoopBack screen, applied only to templates still
+        # alive after the presence pass (computed once, lazily: most
+        # benign frames die on presence alone).
+        loop_ok: bool | None = None
+        for name in self.loopback_gated:
+            if survivors.get(name):
+                if loop_ok is None:
+                    loop_ok = _loopback_target_in_frame(arr)
+                if not loop_ok:
+                    survivors[name] = False
         return PrefilterScan(survivors=survivors,
                              present=frozenset(present), anchor_hits=hits)
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-__all__ = ["AhoCorasick", "PatternMatch"]
+__all__ = ["AhoCorasick", "PatternMatch", "VectorScanSet"]
 
 
 @dataclass(frozen=True)
@@ -110,3 +110,96 @@ class AhoCorasick:
     @property
     def num_states(self) -> int:
         return len(self._goto)
+
+
+class VectorScanSet:
+    """Vectorized presence scan for short byte patterns.
+
+    The prefilter's anchor patterns are instruction-encoding prefixes —
+    1 to 3 bytes — and its per-frame question is *which patterns occur*
+    (plus a total occurrence count), not where.  That presence question
+    vectorizes: a byte histogram answers every 1-byte pattern at once, a
+    16-bit pair gather every 2-byte pattern, and a sorted-key search over
+    24-bit triples every 3-byte pattern.  Patterns of 4+ bytes (none
+    derived today) fall back to the :class:`AhoCorasick` automaton so the
+    interface stays complete.
+
+    Pattern indices returned by :meth:`presence` are positions in the
+    constructor's list.
+    """
+
+    def __init__(self, patterns: list[bytes]) -> None:
+        import numpy as np
+
+        if any(not p for p in patterns):
+            raise ValueError("empty patterns are not allowed")
+        self.patterns = list(patterns)
+        self._len1 = np.full(256, -1, dtype=np.int32)
+        self._has_len1 = False
+        self._len2 = None  # lazily allocated 64k-entry table
+        len3_keys: list[int] = []
+        len3_pids: list[int] = []
+        long_patterns: list[bytes] = []
+        long_pids: list[int] = []
+        for pid, pattern in enumerate(self.patterns):
+            if len(pattern) == 1:
+                self._len1[pattern[0]] = pid
+                self._has_len1 = True
+            elif len(pattern) == 2:
+                if self._len2 is None:
+                    self._len2 = np.full(65536, -1, dtype=np.int32)
+                self._len2[(pattern[0] << 8) | pattern[1]] = pid
+            elif len(pattern) == 3:
+                len3_keys.append((pattern[0] << 16) | (pattern[1] << 8)
+                                 | pattern[2])
+                len3_pids.append(pid)
+            else:
+                long_patterns.append(pattern)
+                long_pids.append(pid)
+        if len3_keys:
+            order = np.argsort(len3_keys)
+            self._len3_keys = np.asarray(len3_keys, dtype=np.int64)[order]
+            self._len3_pids = np.asarray(len3_pids, dtype=np.int64)[order]
+        else:
+            self._len3_keys = None
+            self._len3_pids = None
+        self._automaton = AhoCorasick(long_patterns) if long_patterns else None
+        self._long_pids = long_pids
+
+    def presence(self, arr) -> tuple[set[int], int]:
+        """``(pattern indices present in arr, total occurrences)`` for a
+        ``uint8`` array view of the frame."""
+        import numpy as np
+
+        present: set[int] = set()
+        hits = 0
+        n = arr.size
+        if self._has_len1 and n:
+            counts = np.bincount(arr, minlength=256)
+            seen = self._len1[counts > 0]
+            present.update(seen[seen >= 0].tolist())
+            hits += int(counts[self._len1 >= 0].sum())
+        if self._len2 is not None and n > 1:
+            pairs = (arr[:-1].astype(np.int32) << 8) | arr[1:]
+            pids = self._len2[pairs]
+            hit = pids >= 0
+            n_hits = int(np.count_nonzero(hit))
+            if n_hits:
+                hits += n_hits
+                present.update(np.unique(pids[hit]).tolist())
+        if self._len3_keys is not None and n > 2:
+            triples = ((arr[:-2].astype(np.int64) << 16)
+                       | (arr[1:-1].astype(np.int64) << 8)
+                       | arr[2:])
+            slots = np.searchsorted(self._len3_keys, triples)
+            slots[slots >= self._len3_keys.size] = 0
+            hit = self._len3_keys[slots] == triples
+            n_hits = int(np.count_nonzero(hit))
+            if n_hits:
+                hits += n_hits
+                present.update(np.unique(self._len3_pids[slots[hit]]).tolist())
+        if self._automaton is not None and n:
+            for m in self._automaton.search(arr.tobytes()):
+                present.add(self._long_pids[m.pattern])
+                hits += 1
+        return present, hits

@@ -148,7 +148,9 @@ _WORKER_STATE: dict = {}
 def _init_worker(template_set: str, frame_cache_size: int,
                  min_instructions: int,
                  deadline_units: int | None = None,
-                 fastpath: bool = False) -> None:
+                 fastpath: bool = False,
+                 compiled: bool = True,
+                 ir_cache_size: int | None = None) -> None:
     """Per-process initializer: build the stateless stage objects once."""
     registry = MetricsRegistry()
     _WORKER_STATE["registry"] = registry
@@ -159,6 +161,8 @@ def _init_worker(template_set: str, frame_cache_size: int,
         frame_cache_size=frame_cache_size,
         registry=registry,
         fastpath=fastpath,
+        compiled=compiled,
+        ir_cache_size=ir_cache_size,
     )
     _WORKER_STATE["deadline_units"] = deadline_units
 
@@ -339,7 +343,9 @@ class ParallelSemanticNids(SemanticNids):
             self._initargs = (template_set, cache_size,
                               self.analyzer.min_instructions,
                               self._deadline_units,
-                              self.fastpath)
+                              self.fastpath,
+                              self.compiled,
+                              self.ir_cache_size)
             self._pools = [
                 ProcessPoolExecutor(
                     max_workers=1,

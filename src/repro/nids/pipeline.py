@@ -92,6 +92,16 @@ class SemanticNids:
         the analyzer.  Anchors are necessary conditions, so the alert
         stream is byte-identical with it off (``--no-fastpath``) — it
         only skips provably fruitless work.  Default on.
+    compiled:
+        Run the analyzer's match engine on compiled template match plans
+        instead of the recursive interpreter.  The compiled executor is
+        exactly equivalent (alerts *and* budget accounting are
+        byte-identical); it only skips work that provably cannot match.
+        Default on.
+    ir_cache_size:
+        Bound on the analyzer's lifted-IR memoization cache, keyed by
+        frame content digest.  ``None`` inherits ``frame_cache_size``;
+        0 disables it.
     """
 
     def __init__(
@@ -114,6 +124,8 @@ class SemanticNids:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         fastpath: bool = True,
+        compiled: bool = True,
+        ir_cache_size: int | None = None,
     ) -> None:
         #: one registry per sensor: every component registers its metrics
         #: here, and ``--metrics-out`` snapshots it.  The stage timers in
@@ -141,8 +153,12 @@ class SemanticNids:
         self.analyzer = SemanticAnalyzer(templates=templates,
                                          frame_cache_size=frame_cache_size,
                                          fastpath=fastpath,
+                                         compiled=compiled,
+                                         ir_cache_size=ir_cache_size,
                                          **obs)
         self.fastpath = fastpath
+        self.compiled = compiled
+        self.ir_cache_size = ir_cache_size
         self.blocklist = BlockList()
         self.firewall = StageFirewall(self.registry, quarantine=quarantine)
         self.analysis_deadline_ms = analysis_deadline_ms

@@ -34,18 +34,40 @@ __all__ = ["FaultInjector", "InjectedFault", "build_stall_payload",
 _STALL_OPCODES = bytes([0x60, 0x61, 0x9C, 0x9D, 0xD7, 0xA4, 0xAA, 0xAC])
 
 
+#: Anchor bait woven into the stall body every 256 bytes:
+#: ``xor [eax], al`` (a MemRmw producer) and ``jmp +0`` (a LoopBack
+#: producer targeting in-frame).  An adversary crafting a stall payload
+#: includes exactly such bytes so the anchor prefilter cannot rule the
+#: frame out for every template and cheaply defang the attack — without
+#: them the payload never reaches the disassembler it is meant to stall.
+#: The bait never completes a template (there is no pointer step), so it
+#: adds no alert.
+_STALL_BAIT = bytes([0x30, 0x00, 0xEB, 0x00])
+
+
 def build_stall_payload(instructions: int = 40_000, sled: int = 48) -> bytes:
     """A payload crafted to stall the analyzer (Bania-style).
 
     A short NOP sled triggers extraction; the body is a long stream of
-    valid single-byte instructions, so the disassemble → lift → match
-    loop visits ``instructions``-many instructions on one frame.  Against
-    a per-payload deadline whose budget is below that count, analysis
-    deterministically trips :class:`~repro.errors.DeadlineExceeded`.
+    valid single-byte instructions (plus periodic anchor bait, so the
+    fast-path prefilter must admit the frame), and the disassemble →
+    lift → match loop visits nearly ``instructions``-many instructions
+    on one frame.  Against a per-payload deadline whose budget is below
+    that count, analysis deterministically trips
+    :class:`~repro.errors.DeadlineExceeded`.
     """
     body = instructions - sled
     reps = max(1, (body + len(_STALL_OPCODES) - 1) // len(_STALL_OPCODES))
-    return b"\x90" * sled + (_STALL_OPCODES * reps)[:body]
+    stream = bytearray((_STALL_OPCODES * reps)[:body])
+    # Every preceding byte decodes as a one-byte instruction, so any
+    # overwrite offset falls on an instruction boundary.  Each bait site
+    # turns four one-byte instructions into two two-byte ones; pad the
+    # tail so the payload still decodes to >= ``instructions`` total.
+    sites = range(0, max(0, len(stream) - len(_STALL_BAIT)), 256)
+    for at in sites:
+        stream[at:at + len(_STALL_BAIT)] = _STALL_BAIT
+    stream += _STALL_OPCODES * ((2 * len(sites) + 7) // 8)
+    return b"\x90" * sled + bytes(stream)
 
 
 def truncate_capture(src: str | Path, dst: str | Path, drop: int = 8) -> int:

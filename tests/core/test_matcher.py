@@ -16,8 +16,17 @@ from repro.x86.disasm import disassemble
 
 
 def match(template, source: str):
+    """Match with BOTH engines and assert they agree — every test in this
+    file doubles as a compiled-vs-interpreted differential check."""
     trace = prepare_trace(disassemble(assemble(source)))
-    return MatchEngine().match(template, trace)
+    compiled = MatchEngine(compiled=True).match(template, trace)
+    interpreted = MatchEngine(compiled=False).match(template, trace)
+    if compiled is None or interpreted is None:
+        assert compiled is None and interpreted is None
+    else:
+        assert compiled.bindings == interpreted.bindings
+        assert compiled.positions == interpreted.positions
+    return interpreted
 
 
 class TestFigure1:

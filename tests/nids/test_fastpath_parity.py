@@ -40,7 +40,7 @@ from repro.net.packet import tcp_packet
 from repro.net.wire import Wire
 from repro.nids import ParallelSemanticNids, SemanticNids
 from repro.resilience import FaultInjector
-from repro.traffic import apply_evasion, evasion_names
+from repro.traffic import BenignMixGenerator, apply_evasion, evasion_names
 
 HONEYPOT = "10.10.0.250"
 DARK_KW = dict(dark_networks=["10.0.0.0/8"], dark_exclude=["10.10.0.0/24"],
@@ -55,8 +55,8 @@ def alert_stream(nids):
     return sorted((a.template, a.source, a.severity) for a in nids.alerts)
 
 
-def run_serial(packets, kwargs, fastpath):
-    nids = SemanticNids(fastpath=fastpath, **kwargs)
+def run_serial(packets, kwargs, fastpath, compiled=True):
+    nids = SemanticNids(fastpath=fastpath, compiled=compiled, **kwargs)
     nids.process_trace(packets)
     nids.close()
     return nids
@@ -164,6 +164,106 @@ class TestEvasionParity:
             nids.close()
             streams[fastpath] = alert_stream(nids)
         assert streams[True] == streams[False] == baseline
+
+
+class TestCompiledParity:
+    """Compiled match plans on == recursive interpreter, over every
+    corpus, the evasion gauntlet, and the parallel engine.  The compiled
+    executor's contract is the same as the prefilter's: skip provably
+    fruitless work, never change the alert stream."""
+
+    @pytest.mark.parametrize("corpus", sorted(CORPORA))
+    def test_unevaded_parity(self, corpora, corpus):
+        packets, kwargs, baseline = corpora[corpus]
+        # baseline was produced with compiled plans on (the default);
+        # the interpreter must agree with it under both fastpath modes.
+        assert alert_stream(
+            run_serial(packets, kwargs, fastpath=False,
+                       compiled=False)) == baseline
+        assert alert_stream(
+            run_serial(packets, kwargs, fastpath=True,
+                       compiled=False)) == baseline
+
+    @pytest.mark.parametrize("corpus", sorted(CORPORA))
+    @pytest.mark.parametrize("transform", evasion_names())
+    def test_evaded_parity(self, corpora, corpus, transform):
+        packets, kwargs, _ = corpora[corpus]
+        evaded = apply_evasion(transform, packets, seed=EVASION_SEED)
+        interpreted = alert_stream(
+            run_serial(evaded, kwargs, fastpath=True, compiled=False))
+        compiled = alert_stream(
+            run_serial(evaded, kwargs, fastpath=True, compiled=True))
+        assert compiled == interpreted
+
+    @pytest.mark.parametrize("corpus", sorted(CORPORA))
+    def test_parallel_parity(self, corpora, corpus):
+        packets, kwargs, baseline = corpora[corpus]
+        streams = {}
+        for compiled in (False, True):
+            nids = ParallelSemanticNids(workers=2, compiled=compiled,
+                                        **kwargs)
+            nids.process_trace(packets)
+            nids.close()
+            streams[compiled] = alert_stream(nids)
+        assert streams[True] == streams[False] == baseline
+
+
+class TestBenignSkipRate:
+    """§4.3's cheap rejection must actually engage: on a benign corpus
+    the anchor prefilter skips a nonzero share of analyzed frames, and
+    skipping never costs an alert."""
+
+    @pytest.fixture(scope="class")
+    def benign_packets(self):
+        wire = Wire()
+        packets = []
+        wire.attach(packets.append)
+        gen = BenignMixGenerator(seed=11)
+        for _ in range(120):
+            gen.conversation(wire)
+        return packets
+
+    def run(self, packets, fastpath):
+        # classification off = the §5.4 mode: every payload is analyzed,
+        # so the prefilter sees the full benign frame population.
+        nids = SemanticNids(classification_enabled=False, fastpath=fastpath,
+                            frame_cache_size=0)
+        nids.process_trace(packets)
+        nids.close()
+        return nids
+
+    def test_benign_frames_actually_skipped(self, benign_packets):
+        nids = self.run(benign_packets, fastpath=True)
+        skipped = nids.registry.get(
+            "repro_fastpath_frames_skipped_total").value
+        analyzed = nids.registry.get("repro_frames_analyzed_total").value
+        assert analyzed > 0
+        assert skipped > 0, "prefilter never skipped a benign frame"
+        assert not nids.alerts
+
+    def test_skipping_costs_no_alert(self, benign_packets):
+        on = self.run(benign_packets, fastpath=True)
+        off = self.run(benign_packets, fastpath=False)
+        assert alert_stream(on) == alert_stream(off) == []
+
+    @pytest.mark.parametrize("mutator", ["admmutate", "clet"])
+    def test_no_alert_bearing_frame_skipped(self, mutator):
+        """Necessity under mutation: every template a mutated decoder
+        frame satisfies must survive that frame's prefilter scan."""
+        shell = get_shellcode("classic-execve").assemble()
+        engines = {"admmutate": AdmMutateEngine(seed=23),
+                   "clet": CletEngine(seed=23)}
+        analyzer = SemanticAnalyzer()  # fastpath off: ground truth
+        prefilter = CompiledPrefilter(analyzer.templates)
+        checked = 0
+        for i in range(6):
+            data = engines[mutator].mutate(shell, instance=i).data
+            matched = set(analyzer.analyze_frame(data).matched_names())
+            scan = prefilter.scan(data)
+            for name in matched:
+                assert scan.survives(name), (mutator, i, name)
+            checked += len(matched)
+        assert checked, "mutated frames must match something"
 
 
 class TestChaosParity:

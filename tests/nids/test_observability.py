@@ -27,7 +27,8 @@ DARK_KW = dict(dark_networks=["10.0.0.0/8"], dark_exclude=["10.10.0.0/24"],
                dark_threshold=5)
 
 #: wall-time metrics: legitimately different between engines/runs.
-TIMING_NAMES = {"repro_stage_seconds_total"}
+TIMING_NAMES = {"repro_stage_seconds_total",
+                "repro_match_plan_compile_seconds"}
 #: parallel-engine machinery: zero in a serial run by construction.
 PARALLEL_ONLY_NAMES = {"repro_payloads_offloaded_total",
                        "repro_worker_failures_total"}
