@@ -35,6 +35,10 @@ SCALES = {
         "throughput_crii": 20,
         "throughput_poly": 20,
         "throughput_victims": 8,
+        "soak_benign": 120,
+        "soak_crii": 12,
+        "soak_poly": 12,
+        "soak_victims": 6,
     },
     "paper": {
         "table3_packets": 200_000,
@@ -46,6 +50,10 @@ SCALES = {
         "throughput_crii": 40,
         "throughput_poly": 40,
         "throughput_victims": 12,
+        "soak_benign": 500,
+        "soak_crii": 30,
+        "soak_poly": 30,
+        "soak_victims": 10,
     },
 }
 

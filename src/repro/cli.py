@@ -3,6 +3,9 @@
 Installed as console scripts (see ``pyproject.toml``):
 
 - ``repro-sensor``     — run the NIDS over a pcap file and print alerts.
+- ``repro-sensord``    — always-on daemon: bounded ingestion, counted
+  load shedding, hot template reload, rolling metric windows
+  (docs/operations.md).
 - ``repro-analyze``    — semantic analysis of a raw binary frame.
 - ``repro-asm``        — assemble Intel-syntax x86 to raw bytes.
 - ``repro-disasm``     — disassemble raw bytes / hex to a listing.
@@ -19,8 +22,8 @@ import argparse
 import sys
 from pathlib import Path
 
-__all__ = ["sensor_main", "analyze_main", "asm_main", "disasm_main",
-           "make_trace_main"]
+__all__ = ["sensor_main", "sensord_main", "analyze_main", "asm_main",
+           "disasm_main", "make_trace_main"]
 
 
 # ---------------------------------------------------------------------------
@@ -102,12 +105,10 @@ def sensor_main(argv: list[str] | None = None) -> int:
                              "SECS seconds of wall time (0 = off)")
     args = parser.parse_args(argv)
 
-    import time
-
     from .core.emuverify import EmulationVerifier
     from .net.pcap import PcapError, PcapReader
     from .nids import ParallelSemanticNids, SemanticNids
-    from .obs import Tracer
+    from .obs import PeriodicSchedule, Tracer
     from .resilience import QuarantineWriter
 
     tracer = Tracer(path=str(args.trace_out)) if args.trace_out else None
@@ -146,8 +147,10 @@ def sensor_main(argv: list[str] | None = None) -> int:
                 line += f"  [{verdict.verdict}: {verdict.reason}]"
         print(line)
 
-    next_beat = (time.monotonic() + args.heartbeat
-                 if args.heartbeat > 0 else None)
+    # Deadline-anchored schedule: each beat is timed from the previous
+    # deadline, not from "now" after the print, so per-batch processing
+    # time does not drift the interval (see PeriodicSchedule).
+    beat = PeriodicSchedule(args.heartbeat) if args.heartbeat > 0 else None
     try:
         # salvage=True: a capture whose final record was cut off (sensor
         # host crash, disk-full) still yields its complete prefix; the
@@ -157,9 +160,8 @@ def sensor_main(argv: list[str] | None = None) -> int:
             for pkt in reader:
                 for alert in nids.process_packet(pkt):
                     emit(alert)
-                if next_beat is not None and time.monotonic() >= next_beat:
+                if beat is not None and beat.due():
                     print(_heartbeat_line(nids.stats), file=sys.stderr)
-                    next_beat = time.monotonic() + args.heartbeat
             if reader.truncated:
                 print(f"warning: capture truncated mid-record; salvaged "
                       f"{reader.records_read} complete record(s)",
@@ -181,7 +183,7 @@ def sensor_main(argv: list[str] | None = None) -> int:
             if quarantine.written:
                 print(f"quarantined {quarantine.written} input(s) to "
                       f"{args.quarantine_out}", file=sys.stderr)
-    if next_beat is not None:
+    if beat is not None:
         print(_heartbeat_line(nids.stats), file=sys.stderr)
 
     if args.metrics_out:
@@ -223,6 +225,162 @@ def _frame_bytes_for(alert) -> bytes | None:
     # not retain — rebuild a best-effort frame from the instruction bytes.
     ordered = sorted({(i.address, i.raw) for i in instructions})
     return b"".join(raw for _, raw in ordered)
+
+
+# ---------------------------------------------------------------------------
+# repro-sensord
+# ---------------------------------------------------------------------------
+
+
+def sensord_main(argv: list[str] | None = None) -> int:
+    """Always-on sensor daemon over a (possibly growing) capture."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sensord",
+        description="Always-on semantic NIDS daemon: bounded ingestion, "
+                    "counted load shedding, hot template reload, rolling "
+                    "metric windows (see docs/operations.md).",
+    )
+    parser.add_argument("pcap", type=Path, help="capture to ingest")
+    parser.add_argument("--follow", action="store_true",
+                        help="tail a growing capture (FIFO / live writer): "
+                             "end-of-data at a record boundary means 'wait "
+                             "for more', not truncation")
+    parser.add_argument("--ring-capacity", type=int, default=4096,
+                        metavar="N",
+                        help="bounded ingestion ring size in packets "
+                             "(default 4096)")
+    parser.add_argument("--shed-policy", choices=("newest", "oldest", "block"),
+                        default="newest",
+                        help="ring-full behaviour: shed the arriving packet "
+                             "(newest), evict the stalest queued one "
+                             "(oldest), or pause the source (block); every "
+                             "shed is counted, never silent (default newest)")
+    parser.add_argument("--batch-size", type=int, default=256, metavar="N",
+                        help="packets ingested/processed per loop tick "
+                             "(default 256)")
+    parser.add_argument("--window-secs", type=float, default=0.0,
+                        metavar="SECS",
+                        help="roll a metrics window every SECS seconds for "
+                             "rate / latency-quantile reporting (0 = off)")
+    parser.add_argument("--idle-timeout", type=float, default=None,
+                        metavar="SECS",
+                        help="exit after SECS seconds with no packet moved "
+                             "(the usual way a --follow run ends; default: "
+                             "run until the source finishes)")
+    parser.add_argument("--max-packets", type=int, default=None, metavar="N",
+                        help="stop after processing N packets (soak/CI runs)")
+    parser.add_argument("--template-set", default="paper",
+                        choices=("paper", "all", "xor-only", "decoder"),
+                        help="named template set to load (default paper)")
+    parser.add_argument("--template-set-file", type=Path, metavar="FILE",
+                        help="poll FILE between batches; when its contents "
+                             "name a different template set, the library is "
+                             "hot-reloaded (digest-keyed, no packets lost)")
+    parser.add_argument("--honeypot", action="append", default=[],
+                        metavar="IP", help="decoy address (repeatable)")
+    parser.add_argument("--dark-net", action="append", default=[],
+                        metavar="CIDR", help="unused address space (repeatable)")
+    parser.add_argument("--dark-exclude", action="append", default=[],
+                        metavar="CIDR", help="used subnets carved out of dark space")
+    parser.add_argument("--threshold", type=int, default=5,
+                        help="dark-space scan threshold t (default 5)")
+    parser.add_argument("--no-classify", action="store_true",
+                        help="analyze every payload (the §5.4 mode)")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="analysis worker processes, sharded by flow "
+                             "(0/1 = serial; default 0)")
+    parser.add_argument("--heartbeat", type=float, default=0.0,
+                        metavar="SECS",
+                        help="print a liveness line to stderr every SECS "
+                             "seconds (deadline-anchored, drift-free; "
+                             "0 = off)")
+    parser.add_argument("--metrics-out", type=Path, metavar="FILE",
+                        help="write the metrics registry snapshot here at "
+                             "shutdown")
+    parser.add_argument("--metrics-format", choices=("json", "prom"),
+                        default="json",
+                        help="snapshot format for --metrics-out (default "
+                             "json)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print pipeline statistics at shutdown")
+    args = parser.parse_args(argv)
+
+    from .net.pcap import PcapError, PcapReader
+    from .nids import ParallelSemanticNids, SemanticNids, SensorDaemon
+    from .nids.daemon import IterPacketSource, TailPacketSource
+    from .nids.parallel import resolve_template_set
+
+    kwargs = dict(
+        honeypots=args.honeypot,
+        dark_networks=args.dark_net or None,
+        dark_exclude=args.dark_exclude or None,
+        dark_threshold=args.threshold,
+        classification_enabled=not args.no_classify,
+    )
+    if args.workers > 1:
+        nids = ParallelSemanticNids(workers=args.workers,
+                                    template_set=args.template_set, **kwargs)
+    else:
+        nids = SemanticNids(
+            templates=resolve_template_set(args.template_set), **kwargs)
+
+    template_provider = None
+    if args.template_set_file is not None:
+        def template_provider() -> str | None:
+            try:
+                name = args.template_set_file.read_text().strip()
+            except OSError:
+                return None
+            return name or None
+
+    try:
+        reader = PcapReader(args.pcap, salvage=True, streaming=args.follow,
+                            registry=nids.registry)
+    except FileNotFoundError:
+        print(f"error: no such file: {args.pcap}", file=sys.stderr)
+        return 2
+    except PcapError as exc:
+        print(f"error: bad pcap: {exc}", file=sys.stderr)
+        return 2
+    source = (TailPacketSource(reader) if args.follow
+              else IterPacketSource(iter(reader)))
+
+    daemon = SensorDaemon(
+        nids, source,
+        ring_capacity=args.ring_capacity,
+        shed_policy=args.shed_policy,
+        batch_size=args.batch_size,
+        heartbeat=args.heartbeat,
+        heartbeat_out=lambda line: print(line, file=sys.stderr),
+        window_secs=args.window_secs,
+        template_provider=template_provider,
+        idle_timeout=args.idle_timeout,
+        on_alert=lambda alert: print(alert.format()),
+    )
+    try:
+        stats = daemon.run(max_packets=args.max_packets)
+    except PcapError as exc:
+        print(f"error: bad pcap: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        nids.close()
+        reader.close()
+
+    print(f"sensord: ingested={stats.ingested} processed={stats.processed} "
+          f"shed={stats.shed} queued={stats.queued} "
+          f"backpressure={stats.backpressure_waits} alerts={stats.alerts} "
+          f"reloads={stats.reloads} uncounted_drops={stats.uncounted_drops}",
+          file=sys.stderr)
+
+    if args.metrics_out:
+        nids.sync_frontend_stats()
+        if args.metrics_format == "prom":
+            args.metrics_out.write_text(nids.registry.to_prometheus())
+        else:
+            args.metrics_out.write_text(nids.registry.to_json())
+    if args.stats:
+        print(nids.stats.summary())
+    return 1 if nids.alerts else 0
 
 
 # ---------------------------------------------------------------------------

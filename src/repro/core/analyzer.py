@@ -81,6 +81,11 @@ class FrameCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def clear(self) -> None:
+        """Drop every entry (template-set hot reload: the old entries are
+        unreachable under the new fingerprint anyway; this frees them)."""
+        self._entries.clear()
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -135,6 +140,9 @@ class IRCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -266,6 +274,37 @@ class SemanticAnalyzer:
         h.update(library_digest(self.templates))
         h.update(str(self.min_instructions).encode())
         return h.digest()
+
+    def set_templates(self, templates: list[Template]) -> None:
+        """Hot-swap the template library, invalidating derived caches
+        atomically (no analysis runs between the swap and the clears —
+        the analyzer is single-threaded per process).
+
+        - the frame cache is cleared: its keys embed the template-set
+          fingerprint, so old entries were unreachable anyway — this
+          frees them and resets the keyspace in one step;
+        - compiled match plans are dropped and recompiled: the plan
+          cache is keyed by template identity and would otherwise pin
+          the retired library's objects forever;
+        - the anchor prefilter is rebuilt from the new library;
+        - the IR cache *survives*: decoded instructions and prepared
+          traces depend only on frame bytes (anchor cums are keyed by
+          opcode content, not template identity), so the expensive
+          front-end work carries over across reloads.
+        """
+        self.templates = templates
+        self.template_fingerprint = self._fingerprint()
+        if self.frame_cache is not None:
+            self.frame_cache.clear()
+        self.engine.clear_plans()
+        compile_before = self.engine.plan_compile_seconds
+        if self.engine.compiled:
+            self.engine.compile_plans(templates)
+        self._plan_compile_seconds.inc(
+            self.engine.plan_compile_seconds - compile_before)
+        if self.prefilter is not None:
+            from ..fastpath import CompiledPrefilter
+            self.prefilter = CompiledPrefilter(templates)
 
     def analyze_frame(self, data: bytes, base: int = 0,
                       deadline=None) -> AnalysisResult:

@@ -243,6 +243,12 @@ class MatchEngine:
         for template in templates:
             self.plan_for(template)
 
+    def clear_plans(self) -> None:
+        """Drop every compiled plan (template-library hot reload): the
+        cache keys are template identities, so entries for a retired
+        library would pin the old template objects forever."""
+        self._plans.clear()
+
     # -- public API --------------------------------------------------------
 
     def match(self, template: Template, trace: PreparedTrace,

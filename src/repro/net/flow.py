@@ -253,7 +253,13 @@ class StreamReassembler:
         self.bytes_buffered += stream.buffered - before
         # Keep aggregate memory bounded even against many fat streams; the
         # stream just fed is spared so an in-progress message survives.
-        while self.bytes_buffered > self.max_total_bytes and len(self.streams) > 1:
+        # Clamp: once the spared stream alone meets or exceeds the byte
+        # cap, evicting everything else cannot get under it — that would
+        # be pure over-eviction of innocent streams (the spared stream
+        # itself is already bounded by Stream.MAX_BUFFER).
+        while (self.bytes_buffered > self.max_total_bytes
+               and len(self.streams) > 1
+               and stream.buffered < self.max_total_bytes):
             self._evict_oldest(spare=key)
         self._active_streams.value = len(self.streams)
         return stream

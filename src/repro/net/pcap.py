@@ -113,12 +113,25 @@ class PcapReader:
     ``repro_pcap_truncated_total`` counter of ``registry`` (when given),
     so a production replay survives a damaged tail without silently
     pretending the file was whole.
+
+    With ``streaming=True`` the reader tails a *growing* capture (a file
+    a sniffer is still appending to, or a FIFO): a short read is no
+    longer a verdict.  Records are consumed only once header *and* body
+    are fully buffered, so end-of-data mid-record just means "wait for
+    more" — :meth:`poll` returns ``None``, the partial tail stays
+    buffered, and a later poll picks up exactly where the writer left
+    off.  Only :meth:`finalize` — the caller declaring the source
+    complete — turns a pending partial record into a truncation (counted
+    and, without ``salvage``, raised).  The global header may likewise
+    arrive late; polls before it is complete return ``None``.
     """
 
     def __init__(self, path: str | Path | BinaryIO, *,
                  salvage: bool = False,
+                 streaming: bool = False,
                  registry: MetricsRegistry | None = None) -> None:
         self.salvage = salvage
+        self.streaming = streaming
         #: set once a truncated final record has been encountered (and,
         #: under ``salvage``, swallowed).
         self.truncated = False
@@ -136,10 +149,25 @@ class PcapReader:
         else:
             self._fh = open(path, "rb")
             self._owns = True
-        header = self._fh.read(24)
-        if len(header) < 24:
+        # Buffered record loop state: records are sliced out of large read
+        # chunks instead of paying two file-object calls per record.
+        self._buf = b""
+        self._pos = 0
+        self._header_parsed = False
+        if streaming:
+            self._try_parse_header()  # may legitimately be incomplete yet
+        elif not self._try_parse_header():
             # Nothing salvageable before the global header is complete.
             raise TruncatedCaptureError("truncated pcap global header")
+
+    def _try_parse_header(self) -> bool:
+        """Parse the 24-byte global header once fully buffered; ``False``
+        while it is still incomplete (streaming sources fill in later)."""
+        if self._header_parsed:
+            return True
+        if self._fill(24) < 24:
+            return False
+        header = self._buf[self._pos:self._pos + 24]
         (magic,) = _MAGIC_STRUCT.unpack(header[:4])
         if magic == _MAGIC_LE:
             self._endian = "<"
@@ -151,14 +179,13 @@ class PcapReader:
             _GLOBAL_HEADER[self._endian].unpack(header))[1:]
         if linktype != _LINKTYPE_ETHERNET:
             raise PcapError(f"unsupported linktype {linktype} (want Ethernet)")
-        # Buffered record loop state: records are sliced out of large read
-        # chunks instead of paying two file-object calls per record.
-        self._buf = b""
-        self._pos = 0
+        self._pos += 24
+        self._header_parsed = True
+        return True
 
-    def _read_buffered(self, need: int) -> bytes:
-        """Exactly ``need`` bytes from the chunked stream, or the short
-        tail at end-of-file."""
+    def _fill(self, need: int) -> int:
+        """Buffer at least ``need`` unconsumed bytes if the source has
+        them; returns the bytes actually available.  Never consumes."""
         buf, pos = self._buf, self._pos
         while len(buf) - pos < need:
             chunk = self._fh.read(max(_READ_CHUNK, need - (len(buf) - pos)))
@@ -167,27 +194,78 @@ class PcapReader:
             if pos:  # compact the consumed prefix before growing
                 buf, pos = buf[pos:], 0
             buf += chunk
-        out = buf[pos:pos + need]
-        self._buf, self._pos = buf, pos + len(out)
-        return out
+        self._buf, self._pos = buf, pos
+        return len(buf) - pos
+
+    @property
+    def pending_partial(self) -> bool:
+        """Unconsumed bytes are buffered that do not (yet) form a complete
+        record — after :meth:`poll` returned ``None``, the mid-record tail
+        a still-writing capture source has left us."""
+        return len(self._buf) - self._pos > 0
+
+    def poll(self) -> PcapRecord | None:
+        """Next complete record, or ``None`` when the source has no full
+        record buffered *right now* (streaming: try again once the
+        capture has grown; a partial tail is left buffered, unconsumed)."""
+        if not self._try_parse_header():
+            return None
+        avail = self._fill(_RECORD_HEADER_LEN)
+        if avail < _RECORD_HEADER_LEN:
+            return None
+        header = self._buf[self._pos:self._pos + _RECORD_HEADER_LEN]
+        sec, usec, caplen, _origlen = _RECORD_HEADER[self._endian].unpack(header)
+        total = _RECORD_HEADER_LEN + caplen
+        if self._fill(total) < total:
+            return None
+        data = self._buf[self._pos + _RECORD_HEADER_LEN:self._pos + total]
+        self._pos += total
+        self.records_read += 1
+        return PcapRecord(timestamp=sec + usec / 1_000_000, data=data)
+
+    def poll_packet(self) -> Packet | None:
+        """Like :meth:`poll`, decoded to a :class:`Packet`."""
+        rec = self.poll()
+        if rec is None:
+            return None
+        return Packet.decode(rec.data, timestamp=rec.timestamp)
+
+    def finalize(self) -> bool:
+        """Declare the (streaming) source complete.
+
+        Returns ``True`` when the capture ended cleanly at a record
+        boundary.  A pending partial record is *now* a real truncation:
+        counted, and raised unless ``salvage``.
+        """
+        if self.pending_partial:
+            self._note_truncation("capture finalized mid-record")
+            return False
+        return True
 
     def records(self) -> Iterator[PcapRecord]:
-        """Yield raw records without protocol decoding."""
-        unpack = _RECORD_HEADER[self._endian].unpack
+        """Yield raw records without protocol decoding.
+
+        Non-streaming: a mid-record end of file is a truncation (salvaged
+        or raised).  Streaming: iteration simply stops at the first point
+        where no complete record is buffered — poll again later.
+        """
         while True:
-            header = self._read_buffered(_RECORD_HEADER_LEN)
-            if not header:
+            rec = self.poll()
+            if rec is not None:
+                yield rec
+                continue
+            if self.streaming:
                 return
-            if len(header) < _RECORD_HEADER_LEN:
-                if self._note_truncation("truncated pcap record header"):
-                    return
-            sec, usec, caplen, _origlen = unpack(header)
-            data = self._read_buffered(caplen)
-            if len(data) < caplen:
-                if self._note_truncation("truncated pcap record body"):
-                    return
-            self.records_read += 1
-            yield PcapRecord(timestamp=sec + usec / 1_000_000, data=data)
+            # Distinguish the clean end (record boundary, nothing pending)
+            # from a capture cut off mid-header or mid-body.
+            if not self.pending_partial:
+                return
+            avail = len(self._buf) - self._pos
+            message = ("truncated pcap record header"
+                       if avail < _RECORD_HEADER_LEN
+                       else "truncated pcap record body")
+            self._note_truncation(message)
+            return
 
     def _note_truncation(self, message: str) -> bool:
         """Record a mid-record truncation; returns True when salvaging

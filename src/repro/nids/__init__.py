@@ -1,13 +1,18 @@
-"""The five-stage semantic NIDS pipeline, alerts, statistics, and the
-wire-attached live sensor."""
+"""The five-stage semantic NIDS pipeline, alerts, statistics, the
+wire-attached live sensor, the always-on daemon, and the scale-out
+sensor fleet."""
 
 from .alerts import Alert, BlockList
 from .stats import NidsStats, StageTimer
 from .pipeline import SemanticNids
 from .parallel import ParallelSemanticNids
 from .sensor import NidsSensor
+from .daemon import DaemonStats, IterPacketSource, SensorDaemon, TailPacketSource
+from .fleet import FleetStats, SensorFleet
 from .report import AlertReport, build_report
 
 __all__ = ["Alert", "BlockList", "NidsStats", "StageTimer", "SemanticNids",
            "ParallelSemanticNids", "NidsSensor",
+           "SensorDaemon", "DaemonStats", "IterPacketSource",
+           "TailPacketSource", "SensorFleet", "FleetStats",
            "AlertReport", "build_report"]

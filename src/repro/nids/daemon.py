@@ -1,0 +1,344 @@
+"""The always-on sensor daemon (``repro-sensord``).
+
+Everything before this module was one-shot batch analysis: open a pcap,
+drain it, exit.  :class:`SensorDaemon` turns the same pipeline into a
+long-running service:
+
+- **chunked ingestion** from a :class:`PacketSource` into a bounded
+  :class:`~repro.resilience.BoundedRing`, so a traffic burst costs
+  queueing (and, past capacity, *counted* shedding) instead of unbounded
+  memory;
+- **capacity-aware load shedding** — the ring's policy decides whether a
+  full buffer sheds the newest packet, the oldest, or pauses the source
+  (backpressure); every shed lands in ``repro_shed_packets_total`` and
+  every refusal in ``repro_backpressure_waits_total``, so the accounting
+  invariant ``ingested == processed + shed + queued`` holds at any
+  instant — no drop is ever silent;
+- **hot template reload** keyed on
+  :func:`~repro.core.library.library_digest`: a ``template_provider``
+  callable is polled between batches, and a changed digest atomically
+  swaps the library — frame cache, compiled match plans, and anchor
+  prefilter re-derive with it (worker pools are respawned on the
+  parallel engine) — without dropping a packet;
+- **rolling metrics windows** (:class:`~repro.obs.MetricsWindow`): the
+  registry is diffed every ``window_secs`` so operators see current
+  rates and per-window latency quantiles, not lifetime averages;
+- **drift-free heartbeats** via :class:`~repro.obs.PeriodicSchedule`.
+
+The loop is cooperative and single-threaded: one tick ingests up to
+``batch_size`` packets, processes up to ``batch_size`` from the ring,
+then runs the periodic duties.  Determinism matters more here than
+thread-level overlap — the parallel engine already owns process-level
+parallelism, and the fleet (:mod:`repro.nids.fleet`) owns scale-out.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..net.packet import Packet
+from ..net.pcap import PcapReader
+from ..obs import MetricsWindow, PeriodicSchedule
+from ..resilience.shedder import BoundedRing
+from .alerts import Alert
+from .pipeline import SemanticNids
+
+__all__ = ["SensorDaemon", "DaemonStats", "IterPacketSource",
+           "TailPacketSource"]
+
+
+class IterPacketSource:
+    """A finite packet iterable as a daemon source (replay / tests)."""
+
+    def __init__(self, packets: Iterable[Packet]) -> None:
+        self._it = iter(packets)
+        self.finished = False
+
+    def poll(self) -> Packet | None:
+        try:
+            return next(self._it)
+        except StopIteration:
+            self.finished = True
+            return None
+
+
+class TailPacketSource:
+    """A growing capture, tailed through a streaming
+    :class:`~repro.net.pcap.PcapReader`.
+
+    ``poll`` returns ``None`` whenever no *complete* record is buffered —
+    a partial tail is simply "not yet", never a truncation (that verdict
+    belongs to :meth:`finalize`, once the writer is known to be done).
+    The source never reports ``finished`` on its own: the daemon's
+    ``idle_timeout`` / ``stop`` decide when tailing ends.
+    """
+
+    def __init__(self, reader: PcapReader) -> None:
+        if not reader.streaming:
+            raise ValueError("TailPacketSource needs a streaming PcapReader")
+        self.reader = reader
+        self.finished = False
+
+    def poll(self) -> Packet | None:
+        return self.reader.poll_packet()
+
+    def finalize(self) -> None:
+        self.reader.finalize()
+
+
+@dataclass
+class DaemonStats:
+    """End-of-run accounting; ``uncounted_drops`` must always be zero."""
+
+    ingested: int
+    processed: int
+    shed: int
+    queued: int
+    backpressure_waits: int
+    alerts: int
+    reloads: int
+    windows: int
+    duration: float
+
+    @property
+    def uncounted_drops(self) -> int:
+        """Packets that entered but are neither processed, counted as
+        shed, nor still queued — the silent-drop detector."""
+        return self.ingested - self.processed - self.shed - self.queued
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.ingested if self.ingested else 0.0
+
+
+class SensorDaemon:
+    """Drives a :class:`~repro.nids.SemanticNids` (serial or parallel)
+    as an always-on service over a :class:`PacketSource`.
+
+    Parameters
+    ----------
+    nids:
+        The engine; its registry is where every daemon metric lands.
+    source:
+        Object with ``poll() -> Packet | None`` and a ``finished``
+        attribute (see :class:`IterPacketSource`,
+        :class:`TailPacketSource`).
+    ring_capacity / shed_policy:
+        The admission ring (see :class:`~repro.resilience.BoundedRing`).
+        Under ``"block"`` a refused packet is held and the source is not
+        read again until the ring drains — backpressure, zero loss.
+    batch_size:
+        Packets ingested and processed per cooperative tick.
+    heartbeat / window_secs:
+        Periodic duties, both on drift-free deadline-anchored schedules.
+    template_provider:
+        Optional zero-argument callable polled once per tick; it returns
+        a template list (serial engine), a template-set name (either
+        engine), or ``None`` for "no opinion".  A changed library digest
+        triggers the hot reload.
+    idle_timeout:
+        Stop after this many seconds without a single packet ingested or
+        processed (tail mode's exit condition).  ``None`` = run until
+        ``stop`` or the source finishes.
+    on_alert:
+        Operator callback; exceptions are contained as ``deliver``
+        faults, exactly like :class:`~repro.nids.NidsSensor`.
+    """
+
+    def __init__(
+        self,
+        nids: SemanticNids,
+        source,
+        *,
+        ring_capacity: int = 4096,
+        shed_policy: str = "newest",
+        batch_size: int = 256,
+        heartbeat: float = 0.0,
+        heartbeat_out: Callable[[str], None] | None = None,
+        window_secs: float = 0.0,
+        max_windows: int = 60,
+        template_provider: Callable | None = None,
+        idle_timeout: float | None = None,
+        poll_interval: float = 0.02,
+        on_alert: Callable[[Alert], None] | None = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        self.nids = nids
+        self.source = source
+        self.batch_size = batch_size
+        self.template_provider = template_provider
+        self.idle_timeout = idle_timeout
+        self.poll_interval = poll_interval
+        self.on_alert = on_alert
+        self.heartbeat_out = heartbeat_out
+        self._clock = clock
+        self._sleep = sleep
+        self.ring = BoundedRing(ring_capacity, policy=shed_policy,
+                                registry=nids.registry)
+        self._beat = (PeriodicSchedule(heartbeat, clock)
+                      if heartbeat > 0 else None)
+        self._window_sched = (PeriodicSchedule(window_secs, clock)
+                              if window_secs > 0 else None)
+        self.window = (MetricsWindow(nids.registry, max_windows=max_windows,
+                                     clock=clock)
+                       if window_secs > 0 else None)
+        reg = nids.registry
+        self._ingested = reg.counter(
+            "repro_daemon_ingested_total",
+            help="Packets pulled from the capture source.", unit="packets")
+        self._processed = reg.counter(
+            "repro_daemon_processed_total",
+            help="Packets taken off the ring and fed to the pipeline.",
+            unit="packets")
+        self._latency = reg.histogram(
+            "repro_daemon_packet_seconds",
+            help="Per-packet pipeline latency (ring take to alerts out).",
+            unit="seconds")
+        self._held: Packet | None = None
+        self.reloads = 0
+
+    # -- the cooperative loop -------------------------------------------------
+
+    def run(self, *, max_packets: int | None = None,
+            stop: Callable[[], bool] | None = None) -> DaemonStats:
+        """Run until the source finishes (and the ring drains), ``stop``
+        returns true, ``max_packets`` have been processed, or the daemon
+        has been idle for ``idle_timeout`` seconds."""
+        started = self._clock()
+        idle_since: float | None = None
+        while True:
+            # Poll the provider first so a changed library applies to
+            # this tick's packets — nothing is judged by a stale set
+            # once the swap is visible.
+            self._maybe_reload()
+            moved = self._ingest_tick()
+            moved += self._process_tick(max_packets)
+            if self._beat is not None and self._beat.due():
+                self._emit_heartbeat()
+            if self._window_sched is not None and self._window_sched.due():
+                self.window.roll()
+            if stop is not None and stop():
+                break
+            if max_packets is not None and self._processed.value >= max_packets:
+                break
+            if (self.source.finished and len(self.ring) == 0
+                    and self._held is None):
+                break
+            if moved:
+                idle_since = None
+            else:
+                now = self._clock()
+                if idle_since is None:
+                    idle_since = now
+                elif (self.idle_timeout is not None
+                      and now - idle_since >= self.idle_timeout):
+                    break
+                self._sleep(self.poll_interval)
+        return self._shutdown(started)
+
+    def _ingest_tick(self) -> int:
+        """Pull up to ``batch_size`` packets from the source into the
+        ring.  Under the ``block`` policy a refused packet is held (the
+        source stays unread — backpressure); drop policies shed inside
+        the ring, counted there."""
+        n = 0
+        while n < self.batch_size:
+            held, pkt = self._held is not None, None
+            if held:
+                pkt, self._held = self._held, None
+            else:
+                pkt = self.source.poll()
+                if pkt is None:
+                    break
+                self._ingested.inc()
+            if not self.ring.offer(pkt) and self.ring.policy == "block":
+                self._held = pkt  # retry after the ring drains
+                break
+            n += 1
+        return n
+
+    def _process_tick(self, max_packets: int | None) -> int:
+        n = 0
+        while n < self.batch_size:
+            if (max_packets is not None
+                    and self._processed.value >= max_packets):
+                break
+            pkt = self.ring.take()
+            if pkt is None:
+                break
+            t0 = time.perf_counter()
+            alerts = self.nids.process_packet(pkt)
+            self._latency.observe(time.perf_counter() - t0)
+            self._processed.inc()
+            n += 1
+            for alert in alerts:
+                self._deliver(alert)
+        return n
+
+    # -- periodic duties ------------------------------------------------------
+
+    def _maybe_reload(self) -> None:
+        if self.template_provider is None:
+            return
+        spec = self.template_provider()
+        if spec is None:
+            return
+        if isinstance(spec, str):
+            if hasattr(self.nids, "reload_template_set"):
+                changed = self.nids.reload_template_set(spec)
+            else:
+                from .parallel import resolve_template_set
+                changed = self.nids.reload_templates(
+                    resolve_template_set(spec))
+        else:
+            changed = self.nids.reload_templates(spec)
+        if changed:
+            self.reloads += 1
+
+    def _emit_heartbeat(self) -> None:
+        stats = self.nids.stats
+        line = (f"heartbeat: ingested={self._ingested.value} "
+                f"processed={self._processed.value} "
+                f"queued={len(self.ring)} shed={self.ring.shed_total} "
+                f"alerts={stats.alerts} reloads={self.reloads}")
+        if self.heartbeat_out is not None:
+            self.heartbeat_out(line)
+
+    def _deliver(self, alert: Alert) -> None:
+        if self.on_alert is None:
+            return
+        try:
+            self.on_alert(alert)
+        except Exception as exc:  # noqa: BLE001 — operator code is untrusted
+            self.nids.firewall.contain_record(
+                "deliver", reason="resilience.stage-fault",
+                detail=f"{type(exc).__name__}: {exc}")
+
+    # -- shutdown -------------------------------------------------------------
+
+    def _shutdown(self, started: float) -> DaemonStats:
+        for alert in self.nids.flush():
+            self._deliver(alert)
+        if hasattr(self.source, "finalize"):
+            self.source.finalize()
+        if self.window is not None:
+            self.window.roll()
+        if self._beat is not None:
+            self._emit_heartbeat()
+        return self.stats(duration=self._clock() - started)
+
+    def stats(self, duration: float = 0.0) -> DaemonStats:
+        return DaemonStats(
+            ingested=self._ingested.value,
+            processed=self._processed.value,
+            shed=self.ring.shed_total,
+            queued=len(self.ring) + (1 if self._held is not None else 0),
+            backpressure_waits=self.ring.backpressure_total,
+            alerts=self.nids.stats.alerts,
+            reloads=self.reloads,
+            windows=len(self.window.windows) if self.window else 0,
+            duration=duration,
+        )

@@ -1,0 +1,330 @@
+"""Scale-out sensor fleet: flow-hash dispatcher, whole-pipeline workers,
+central aggregator.
+
+The parallel engine (:mod:`repro.nids.parallel`) parallelizes stages
+(b)-(e) *within* one sensor; the fleet scales the **whole pipeline** out
+across N sensor processes, the way a capture point outgrows one box:
+
+- **flow-hash dispatch** — every packet is assigned to a worker by a
+  *stable* digest of its flow (``shard_by="source"``, the default,
+  hashes the sender address; ``"flow"`` hashes the unordered endpoint
+  pair), so each worker's defragmenter, stream reassembler, and
+  per-stream dedup see complete (directional) flows.  Source sharding
+  additionally keeps every *per-source* classifier state — dark-space
+  scan counts, SMTP fan-out — on one worker, which is what makes fleet
+  alerts exactly equal to a single batch
+  :class:`~repro.nids.SemanticNids` over the same capture; endpoint
+  sharding balances heavy talkers better but only preserves parity when
+  classification is per-packet (honeypots) or disabled.
+- **picklable work units** — workers receive ``(seq, wire_bytes,
+  timestamp)`` triples and re-decode them; alerts travel back with the
+  dispatcher-assigned ``seq`` and with ``match=None`` (live
+  :class:`TemplateMatch` objects hold template lambdas and stay in the
+  worker, same rule as the parallel engine).
+- **deterministic aggregation** — the aggregator orders packet alerts by
+  global dispatch sequence (a stable sort, so one packet's alerts keep
+  their pipeline order) and appends each worker's flush-time alerts in
+  worker order.  The merged stream does not depend on process
+  scheduling.
+- **cross-process metrics** — each batch result carries the worker
+  registry's :meth:`~repro.obs.MetricsRegistry.collect_delta`; the
+  aggregator folds them with
+  :meth:`~repro.obs.MetricsRegistry.merge_delta` into the central
+  registry.  Worker metric keys the aggregator never registered are
+  auto-registered *and counted* (``repro_obs_merge_unknown_total``), so
+  fleet-wide stage timings and shed/fault counters read like one
+  sensor's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+
+from ..errors import FlowKeyError
+from ..net.flow import FlowKey
+from ..net.packet import Packet
+from ..obs import MetricsRegistry
+from .alerts import Alert
+from .parallel import resolve_template_set
+from .pipeline import SemanticNids
+
+__all__ = ["SensorFleet", "FleetStats"]
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+_FLEET_STATE: dict = {}
+
+
+def _init_fleet_worker(template_set: str, options: dict) -> None:
+    """Per-process initializer: one complete sensor pipeline."""
+    registry = MetricsRegistry()
+    _FLEET_STATE["registry"] = registry
+    _FLEET_STATE["nids"] = SemanticNids(
+        templates=resolve_template_set(template_set),
+        registry=registry, **options)
+
+
+def _portable(alert: Alert) -> Alert:
+    """Alerts cross the process boundary without their live match
+    objects (template predicates are lambdas and do not pickle)."""
+    return replace(alert, match=None) if alert.match is not None else alert
+
+
+def _fleet_process_batch(batch: list) -> tuple[list, dict]:
+    """Run one dispatch batch of ``(seq, wire_bytes, timestamp)`` through
+    the worker's pipeline; returns seq-tagged alerts + a metrics delta."""
+    nids: SemanticNids = _FLEET_STATE["nids"]
+    out = []
+    for seq, raw, timestamp in batch:
+        pkt = Packet.decode(raw, timestamp)
+        for alert in nids.process_packet(pkt):
+            out.append((seq, _portable(alert)))
+    return out, _FLEET_STATE["registry"].collect_delta()
+
+
+def _fleet_flush_worker() -> tuple[list, dict]:
+    """Finalize unexamined stream tails; ships the remaining alerts and
+    the final metrics delta."""
+    nids: SemanticNids = _FLEET_STATE["nids"]
+    alerts = [_portable(a) for a in nids.flush()]
+    return alerts, _FLEET_STATE["registry"].collect_delta()
+
+
+# ---------------------------------------------------------------------------
+# Aggregator side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FleetStats:
+    """Aggregator-side accounting for one fleet run."""
+
+    workers: int
+    dispatched: int
+    batches: int
+    alerts: int
+    deltas_merged: int
+
+
+class SensorFleet:
+    """N whole-pipeline sensor processes behind a flow-hash dispatcher.
+
+    Parameters
+    ----------
+    workers:
+        Sensor processes.  ``1`` still spawns a process — the fleet's
+        value is the dispatch/aggregation contract, not a serial
+        fallback (use :class:`SemanticNids` directly for that).
+    template_set:
+        Named template set, rebuilt inside each worker (template objects
+        do not pickle).
+    batch_size:
+        Packets buffered per worker before a batch is shipped; amortizes
+        pickling without reordering anything (per-worker batches stay
+        FIFO, and the aggregator orders by global seq anyway).
+    nids_options:
+        Extra picklable keyword arguments for each worker's
+        :class:`SemanticNids` (e.g. ``classification_enabled``,
+        ``frame_cache_size``, ``analysis_deadline_ms``).
+    shard_by:
+        ``"source"`` (default) routes by sender address — exact alert
+        parity with a batch sensor, because per-source classifier state
+        never splits; ``"flow"`` routes by unordered endpoint pair —
+        better balance under one heavy talker, parity only without
+        cross-flow classifier state.
+    registry:
+        The central registry worker deltas fold into.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        template_set: str = "paper",
+        batch_size: int = 64,
+        nids_options: dict | None = None,
+        shard_by: str = "source",
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a fleet needs at least one worker")
+        if shard_by not in ("source", "flow"):
+            raise ValueError(f"unknown shard_by {shard_by!r}; "
+                             "expected 'source' or 'flow'")
+        self.workers = workers
+        self.shard_by = shard_by
+        self.template_set = template_set
+        self.batch_size = batch_size
+        self.nids_options = dict(nids_options or {})
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.alerts: list[Alert] = []
+        self._seq = 0
+        self._batches_sent = 0
+        self._deltas_merged = 0
+        self._batches: list[list] = [[] for _ in range(workers)]
+        self._futures: list[deque] = [deque() for _ in range(workers)]
+        #: (seq, alert) pairs already collected, sorted at merge time
+        self._collected: list = []
+        self._dispatched = self.registry.counter(
+            "repro_fleet_dispatched_total",
+            help="Packets dispatched to fleet workers.", unit="packets")
+        self._batch_counter = self.registry.counter(
+            "repro_fleet_batches_total",
+            help="Dispatch batches shipped to fleet workers.",
+            unit="batches")
+        self._pools = [
+            ProcessPoolExecutor(
+                max_workers=1,
+                initializer=_init_fleet_worker,
+                initargs=(template_set, self.nids_options),
+            )
+            for _ in range(workers)
+        ]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "SensorFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.flush()
+        pools, self._pools = self._pools, []
+        for pool in pools:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _shard_of(self, pkt: Packet) -> int:
+        """Stable worker index for a packet.
+
+        Hashed through :mod:`hashlib` rather than :func:`hash` so the
+        assignment is identical across runs and interpreter salts.
+        ``"source"`` mode keys on the sender (all of one host's flows —
+        and its scan-count state — stay together); ``"flow"`` mode keys
+        on the unordered endpoint pair so both directions of one
+        conversation reach the same worker's reassembler.
+        """
+        if self.shard_by == "source":
+            token = pkt.src or "?"
+        else:
+            try:
+                key = FlowKey.of(pkt)
+                a, b = f"{key.src}:{key.sport}", f"{key.dst}:{key.dport}"
+                token = "|".join(sorted((a, b))) + f"/{key.proto}"
+            except FlowKeyError:  # no transport flow (e.g. ICMP, raw eth)
+                token = "|".join(sorted((pkt.src or "?", pkt.dst or "?")))
+        digest = hashlib.sha1(token.encode()).digest()
+        return int.from_bytes(digest[:4], "big") % self.workers
+
+    def process_packet(self, pkt: Packet) -> None:
+        """Dispatch one packet to its flow's worker.
+
+        Alerts are not returned here — they surface, in deterministic
+        order, from :meth:`flush` / :meth:`process_trace`; the fleet
+        trades per-packet synchrony for throughput.
+        """
+        shard = self._shard_of(pkt)
+        self._batches[shard].append((self._seq, pkt.encode(), pkt.timestamp))
+        self._seq += 1
+        self._dispatched.inc()
+        if len(self._batches[shard]) >= self.batch_size:
+            self._ship(shard)
+        self._collect(blocking=False)
+
+    def process_trace(self, packets) -> list[Alert]:
+        """Feed a whole capture; returns all alerts, aggregated."""
+        before = len(self.alerts)
+        for pkt in packets:
+            self.process_packet(pkt)
+        self.flush()
+        return self.alerts[before:]
+
+    def _ship(self, shard: int) -> None:
+        batch, self._batches[shard] = self._batches[shard], []
+        if not batch:
+            return
+        self._futures[shard].append(
+            self._pools[shard].submit(_fleet_process_batch, batch))
+        self._batches_sent += 1
+        self._batch_counter.inc()
+
+    # -- aggregation ---------------------------------------------------------
+
+    def _collect(self, blocking: bool) -> None:
+        """Fold completed batch results (per-shard FIFO) into the
+        aggregation buffer and the central registry."""
+        for futures in self._futures:
+            while futures and (blocking or futures[0].done()):
+                alerts, delta = futures.popleft().result()
+                self._collected.extend(alerts)
+                self.registry.merge_delta(delta)
+                self._deltas_merged += 1
+
+    def flush(self) -> list[Alert]:
+        """Ship partial batches, drain every worker, finalize stream
+        tails, and merge: packet alerts sorted by dispatch seq (stable —
+        one packet's alerts keep pipeline order), then each worker's
+        flush-time alerts in worker order."""
+        if not self._pools:
+            return []
+        for shard in range(self.workers):
+            self._ship(shard)
+        self._collect(blocking=True)
+        tails: list[list[Alert]] = []
+        for shard in range(self.workers):
+            alerts, delta = self._pools[shard].submit(
+                _fleet_flush_worker).result()
+            tails.append(alerts)
+            self.registry.merge_delta(delta)
+            self._deltas_merged += 1
+        merged = [alert for _, alert in
+                  sorted(self._collected, key=lambda pair: pair[0])]
+        self._collected = []
+        for tail in tails:
+            merged.extend(tail)
+        self.alerts.extend(merged)
+        return merged
+
+    # -- hot template reload -------------------------------------------------
+
+    def reload_template_set(self, template_set: str) -> bool:
+        """Hot-swap the fleet's template library, same digest-keyed
+        semantics as the single-sensor engines: in-flight batches drain
+        under the old library, then every worker is respawned with the
+        new set in its initargs."""
+        from ..core.library import library_digest
+
+        new = library_digest(resolve_template_set(template_set))
+        old = library_digest(resolve_template_set(self.template_set))
+        if new == old:
+            return False
+        self.flush()
+        self.template_set = template_set
+        for shard, pool in enumerate(self._pools):
+            pool.shutdown(wait=False, cancel_futures=True)
+            self._pools[shard] = ProcessPoolExecutor(
+                max_workers=1,
+                initializer=_init_fleet_worker,
+                initargs=(template_set, self.nids_options),
+            )
+        return True
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def stats(self) -> FleetStats:
+        return FleetStats(
+            workers=self.workers,
+            dispatched=self._seq,
+            batches=self._batches_sent,
+            alerts=len(self.alerts),
+            deltas_merged=self._deltas_merged,
+        )

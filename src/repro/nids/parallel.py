@@ -55,6 +55,7 @@ from ..core.analyzer import SemanticAnalyzer
 from ..core.library import (
     all_templates,
     decoder_templates,
+    library_digest,
     paper_templates,
     xor_only_templates,
 )
@@ -391,6 +392,51 @@ class ParallelSemanticNids(SemanticNids):
             # quick, and it avoids interpreter-exit races with the pool's
             # management thread.
             pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- hot template reload ------------------------------------------------
+
+    def reload_templates(self, templates) -> bool:
+        raise ValueError(
+            "ParallelSemanticNids reloads by set name "
+            "(reload_template_set): template objects cannot be shipped "
+            "to worker processes")
+
+    def reload_template_set(self, template_set: str) -> bool:
+        """Hot-swap to a named template set, fleet-wide.
+
+        Pending work is drained first (in-flight payloads merge under
+        the library they were submitted against), then the parent
+        analyzer swaps (same digest-keyed semantics as the serial
+        engine), and every worker pool is respawned with the new set in
+        its initargs — worker frame caches and plans re-derive from
+        scratch, so no worker can ever answer from a stale library.
+        """
+        templates = resolve_template_set(template_set)
+        if library_digest(templates) == self.library_digest():
+            return False
+        self._drain(blocking=True)
+        changed = super(ParallelSemanticNids, self).reload_templates(templates)
+        self.template_set = template_set
+        if self._pools:
+            cache_size = (self.analyzer.frame_cache.max_entries
+                          if self.analyzer.frame_cache is not None else 0)
+            self._initargs = (template_set, cache_size,
+                              self.analyzer.min_instructions,
+                              self._deadline_units,
+                              self.fastpath,
+                              self.compiled,
+                              self.ir_cache_size)
+            for shard, old in enumerate(self._pools):
+                old.shutdown(wait=False, cancel_futures=True)
+                self._pools[shard] = ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_init_worker,
+                    initargs=self._initargs,
+                )
+        # Results cached parent-side were computed under the old library.
+        self._payload_cache.clear()
+        self._inflight.clear()
+        return changed
 
     # -- dispatch -----------------------------------------------------------
 

@@ -166,6 +166,10 @@ class SemanticNids:
             Deadline.from_ms(analysis_deadline_ms).budget_units
             if analysis_deadline_ms else None)
         self.stats = NidsStats(self.registry, self.tracer)
+        self._template_reloads = self.registry.counter(
+            "repro_template_reloads_total",
+            help="Hot template-library reloads applied (digest changed).",
+            unit="reloads")
         self.alerts: list[Alert] = []
         self.max_rounds_per_stream = max_rounds_per_stream
         #: a growing stream is re-analyzed on its first payload bytes, then
@@ -307,6 +311,31 @@ class SemanticNids:
         """Release engine resources (worker pools, for the parallel
         engine).  The serial engine holds none."""
         self.flush()
+
+    # -- hot template reload -------------------------------------------------
+
+    def library_digest(self) -> bytes:
+        """Digest of the currently loaded template library."""
+        from ..core.library import library_digest
+
+        return library_digest(self.analyzer.templates)
+
+    def reload_templates(self, templates: list[Template]) -> bool:
+        """Hot-swap the template library, keyed on
+        :func:`~repro.core.library.library_digest`: an unchanged digest
+        is a no-op (returns ``False``); a changed one swaps the
+        analyzer's library — frame cache, compiled match plans, and
+        anchor prefilter invalidate atomically with it (see
+        :meth:`~repro.core.analyzer.SemanticAnalyzer.set_templates`) —
+        and counts ``repro_template_reloads_total``.
+        """
+        from ..core.library import library_digest
+
+        if library_digest(templates) == self.library_digest():
+            return False
+        self.analyzer.set_templates(templates)
+        self._template_reloads.inc()
+        return True
 
     # -- stages (b)-(e) ---------------------------------------------------------
 

@@ -22,6 +22,12 @@ from .registry import (
 )
 from .stage import ANALYZE_STAGE, PIPELINE_STAGES, StageTimer
 from .tracer import NullTracer, Span, Tracer, aggregate_spans, read_spans
+from .window import (
+    MetricsWindow,
+    PeriodicSchedule,
+    WindowSnapshot,
+    quantile_from_buckets,
+)
 
 __all__ = [
     "ANALYZE_STAGE",
@@ -32,11 +38,15 @@ __all__ = [
     "Histogram",
     "MetricField",
     "MetricsRegistry",
+    "MetricsWindow",
     "NullTracer",
+    "PeriodicSchedule",
     "Span",
     "StageTimer",
     "Tracer",
+    "WindowSnapshot",
     "aggregate_spans",
     "bind_metrics",
+    "quantile_from_buckets",
     "read_spans",
 ]

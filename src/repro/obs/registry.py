@@ -319,15 +319,25 @@ class MetricsRegistry:
                 "histograms": histograms}
 
     def merge_delta(self, delta: dict) -> None:
-        """Fold a ``collect_delta`` payload (from a worker process) in."""
+        """Fold a ``collect_delta`` payload (from a worker process) in.
+
+        A delta key the receiving registry has never seen — a worker that
+        registered a metric the aggregator did not pre-build — is
+        auto-registered and folded like any other, and the event is
+        counted in ``repro_obs_merge_unknown_total`` so a schema skew
+        between fleet members is visible instead of silently mis-merged.
+        """
         for name, labels, diff, help, unit in delta.get("counters", ()):
+            self._note_unknown(name, labels)
             self.counter(name, labels=dict(labels), help=help,
                          unit=unit).inc(diff)
         for name, labels, value, help, unit in delta.get("gauges", ()):
+            self._note_unknown(name, labels)
             self.gauge(name, labels=dict(labels), help=help,
                        unit=unit).set(value)
         for entry in delta.get("histograms", ()):
             name, labels, edges, counts, sum_diff, help, unit = entry
+            self._note_unknown(name, labels)
             hist = self.histogram(name, labels=dict(labels), help=help,
                                   unit=unit, buckets=tuple(edges))
             if hist.edges != tuple(edges):
@@ -336,6 +346,16 @@ class MetricsRegistry:
                 hist.counts[i] += c
             hist.sum += sum_diff
             hist.count += sum(counts)
+
+    def _note_unknown(self, name: str, labels) -> None:
+        """Count a delta key that the receiver had not registered."""
+        if (name, tuple(labels)) in self._metrics:
+            return
+        self.counter(
+            "repro_obs_merge_unknown_total",
+            help="Delta keys merged that the receiving registry had not "
+                 "registered (auto-registered on arrival).",
+            unit="metrics").inc()
 
 
 def _format_labels(labels: dict[str, str]) -> str:

@@ -1,0 +1,168 @@
+"""Rolling metrics windows and drift-free periodic scheduling.
+
+A long-running sensor cannot answer "how fast right now?" from
+monotonically growing totals alone: the daemon rolls the registry into
+fixed-duration windows and keeps the last N, so operators see current
+rates and latency quantiles, not lifetime averages.
+
+Two pieces:
+
+- :class:`PeriodicSchedule` — a deadline-anchored interval timer.  Each
+  deadline is computed from the *previous deadline*, never from "now",
+  so per-batch processing time cannot drift the cadence (the historical
+  ``--heartbeat`` bug); when the caller falls more than a whole interval
+  behind, missed deadlines are skipped rather than replayed as a burst.
+- :class:`MetricsWindow` — successive diffs of a
+  :class:`~repro.obs.registry.MetricsRegistry` snapshot.  It keeps its
+  own last-value bookkeeping (it never touches the ``_last`` fields the
+  worker delta protocol owns), so windowing composes with the parallel
+  engine's ``collect_delta``/``merge_delta`` traffic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .registry import Histogram, MetricsRegistry
+
+__all__ = ["PeriodicSchedule", "MetricsWindow", "WindowSnapshot",
+           "quantile_from_buckets"]
+
+
+class PeriodicSchedule:
+    """Interval timer whose deadlines never drift.
+
+    ``due()`` returns ``True`` at most once per elapsed interval and
+    advances the next deadline from the previous one (``prev +
+    interval``), not from the current clock reading — so a beat that
+    fires late does not push every later beat back by the lateness.
+    If more than one whole interval was missed, the schedule skips
+    forward to the next future deadline instead of firing a backlog.
+    """
+
+    def __init__(self, interval: float, clock=time.monotonic) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self._clock = clock
+        self.next_deadline = clock() + interval
+
+    def due(self, now: float | None = None) -> bool:
+        now = self._clock() if now is None else now
+        if now < self.next_deadline:
+            return False
+        self.next_deadline += self.interval
+        if self.next_deadline <= now:
+            # More than a full interval behind: skip the missed beats,
+            # keeping the deadline grid anchored to the original phase.
+            missed = int((now - self.next_deadline) // self.interval) + 1
+            self.next_deadline += missed * self.interval
+        return True
+
+
+def quantile_from_buckets(edges: tuple[float, ...], counts: list[int],
+                          q: float) -> float:
+    """Quantile estimate from fixed-bucket histogram counts.
+
+    Returns the upper edge of the bucket containing the q-th observation
+    (the overflow bucket reports the last finite edge), which is how
+    Prometheus' ``histogram_quantile`` degrades too — an upper bound,
+    never an undercount.
+    """
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    seen = 0
+    for i, count in enumerate(counts):
+        seen += count
+        if seen >= rank:
+            return edges[i] if i < len(edges) else edges[-1]
+    return edges[-1]
+
+
+@dataclass
+class WindowSnapshot:
+    """One closed window: counter increments and histogram deltas."""
+
+    start: float
+    end: float
+    #: ``(name, labels_key)`` → increment over the window
+    counters: dict[tuple, float] = field(default_factory=dict)
+    #: ``(name, labels_key)`` → (edges, delta_counts, delta_sum)
+    histograms: dict[tuple, tuple] = field(default_factory=dict)
+    #: ``(name, labels_key)`` → value at window close
+    gauges: dict[tuple, float] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def rate(self, name: str, labels: dict[str, str] | None = None) -> float:
+        """Counter increments per second over this window."""
+        key = (name, tuple(sorted((labels or {}).items())))
+        if self.duration <= 0:
+            return 0.0
+        return self.counters.get(key, 0.0) / self.duration
+
+    def quantile(self, name: str, q: float,
+                 labels: dict[str, str] | None = None) -> float:
+        """Histogram quantile over this window's observations alone."""
+        key = (name, tuple(sorted((labels or {}).items())))
+        entry = self.histograms.get(key)
+        if entry is None:
+            return 0.0
+        edges, counts, _ = entry
+        return quantile_from_buckets(edges, counts, q)
+
+
+class MetricsWindow:
+    """Rolls a registry into fixed-duration :class:`WindowSnapshot` s.
+
+    ``roll(now)`` closes the current window — the diff of every counter
+    and histogram against the previous roll — and appends it to
+    :attr:`windows` (bounded to ``max_windows``, oldest first out).
+    """
+
+    def __init__(self, registry: MetricsRegistry, *,
+                 max_windows: int = 60,
+                 clock=time.monotonic) -> None:
+        self.registry = registry
+        self.max_windows = max_windows
+        self._clock = clock
+        self.windows: list[WindowSnapshot] = []
+        self._window_start = clock()
+        self._last_counters: dict[tuple, float] = {}
+        self._last_hist: dict[tuple, tuple] = {}
+
+    def roll(self, now: float | None = None) -> WindowSnapshot:
+        """Close the running window and start the next one."""
+        now = self._clock() if now is None else now
+        snap = WindowSnapshot(start=self._window_start, end=now)
+        for metric in self.registry.metrics():
+            key = (metric.name, tuple(sorted(metric.labels.items())))
+            if isinstance(metric, Histogram):
+                last_counts, last_sum = self._last_hist.get(
+                    key, ([0] * len(metric.counts), 0.0))
+                delta = [c - l for c, l in zip(metric.counts, last_counts)]
+                if any(delta):
+                    snap.histograms[key] = (metric.edges, delta,
+                                            metric.sum - last_sum)
+                self._last_hist[key] = (list(metric.counts), metric.sum)
+            elif metric.kind == "gauge":
+                snap.gauges[key] = metric.value
+            else:
+                diff = metric.value - self._last_counters.get(key, 0)
+                if diff:
+                    snap.counters[key] = diff
+                self._last_counters[key] = metric.value
+        self.windows.append(snap)
+        if len(self.windows) > self.max_windows:
+            del self.windows[: len(self.windows) - self.max_windows]
+        self._window_start = now
+        return snap
+
+    @property
+    def latest(self) -> WindowSnapshot | None:
+        return self.windows[-1] if self.windows else None

@@ -14,6 +14,9 @@ docs/robustness.md):
   budgets (instruction units, not wall clock);
 - :mod:`repro.resilience.breaker` — per-shard circuit breakers behind
   the parallel engine's worker self-healing;
+- :mod:`repro.resilience.shedder` — bounded ingestion rings with
+  capacity-aware, always-counted load shedding (the daemon's admission
+  buffer);
 - :mod:`repro.resilience.chaos` — seeded fault injection proving all of
   the above.
 """
@@ -34,8 +37,11 @@ from .firewall import (
     StageFirewall,
 )
 from .quarantine import QuarantineWriter
+from .shedder import SHED_POLICIES, BoundedRing
 
 __all__ = [
+    "BoundedRing",
+    "SHED_POLICIES",
     "CLOSED",
     "CONTAINED_STAGES",
     "DEADLINE_TEMPLATE",

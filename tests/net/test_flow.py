@@ -223,3 +223,45 @@ class TestReassemblerHardening:
         assert r.evicted >= 2
         # the stream being fed is never its own eviction victim
         assert all(k.sport != 4004 for k in evicted)
+
+    def test_single_giant_stream_does_not_over_evict(self):
+        """Regression: when the spared (current) stream alone exceeds the
+        byte budget, the eviction loop used to evict every *other* stream
+        on every segment — pure loss, since the total could never get
+        under the cap.  The clamp stops once only over-budget spared
+        bytes remain."""
+        evicted = []
+        r = StreamReassembler(max_total_bytes=1000, on_evict=evicted.append)
+        # Two small bystander flows (oldest first)...
+        a = _seg(b"a" * 100, 100, sport=5001)
+        a.timestamp = 0.0
+        r.feed(a)
+        b = _seg(b"b" * 100, 100, sport=5002)
+        b.timestamp = 1.0
+        r.feed(b)
+        # ...then one flow grows past the whole budget by itself.
+        for i in range(5):
+            pkt = _seg(b"z" * 300, 100 + i * 300, sport=5003)
+            pkt.timestamp = 2.0 + i
+            r.feed(pkt)
+        # While the giant was still under the cap, budget pressure evicted
+        # the oldest bystander; once the giant ALONE exceeded the cap,
+        # eviction stopped — the second bystander survives, because
+        # evicting it could never get the total under budget anyway.
+        assert r.evicted == 1
+        assert [k.sport for k in evicted] == [5001]
+        assert len(r) == 2
+        giant = r.get(FlowKey("1.1.1.1", "2.2.2.2", 5003, 80, 6))
+        assert giant is not None and giant.buffered == 1500
+        assert r.get(FlowKey("1.1.1.1", "2.2.2.2", 5002, 80, 6)) is not None
+
+    def test_eviction_counter_stays_accurate_under_clamp(self):
+        reg_evictions = []
+        r = StreamReassembler(max_total_bytes=500,
+                              on_evict=reg_evictions.append)
+        for i in range(3):
+            pkt = _seg(b"y" * 400, 100, sport=6000 + i)
+            pkt.timestamp = float(i)
+            r.feed(pkt)
+        # every eviction the counter reports had a real victim
+        assert r.evicted == len(reg_evictions)

@@ -169,3 +169,106 @@ class TestSnaplen:
         raw = buf.getvalue()
         _, _, caplen, origlen = struct.unpack("<IIII", raw[24:40])
         assert caplen == origlen == 2000
+
+
+class TestStreamingReader:
+    """streaming=True tails a growing capture: end-of-data at a record
+    boundary means "wait for more", not truncation (satellite of the
+    sensor-daemon work — the FIFO / live-writer case)."""
+
+    def _pcap_bytes(self, n=3):
+        buf = io.BytesIO()
+        writer = PcapWriter(buf)
+        for pkt in _sample_packets(n):
+            writer.write(pkt)
+        return buf.getvalue()
+
+    def test_poll_returns_none_at_record_boundary(self):
+        whole = self._pcap_bytes(2)
+        buf = io.BytesIO(whole)
+        reader = PcapReader(buf, streaming=True)
+        assert reader.poll() is not None
+        assert reader.poll() is not None
+        assert reader.poll() is None  # boundary: clean "not yet"
+        assert not reader.pending_partial
+        assert reader.finalize()  # ...and a clean finalize
+        assert not reader.truncated
+
+    def test_partial_record_is_not_a_verdict_until_finalize(self):
+        whole = self._pcap_bytes(2)
+        cut = len(whole) - 7  # mid-record tail
+        reader = PcapReader(io.BytesIO(whole[:cut]), streaming=True,
+                            salvage=True)
+        assert reader.poll() is not None
+        assert reader.poll() is None  # second record incomplete: wait
+        assert reader.pending_partial
+        assert not reader.truncated  # no verdict yet — writer may resume
+        assert not reader.finalize()  # NOW it is a truncation
+        assert reader.truncated
+
+    def test_tailing_a_growing_file(self, tmp_path):
+        path = tmp_path / "grow.pcap"
+        whole = self._pcap_bytes(3)
+        cut = len(whole) - 11
+        path.write_bytes(whole[:cut])
+        with open(path, "rb") as fh:
+            reader = PcapReader(fh, streaming=True)
+            assert reader.poll() is not None
+            assert reader.poll() is not None
+            assert reader.poll() is None  # third record still partial
+            # the writer catches up...
+            with open(path, "ab") as append:
+                append.write(whole[cut:])
+            # ...and the SAME reader picks up exactly where it left off
+            rec = reader.poll()
+            assert rec is not None
+            assert reader.records_read == 3
+            assert reader.finalize()
+
+    def test_global_header_may_arrive_late(self):
+        whole = self._pcap_bytes(1)
+
+        class Growing(io.BytesIO):
+            pass
+
+        buf = Growing(whole[:10])  # not even the global header yet
+        reader = PcapReader(buf, streaming=True)
+        assert reader.poll() is None
+        pos = buf.tell()
+        buf.seek(0, io.SEEK_END)
+        buf.write(whole[10:])
+        buf.seek(pos)
+        assert reader.poll() is not None
+
+    def test_streaming_bad_magic_still_raises(self):
+        # Enough bytes buffered at open: the verdict is immediate.
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\x00" * 24), streaming=True)
+        # Fewer than 24 bytes: deferred until the header completes.
+        buf = io.BytesIO(b"\x00" * 10)
+        reader = PcapReader(buf, streaming=True)
+        assert reader.poll() is None  # still waiting for the header
+        pos = buf.tell()
+        buf.seek(0, io.SEEK_END)
+        buf.write(b"\x00" * 14)
+        buf.seek(pos)
+        with pytest.raises(PcapError):
+            reader.poll()
+
+    def test_finalize_counts_truncation_in_registry(self):
+        whole = self._pcap_bytes(1)
+        reg = MetricsRegistry()
+        reader = PcapReader(io.BytesIO(whole[:-3]), streaming=True,
+                            salvage=True, registry=reg)
+        while reader.poll() is not None:
+            pass
+        reader.finalize()
+        assert reg.get("repro_pcap_truncated_total").value == 1
+
+    def test_nonstreaming_unchanged_raises_mid_record(self):
+        """The batch reader's contract is untouched: a short read is a
+        truncation immediately (no finalize needed)."""
+        whole = self._pcap_bytes(2)
+        reader = PcapReader(io.BytesIO(whole[:-5]))
+        with pytest.raises(TruncatedCaptureError):
+            list(reader)

@@ -207,3 +207,57 @@ class TestMetricField:
         b = self.Component()
         a.seen += 1
         assert b.seen == 0
+
+
+class TestMergeUnknownKeys:
+    """Delta keys the receiver never registered must not vanish silently:
+    they are auto-registered AND counted (repro_obs_merge_unknown_total)."""
+
+    def test_unknown_counter_key_is_counted_and_folded(self):
+        worker = MetricsRegistry()
+        worker.counter("repro_worker_only_total",
+                       labels={"stage": "x"}).inc(3)
+        delta = worker.collect_delta()
+
+        parent = MetricsRegistry()  # never registered that key
+        parent.merge_delta(delta)
+        assert parent.get("repro_worker_only_total",
+                          {"stage": "x"}).value == 3
+        assert parent.get("repro_obs_merge_unknown_total").value == 1
+
+    def test_known_keys_do_not_count_as_unknown(self):
+        worker = MetricsRegistry()
+        worker.counter("repro_shared_total").inc()
+        delta = worker.collect_delta()
+
+        parent = MetricsRegistry()
+        parent.counter("repro_shared_total")  # pre-registered
+        parent.merge_delta(delta)
+        unknown = parent.get("repro_obs_merge_unknown_total")
+        assert unknown is None or unknown.value == 0
+
+    def test_cross_process_round_trip(self):
+        """The fleet path: the delta crosses a real process boundary and
+        still folds (plus the unknown-key count) on the far side."""
+        import pickle
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            delta = pickle.loads(
+                pool.submit(_delta_from_worker_process).result())
+        parent = MetricsRegistry()
+        parent.merge_delta(delta)
+        parent.merge_delta(delta)  # second merge: key now known
+        assert parent.get("repro_xproc_total").value == 10
+        assert parent.get("repro_xproc_seconds").count == 2
+        assert parent.get("repro_obs_merge_unknown_total").value == 2
+
+
+def _delta_from_worker_process() -> bytes:
+    """Module-level so ProcessPoolExecutor can pickle the callable."""
+    import pickle
+
+    reg = MetricsRegistry()
+    reg.counter("repro_xproc_total").inc(5)
+    reg.histogram("repro_xproc_seconds").observe(2e-6)
+    return pickle.dumps(reg.collect_delta())

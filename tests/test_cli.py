@@ -161,3 +161,62 @@ class TestSensorErrorHandling:
         assert "linux_shell_spawn" in captured.out
         assert "truncated mid-record" in captured.err
         assert "salvaged 5 complete record(s)" in captured.err
+
+
+class TestSensord:
+    def test_daemon_drains_capture_and_accounts(self, attack_pcap, capsys):
+        from repro.cli import sensord_main
+        rc = sensord_main([str(attack_pcap), "--honeypot", "10.10.0.250"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "linux_shell_spawn" in captured.out
+        assert "uncounted_drops=0" in captured.err
+
+    def test_clean_capture_returns_zero(self, tmp_path, capsys):
+        from repro.cli import make_trace_main, sensord_main
+        path = tmp_path / "b.pcap"
+        make_trace_main([str(path), "--benign-only", "--packets", "400"])
+        capsys.readouterr()
+        rc = sensord_main([str(path), "--no-classify"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "alerts=0" in captured.err
+        assert "uncounted_drops=0" in captured.err
+
+    def test_tiny_ring_sheds_counted(self, tmp_path, capsys):
+        from repro.cli import make_trace_main, sensord_main
+        path = tmp_path / "b.pcap"
+        make_trace_main([str(path), "--benign-only", "--packets", "400"])
+        capsys.readouterr()
+        rc = sensord_main([str(path), "--no-classify", "--ring-capacity", "2",
+                           "--batch-size", "64", "--shed-policy", "newest",
+                           "--stats"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "uncounted_drops=0" in captured.err  # sheds are all counted
+
+    def test_template_set_file_hot_reload(self, tmp_path, capsys):
+        from repro.cli import sensord_main
+        from repro.engines import get_shellcode
+        from repro.net.packet import udp_packet
+        from repro.net.pcap import write_pcap
+        payload = bytes([0x90]) * 48 + \
+            get_shellcode("classic-execve").assemble()
+        pkt = udp_packet("6.6.6.6", "10.10.0.3", 999, 69, payload)
+        path = tmp_path / "hot.pcap"
+        write_pcap(path, [pkt])
+        spec = tmp_path / "set.txt"
+        spec.write_text("paper\n")
+        rc = sensord_main([str(path), "--no-classify",
+                           "--template-set", "xor-only",
+                           "--template-set-file", str(spec)])
+        captured = capsys.readouterr()
+        # the file's set wins before the first packet is judged
+        assert rc == 1
+        assert "linux_shell_spawn" in captured.out
+        assert "reloads=1" in captured.err
+
+    def test_missing_file(self, capsys):
+        from repro.cli import sensord_main
+        rc = sensord_main(["/nonexistent/file.pcap"])
+        assert rc == 2
