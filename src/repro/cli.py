@@ -10,6 +10,8 @@ Installed as console scripts (see ``pyproject.toml``):
 - ``repro-asm``        — assemble Intel-syntax x86 to raw bytes.
 - ``repro-disasm``     — disassemble raw bytes / hex to a listing.
 - ``repro-make-trace`` — synthesize an evaluation pcap (benign + CRII).
+- ``repro-scenario``   — validate / run declarative YAML scenarios
+  (docs/scenarios.md).
 
 Each ``main`` takes an ``argv`` list for testability and returns a POSIX
 exit status (0 ok; 1 for "detections found" in scanning tools, so they
@@ -23,7 +25,7 @@ import sys
 from pathlib import Path
 
 __all__ = ["sensor_main", "sensord_main", "analyze_main", "asm_main",
-           "disasm_main", "make_trace_main"]
+           "disasm_main", "make_trace_main", "scenario_main"]
 
 
 # ---------------------------------------------------------------------------
@@ -544,4 +546,144 @@ def make_trace_main(argv: list[str] | None = None) -> int:
     print(f"wrote {len(packets)} packets to {args.output} "
           f"({trace.crii_instances} CRII instances from "
           f"{', '.join(trace.crii_sources) or 'none'}){suffix}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro-scenario
+# ---------------------------------------------------------------------------
+
+
+def scenario_main(argv: list[str] | None = None) -> int:
+    """Validate, run, or describe declarative YAML scenarios."""
+    parser = argparse.ArgumentParser(
+        prog="repro-scenario",
+        description="Declarative end-to-end experiments from YAML "
+                    "scenario files (see docs/scenarios.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_validate = sub.add_parser(
+        "validate", help="check scenario files against the schema")
+    p_validate.add_argument("files", type=Path, nargs="+",
+                            metavar="SCENARIO")
+
+    p_run = sub.add_parser("run", help="run one scenario end to end")
+    p_run.add_argument("file", type=Path, metavar="SCENARIO")
+    p_run.add_argument("--result-out", type=Path, metavar="FILE",
+                       help="write the machine-readable result "
+                            "(repro.scenario-result/v1 JSON) here")
+    p_run.add_argument("--override-seed", type=int, default=None,
+                       metavar="N",
+                       help="run with this master seed instead of the "
+                            "file's (reproducibility experiments)")
+    p_run.add_argument("--override-engine",
+                       choices=("serial", "parallel", "daemon", "fleet"),
+                       default=None, metavar="KIND",
+                       help="run on this engine kind instead of the "
+                            "file's (parity experiments)")
+    p_run.add_argument("--print-alerts", action="store_true",
+                       help="print the full alert stream, one line per "
+                            "alert (the bytes the digest pins)")
+    p_run.add_argument("--quiet", action="store_true",
+                       help="suppress the per-check report; the exit "
+                            "status still reflects the expect: block")
+
+    p_list = sub.add_parser(
+        "list", help="summarize scenario files, or with no files, the "
+                     "DSL vocabulary")
+    p_list.add_argument("files", type=Path, nargs="*", metavar="SCENARIO")
+    p_list.add_argument("--keys", action="store_true",
+                        help="print the full schema key reference "
+                             "instead")
+    args = parser.parse_args(argv)
+
+    from .scenario import ScenarioError, load_scenario
+
+    if args.command == "validate":
+        failures = 0
+        for path in args.files:
+            try:
+                spec = load_scenario(path)
+            except ScenarioError as exc:
+                print(f"{path}: INVALID: {exc}", file=sys.stderr)
+                failures += 1
+                continue
+            print(f"{path}: ok — scenario {spec.name!r} "
+                  f"({len(spec.campaigns)} campaign(s), "
+                  f"{len(spec.evasion)} evasion transform(s), "
+                  f"engine {spec.engine.kind})")
+        return 2 if failures else 0
+
+    if args.command == "run":
+        import dataclasses
+
+        from .scenario import run_scenario
+
+        try:
+            spec = load_scenario(args.file)
+        except ScenarioError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.override_seed is not None:
+            spec = dataclasses.replace(spec, seed=args.override_seed)
+        if args.override_engine is not None:
+            spec = dataclasses.replace(
+                spec, engine=dataclasses.replace(
+                    spec.engine, kind=args.override_engine))
+        result = run_scenario(spec)
+        if args.print_alerts:
+            for line in result.alert_lines():
+                print(line)
+        if not args.quiet:
+            print(f"scenario {spec.name!r}: {result.packets} packets, "
+                  f"{len(result.alerts)} alert(s), engine "
+                  f"{spec.engine.kind}, seed {spec.seed}")
+            print(f"alert stream sha256: {result.digest}")
+            for check in result.checks:
+                status = "PASS" if check.passed else "FAIL"
+                print(f"  [{status}] {check.check}: expected "
+                      f"{check.expected}, got {check.actual}")
+            if not result.checks:
+                print("  (no expect: block — nothing gated)")
+        if args.result_out:
+            args.result_out.write_text(result.to_json())
+            if not args.quiet:
+                print(f"result JSON written to {args.result_out}")
+        return 0 if result.passed else 1
+
+    # list
+    if args.keys:
+        from .scenario import SCHEMA
+
+        width = max(len(k.path) for k in SCHEMA)
+        for key in SCHEMA:
+            default = ("" if key.default == "—"
+                       else f" (default {key.default})")
+            print(f"{key.path:{width}s}  {key.type:14s} {key.doc}"
+                  f"{default}")
+        return 0
+    if args.files:
+        failures = 0
+        for path in args.files:
+            try:
+                spec = load_scenario(path)
+            except ScenarioError as exc:
+                print(f"{path}: INVALID: {exc}", file=sys.stderr)
+                failures += 1
+                continue
+            engines = ", ".join(c.engine for c in spec.campaigns) or "none"
+            print(f"{path.name}: {spec.name} — {spec.description or '-'} "
+                  f"[campaigns: {engines}; engine: {spec.engine.kind}; "
+                  f"expect: {'yes' if not spec.expect.empty else 'no'}]")
+        return 2 if failures else 0
+    from .scenario import CAMPAIGN_ENGINES, CHAOS_KINDS, ENGINE_KINDS
+    from .nids.parallel import TEMPLATE_SETS
+    from .traffic import evasion_names
+
+    print("campaign engines: " + ", ".join(sorted(CAMPAIGN_ENGINES)))
+    print("evasion transforms: " + ", ".join(evasion_names()))
+    print("chaos kinds: " + ", ".join(CHAOS_KINDS))
+    print("engine kinds: " + ", ".join(ENGINE_KINDS))
+    print("template sets: " + ", ".join(sorted(TEMPLATE_SETS)))
     return 0

@@ -1,0 +1,56 @@
+"""Scenario file loading: YAML text → :class:`~repro.scenario.ScenarioSpec`.
+
+Parsing and validation are deliberately split: :func:`loads` handles the
+YAML surface (safe loading, friendly syntax errors, the missing-PyYAML
+case), :func:`repro.scenario.schema.validate` handles meaning.  Both
+speak :class:`~repro.scenario.ScenarioError`, so callers — the CLI, the
+test suites, CI — catch exactly one exception type and print exactly one
+line.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .schema import ScenarioError, ScenarioSpec, validate
+
+__all__ = ["load_scenario", "loads"]
+
+try:  # PyYAML ships with the evaluation image, but degrade gracefully.
+    import yaml as _yaml
+except ImportError:  # pragma: no cover - exercised only without PyYAML
+    _yaml = None
+
+
+def loads(text: str, source: str = "<scenario>") -> ScenarioSpec:
+    """Parse and validate scenario YAML from a string."""
+    if _yaml is None:  # pragma: no cover
+        raise ScenarioError(
+            source, "PyYAML is not installed; scenario files cannot be "
+                    "parsed (pip install pyyaml)")
+    try:
+        data = _yaml.safe_load(text)
+    except _yaml.YAMLError as exc:
+        mark = getattr(exc, "problem_mark", None)
+        where = f"{source}:{mark.line + 1}" if mark is not None else source
+        problem = getattr(exc, "problem", None) or str(exc)
+        raise ScenarioError(where, f"YAML syntax error: {problem}") from None
+    if data is None:
+        raise ScenarioError(source, "empty scenario file")
+    if not isinstance(data, dict):
+        raise ScenarioError(
+            source, f"a scenario is a YAML mapping, got "
+                    f"{type(data).__name__}")
+    return validate(data, source)
+
+
+def load_scenario(path: str | Path) -> ScenarioSpec:
+    """Load and validate one scenario file."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        raise ScenarioError(str(path), "no such file") from None
+    except OSError as exc:
+        raise ScenarioError(str(path), f"unreadable: {exc}") from None
+    return loads(text, source=path.name)

@@ -1,0 +1,42 @@
+"""The shipped example scenarios stay valid and honest.
+
+CI's scenario-smoke job runs the full set end to end; here we validate
+every file and run the cheapest one, so a template rename or schema
+change that orphans an example fails fast in the tier-1 suite.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenario import load_scenario, run_scenario
+
+SCENARIO_DIR = Path(__file__).resolve().parents[2] / "examples" / "scenarios"
+SCENARIOS = sorted(SCENARIO_DIR.glob("*.yaml"))
+
+
+def test_examples_exist():
+    names = {p.name for p in SCENARIOS}
+    assert {"quickstart.yaml", "worm-outbreak.yaml",
+            "mailworm-outbreak.yaml",
+            "polymorphic-campaign.yaml"} <= names
+
+
+@pytest.mark.parametrize("path", SCENARIOS, ids=lambda p: p.name)
+def test_example_validates(path):
+    spec = load_scenario(path)
+    assert spec.name
+    assert not spec.expect.empty, "shipped examples must be gateable"
+
+
+def test_quickstart_passes_end_to_end():
+    result = run_scenario(load_scenario(SCENARIO_DIR / "quickstart.yaml"))
+    assert result.passed, [c for c in result.checks if not c.passed]
+
+
+def test_worm_outbreak_pins_its_digest():
+    # The digest in the file is the reproducibility contract shown in
+    # docs/scenarios.md; it must be present, not just optional.
+    spec = load_scenario(SCENARIO_DIR / "worm-outbreak.yaml")
+    assert spec.expect.digest is not None
+    assert len(spec.evasion) >= 1

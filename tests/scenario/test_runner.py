@@ -1,0 +1,198 @@
+"""Scenario runs: golden alert stream, engine parity, seed derivation,
+and the result JSON contract."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.scenario import (
+    RESULT_SCHEMA, derive_seed, loads, render_alert_stream, run_scenario,
+)
+
+GOLDEN_YAML = """
+scenario: golden
+seed: 13
+traffic:
+  conversations: 4
+campaigns:
+  - engine: codered
+    at: 1.5
+    scans: 6
+    count: 2
+  - engine: clet
+    at: 2.5
+    count: 1
+evasion:
+  - transform: tiny-fragments
+engine:
+  kind: serial
+  template_set: all
+  options:
+    classification_enabled: false
+"""
+
+#: The exact alert stream GOLDEN_YAML produces.  If this changes, the
+#: determinism contract of docs/scenarios.md changed with it — that may
+#: be intentional (new template, changed lift), but it must be loud.
+GOLDEN_LINES = [
+    "[    2.500200] HIGH     xor_decrypt_loop         "
+    "203.0.113.11 -> 10.10.0.7 (http-target-sled) "
+    "xor_decrypt_loop @ [0x11b..0x120] with KEY=0x8091e35a, PTR=esi",
+    "[    2.500200] MEDIUM   generic_decrypt_loop     "
+    "203.0.113.11 -> 10.10.0.7 (http-target-sled) "
+    "generic_decrypt_loop @ [0x11b..0x120] with KEY=0x8091e35a, PTR=esi",
+    "[    2.501000] CRITICAL codered_ii_vector        "
+    "10.30.3.7 -> 10.10.0.7 (http-target-unicode) "
+    "codered_ii_vector @ [0x3..0x26]",
+    "[    3.001000] CRITICAL codered_ii_vector        "
+    "10.30.3.7 -> 10.10.0.7 (http-target-unicode) "
+    "codered_ii_vector @ [0x3..0x26]",
+]
+GOLDEN_DIGEST = \
+    "de08a028d5aef0ba69e811d01dc8929522636629b9e49ec007d7fbda9e95f725"
+
+
+def with_engine(spec, kind, **engine_fields):
+    return dataclasses.replace(
+        spec, engine=dataclasses.replace(spec.engine, kind=kind,
+                                         **engine_fields))
+
+
+class TestGolden:
+    def test_exact_alert_stream(self):
+        result = run_scenario(loads(GOLDEN_YAML))
+        assert result.alert_lines() == GOLDEN_LINES
+        assert result.digest == GOLDEN_DIGEST
+
+    def test_repeat_run_is_byte_identical(self):
+        spec = loads(GOLDEN_YAML)
+        first = run_scenario(spec)
+        second = run_scenario(spec)
+        assert (render_alert_stream(first.alerts)
+                == render_alert_stream(second.alerts))
+
+    def test_parallel_and_daemon_parity(self):
+        spec = loads(GOLDEN_YAML)
+        for kind in ("parallel", "daemon"):
+            result = run_scenario(with_engine(spec, kind))
+            assert result.digest == GOLDEN_DIGEST, kind
+
+    def test_seed_change_moves_the_stream(self):
+        spec = dataclasses.replace(loads(GOLDEN_YAML), seed=14)
+        # The campaign payloads are seed-derived, so the encrypted
+        # bodies (and the xor key in the alert text) must change.
+        assert run_scenario(spec).digest != GOLDEN_DIGEST
+
+
+class TestDeriveSeed:
+    def test_stable_across_processes(self):
+        # sha256-based, not hash()-based: these values are forever.
+        assert derive_seed(0, "x") == derive_seed(0, "x")
+        assert derive_seed(13, "campaign[0]") == 4238910135
+
+    def test_labels_and_masters_separate(self):
+        assert derive_seed(13, "campaign[0]") != derive_seed(13, "campaign[1]")
+        assert derive_seed(13, "campaign[0]") != derive_seed(14, "campaign[0]")
+
+
+class TestExpect:
+    def test_failing_check_fails_the_result(self):
+        spec = loads(GOLDEN_YAML + """
+expect:
+  alerts:
+    total: 3
+""")
+        result = run_scenario(spec)
+        assert not result.passed
+        [check] = [c for c in result.checks if not c.passed]
+        assert check.check == "alerts.total"
+        assert check.actual == "4"
+
+    def test_bounds_templates_sources_metrics_digest(self):
+        spec = loads(GOLDEN_YAML + f"""
+expect:
+  alerts:
+    total: {{min: 3, max: 5}}
+    templates:
+      codered_ii_vector: 2
+      xor_decrypt_loop: {{min: 1}}
+    sources: ["10.30.3.7", "203.0.113.11"]
+  metrics:
+    repro_alerts_total: {{min: 4}}
+  digest: "sha256:{GOLDEN_DIGEST}"
+""")
+        result = run_scenario(spec)
+        assert result.passed, [c for c in result.checks if not c.passed]
+        assert len(result.checks) == 6
+
+    def test_absent_metric_fails_not_raises(self):
+        spec = loads(GOLDEN_YAML + """
+expect:
+  metrics:
+    repro_no_such_metric_total: {min: 1}
+""")
+        result = run_scenario(spec)
+        assert not result.passed
+        [check] = result.checks
+        assert check.actual == "absent"
+
+
+class TestResultJson:
+    def test_shape(self):
+        spec = loads(GOLDEN_YAML + """
+expect:
+  alerts: {total: 4}
+""")
+        data = json.loads(run_scenario(spec).to_json())
+        assert data["schema"] == RESULT_SCHEMA
+        assert data["scenario"] == "golden"
+        assert data["seed"] == 13
+        assert data["alert_stream_sha256"] == GOLDEN_DIGEST
+        assert data["alerts"]["total"] == 4
+        assert data["alerts"]["by_template"]["codered_ii_vector"] == 2
+        assert data["alerts"]["sources"] == ["10.30.3.7", "203.0.113.11"]
+        assert data["passed"] is True
+        assert data["checks"][0]["check"] == "alerts.total"
+        assert data["metrics"]["repro_alerts_total"] == 4
+
+
+class TestChaosScenarios:
+    def test_stall_payload_trips_deadline_alert(self):
+        spec = loads("""
+scenario: stall
+seed: 3
+chaos:
+  - kind: stall-payload
+    at: 1.0
+    instructions: 60000
+engine:
+  options:
+    classification_enabled: false
+    analysis_deadline_ms: 5
+expect:
+  alerts:
+    templates:
+      resilience.deadline-exceeded: {min: 1}
+""")
+        assert run_scenario(spec).passed
+
+    def test_truncate_capture_roundtrip_still_detects(self):
+        spec = loads("""
+scenario: salvage
+seed: 4
+campaigns:
+  - engine: codered
+    count: 1
+chaos:
+  - kind: truncate-capture
+    drop_bytes: 8
+engine:
+  options:
+    classification_enabled: false
+expect:
+  alerts:
+    templates:
+      codered_ii_vector: {min: 1}
+""")
+        assert run_scenario(spec).passed

@@ -1,0 +1,202 @@
+"""Scenario schema validation: every failure is ONE actionable error
+carrying its YAML path — never a traceback, never a second guess."""
+
+import pytest
+
+from repro.scenario import (
+    SCHEMA, ScenarioError, loads, schema_keys, validate,
+)
+
+
+def err(data) -> ScenarioError:
+    with pytest.raises(ScenarioError) as exc_info:
+        validate(data, "test.yaml")
+    return exc_info.value
+
+
+MINIMAL = {"scenario": "t"}
+
+
+class TestShape:
+    def test_minimal_scenario_validates(self):
+        spec = validate(dict(MINIMAL), "test.yaml")
+        assert spec.name == "t"
+        assert spec.seed == 0
+        assert spec.engine.kind == "serial"
+        assert spec.campaigns == ()
+        assert spec.expect.empty
+
+    def test_scenario_name_required(self):
+        e = err({})
+        assert "scenario" in str(e)
+
+    def test_empty_name_rejected(self):
+        e = err({"scenario": ""})
+        assert "scenario" in str(e)
+
+    def test_non_mapping_file(self):
+        with pytest.raises(ScenarioError) as exc_info:
+            loads("- just\n- a\n- list\n")
+        assert "mapping" in str(exc_info.value)
+
+    def test_empty_file(self):
+        with pytest.raises(ScenarioError) as exc_info:
+            loads("")
+        assert "empty" in str(exc_info.value)
+
+    def test_yaml_syntax_error_carries_line(self):
+        with pytest.raises(ScenarioError) as exc_info:
+            loads("scenario: [unclosed\n", source="bad.yaml")
+        assert "bad.yaml" in str(exc_info.value)
+        assert "YAML syntax error" in str(exc_info.value)
+
+
+class TestUnknownKeys:
+    def test_unknown_top_level_key(self):
+        e = err(dict(MINIMAL, campaignz=[]))
+        assert "campaignz" in str(e)
+        assert "unknown key" in str(e)
+
+    def test_unknown_campaign_key_names_list_index(self):
+        e = err(dict(MINIMAL, campaigns=[
+            {"engine": "codered"}, {"engine": "codered", "scanz": 3}]))
+        assert "campaigns[1]" in str(e)
+        assert "scanz" in str(e)
+
+    def test_unknown_nested_engine_option(self):
+        e = err(dict(MINIMAL, engine={"options": {"dark_treshold": 5}}))
+        assert "engine.options" in str(e)
+        assert "dark_treshold" in str(e)
+
+    def test_engine_specific_key_on_wrong_engine(self):
+        # scans belongs to codered; netsky must reject it, not drop it.
+        e = err(dict(MINIMAL, campaigns=[{"engine": "netsky", "scans": 4}]))
+        assert "campaigns[0]" in str(e)
+        assert "scans" in str(e)
+
+
+class TestTypesAndRanges:
+    def test_wrong_type_reports_expected_and_got(self):
+        e = err(dict(MINIMAL, seed="lots"))
+        assert "seed" in str(e)
+        assert "int" in str(e)
+        assert "str" in str(e)
+
+    def test_bool_is_not_an_int(self):
+        # bool is an int subclass; the validator must not accept it.
+        e = err(dict(MINIMAL, seed=True))
+        assert "seed" in str(e)
+
+    def test_seed_out_of_range(self):
+        e = err(dict(MINIMAL, seed=2**32))
+        assert "seed" in str(e)
+
+    def test_negative_seed(self):
+        e = err(dict(MINIMAL, seed=-1))
+        assert "seed" in str(e)
+
+    def test_campaign_count_must_be_positive(self):
+        e = err(dict(MINIMAL,
+                     campaigns=[{"engine": "codered", "count": 0}]))
+        assert "campaigns[0].count" in str(e)
+
+    def test_unknown_campaign_engine_lists_choices(self):
+        e = err(dict(MINIMAL, campaigns=[{"engine": "cletx"}]))
+        assert "campaigns[0].engine" in str(e)
+        assert "cletx" in str(e)
+        assert "clet" in str(e)  # the fix is in the message
+
+    def test_unknown_evasion_transform(self):
+        e = err(dict(MINIMAL, evasion=[{"transform": "tiny-fragmentz"}]))
+        assert "evasion[0].transform" in str(e)
+
+    def test_unknown_chaos_kind(self):
+        e = err(dict(MINIMAL, chaos=[{"kind": "coffee-spill"}]))
+        assert "chaos[0].kind" in str(e)
+
+    def test_unknown_engine_kind(self):
+        e = err(dict(MINIMAL, engine={"kind": "quantum"}))
+        assert "engine.kind" in str(e)
+
+    def test_unknown_template_set(self):
+        e = err(dict(MINIMAL, engine={"template_set": "everything"}))
+        assert "engine.template_set" in str(e)
+
+
+class TestConflicts:
+    def test_workers_on_serial_engine(self):
+        e = err(dict(MINIMAL, engine={"kind": "serial", "workers": 4}))
+        assert "workers" in str(e)
+
+    def test_daemon_block_on_parallel_engine(self):
+        e = err(dict(MINIMAL, engine={"kind": "parallel",
+                                      "daemon": {"batch_size": 64}}))
+        assert "daemon" in str(e)
+
+    def test_fanout_needs_classification(self):
+        e = err(dict(MINIMAL, engine={
+            "options": {"classification_enabled": False,
+                        "smtp_fanout_threshold": 8}}))
+        assert "smtp_fanout_threshold" in str(e)
+
+    def test_fanout_rejected_on_fleet(self):
+        e = err(dict(MINIMAL, engine={
+            "kind": "fleet",
+            "options": {"smtp_fanout_threshold": 8}}))
+        assert "smtp_fanout_threshold" in str(e)
+
+    def test_decode_faults_rejected_on_fleet(self):
+        e = err(dict(MINIMAL, chaos=[{"kind": "decode-faults"}],
+                     engine={"kind": "fleet"}))
+        assert "decode-faults" in str(e)
+
+
+class TestExpectBlock:
+    def test_dangling_template_reference(self):
+        e = err(dict(MINIMAL, expect={
+            "alerts": {"templates": {"codered_iii_vector": 1}}}))
+        assert "codered_iii_vector" in str(e)
+        assert "expect.alerts.templates" in str(e)
+
+    def test_template_must_be_in_selected_set(self):
+        # codered_ii_vector exists, but not in the xor-only set.
+        e = err(dict(MINIMAL, engine={"template_set": "xor-only"},
+                     expect={"alerts": {"templates":
+                                        {"codered_ii_vector": 1}}}))
+        assert "codered_ii_vector" in str(e)
+
+    def test_degraded_templates_always_referencable(self):
+        spec = validate(dict(MINIMAL, expect={
+            "alerts": {"templates": {"resilience.stage-fault": 0}}}),
+            "test.yaml")
+        assert "resilience.stage-fault" in spec.expect.templates
+
+    def test_bound_needs_min_or_max(self):
+        e = err(dict(MINIMAL, expect={"alerts": {"total": {}}}))
+        assert "expect.alerts.total" in str(e)
+
+    def test_bound_min_above_max(self):
+        e = err(dict(MINIMAL,
+                     expect={"alerts": {"total": {"min": 5, "max": 2}}}))
+        assert "expect.alerts.total" in str(e)
+
+    def test_bad_digest_rejected(self):
+        e = err(dict(MINIMAL, expect={"digest": "abc123"}))
+        assert "expect.digest" in str(e)
+
+    def test_digest_prefix_stripped(self):
+        hexd = "0" * 64
+        spec = validate(
+            dict(MINIMAL, expect={"digest": f"sha256:{hexd}"}), "t.yaml")
+        assert spec.expect.digest == hexd
+
+
+class TestSchemaTable:
+    def test_schema_keys_unique(self):
+        keys = schema_keys()
+        assert len(keys) == len(set(keys))
+
+    def test_every_key_documented(self):
+        for key in SCHEMA:
+            assert key.doc, f"{key.path} has no doc string"
+            assert key.type, f"{key.path} has no type"

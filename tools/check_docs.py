@@ -13,7 +13,11 @@ Checks, over README.md, EXPERIMENTS.md, DESIGN.md, and docs/:
    a renamed function or class rots loudly;
 4. every ``--flag`` token names a real option of a CLI tool in
    ``src/repro/cli.py`` (plus a small allowlist for third-party tools
-   like pytest's ``--benchmark-only``).
+   like pytest's ``--benchmark-only``);
+5. the scenario-DSL reference table in ``docs/scenarios.md`` agrees
+   with the live schema (``repro.scenario.schema_keys()``) in both
+   directions: a documented key the schema dropped fails, and so does
+   a schema key the table never mentions.
 
 Zero third-party dependencies; run as
 ``PYTHONPATH=src python tools/check_docs.py``.  Exit code 0 when the
@@ -110,6 +114,31 @@ def check_dotted_refs(path: Path, text: str, errors: list[str]) -> None:
             obj = getattr(obj, attr)
 
 
+#: table rows of docs/scenarios.md whose first cell is a backticked
+#: schema key path, e.g. ``| `campaigns[].engine` | str | ... |``.
+SCHEMA_ROW_RE = re.compile(r"^\|\s*`([a-z_0-9.\[\]]+)`\s*\|", re.MULTILINE)
+
+
+def check_scenario_schema(errors: list[str]) -> None:
+    """Diff docs/scenarios.md's reference table against the live schema."""
+    doc = REPO / "docs" / "scenarios.md"
+    if not doc.exists():  # already reported as a missing DOC_FILE
+        return
+    from repro.scenario import schema_keys
+
+    documented = set(SCHEMA_ROW_RE.findall(doc.read_text()))
+    live = set(schema_keys())
+    for key in sorted(documented - live):
+        errors.append(
+            f"{doc.name}: documents schema key {key!r} which no longer "
+            f"exists in repro.scenario.schema")
+    for key in sorted(live - documented):
+        errors.append(
+            f"{doc.name}: schema key {key!r} exists in "
+            f"repro.scenario.schema but is missing from the reference "
+            f"table")
+
+
 def check_flags(path: Path, text: str, errors: list[str],
                 known: set[str]) -> None:
     for flag in set(FLAG_RE.findall(text)):
@@ -131,6 +160,7 @@ def main() -> int:
         check_file_paths(path, text, errors)
         check_dotted_refs(path, text, errors)
         check_flags(path, text, errors, known_flags)
+    check_scenario_schema(errors)
     for error in errors:
         print(error, file=sys.stderr)
     if not errors:
