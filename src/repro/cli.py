@@ -296,6 +296,22 @@ def sensord_main(argv: list[str] | None = None) -> int:
                         help="print a liveness line to stderr every SECS "
                              "seconds (deadline-anchored, drift-free; "
                              "0 = off)")
+    parser.add_argument("--checkpoint-dir", type=Path, metavar="DIR",
+                        help="enable crash safety: keep versioned "
+                             "checkpoints and a write-ahead alert journal "
+                             "under DIR (see docs/operations.md)")
+    parser.add_argument("--checkpoint-interval", type=int, default=1000,
+                        metavar="N",
+                        help="processed packets between checkpoints "
+                             "(default 1000; needs --checkpoint-dir)")
+    parser.add_argument("--journal-fsync-batch", type=int, default=8,
+                        metavar="N",
+                        help="journal appends per fsync — lower is more "
+                             "durable, higher is faster (default 8)")
+    parser.add_argument("--resume", action="store_true",
+                        help="rehydrate from --checkpoint-dir after a crash: "
+                             "restore counters, replay journaled alerts, "
+                             "seek the capture to the checkpointed offset")
     parser.add_argument("--metrics-out", type=Path, metavar="FILE",
                         help="write the metrics registry snapshot here at "
                              "shutdown")
@@ -306,6 +322,8 @@ def sensord_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stats", action="store_true",
                         help="print pipeline statistics at shutdown")
     args = parser.parse_args(argv)
+    if args.resume and args.checkpoint_dir is None:
+        parser.error("--resume requires --checkpoint-dir")
 
     from .net.pcap import PcapError, PcapReader
     from .nids import ParallelSemanticNids, SemanticNids, SensorDaemon
@@ -358,6 +376,10 @@ def sensord_main(argv: list[str] | None = None) -> int:
         template_provider=template_provider,
         idle_timeout=args.idle_timeout,
         on_alert=lambda alert: print(alert.format()),
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        journal_fsync_batch=args.journal_fsync_batch,
+        resume=args.resume,
     )
     try:
         stats = daemon.run(max_packets=args.max_packets)

@@ -50,6 +50,15 @@ class _FragmentBuffer:
     first_seen: float = 0.0
     buffered: int = 0  # bytes currently stored across all chunks
 
+    def __getstate__(self) -> dict:
+        # Checkpoint support: chunks may alias zero-copy memoryviews.
+        state = self.__dict__.copy()
+        state["chunks"] = {off: bytes(c) for off, c in self.chunks.items()}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def add(self, offset: int, data: bytes, last: bool) -> tuple[int, int]:
         """Insert one fragment; returns ``(stored, trimmed)`` byte counts.
 

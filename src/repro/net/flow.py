@@ -91,6 +91,19 @@ class Stream:
 
     MAX_BUFFER = 4 * 1024 * 1024  # per-stream cap, mirrors real IDS limits
 
+    def __getstate__(self) -> dict:
+        # Checkpoint support: memoryview slices from the zero-copy front
+        # end cannot be pickled — materialize segments on the way out.
+        state = self.__dict__.copy()
+        state["segments"] = {
+            off: bytes(seg) for off, seg in self.segments.items()
+        }
+        state["_assembled"] = bytearray(self._assembled)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def add(self, pkt: Packet) -> int:
         """Merge one segment; returns the bytes trimmed by overlap."""
         tcp = pkt.l4

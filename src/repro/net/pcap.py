@@ -8,6 +8,7 @@ are written little-endian with microsecond resolution.
 
 from __future__ import annotations
 
+import os
 import struct
 from dataclasses import dataclass
 from pathlib import Path
@@ -91,6 +92,13 @@ class PcapWriter:
             _RECORD_HEADER["<"].pack(sec, usec, len(captured), len(data))
             + captured)
 
+    def flush(self, sync: bool = False) -> None:
+        """Flush buffered records; ``sync=True`` additionally fsyncs, for
+        writers (quarantine) whose records are crash evidence."""
+        self._fh.flush()
+        if sync:
+            os.fsync(self._fh.fileno())
+
     def close(self) -> None:
         if self._owns:
             self._fh.close()
@@ -154,6 +162,10 @@ class PcapReader:
         self._buf = b""
         self._pos = 0
         self._header_parsed = False
+        #: logical file offset of the next unread record — the resume
+        #: cursor a checkpoint stores (header-relative consumption, not
+        #: the raw file position, which runs ahead by the buffer).
+        self._consumed = 0
         if streaming:
             self._try_parse_header()  # may legitimately be incomplete yet
         elif not self._try_parse_header():
@@ -180,8 +192,32 @@ class PcapReader:
         if linktype != _LINKTYPE_ETHERNET:
             raise PcapError(f"unsupported linktype {linktype} (want Ethernet)")
         self._pos += 24
+        self._consumed = 24
         self._header_parsed = True
         return True
+
+    def tell(self) -> int:
+        """Byte offset of the next unread record (24 once the global
+        header is parsed; 0 before).  Stable across buffering — this is
+        the offset :meth:`seek_to` resumes from after a restart."""
+        return self._consumed
+
+    def seek_to(self, offset: int) -> None:
+        """Position the reader at a previously :meth:`tell`-ed offset.
+
+        Only record-boundary offsets obtained from :meth:`tell` are
+        valid; anything else desynchronizes record framing.  Requires
+        the global header to have been parsed (a capture shorter than
+        its header has no boundaries to seek to).
+        """
+        if not self._header_parsed:
+            raise PcapError("cannot seek before the pcap header is parsed")
+        if offset < 24:
+            offset = 24
+        self._fh.seek(offset)
+        self._buf = b""
+        self._pos = 0
+        self._consumed = offset
 
     def _fill(self, need: int) -> int:
         """Buffer at least ``need`` unconsumed bytes if the source has
@@ -220,6 +256,7 @@ class PcapReader:
             return None
         data = self._buf[self._pos + _RECORD_HEADER_LEN:self._pos + total]
         self._pos += total
+        self._consumed += total
         self.records_read += 1
         return PcapRecord(timestamp=sec + usec / 1_000_000, data=data)
 

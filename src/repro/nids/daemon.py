@@ -34,6 +34,7 @@ parallelism, and the fleet (:mod:`repro.nids.fleet`) owns scale-out.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable
@@ -41,6 +42,9 @@ from typing import Callable, Iterable
 from ..net.packet import Packet
 from ..net.pcap import PcapReader
 from ..obs import MetricsWindow, PeriodicSchedule
+from ..resilience.checkpoint import CheckpointStore
+from ..resilience.delivery import DurableDelivery
+from ..resilience.journal import AlertJournal
 from ..resilience.shedder import BoundedRing
 from .alerts import Alert
 from .pipeline import SemanticNids
@@ -50,18 +54,39 @@ __all__ = ["SensorDaemon", "DaemonStats", "IterPacketSource",
 
 
 class IterPacketSource:
-    """A finite packet iterable as a daemon source (replay / tests)."""
+    """A finite packet iterable as a daemon source (replay / tests).
+
+    Positions are packet indices: ``tell()`` is how many packets have
+    been polled, ``seek(n)`` skips forward to index ``n`` (a resumed
+    daemon replays the iterable and seeks past the checkpointed
+    prefix).
+    """
 
     def __init__(self, packets: Iterable[Packet]) -> None:
         self._it = iter(packets)
         self.finished = False
+        self._pos = 0
 
     def poll(self) -> Packet | None:
         try:
-            return next(self._it)
+            pkt = next(self._it)
         except StopIteration:
             self.finished = True
             return None
+        self._pos += 1
+        return pkt
+
+    def tell(self) -> int:
+        return self._pos
+
+    def seek(self, pos: int) -> None:
+        if pos < self._pos:
+            raise ValueError(
+                f"IterPacketSource cannot seek backwards "
+                f"({pos} < {self._pos}); rebuild the source instead")
+        while self._pos < pos:
+            if self.poll() is None:
+                break
 
 
 class TailPacketSource:
@@ -84,6 +109,13 @@ class TailPacketSource:
     def poll(self) -> Packet | None:
         return self.reader.poll_packet()
 
+    def tell(self) -> int:
+        """Capture byte offset of the next unread record."""
+        return self.reader.tell()
+
+    def seek(self, offset: int) -> None:
+        self.reader.seek_to(offset)
+
     def finalize(self) -> None:
         self.reader.finalize()
 
@@ -101,6 +133,10 @@ class DaemonStats:
     reloads: int
     windows: int
     duration: float
+    #: crash-safety accounting; all zero without ``checkpoint_dir``.
+    checkpoints: int = 0
+    replayed: int = 0
+    deduped: int = 0
 
     @property
     def uncounted_drops(self) -> int:
@@ -145,6 +181,26 @@ class SensorDaemon:
     on_alert:
         Operator callback; exceptions are contained as ``deliver``
         faults, exactly like :class:`~repro.nids.NidsSensor`.
+    checkpoint_dir:
+        Enables the durability layer (docs/operations.md, "Crash
+        recovery & durability"): every alert is written ahead to a
+        CRC-framed journal under ``<dir>/journal/`` before delivery,
+        and every ``checkpoint_interval`` processed packets the daemon
+        atomically checkpoints its capture position, engine state, and
+        accounting to ``<dir>/checkpoint.bin``.  Requires a source with
+        ``tell()`` and an engine with ``snapshot_state()`` (the serial
+        engine; the parallel engine's state lives in its workers).
+    resume:
+        Rehydrate from ``checkpoint_dir`` instead of starting fresh:
+        restore engine state and counters, replay the journaled-but-
+        possibly-undelivered alert tail through the delivery layer
+        (at-least-once; duplicates are suppressed by seq), and seek the
+        source to the checkpointed position.  Without ``resume`` any
+        stale checkpoint/journal files in the directory are cleared.
+    delivery:
+        Optional :class:`~repro.resilience.DurableDelivery` to route
+        alerts through (retries/backoff/spool).  Defaults, when
+        ``checkpoint_dir`` is set, to one wrapping ``on_alert``.
     """
 
     def __init__(
@@ -163,6 +219,11 @@ class SensorDaemon:
         idle_timeout: float | None = None,
         poll_interval: float = 0.02,
         on_alert: Callable[[Alert], None] | None = None,
+        checkpoint_dir: str | os.PathLike[str] | None = None,
+        checkpoint_interval: int = 1000,
+        journal_fsync_batch: int = 8,
+        resume: bool = False,
+        delivery: DurableDelivery | None = None,
         clock=time.monotonic,
         sleep=time.sleep,
     ) -> None:
@@ -197,8 +258,110 @@ class SensorDaemon:
             "repro_daemon_packet_seconds",
             help="Per-packet pipeline latency (ring take to alerts out).",
             unit="seconds")
-        self._held: Packet | None = None
+        #: under "block", the (packet, origin) pair refused by a full ring
+        self._held: tuple | None = None
         self.reloads = 0
+        # -- durability layer (optional) --
+        self.journal: AlertJournal | None = None
+        self.checkpoints: CheckpointStore | None = None
+        self.delivery = delivery
+        self.checkpoint_interval = max(1, checkpoint_interval)
+        self._alert_seq = 0
+        self._last_checkpoint_processed = 0
+        if checkpoint_dir is not None:
+            if not hasattr(nids, "snapshot_state"):
+                raise ValueError(
+                    "checkpointing needs an engine with snapshot_state(); "
+                    "the parallel engine keeps its state in worker "
+                    "processes — use the serial engine or SensorFleet")
+            if not hasattr(source, "tell"):
+                raise ValueError(
+                    "checkpointing needs a source with tell()/seek() "
+                    "(IterPacketSource, TailPacketSource)")
+            self.checkpoints = CheckpointStore(
+                checkpoint_dir, registry=reg, clock=clock)
+            self.journal = AlertJournal(
+                os.path.join(checkpoint_dir, "journal"),
+                fsync_batch=journal_fsync_batch, registry=reg)
+            if self.delivery is None:
+                self.delivery = DurableDelivery(
+                    lambda _key, alert: (
+                        self.on_alert(alert)
+                        if self.on_alert is not None else None),
+                    registry=reg, sleep=sleep, clock=clock)
+            if resume:
+                self._resume()
+            else:
+                self.checkpoints.clear()
+                self.journal.prune(keep_segments=0)
+        elif resume:
+            raise ValueError("resume=True requires checkpoint_dir")
+
+    # -- crash recovery -------------------------------------------------------
+
+    def _resume(self) -> None:
+        """Rehydrate state from the checkpoint directory.
+
+        Torn journal tails are truncated; the journaled alert window at
+        or past the checkpoint's alert-seq watermark is replayed through
+        the delivery layer (at-least-once — those alerts may or may not
+        have reached the sink before the crash), which also arms the
+        seq dedupe so the deterministically regenerated copies are
+        suppressed.
+        """
+        recovery = self.journal.recover()
+        ckpt = self.checkpoints.load()
+        floor = 0
+        if ckpt is not None:
+            self.nids.restore_state(ckpt["engine"])
+            self._ingested.inc(ckpt["processed"] + ckpt["shed"])
+            self._processed.inc(ckpt["processed"])
+            self.ring.restore_counters(
+                shed=ckpt["shed"], accepted=ckpt["processed"],
+                backpressure=ckpt["backpressure"])
+            self._alert_seq = ckpt["alert_seq"]
+            self._last_checkpoint_processed = ckpt["processed"]
+            self.reloads = ckpt["reloads"]
+            floor = ckpt["alert_seq"]
+            self.source.seek(ckpt["resume_offset"])
+        # Alerts journaled before the watermark were delivered before the
+        # checkpoint and will not be regenerated — skip them.  The rest
+        # is the in-doubt window.
+        self.delivery.replay(
+            (key, record) for key, record in recovery.entries if key >= floor)
+        self.delivery.replay_spool()
+
+    def checkpoint(self) -> None:
+        """Atomically persist progress.  The journal is synced first, so
+        every alert below the checkpointed watermark is durable before
+        the checkpoint can claim it was emitted."""
+        if self.checkpoints is None:
+            return
+        self.journal.sync()
+        head = self.ring.peek()
+        if head is not None:
+            resume_offset = head[1]
+        elif self._held is not None:
+            resume_offset = self._held[1]
+        else:
+            resume_offset = self.source.tell()
+        self.checkpoints.save({
+            "resume_offset": resume_offset,
+            "engine": self.nids.snapshot_state(),
+            "processed": self._processed.value,
+            "shed": self.ring.shed_total,
+            "backpressure": self.ring.backpressure_total,
+            "alert_seq": self._alert_seq,
+            "reloads": self.reloads,
+        })
+        self._last_checkpoint_processed = self._processed.value
+
+    def _maybe_checkpoint(self) -> None:
+        if self.checkpoints is None:
+            return
+        done = self._processed.value - self._last_checkpoint_processed
+        if done >= self.checkpoint_interval:
+            self.checkpoint()
 
     # -- the cooperative loop -------------------------------------------------
 
@@ -216,6 +379,7 @@ class SensorDaemon:
             self._maybe_reload()
             moved = self._ingest_tick()
             moved += self._process_tick(max_packets)
+            self._maybe_checkpoint()
             if self._beat is not None and self._beat.due():
                 self._emit_heartbeat()
             if self._window_sched is not None and self._window_sched.due():
@@ -245,17 +409,19 @@ class SensorDaemon:
         source stays unread — backpressure); drop policies shed inside
         the ring, counted there."""
         n = 0
+        track = self.checkpoints is not None
         while n < self.batch_size:
-            held, pkt = self._held is not None, None
-            if held:
-                pkt, self._held = self._held, None
+            if self._held is not None:
+                item, self._held = self._held, None
             else:
+                origin = self.source.tell() if track else None
                 pkt = self.source.poll()
                 if pkt is None:
                     break
                 self._ingested.inc()
-            if not self.ring.offer(pkt) and self.ring.policy == "block":
-                self._held = pkt  # retry after the ring drains
+                item = (pkt, origin)
+            if not self.ring.offer(item) and self.ring.policy == "block":
+                self._held = item  # retry after the ring drains
                 break
             n += 1
         return n
@@ -266,16 +432,17 @@ class SensorDaemon:
             if (max_packets is not None
                     and self._processed.value >= max_packets):
                 break
-            pkt = self.ring.take()
-            if pkt is None:
+            item = self.ring.take()
+            if item is None:
                 break
+            pkt = item[0]
             t0 = time.perf_counter()
             alerts = self.nids.process_packet(pkt)
             self._latency.observe(time.perf_counter() - t0)
             self._processed.inc()
             n += 1
             for alert in alerts:
-                self._deliver(alert)
+                self._emit(alert)
         return n
 
     # -- periodic duties ------------------------------------------------------
@@ -307,6 +474,21 @@ class SensorDaemon:
         if self.heartbeat_out is not None:
             self.heartbeat_out(line)
 
+    def _emit(self, alert: Alert) -> None:
+        """Alert egress: journal first (write-ahead), then deliver.
+
+        A journal failure propagates — the daemon must not keep running
+        while its durability backbone is gone (supervisors restart it;
+        the journal tail is truncated and replayed on resume).
+        """
+        if self.journal is None:
+            self._deliver(alert)
+            return
+        seq = self._alert_seq
+        self._alert_seq += 1
+        self.journal.append(seq, alert)
+        self.delivery.deliver(seq, alert)
+
     def _deliver(self, alert: Alert) -> None:
         if self.on_alert is None:
             return
@@ -321,7 +503,12 @@ class SensorDaemon:
 
     def _shutdown(self, started: float) -> DaemonStats:
         for alert in self.nids.flush():
-            self._deliver(alert)
+            self._emit(alert)
+        if self.checkpoints is not None:
+            self.checkpoint()
+            self.delivery.replay_spool()
+            self.journal.close()
+            self.delivery.close()
         if hasattr(self.source, "finalize"):
             self.source.finalize()
         if self.window is not None:
@@ -341,4 +528,7 @@ class SensorDaemon:
             reloads=self.reloads,
             windows=len(self.window.windows) if self.window else 0,
             duration=duration,
+            checkpoints=self.checkpoints.saves if self.checkpoints else 0,
+            replayed=self.nids.stats.alerts_replayed,
+            deduped=self.nids.stats.alerts_deduped,
         )

@@ -39,14 +39,19 @@ across N sensor processes, the way a capture point outgrows one box:
 from __future__ import annotations
 
 import hashlib
+import os
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 
 from ..errors import FlowKeyError
 from ..net.flow import FlowKey
 from ..net.packet import Packet
 from ..obs import MetricsRegistry
+from ..resilience.checkpoint import CheckpointStore
+from ..resilience.journal import AlertJournal, alert_to_record, record_to_alert
 from .alerts import Alert
 from .parallel import resolve_template_set
 from .pipeline import SemanticNids
@@ -61,13 +66,32 @@ __all__ = ["SensorFleet", "FleetStats"]
 _FLEET_STATE: dict = {}
 
 
-def _init_fleet_worker(template_set: str, options: dict) -> None:
-    """Per-process initializer: one complete sensor pipeline."""
+def _init_fleet_worker(template_set: str, options: dict,
+                       state: dict | None = None) -> None:
+    """Per-process initializer: one complete sensor pipeline.
+
+    ``state`` — a :meth:`SemanticNids.snapshot_state` payload from a
+    checkpoint barrier — rehydrates a respawned or resumed worker so
+    its per-source classifier memory and half-open streams continue
+    where the dead worker stopped.
+    """
     registry = MetricsRegistry()
     _FLEET_STATE["registry"] = registry
-    _FLEET_STATE["nids"] = SemanticNids(
+    nids = SemanticNids(
         templates=resolve_template_set(template_set),
         registry=registry, **options)
+    if state is not None:
+        nids.restore_state(state)
+        # Rehydration counters are not part of the detection state; the
+        # delta collected after restore must not re-report them.
+        registry.collect_delta()
+    _FLEET_STATE["nids"] = nids
+
+
+def _fleet_snapshot_worker() -> dict:
+    """Checkpoint barrier: ship this worker's full engine state."""
+    nids: SemanticNids = _FLEET_STATE["nids"]
+    return nids.snapshot_state()
 
 
 def _portable(alert: Alert) -> Alert:
@@ -110,6 +134,11 @@ class FleetStats:
     batches: int
     alerts: int
     deltas_merged: int
+    #: crash-safety accounting; all zero without ``checkpoint_dir``.
+    checkpoints: int = 0
+    replayed: int = 0
+    deduped: int = 0
+    watchdog_restarts: int = 0
 
 
 class SensorFleet:
@@ -150,6 +179,11 @@ class SensorFleet:
         nids_options: dict | None = None,
         shard_by: str = "source",
         registry: MetricsRegistry | None = None,
+        checkpoint_dir: str | os.PathLike[str] | None = None,
+        checkpoint_interval: int = 1000,
+        journal_fsync_batch: int = 8,
+        resume: bool = False,
+        watchdog_timeout: float | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("a fleet needs at least one worker")
@@ -167,6 +201,7 @@ class SensorFleet:
         self._batches_sent = 0
         self._deltas_merged = 0
         self._batches: list[list] = [[] for _ in range(workers)]
+        #: per-shard FIFO of (batch_key, future); batch_key = first seq
         self._futures: list[deque] = [deque() for _ in range(workers)]
         #: (seq, alert) pairs already collected, sorted at merge time
         self._collected: list = []
@@ -177,14 +212,155 @@ class SensorFleet:
             "repro_fleet_batches_total",
             help="Dispatch batches shipped to fleet workers.",
             unit="batches")
+        # -- durability / supervision (optional) --
+        self.checkpoint_interval = max(1, checkpoint_interval)
+        self.watchdog_timeout = watchdog_timeout
+        self.checkpoints: CheckpointStore | None = None
+        self.journal: AlertJournal | None = None
+        #: dispatch seq the caller should re-feed from after a resume
+        self.resume_seq = 0
+        self._last_checkpoint_seq = 0
+        #: last barrier snapshot per shard (respawn/resume rehydration)
+        self._shard_states: list[dict | None] = [None] * workers
+        #: batches shipped since the last barrier, per shard, for replay
+        #: after a watchdog kill (keyed like the futures)
+        self._replay: list[list] = [[] for _ in range(workers)]
+        #: batch keys already folded (a replayed batch must not re-emit)
+        self._folded: set[int] = set()
+        #: journal keys already emitted into ``alerts`` (replay dedupe)
+        self._emitted_keys: set = set()
+        self._watchdog_restarts = self.registry.counter(
+            "repro_watchdog_restarts_total",
+            help="Fleet shards killed and respawned by the dispatcher "
+                 "watchdog after a missed heartbeat.", unit="restarts")
+        self._replayed_counter = self.registry.counter(
+            "repro_alerts_replayed_total",
+            help="Journaled alerts re-offered to the sink after a restart.",
+            unit="alerts")
+        self._deduped_counter = self.registry.counter(
+            "repro_alerts_deduped_total",
+            help="Duplicate alerts suppressed by delivery-side replay "
+                 "dedupe.", unit="alerts")
+        if checkpoint_dir is not None:
+            self.checkpoints = CheckpointStore(
+                checkpoint_dir, registry=self.registry)
+            self.journal = AlertJournal(
+                os.path.join(checkpoint_dir, "journal"),
+                fsync_batch=journal_fsync_batch, registry=self.registry)
+            if resume:
+                self._resume()
+            else:
+                self.checkpoints.clear()
+                self.journal.prune(keep_segments=0)
+        elif resume:
+            raise ValueError("resume=True requires checkpoint_dir")
         self._pools = [
             ProcessPoolExecutor(
                 max_workers=1,
                 initializer=_init_fleet_worker,
-                initargs=(template_set, self.nids_options),
+                initargs=(self.template_set, self.nids_options,
+                          self._shard_states[shard]),
             )
-            for _ in range(workers)
+            for shard in range(workers)
         ]
+
+    # -- crash recovery ------------------------------------------------------
+
+    def _resume(self) -> None:
+        """Rehydrate the aggregator from the checkpoint directory.
+
+        The journal holds every barrier-emitted packet alert in global
+        seq order; they are restored into :attr:`alerts` (counted as
+        replayed) and their keys armed for dedupe, so the re-fed window
+        past the checkpoint watermark cannot emit twice.  Entries past
+        the watermark (an aborted barrier whose journal sync completed
+        but whose checkpoint rename did not) restore the same way.
+        """
+        recovery = self.journal.recover()
+        ckpt = self.checkpoints.load()
+        if ckpt is not None:
+            from ..core.library import library_digest
+            current = library_digest(resolve_template_set(self.template_set))
+            if ckpt["library_digest"] != current:
+                raise ValueError(
+                    "fleet checkpoint was taken under a different template "
+                    "library; refusing to resume")
+            if ckpt["workers"] != self.workers:
+                raise ValueError(
+                    f"fleet checkpoint has {ckpt['workers']} shard "
+                    f"snapshots; cannot resume with {self.workers} workers "
+                    "(flow→shard routing would change)")
+            self._seq = ckpt["watermark"]
+            self.resume_seq = ckpt["watermark"]
+            self._last_checkpoint_seq = ckpt["watermark"]
+            self._shard_states = list(ckpt["shard_states"])
+            self._dispatched.inc(ckpt["watermark"])
+        for key, record in recovery.entries:
+            self._emitted_keys.add(key)
+            self.alerts.append(record_to_alert(record))
+            self._replayed_counter.inc()
+
+    def checkpoint(self) -> None:
+        """Barrier checkpoint: drain every shard, snapshot worker state,
+        journal and emit the collected window, then atomically persist
+        the dispatch watermark + shard snapshots.  The journal is synced
+        before the checkpoint rename, so a checkpointed watermark never
+        points past un-durable alerts."""
+        if self.checkpoints is None:
+            return
+        for shard in range(self.workers):
+            self._ship(shard)
+        self._collect(blocking=True)
+        states = []
+        for shard in range(self.workers):
+            states.append(self._submit_supervised(
+                shard, _fleet_snapshot_worker))
+        window = sorted(self._collected, key=lambda pair: pair[0])
+        self._collected = []
+        self._journal_and_emit(window)
+        self.journal.sync()
+        from ..core.library import library_digest
+        self.checkpoints.save({
+            "watermark": self._seq,
+            "workers": self.workers,
+            "shard_states": states,
+            "library_digest": library_digest(
+                resolve_template_set(self.template_set)),
+        })
+        self._shard_states = states
+        self._replay = [[] for _ in range(self.workers)]
+        self._folded.clear()
+        self._last_checkpoint_seq = self._seq
+
+    def _journal_and_emit(self, window: list) -> None:
+        """Append a seq-sorted (seq, alert) window to the journal and to
+        :attr:`alerts`, keyed ``(seq, k)`` (k = index among one packet's
+        alerts) and deduped against anything already emitted."""
+        k, last_seq = 0, None
+        for seq, alert in window:
+            k = k + 1 if seq == last_seq else 0
+            last_seq = seq
+            key = (seq, k)
+            if key in self._emitted_keys:
+                self._deduped_counter.inc()
+                continue
+            self._emitted_keys.add(key)
+            if self.journal is not None:
+                self.journal.append(list(key), alert_to_record(alert))
+            self.alerts.append(alert)
+
+    def _submit_supervised(self, shard: int, fn, *args):
+        """Submit a call to one shard under the watchdog: a missed
+        deadline or broken pool kills, respawns, rehydrates, and replays
+        the shard, then retries once on the fresh pool."""
+        try:
+            future = self._pools[shard].submit(fn, *args)
+            if self.watchdog_timeout is not None:
+                return future.result(timeout=self.watchdog_timeout)
+            return future.result()
+        except (FutureTimeoutError, BrokenProcessPool):
+            self._restart_shard(shard)
+            return self._pools[shard].submit(fn, *args).result()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -199,6 +375,8 @@ class SensorFleet:
         pools, self._pools = self._pools, []
         for pool in pools:
             pool.shutdown(wait=True, cancel_futures=True)
+        if self.journal is not None:
+            self.journal.close()
 
     # -- dispatch ------------------------------------------------------------
 
@@ -238,6 +416,10 @@ class SensorFleet:
         if len(self._batches[shard]) >= self.batch_size:
             self._ship(shard)
         self._collect(blocking=False)
+        if (self.checkpoints is not None
+                and self._seq - self._last_checkpoint_seq
+                >= self.checkpoint_interval):
+            self.checkpoint()
 
     def process_trace(self, packets) -> list[Alert]:
         """Feed a whole capture; returns all alerts, aggregated."""
@@ -251,8 +433,23 @@ class SensorFleet:
         batch, self._batches[shard] = self._batches[shard], []
         if not batch:
             return
-        self._futures[shard].append(
-            self._pools[shard].submit(_fleet_process_batch, batch))
+        key = batch[0][0]  # first dispatch seq: unique, monotonic
+        track = (self.watchdog_timeout is not None
+                 or self.checkpoints is not None)
+        if track:
+            self._replay[shard].append((key, batch))
+        try:
+            future = self._pools[shard].submit(_fleet_process_batch, batch)
+        except BrokenProcessPool:
+            # The pool died before we could even submit; the restart
+            # resubmits the whole replay window (this batch included).
+            self._restart_shard(shard)
+            if not track:
+                future = self._pools[shard].submit(
+                    _fleet_process_batch, batch)
+                self._futures[shard].append((key, future))
+        else:
+            self._futures[shard].append((key, future))
         self._batches_sent += 1
         self._batch_counter.inc()
 
@@ -260,13 +457,57 @@ class SensorFleet:
 
     def _collect(self, blocking: bool) -> None:
         """Fold completed batch results (per-shard FIFO) into the
-        aggregation buffer and the central registry."""
-        for futures in self._futures:
-            while futures and (blocking or futures[0].done()):
-                alerts, delta = futures.popleft().result()
-                self._collected.extend(alerts)
+        aggregation buffer and the central registry.  When blocking with
+        a watchdog, a shard that misses its deadline (or whose pool
+        broke) is killed, respawned from the last barrier snapshot, and
+        its post-barrier batches are replayed; batches that had already
+        been folded re-run for worker state only (their alerts are
+        dropped by the batch-key fold filter)."""
+        for shard, futures in enumerate(self._futures):
+            while futures and (blocking or futures[0][1].done()):
+                key, future = futures[0]
+                try:
+                    if blocking and self.watchdog_timeout is not None:
+                        alerts, delta = future.result(
+                            timeout=self.watchdog_timeout)
+                    else:
+                        alerts, delta = future.result()
+                except (FutureTimeoutError, BrokenProcessPool):
+                    self._restart_shard(shard)
+                    futures = self._futures[shard]
+                    continue
+                futures.popleft()
                 self.registry.merge_delta(delta)
                 self._deltas_merged += 1
+                if key in self._folded:
+                    # replayed batch: worker state rebuilt, alerts
+                    # already aggregated before the restart
+                    self._deduped_counter.inc(len(alerts))
+                    continue
+                self._folded.add(key)
+                self._collected.extend(alerts)
+
+    def _restart_shard(self, shard: int) -> None:
+        """Watchdog kill path: terminate and reap the shard's worker,
+        respawn the pool rehydrated from the last barrier snapshot, and
+        resubmit every batch shipped since that barrier."""
+        self._watchdog_restarts.inc()
+        pool = self._pools[shard]
+        procs = list(getattr(pool, "_processes", {}).values())
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            proc.join(timeout=10)
+        pool.shutdown(wait=False, cancel_futures=True)
+        self._pools[shard] = ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_init_fleet_worker,
+            initargs=(self.template_set, self.nids_options,
+                      self._shard_states[shard]),
+        )
+        self._futures[shard] = deque(
+            (key, self._pools[shard].submit(_fleet_process_batch, batch))
+            for key, batch in self._replay[shard])
 
     def flush(self) -> list[Alert]:
         """Ship partial batches, drain every worker, finalize stream
@@ -280,18 +521,29 @@ class SensorFleet:
         self._collect(blocking=True)
         tails: list[list[Alert]] = []
         for shard in range(self.workers):
-            alerts, delta = self._pools[shard].submit(
-                _fleet_flush_worker).result()
+            alerts, delta = self._submit_supervised(
+                shard, _fleet_flush_worker)
             tails.append(alerts)
             self.registry.merge_delta(delta)
             self._deltas_merged += 1
-        merged = [alert for _, alert in
-                  sorted(self._collected, key=lambda pair: pair[0])]
+        window = sorted(self._collected, key=lambda pair: pair[0])
         self._collected = []
-        for tail in tails:
-            merged.extend(tail)
-        self.alerts.extend(merged)
-        return merged
+        before = len(self.alerts)
+        self._journal_and_emit(window)
+        if self.journal is not None:
+            self.journal.sync()
+        # Flush-time stream tails are emitted once, by the incarnation
+        # that actually finishes the capture; they carry no dispatch seq
+        # and are not journaled (a crash *during* final flush re-runs
+        # the flush after resume, regenerating them from the restored
+        # stream state).
+        self.alerts.extend(tail_alert for tail in tails
+                           for tail_alert in tail)
+        # Everything shipped so far is folded and emitted; the replay
+        # window (bounded otherwise only by checkpoint barriers) resets.
+        self._replay = [[] for _ in range(self.workers)]
+        self._folded.clear()
+        return self.alerts[before:]
 
     # -- hot template reload -------------------------------------------------
 
@@ -308,12 +560,18 @@ class SensorFleet:
             return False
         self.flush()
         self.template_set = template_set
+        # Snapshots taken under the old library cannot rehydrate workers
+        # running the new one (restore_state refuses digest mismatches).
+        self._shard_states = [None] * self.workers
         for shard, pool in enumerate(self._pools):
-            pool.shutdown(wait=False, cancel_futures=True)
+            # wait=True: the old worker must be reaped, not orphaned —
+            # flush() already drained its queue, so there is no work to
+            # wait on, only process teardown.
+            pool.shutdown(wait=True, cancel_futures=True)
             self._pools[shard] = ProcessPoolExecutor(
                 max_workers=1,
                 initializer=_init_fleet_worker,
-                initargs=(template_set, self.nids_options),
+                initargs=(template_set, self.nids_options, None),
             )
         return True
 
@@ -327,4 +585,9 @@ class SensorFleet:
             batches=self._batches_sent,
             alerts=len(self.alerts),
             deltas_merged=self._deltas_merged,
+            checkpoints=(self.checkpoints.saves
+                         if self.checkpoints is not None else 0),
+            replayed=int(self._replayed_counter.value),
+            deduped=int(self._deduped_counter.value),
+            watchdog_restarts=int(self._watchdog_restarts.value),
         )

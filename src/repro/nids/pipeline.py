@@ -312,6 +312,73 @@ class SemanticNids:
         engine).  The serial engine holds none."""
         self.flush()
 
+    # -- crash-safe checkpointing --------------------------------------------
+
+    STATE_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        """Picklable snapshot of all detection-relevant mutable state.
+
+        Covers per-source classifier memory (suspicious set, dark-space
+        scanner records, SMTP fan-out records), the IP defragmentation
+        buffers, TCP streams with their per-stream analysis state, and
+        the blocklist — everything whose loss would change future
+        alerts.  Analyzer caches (frame cache, IR cache) are *not*
+        captured: they are performance-only and rebuilt on demand, and
+        the parity suites pin that they never change the alert stream.
+        Engine stat counters are likewise left to the metrics layer.
+        """
+        fanout = self.classifier.fanout
+        return {
+            "version": self.STATE_VERSION,
+            "library_digest": self.library_digest(),
+            "suspicious": set(self.classifier.suspicious),
+            "darkspace": {
+                "records": dict(self.classifier.darkspace.records),
+                "flagged": self.classifier.darkspace.scanners_flagged,
+            },
+            "fanout": None if fanout is None else {
+                "records": dict(fanout.records),
+                "flagged": fanout.mailers_flagged,
+            },
+            "defrag_buffers": dict(self.defragmenter._buffers),
+            "streams": dict(self.reassembler.streams),
+            "stream_state": dict(self._stream_state),
+            "blocked": dict(self.blocklist._blocked),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rehydrate a :meth:`snapshot_state` payload into this engine.
+
+        Raises :class:`ValueError` when the snapshot was taken under a
+        different template library — resuming stale per-source state
+        against changed templates would silently shape new detections.
+        """
+        if state.get("version") != self.STATE_VERSION:
+            raise ValueError(
+                f"checkpoint state version {state.get('version')!r} != "
+                f"{self.STATE_VERSION}")
+        if state.get("library_digest") != self.library_digest():
+            raise ValueError(
+                "checkpoint was taken under a different template library; "
+                "refusing to resume (re-run without --resume or restore "
+                "the original templates)")
+        self.classifier.suspicious = set(state["suspicious"])
+        self.classifier.darkspace.records = dict(state["darkspace"]["records"])
+        self.classifier.darkspace.scanners_flagged = state["darkspace"]["flagged"]
+        if state["fanout"] is not None and self.classifier.fanout is not None:
+            self.classifier.fanout.records = dict(state["fanout"]["records"])
+            self.classifier.fanout.mailers_flagged = state["fanout"]["flagged"]
+        self.defragmenter._buffers = dict(state["defrag_buffers"])
+        self.defragmenter.bytes_buffered = sum(
+            b.buffered for b in self.defragmenter._buffers.values())
+        self.reassembler.streams = dict(state["streams"])
+        self.reassembler.bytes_buffered = sum(
+            s.buffered for s in self.reassembler.streams.values())
+        self.reassembler._active_streams.set(len(self.reassembler.streams))
+        self._stream_state = dict(state["stream_state"])
+        self.blocklist._blocked = dict(state["blocked"])
+
     # -- hot template reload -------------------------------------------------
 
     def library_digest(self) -> bytes:

@@ -146,10 +146,41 @@ class NidsStats:
         "repro_pcap_truncated_total",
         help="Captures that ended mid-record (salvaged or raised).",
         unit="captures")
+    #: crash-safety (docs/operations.md "Crash recovery & durability"):
+    #: incremented by the journal/checkpoint/delivery layer and the
+    #: fleet watchdog when they share the sensor registry.  All zero on
+    #: a run without ``--checkpoint-dir``.
+    journal_fsyncs = MetricField(
+        "repro_journal_fsync_total",
+        help="fsync calls issued by the write-ahead alert journal.",
+        unit="calls")
+    alerts_replayed = MetricField(
+        "repro_alerts_replayed_total",
+        help="Journaled alerts re-offered to the sink after a restart.",
+        unit="alerts")
+    alerts_deduped = MetricField(
+        "repro_alerts_deduped_total",
+        help="Duplicate alerts suppressed by delivery-side replay dedupe.",
+        unit="alerts")
+    watchdog_restarts = MetricField(
+        "repro_watchdog_restarts_total",
+        help="Fleet shards killed and respawned by the dispatcher "
+             "watchdog after a missed heartbeat.", unit="restarts")
+    quarantine_write_errors = MetricField(
+        "repro_quarantine_write_errors_total",
+        help="Quarantine capture/metadata writes that failed and were "
+             "absorbed (ENOSPC, I/O errors).", unit="errors")
 
     def __init__(self, registry: MetricsRegistry | None = None,
                  tracer: Tracer | None = None) -> None:
         self.registry = bind_metrics(self, registry)
+        # Checkpoint write latency lives here (not as a MetricField —
+        # those only model counters/gauges) so the metric is always in
+        # the schema, observed or not.
+        self.checkpoint_write_seconds = self.registry.histogram(
+            "repro_checkpoint_write_seconds",
+            help="Wall seconds per atomic checkpoint write "
+                 "(serialize+fsync+rename).", unit="seconds")
         tracer = tracer if tracer is not None else NullTracer()
         # Historical attribute names; the stage labels are the canonical
         # pipeline stage names (classify/reassemble/extract + the

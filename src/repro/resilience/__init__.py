@@ -18,17 +18,26 @@ docs/robustness.md):
   capacity-aware, always-counted load shedding (the daemon's admission
   buffer);
 - :mod:`repro.resilience.chaos` — seeded fault injection proving all of
-  the above.
+  the above;
+- :mod:`repro.resilience.journal` / :mod:`repro.resilience.checkpoint` /
+  :mod:`repro.resilience.delivery` — the crash-safety layer (write-ahead
+  alert journal, atomic progress checkpoints, effectively-once
+  delivery), see docs/operations.md "Crash recovery & durability";
+- :mod:`repro.resilience.recovery` — the crash/restart orchestration the
+  differential harness and the scenario runner share.
 """
 
 from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from .chaos import (
     FaultInjector,
     InjectedFault,
+    SimulatedCrash,
     build_stall_payload,
     truncate_capture,
 )
+from .checkpoint import CheckpointStore
 from .deadline import UNITS_PER_MS, Deadline
+from .delivery import DurableDelivery
 from .firewall import (
     CONTAINED_STAGES,
     DEADLINE_TEMPLATE,
@@ -36,19 +45,25 @@ from .firewall import (
     FAULT_TEMPLATE,
     StageFirewall,
 )
+from .journal import AlertJournal, JournalRecovery, tear_journal_tail
 from .quarantine import QuarantineWriter
 from .shedder import SHED_POLICIES, BoundedRing
 
 __all__ = [
+    "AlertJournal",
     "BoundedRing",
     "SHED_POLICIES",
     "CLOSED",
     "CONTAINED_STAGES",
+    "CheckpointStore",
     "DEADLINE_TEMPLATE",
     "DEGRADED_SEVERITY",
+    "DurableDelivery",
     "FAULT_TEMPLATE",
     "HALF_OPEN",
+    "JournalRecovery",
     "OPEN",
+    "SimulatedCrash",
     "UNITS_PER_MS",
     "CircuitBreaker",
     "Deadline",
@@ -57,5 +72,6 @@ __all__ = [
     "QuarantineWriter",
     "StageFirewall",
     "build_stall_payload",
+    "tear_journal_tail",
     "truncate_capture",
 ]

@@ -16,6 +16,7 @@ nothing proves nothing, and the tests assert on this log.
 
 from __future__ import annotations
 
+import errno
 import itertools
 import random
 from contextlib import contextmanager
@@ -24,8 +25,15 @@ from pathlib import Path
 
 from ..errors import DecodeError
 
-__all__ = ["FaultInjector", "InjectedFault", "build_stall_payload",
-           "truncate_capture"]
+__all__ = ["FaultInjector", "InjectedFault", "SimulatedCrash",
+           "build_stall_payload", "truncate_capture"]
+
+
+class SimulatedCrash(RuntimeError):
+    """In-process stand-in for ``kill -9``: raised at a seeded point and
+    deliberately NOT caught by the component under test — the harness
+    lets it unwind past the daemon loop (skipping every clean-shutdown
+    path) and abandons the instance, exactly as a dead process would."""
 
 #: Single-byte opcodes that decode cleanly but are neither NOP-like (so
 #: the sled detector does not swallow them into the sled) nor a repeated
@@ -181,3 +189,99 @@ class FaultInjector:
         self.injected.append(InjectedFault(
             "truncate", drop, detail=f"{written} bytes kept"))
         return written
+
+    # -- whole-process crashes (durability layer) ----------------------------
+
+    @contextmanager
+    def crash_on_processed(self, daemon, at: int):
+        """Kill the daemon (mid-batch) once ``at`` packets have been
+        processed in total: the wrapped ``process_packet`` raises
+        :class:`SimulatedCrash` *before* analyzing packet ``at``, so the
+        packet is neither analyzed nor counted — it is still on the
+        ring, which dies with the process."""
+        nids = daemon.nids
+        had_override = "process_packet" in nids.__dict__
+        original = nids.process_packet
+
+        def crashing_process(pkt):
+            if daemon._processed.value >= at:
+                self.injected.append(InjectedFault(
+                    "crash", at, detail="mid-batch"))
+                raise SimulatedCrash(f"chaos: killed at {at} processed")
+            return original(pkt)
+
+        nids.process_packet = crashing_process
+        try:
+            yield self
+        finally:
+            if had_override:
+                nids.process_packet = original
+            else:
+                nids.__dict__.pop("process_packet", None)
+
+    @contextmanager
+    def crash_on_checkpoint(self, store):
+        """Kill the process mid-checkpoint: the temp file is durable but
+        the rename never happens, so recovery must fall back to the
+        previous checkpoint (or none)."""
+        def explode(tmp_path):
+            self.injected.append(InjectedFault(
+                "crash", 0, detail=f"mid-checkpoint: {tmp_path.name}"))
+            raise SimulatedCrash("chaos: killed before checkpoint rename")
+
+        previous = store.pre_rename
+        store.pre_rename = explode
+        try:
+            yield self
+        finally:
+            store.pre_rename = previous
+
+    def crash_on_journal_write(self, journal, torn_bytes: int = 5) -> None:
+        """Arm the journal's tear seam: the *next* append writes only the
+        first ``torn_bytes`` bytes of its frame, fsyncs the torn tail to
+        disk, and raises — the on-disk image a crash inside ``write()``
+        leaves behind."""
+        journal._tear_after_bytes = torn_bytes
+        self.injected.append(InjectedFault(
+            "crash", torn_bytes, detail="mid-journal-write"))
+
+    def kill_fleet(self, fleet) -> int:
+        """Hard-kill a fleet "process tree": terminate and reap every
+        shard worker, then drop the broken pools without flushing —
+        in-flight batches and collected-but-unemitted alerts are lost,
+        as in a real dispatcher death.  Returns processes killed."""
+        killed = 0
+        for pool in fleet._pools:
+            procs = list(getattr(pool, "_processes", {}).values())
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                proc.join(timeout=10)
+                killed += 1
+            pool.shutdown(wait=False, cancel_futures=True)
+        fleet._pools = []
+        self.injected.append(InjectedFault(
+            "crash", killed, detail="fleet-kill"))
+        return killed
+
+    @contextmanager
+    def spool_enospc(self, delivery):
+        """Every spool write inside the context raises ``ENOSPC`` out of
+        the spool journal, driving delivery's real containment path:
+        count the refusal, never raise — the write-ahead journal, not
+        the spool, is the loss backstop."""
+        spool = delivery._open_spool()
+        if spool is None:
+            raise ValueError("delivery has no spool_dir configured")
+        original = spool.append
+
+        def refuse(key, alert):
+            self.injected.append(InjectedFault(
+                "enospc", 0, detail=f"spool refused key {key}"))
+            raise OSError(errno.ENOSPC, "No space left on device (chaos)")
+
+        spool.append = refuse
+        try:
+            yield self
+        finally:
+            spool.append = original

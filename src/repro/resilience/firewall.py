@@ -44,6 +44,10 @@ class StageFirewall:
                  quarantine: QuarantineWriter | None = None) -> None:
         registry = registry if registry is not None else MetricsRegistry()
         self.quarantine = quarantine
+        if quarantine is not None:
+            # Write failures surface on the engine's registry even when
+            # the writer was constructed without one (the CLI path).
+            quarantine.bind_registry(registry)
         self._fault_counters = {
             stage: registry.counter(
                 "repro_stage_faults_total", labels={"stage": stage},

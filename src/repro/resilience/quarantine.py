@@ -16,11 +16,13 @@ disk must not turn containment into a crash.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from ..net.layers import Ipv4
 from ..net.packet import Packet
 from ..net.pcap import PcapWriter
+from ..obs import MetricsRegistry
 
 __all__ = ["QuarantineWriter"]
 
@@ -29,21 +31,46 @@ __all__ = ["QuarantineWriter"]
 #: (the sidecar records the original length).
 _MAX_SYNTH_PAYLOAD = 65000
 
+#: Consecutive write failures before the writer stops touching the disk.
+#: A full disk fails every record; retrying each one from inside the
+#: fault path just burns syscalls on a path that cannot succeed.
+_MAX_CONSECUTIVE_ERRORS = 8
+
 
 class QuarantineWriter:
     """Appends quarantined packets/payloads to a pcap + JSONL sidecar.
 
     Files are opened lazily on the first record, so configuring a
-    quarantine path costs nothing on a clean run.
+    quarantine path costs nothing on a clean run.  Records are fsynced
+    as they land — quarantine evidence usually precedes a crash, which
+    is exactly when the page cache is lost.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path,
+                 registry: MetricsRegistry | None = None) -> None:
         self.path = Path(path)
         self.meta_path = self.path.with_name(self.path.name + ".meta.jsonl")
         self.written = 0
         self.write_errors = 0
+        #: set after ``_MAX_CONSECUTIVE_ERRORS`` straight failures; the
+        #: writer then refuses further disk I/O (still counting each
+        #: lost record) until re-constructed.
+        self.disabled = False
+        self._consecutive_errors = 0
         self._pcap: PcapWriter | None = None
         self._meta = None
+        self._error_counter = None
+        if registry is not None:
+            self.bind_registry(registry)
+
+    def bind_registry(self, registry: MetricsRegistry) -> None:
+        """Surface write failures on a shared registry
+        (``repro_quarantine_write_errors_total``); the engine's stage
+        firewall binds its registry here automatically."""
+        self._error_counter = registry.counter(
+            "repro_quarantine_write_errors_total",
+            help="Quarantine capture/metadata writes that failed and "
+                 "were absorbed (ENOSPC, I/O errors).", unit="errors")
 
     # -- recording ----------------------------------------------------------
 
@@ -56,6 +83,9 @@ class QuarantineWriter:
         (the stream payload differs from any single packet).  Either or
         both may be given; at least one should be.
         """
+        if self.disabled:
+            self._count_error()
+            return
         try:
             record_pkt = pkt
             truncated_from = None
@@ -64,6 +94,7 @@ class QuarantineWriter:
                 record_pkt, truncated_from = self._synthesize(pkt, payload)
             self._open()
             self._pcap.write(record_pkt)
+            self._pcap.flush(sync=True)
             entry = {
                 "index": self.written,
                 "timestamp": record_pkt.timestamp,
@@ -79,11 +110,23 @@ class QuarantineWriter:
                 entry["truncated_from"] = truncated_from
             self._meta.write(json.dumps(entry) + "\n")
             self._meta.flush()
+            os.fsync(self._meta.fileno())
             self.written += 1
+            self._consecutive_errors = 0
         except Exception:
             # Quarantine is best-effort evidence collection inside the
-            # fault path; its own failure must never propagate.
-            self.write_errors += 1
+            # fault path; its own failure (ENOSPC, I/O error, a packet
+            # that refuses to re-encode) must never propagate.
+            self._count_error()
+            self._consecutive_errors += 1
+            if self._consecutive_errors >= _MAX_CONSECUTIVE_ERRORS:
+                self.disabled = True
+                self.close()
+
+    def _count_error(self) -> None:
+        self.write_errors += 1
+        if self._error_counter is not None:
+            self._error_counter.inc()
 
     def _synthesize(self, pkt: Packet | None,
                     payload: bytes | None) -> tuple[Packet, int | None]:
@@ -107,11 +150,18 @@ class QuarantineWriter:
             self._meta = open(self.meta_path, "w")
 
     def close(self) -> None:
-        if self._pcap is not None:
-            self._pcap.close()
-            self._meta.close()
-            self._pcap = None
-            self._meta = None
+        pcap, meta = self._pcap, self._meta
+        self._pcap = None
+        self._meta = None
+        for handle in (pcap, meta):
+            if handle is None:
+                continue
+            try:
+                handle.close()
+            except OSError:
+                # A close that fails (deferred ENOSPC flush) is one more
+                # absorbed write error, not a crash.
+                self._count_error()
 
     def __enter__(self) -> "QuarantineWriter":
         return self

@@ -1,0 +1,367 @@
+"""Crash/restart orchestration: kill, restart, replay, compare.
+
+The durability layer's headline invariant is *replay parity*: for any
+seeded crash schedule, the post-dedupe alert stream a crashed-and-
+restarted sensor delivers is **byte-identical** to the stream an
+uninterrupted run delivers, and the accounting invariant ``ingested ==
+processed + shed + queued`` still holds across every restart.  This
+module is the harness that proves it — shared by the differential tests
+(``tests/resilience/test_crash_recovery.py``), the scenario runner's
+``chaos.crash`` path, and the CI kill-matrix tool
+(``tools/crash_matrix.py``).
+
+One run is a loop of *incarnations*: build a fresh sensor over the same
+capture and the same checkpoint directory, arm the next kill from the
+schedule, run until the kill fires (the incarnation is then abandoned
+exactly as a dead process would be — no clean-shutdown path executes,
+and the journal's userspace write buffer is discarded), and resume the
+next incarnation from the checkpoints.  Kills land at three seams:
+
+- ``mid-batch`` — between two packets of a processing batch;
+- ``mid-checkpoint`` — after the checkpoint temp file is durable but
+  before the atomic rename publishes it;
+- ``mid-journal-write`` — inside a journal ``write()``, leaving a torn
+  (partial, CRC-failing) frame on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..net.packet import Packet
+from .chaos import FaultInjector, InjectedFault, SimulatedCrash
+from .delivery import DurableDelivery
+from .journal import AlertJournal
+
+__all__ = ["KILL_KINDS", "RecoveryReport", "run_daemon_reference",
+           "run_daemon_with_crashes", "run_fleet_reference",
+           "run_fleet_with_crashes"]
+
+#: The three seams a kill can land on (see module docstring).
+KILL_KINDS = ("mid-batch", "mid-checkpoint", "mid-journal-write")
+
+
+@dataclass
+class RecoveryReport:
+    """What one crash schedule did, and whether recovery held up."""
+
+    engine: str
+    kill_kind: str
+    kills: list[int]
+    incarnations: int = 0
+    crashes: int = 0
+    checkpoints: int = 0
+    replayed: int = 0
+    deduped: int = 0
+    watchdog_restarts: int = 0
+    uncounted_drops: int | None = None
+    #: live post-dedupe alerts, in delivery order
+    alerts: list = field(default_factory=list, repr=False)
+    #: rendered post-dedupe alert stream, in delivery order
+    alert_lines: list[str] = field(default_factory=list)
+    #: the uninterrupted run's stream (empty until a reference is bound)
+    reference_lines: list[str] = field(default_factory=list)
+    #: the final (surviving) incarnation's metrics registry
+    registry: object = field(default=None, repr=False)
+
+    @property
+    def parity(self) -> bool:
+        """Byte-identity of the recovered stream vs the reference."""
+        return self.alert_lines == self.reference_lines
+
+    def as_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "kill_kind": self.kill_kind,
+            "kills": list(self.kills),
+            "incarnations": self.incarnations,
+            "crashes": self.crashes,
+            "checkpoints": self.checkpoints,
+            "replayed": self.replayed,
+            "deduped": self.deduped,
+            "watchdog_restarts": self.watchdog_restarts,
+            "uncounted_drops": self.uncounted_drops,
+            "alerts": len(self.alert_lines),
+            "reference_alerts": len(self.reference_lines),
+            "parity": self.parity,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Crash fidelity helpers
+# ---------------------------------------------------------------------------
+
+
+def _abandon_journal(journal: AlertJournal | None) -> None:
+    """Discard the journal's userspace write buffer, as process death
+    would.  Python file objects flush on GC, which would quietly make
+    un-fsynced appends durable and falsify the crash — so the kernel-
+    visible size is measured first and the file is truncated back to it
+    after the (unavoidable) flush-on-close.
+    """
+    if journal is None or journal._fh is None:
+        return
+    fh = journal._fh
+    visible = os.fstat(fh.fileno()).st_size
+    path = journal._segment_path(journal._segment_index)
+    fh.close()
+    journal._fh = None
+    with open(path, "r+b") as raw:
+        raw.truncate(visible)
+
+
+@contextmanager
+def _arm_kill(injector: FaultInjector, kill_kind: str, kill_at: int | None,
+              *, progress: Callable[[], int], daemon=None, store=None,
+              journal=None):
+    """Install the seam for one kill; always restored on exit.
+
+    ``progress()`` is the global mark (packets processed for the daemon,
+    packets dispatched for the fleet) the kill waits for.
+    """
+    if kill_at is None:
+        yield
+        return
+    if kill_kind == "mid-batch":
+        if daemon is None:  # fleet: the feed loop raises the kill itself
+            yield
+            return
+        with injector.crash_on_processed(daemon, kill_at):
+            yield
+        return
+    if kill_kind == "mid-checkpoint":
+        previous = store.pre_rename
+
+        def explode(tmp_path):
+            if progress() >= kill_at:
+                injector.injected.append(InjectedFault(
+                    "crash", kill_at, detail="mid-checkpoint"))
+                raise SimulatedCrash(
+                    f"chaos: killed before checkpoint rename at {kill_at}")
+            if previous is not None:
+                previous(tmp_path)
+
+        store.pre_rename = explode
+        try:
+            yield
+        finally:
+            store.pre_rename = previous
+        return
+    if kill_kind == "mid-journal-write":
+        original = journal.append
+
+        def tearing(key, alert):
+            if (progress() >= kill_at
+                    and journal._tear_after_bytes is None):
+                injector.crash_on_journal_write(journal)
+            return original(key, alert)
+
+        journal.append = tearing
+        try:
+            yield
+        finally:
+            journal.append = original
+        return
+    raise ValueError(f"unknown kill kind {kill_kind!r}; "
+                     f"expected one of {KILL_KINDS}")
+
+
+def _dedupe_stream(delivered: list[tuple]) -> list:
+    """Keep-first dedupe by alert seq across incarnations, then order by
+    seq — the effectively-once stream an operator's sink reconstructs."""
+    seen: set = set()
+    unique = []
+    for key, alert in delivered:
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append((key, alert))
+    unique.sort(key=lambda pair: pair[0])
+    return [alert for _, alert in unique]
+
+
+# ---------------------------------------------------------------------------
+# Daemon orchestration
+# ---------------------------------------------------------------------------
+
+
+def run_daemon_reference(
+    packets: Sequence[Packet],
+    *,
+    nids_factory: Callable,
+    daemon_options: dict | None = None,
+):
+    """The uninterrupted run: no durability, plain ``on_alert`` egress.
+
+    Returns ``(alert_lines, stats)``.
+    """
+    from ..nids.daemon import IterPacketSource, SensorDaemon
+
+    collected = []
+    daemon = SensorDaemon(
+        nids_factory(), IterPacketSource(packets), shed_policy="block",
+        on_alert=collected.append, **(daemon_options or {}))
+    stats = daemon.run()
+    return [alert.format() for alert in collected], stats
+
+
+def run_daemon_with_crashes(
+    packets: Sequence[Packet],
+    *,
+    nids_factory: Callable,
+    checkpoint_dir,
+    kills: Sequence[int],
+    kill_kind: str = "mid-batch",
+    checkpoint_interval: int = 50,
+    journal_fsync_batch: int = 4,
+    daemon_options: dict | None = None,
+    injector: FaultInjector | None = None,
+    max_incarnations: int = 32,
+) -> RecoveryReport:
+    """Run the daemon under a kill schedule; every crash abandons the
+    incarnation (no shutdown path) and the next one resumes from the
+    checkpoint directory.  ``kills`` are global processed-packet marks.
+    """
+    from ..nids.daemon import IterPacketSource, SensorDaemon
+
+    injector = injector if injector is not None else FaultInjector()
+    pending = sorted(kills)
+    delivered: list[tuple] = []
+    report = RecoveryReport(engine="daemon", kill_kind=kill_kind,
+                            kills=list(pending))
+    resume = False
+    while report.incarnations < max_incarnations:
+        report.incarnations += 1
+        nids = nids_factory()
+        delivery = DurableDelivery(
+            lambda key, alert: delivered.append((key, alert)),
+            registry=nids.registry)
+        daemon = SensorDaemon(
+            nids, IterPacketSource(packets), shed_policy="block",
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_interval=checkpoint_interval,
+            journal_fsync_batch=journal_fsync_batch,
+            resume=resume, delivery=delivery, **(daemon_options or {}))
+        resume = True
+        kill_at = pending[0] if pending else None
+        completed = False
+        try:
+            with _arm_kill(injector, kill_kind, kill_at,
+                           progress=lambda: daemon._processed.value,
+                           daemon=daemon, store=daemon.checkpoints,
+                           journal=daemon.journal):
+                stats = daemon.run()
+            completed = True
+            if pending:  # armed but the run outlived the kill point
+                pending.pop(0)
+        except (SimulatedCrash, OSError):
+            report.crashes += 1
+            pending.pop(0)
+            _abandon_journal(daemon.journal)
+        report.checkpoints += daemon.checkpoints.saves
+        report.replayed += nids.stats.alerts_replayed
+        report.deduped += nids.stats.alerts_deduped
+        if completed:
+            report.uncounted_drops = stats.uncounted_drops
+            report.registry = nids.registry
+            break
+    report.alerts = _dedupe_stream(delivered)
+    report.alert_lines = [alert.format() for alert in report.alerts]
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Fleet orchestration
+# ---------------------------------------------------------------------------
+
+
+def run_fleet_reference(
+    packets: Sequence[Packet],
+    *,
+    fleet_options: dict | None = None,
+):
+    """The uninterrupted fleet run.  Returns ``(alert_lines, stats)``."""
+    from ..nids.fleet import SensorFleet
+
+    with SensorFleet(**(fleet_options or {})) as fleet:
+        fleet.process_trace(packets)
+        stats = fleet.stats
+        lines = [alert.format() for alert in fleet.alerts]
+    return lines, stats
+
+
+def run_fleet_with_crashes(
+    packets: Sequence[Packet],
+    *,
+    checkpoint_dir,
+    kills: Sequence[int],
+    kill_kind: str = "mid-batch",
+    checkpoint_interval: int = 100,
+    journal_fsync_batch: int = 4,
+    fleet_options: dict | None = None,
+    injector: FaultInjector | None = None,
+    max_incarnations: int = 32,
+) -> RecoveryReport:
+    """Run the fleet under a kill schedule.  ``kills`` are global
+    dispatch-sequence marks; every crash hard-kills the whole "process
+    tree" (dispatcher and workers) and the next incarnation resumes —
+    restoring the emitted stream from the journal and re-feeding the
+    capture from :attr:`SensorFleet.resume_seq`.
+    """
+    from ..nids.fleet import SensorFleet
+
+    injector = injector if injector is not None else FaultInjector()
+    pending = sorted(kills)
+    report = RecoveryReport(engine="fleet", kill_kind=kill_kind,
+                            kills=list(pending))
+    resume = False
+    while report.incarnations < max_incarnations:
+        report.incarnations += 1
+        fleet = SensorFleet(
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_interval=checkpoint_interval,
+            journal_fsync_batch=journal_fsync_batch,
+            resume=resume, **(fleet_options or {}))
+        resume = True
+        kill_at = pending[0] if pending else None
+        completed = False
+        try:
+            with _arm_kill(injector, kill_kind, kill_at,
+                           progress=lambda: fleet._seq,
+                           store=fleet.checkpoints, journal=fleet.journal):
+                for index in range(fleet.resume_seq, len(packets)):
+                    if (kill_kind == "mid-batch" and kill_at is not None
+                            and index >= kill_at):
+                        injector.injected.append(InjectedFault(
+                            "crash", kill_at, detail="mid-batch"))
+                        raise SimulatedCrash(
+                            f"chaos: fleet killed at dispatch {kill_at}")
+                    fleet.process_packet(packets[index])
+                fleet.flush()
+            completed = True
+            if pending:
+                pending.pop(0)
+        except (SimulatedCrash, OSError):
+            report.crashes += 1
+            pending.pop(0)
+            _abandon_journal(fleet.journal)
+            injector.kill_fleet(fleet)
+        stats = fleet.stats
+        report.checkpoints += stats.checkpoints
+        report.replayed += stats.replayed
+        report.deduped += stats.deduped
+        report.watchdog_restarts += stats.watchdog_restarts
+        if completed:
+            report.alerts = list(fleet.alerts)
+            # dispatched == emitted-or-deduped for a completed fleet run;
+            # the ring accounting invariant is the daemon's — report 0
+            # unless the final incarnation lost something silently.
+            report.uncounted_drops = 0
+            report.registry = fleet.registry
+            fleet.close()
+            break
+    report.alert_lines = [alert.format() for alert in report.alerts]
+    return report

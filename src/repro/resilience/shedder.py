@@ -119,6 +119,25 @@ class BoundedRing:
             self._occupancy.value = len(self._items)
             return item
 
+    def peek(self):
+        """Oldest queued item without consuming it (``None`` if empty).
+        The daemon's checkpointer uses this to find the resume cursor —
+        the capture offset of the oldest not-yet-processed packet."""
+        with self._lock:
+            return self._items[0] if self._items else None
+
+    def restore_counters(self, *, shed: int = 0, accepted: int = 0,
+                         backpressure: int = 0) -> None:
+        """Re-apply pre-crash counter values on a resumed daemon, so the
+        ``ingested == processed + shed + queued`` identity spans the
+        restart boundary.  Counters are monotonic — this must run once,
+        on a freshly built ring."""
+        if self.shed_total or self.accepted_total or self.backpressure_total:
+            raise RuntimeError("restore_counters on a ring already in use")
+        self._shed.inc(shed)
+        self._accepted.inc(accepted)
+        self._backpressure.inc(backpressure)
+
     def __len__(self) -> int:
         return len(self._items)
 

@@ -277,7 +277,9 @@ def _truncated_roundtrip(packets: list[Packet], drop: int) -> list[Packet]:
 def _run_engine(spec: ScenarioSpec, packets: list[Packet]):
     """Process ``packets`` through the configured engine.
 
-    Returns ``(alerts, registry)``.
+    Returns ``(alerts, registry, recovery_report)`` — the report is
+    ``None`` unless a ``crash`` chaos entry routed the run through the
+    crash/restart harness.
     """
     from ..nids import (
         ParallelSemanticNids, SemanticNids, SensorDaemon, SensorFleet,
@@ -288,6 +290,10 @@ def _run_engine(spec: ScenarioSpec, packets: list[Packet]):
     engine: EngineSpec = spec.engine
     options = dict(engine.options)
     fault_chaos = [c for c in spec.chaos if c.kind == "decode-faults"]
+    crash_chaos = [c for c in spec.chaos if c.kind == "crash"]
+
+    if crash_chaos:
+        return _run_crash_engine(spec, packets, crash_chaos[0])
 
     if engine.kind == "fleet":
         fleet = SensorFleet(workers=engine.workers,
@@ -297,7 +303,7 @@ def _run_engine(spec: ScenarioSpec, packets: list[Packet]):
             fleet.process_trace(packets)
         finally:
             fleet.close()
-        return fleet.alerts, fleet.registry
+        return fleet.alerts, fleet.registry, None
 
     if engine.kind == "parallel":
         nids = ParallelSemanticNids(workers=engine.workers,
@@ -322,7 +328,58 @@ def _run_engine(spec: ScenarioSpec, packets: list[Packet]):
             daemon.run()
         else:
             nids.process_trace(packets)
-    return nids.alerts, nids.registry
+    return nids.alerts, nids.registry, None
+
+
+def _run_crash_engine(spec: ScenarioSpec, packets: list[Packet],
+                      chaos: ChaosSpec):
+    """Route a ``crash`` scenario through the crash/restart harness
+    (:mod:`repro.resilience.recovery`): a reference run pins the
+    uninterrupted stream, then the kill schedule runs against a fresh
+    checkpoint directory and the recovered stream is compared."""
+    from ..nids import SemanticNids
+    from ..nids.parallel import resolve_template_set
+    from ..resilience.recovery import (
+        run_daemon_reference, run_daemon_with_crashes,
+        run_fleet_reference, run_fleet_with_crashes,
+    )
+
+    engine: EngineSpec = spec.engine
+    opts = chaos.options
+    with tempfile.TemporaryDirectory() as tmp:
+        if engine.kind == "daemon":
+            def factory():
+                return SemanticNids(
+                    templates=resolve_template_set(engine.template_set),
+                    **dict(engine.options))
+
+            daemon_options = {
+                "ring_capacity": engine.daemon.get("ring_capacity", 4096),
+                "batch_size": engine.daemon.get("batch_size", 256),
+            }
+            reference, _ = run_daemon_reference(
+                packets, nids_factory=factory,
+                daemon_options=daemon_options)
+            report = run_daemon_with_crashes(
+                packets, nids_factory=factory, checkpoint_dir=tmp,
+                kills=opts["kills"], kill_kind=opts["kill_kind"],
+                checkpoint_interval=opts["checkpoint_interval"],
+                daemon_options=daemon_options)
+        else:  # fleet (validation pins crash to daemon/fleet)
+            fleet_options = {
+                "workers": engine.workers,
+                "template_set": engine.template_set,
+                "nids_options": dict(engine.options),
+            }
+            reference, _ = run_fleet_reference(
+                packets, fleet_options=fleet_options)
+            report = run_fleet_with_crashes(
+                packets, checkpoint_dir=tmp,
+                kills=opts["kills"], kill_kind=opts["kill_kind"],
+                checkpoint_interval=opts["checkpoint_interval"],
+                fleet_options=fleet_options)
+        report.reference_lines = reference
+    return report.alerts, report.registry, report
 
 
 def _decode_faults(nids, chaos: ChaosSpec, master_seed: int,
@@ -387,6 +444,30 @@ def _counter_totals(registry) -> dict[str, float]:
     return {name: totals[name] for name in sorted(totals)}
 
 
+def _evaluate_recovery(expect: ExpectSpec, report) -> list[CheckResult]:
+    """``expect.recovery`` assertions against a crash-run report."""
+    if expect.recovery is None:
+        return []
+    rec = expect.recovery
+    checks: list[CheckResult] = []
+    if rec.parity:
+        checks.append(CheckResult(
+            "recovery.parity", "byte-identical to reference",
+            "identical" if report.parity else
+            f"divergent ({len(report.alert_lines)} vs "
+            f"{len(report.reference_lines)} alerts)",
+            report.parity))
+    for name, bound, actual in (
+            ("restarts", rec.restarts, report.crashes),
+            ("replayed", rec.replayed, report.replayed),
+            ("deduped", rec.deduped, report.deduped)):
+        if bound is not None:
+            checks.append(CheckResult(
+                f"recovery.{name}", bound.describe(), str(actual),
+                bound.check(actual)))
+    return checks
+
+
 def _evaluate(expect: ExpectSpec, alerts, registry,
               digest: str) -> list[CheckResult]:
     checks: list[CheckResult] = []
@@ -433,6 +514,9 @@ class ScenarioResult:
     checks: list[CheckResult] = field(default_factory=list)
     digest: str = ""
     metrics: dict[str, float] = field(default_factory=dict)
+    #: crash-run report (repro.resilience.recovery.RecoveryReport) when
+    #: the scenario has a ``crash`` chaos entry, else None
+    recovery: Any = None
 
     @property
     def passed(self) -> bool:
@@ -468,6 +552,8 @@ class ScenarioResult:
             "passed": self.passed,
             "checks": [c.as_dict() for c in self.checks],
             "metrics": self.metrics,
+            **({"recovery": self.recovery.as_dict()}
+               if self.recovery is not None else {}),
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -477,9 +563,11 @@ class ScenarioResult:
 def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     """Run one validated scenario end to end."""
     packets = build_trace(spec)
-    alerts, registry = _run_engine(spec, packets)
+    alerts, registry, recovery = _run_engine(spec, packets)
     digest = hashlib.sha256(render_alert_stream(alerts)).hexdigest()
     checks = _evaluate(spec.expect, alerts, registry, digest)
+    if recovery is not None:
+        checks.extend(_evaluate_recovery(spec.expect, recovery))
     return ScenarioResult(
         spec=spec,
         packets=len(packets),
@@ -487,4 +575,5 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         checks=checks,
         digest=digest,
         metrics=_counter_totals(registry),
+        recovery=recovery,
     )

@@ -30,8 +30,8 @@ from typing import Any
 __all__ = [
     "SCHEMA", "SchemaKey", "ScenarioError",
     "ScenarioSpec", "TrafficSpec", "CampaignSpec", "EvasionSpec",
-    "ChaosSpec", "EngineSpec", "ExpectSpec", "Bound",
-    "CAMPAIGN_ENGINES", "CHAOS_KINDS", "ENGINE_KINDS",
+    "ChaosSpec", "EngineSpec", "ExpectSpec", "RecoverySpec", "Bound",
+    "CAMPAIGN_ENGINES", "CHAOS_KINDS", "ENGINE_KINDS", "KILL_KINDS",
     "schema_keys", "validate",
 ]
 
@@ -51,9 +51,12 @@ CAMPAIGN_ENGINES: dict[str, frozenset[str]] = {
 #: keys every campaign accepts regardless of engine.
 _CAMPAIGN_SHARED = frozenset({"engine", "at", "seed", "source", "target"})
 
-CHAOS_KINDS = ("stall-payload", "decode-faults", "truncate-capture")
+CHAOS_KINDS = ("stall-payload", "decode-faults", "truncate-capture",
+               "crash")
 ENGINE_KINDS = ("serial", "parallel", "daemon", "fleet")
 SHED_POLICIES = ("newest", "oldest", "block")
+#: the seams a ``crash`` kill can land on (repro.resilience.recovery).
+KILL_KINDS = ("mid-batch", "mid-checkpoint", "mid-journal-write")
 
 #: degraded-alert templates the firewall can emit; legal in
 #: ``expect.alerts.templates`` alongside the semantic template names.
@@ -189,6 +192,18 @@ SCHEMA: list[SchemaKey] = [
               "truncate-capture only: bytes cut off the end of the "
               "written capture (the run then goes through a real pcap "
               "round-trip with salvage).", ">= 1"),
+    SchemaKey("chaos[].kills", "list[int]", "—",
+              "crash only: global packet marks (processed count for the "
+              "daemon, dispatch seq for the fleet) where the process is "
+              "killed; each kill abandons the incarnation and the next "
+              "one resumes from the checkpoints.",
+              "required for crash; each >= 0"),
+    SchemaKey("chaos[].kill_kind", "str", '"mid-batch"',
+              "crash only: the seam the kill lands on.",
+              "one of: " + ", ".join(KILL_KINDS)),
+    SchemaKey("chaos[].checkpoint_interval", "int", "100",
+              "crash only: processed/dispatched packets between "
+              "checkpoints.", ">= 1"),
     SchemaKey("engine", "map", "serial defaults",
               "Which analysis engine runs the trace."),
     SchemaKey("engine.kind", "str", '"serial"',
@@ -255,6 +270,20 @@ SCHEMA: list[SchemaKey] = [
     SchemaKey("expect.digest", "str | null", "null",
               "Pinned sha256 hex digest of the rendered alert stream "
               "(the byte-exact reproducibility contract)."),
+    SchemaKey("expect.recovery", "map", "absent",
+              "Crash-recovery assertions; requires a chaos entry of "
+              "kind crash."),
+    SchemaKey("expect.recovery.parity", "bool", "true",
+              "Assert the recovered post-dedupe alert stream is "
+              "byte-identical to an uninterrupted reference run's."),
+    SchemaKey("expect.recovery.restarts", "int | map", "absent",
+              "Bounds on crashes survived (kills that actually fired)."),
+    SchemaKey("expect.recovery.replayed", "int | map", "absent",
+              "Bounds on journaled alerts replayed across all "
+              "restarts."),
+    SchemaKey("expect.recovery.deduped", "int | map", "absent",
+              "Bounds on duplicate alerts suppressed across all "
+              "restarts."),
 ]
 
 
@@ -355,18 +384,29 @@ class EngineSpec:
 
 
 @dataclass(frozen=True)
+class RecoverySpec:
+    """``expect.recovery``: crash-run assertions."""
+
+    parity: bool = True
+    restarts: Bound | None = None
+    replayed: Bound | None = None
+    deduped: Bound | None = None
+
+
+@dataclass(frozen=True)
 class ExpectSpec:
     total: Bound | None = None
     templates: dict[str, Bound] = field(default_factory=dict)
     sources: frozenset[str] | None = None
     metrics: dict[str, Bound] = field(default_factory=dict)
     digest: str | None = None
+    recovery: RecoverySpec | None = None
 
     @property
     def empty(self) -> bool:
         return (self.total is None and not self.templates
                 and self.sources is None and not self.metrics
-                and self.digest is None)
+                and self.digest is None and self.recovery is None)
 
 
 @dataclass(frozen=True)
@@ -587,6 +627,7 @@ def _validate_chaos(ctx: _Ctx, engine_kind: str) -> ChaosSpec:
         "stall-payload": {"at", "instructions", "source", "target", "count"},
         "decode-faults": {"count", "seed"},
         "truncate-capture": {"drop_bytes"},
+        "crash": {"kills", "kill_kind", "checkpoint_interval"},
     }[kind]
     for key in ctx.data:
         if key != "kind" and key not in per_kind:
@@ -615,6 +656,26 @@ def _validate_chaos(ctx: _Ctx, engine_kind: str) -> ChaosSpec:
     elif kind == "truncate-capture":
         options["drop_bytes"] = ctx.get("drop_bytes", (int,), default=8,
                                         minimum=1)
+    elif kind == "crash":
+        if engine_kind not in ("daemon", "fleet"):
+            raise ctx.err("kind",
+                          "crash chaos needs an engine with the "
+                          "durability layer (checkpoints + journal); "
+                          "set engine.kind to daemon or fleet")
+        kills = ctx.get("kills", (list,), required=True)
+        if not kills:
+            raise ctx.err("kills", "must name at least one kill mark")
+        for i, mark in enumerate(kills):
+            if type(mark) is bool or not isinstance(mark, int) or mark < 0:
+                raise ScenarioError(
+                    f"{ctx.path}.kills[{i}]",
+                    f"expected an int >= 0, got {mark!r}")
+        options["kills"] = list(kills)
+        options["kill_kind"] = ctx.get("kill_kind", (str,),
+                                       default="mid-batch",
+                                       choices=set(KILL_KINDS))
+        options["checkpoint_interval"] = ctx.get(
+            "checkpoint_interval", (int,), default=100, minimum=1)
     return ChaosSpec(kind=kind,
                      options={k: v for k, v in options.items()
                               if v is not None})
@@ -752,8 +813,21 @@ def _validate_expect(ctx: _Ctx, engine: EngineSpec) -> ExpectSpec:
         if len(digest) != 64 or set(digest) - set("0123456789abcdef"):
             raise ctx.err("digest", "expected a 64-char sha256 hex digest "
                                     "(optionally 'sha256:'-prefixed)")
+    recovery: RecoverySpec | None = None
+    if "recovery" in ctx.data:
+        rctx = _Ctx(_mapping(ctx.data["recovery"], f"{ctx.path}.recovery"),
+                    f"{ctx.path}.recovery")
+        rctx.reject_unknown(_children("expect.recovery."),
+                            "expect.recovery")
+        bounds = {}
+        for key in ("restarts", "replayed", "deduped"):
+            bounds[key] = (_bound(rctx.data[key], f"{rctx.path}.{key}")
+                           if key in rctx.data else None)
+        recovery = RecoverySpec(
+            parity=rctx.get("parity", (bool,), default=True),
+            **bounds)
     return ExpectSpec(total=total, templates=templates, sources=sources,
-                      metrics=metrics, digest=digest)
+                      metrics=metrics, digest=digest, recovery=recovery)
 
 
 def _known_templates(template_set: str) -> frozenset[str]:
@@ -821,6 +895,23 @@ def _validate(data: Any) -> ScenarioSpec:
     if "expect" in root.data:
         expect = _validate_expect(
             _Ctx(_mapping(root.data["expect"], "expect"), "expect"), engine)
+    crash_entries = [c for c in chaos if c.kind == "crash"]
+    if len(crash_entries) > 1:
+        raise ScenarioError(
+            "chaos", "at most one crash entry per scenario (one kill "
+                     "schedule drives the whole restart loop)")
+    if crash_entries and engine.kind == "daemon":
+        policy = engine.daemon.get("shed_policy", "block")
+        if policy != "block":
+            raise ScenarioError(
+                "engine.daemon.shed_policy",
+                f"crash chaos requires the lossless block policy "
+                f"(got {policy!r}): replay parity cannot hold when "
+                f"load shedding drops packets nondeterministically")
+    if expect.recovery is not None and not crash_entries:
+        raise ScenarioError(
+            "expect.recovery",
+            "recovery assertions need a chaos entry of kind crash")
     return ScenarioSpec(
         name=name,
         description=root.get("description", (str,), default=""),

@@ -1,0 +1,160 @@
+"""Resume-at-offset tests for capture sources.
+
+A checkpointed sensor records ``source.tell()`` and, after a restart,
+seeks the fresh reader back to that byte offset — the packets read from
+there must be exactly the packets the dead process never consumed.
+"""
+
+import pytest
+
+from repro.net.packet import tcp_packet
+from repro.net.pcap import PcapError, PcapReader, write_pcap
+from repro.nids.daemon import TailPacketSource
+
+
+def _sample_packets(n=8):
+    return [
+        tcp_packet("10.0.0.1", "10.0.0.2", 1000 + i, 80,
+                   payload=bytes([i]) * (i + 3), timestamp=100.0 + i)
+        for i in range(n)
+    ]
+
+
+class TestReaderResume:
+    def test_tell_then_seek_resumes_exactly(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        packets = _sample_packets()
+        write_pcap(path, packets)
+
+        reader = PcapReader(path)
+        consumed = []
+        for _ in range(3):
+            consumed.append(next(iter_one(reader)))
+        offset = reader.tell()
+        reader.close()
+
+        # a fresh reader (the restarted process) seeks to the offset
+        resumed = PcapReader(path, streaming=True)
+        assert resumed.poll_packet() is not None  # parse global header
+        resumed.seek_to(offset)
+        rest = drain(resumed)
+        assert [p.payload for p in rest] == [
+            p.payload for p in packets[3:]]
+        resumed.close()
+
+    def test_offset_is_stable_across_buffering(self, tmp_path):
+        """tell() reports consumed records, not read-ahead: reading one
+        packet after seek_to must land on the very next record even
+        though the reader buffered far past it."""
+        path = tmp_path / "t.pcap"
+        packets = _sample_packets(20)
+        write_pcap(path, packets)
+        reader = PcapReader(path, streaming=True)
+        offsets = []
+        for _ in range(len(packets)):
+            offsets.append(reader.tell())
+            assert reader.poll_packet() is not None
+        reader.close()
+        assert sorted(set(offsets)) == offsets  # strictly increasing
+        for i, offset in enumerate(offsets):
+            fresh = PcapReader(path, streaming=True)
+            assert fresh.poll_packet() is not None
+            fresh.seek_to(offset)
+            pkt = fresh.poll_packet()
+            assert pkt is not None and pkt.payload == packets[i].payload
+            fresh.close()
+
+    def test_seek_before_header_raises(self, tmp_path):
+        """A streaming source whose global header is still incomplete
+        has no record boundaries yet — seeking it is a caller bug."""
+        path = tmp_path / "t.pcap"
+        full = tmp_path / "full.pcap"
+        write_pcap(full, _sample_packets(1))
+        path.write_bytes(full.read_bytes()[:10])  # header cut short
+        reader = PcapReader(path, streaming=True)
+        with pytest.raises(PcapError):
+            reader.seek_to(24)
+        reader.close()
+
+    def test_seek_below_header_clamps(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        packets = _sample_packets(2)
+        write_pcap(path, packets)
+        reader = PcapReader(path, streaming=True)
+        assert reader.poll_packet() is not None
+        reader.seek_to(0)  # clamped to the first record boundary
+        assert reader.tell() == 24
+        assert reader.poll_packet().payload == packets[0].payload
+        reader.close()
+
+
+class TestTailSourceResume:
+    def test_checkpointed_offset_resumes_tail(self, tmp_path):
+        """The daemon's crash contract for --follow: tell() at the last
+        checkpoint, seek() on the resumed source, no packet replayed and
+        none skipped."""
+        path = tmp_path / "t.pcap"
+        packets = _sample_packets(10)
+        write_pcap(path, packets)
+
+        source = TailPacketSource(PcapReader(path, streaming=True))
+        for _ in range(4):
+            assert source.poll() is not None
+        offset = source.tell()
+        source.reader.close()  # process dies here
+
+        resumed = TailPacketSource(PcapReader(path, streaming=True))
+        assert resumed.poll() is not None  # header + first record
+        resumed.seek(offset)
+        got = []
+        while (pkt := resumed.poll()) is not None:
+            got.append(pkt)
+        assert [p.payload for p in got] == [
+            p.payload for p in packets[4:]]
+        resumed.reader.close()
+
+    def test_boundary_eof_waits_mid_record_salvages(self, tmp_path):
+        """Truncation semantics around resume: a capture that ends at a
+        record boundary reads as 'wait for more' (poll returns None,
+        not finished), while one that died mid-record salvages the
+        complete prefix once the source is declared finished."""
+        path = tmp_path / "t.pcap"
+        packets = _sample_packets(4)
+        write_pcap(path, packets)
+        data = path.read_bytes()
+
+        boundary = tmp_path / "boundary.pcap"
+        reader = PcapReader(path, streaming=True)
+        for _ in range(4):
+            reader.poll_packet()
+        end = reader.tell()
+        reader.close()
+        boundary.write_bytes(data[:end])
+        src = TailPacketSource(PcapReader(boundary, streaming=True))
+        for _ in range(4):
+            assert src.poll() is not None
+        assert src.poll() is None  # boundary EOF: wait, don't truncate
+        assert not src.finished
+        src.reader.close()
+
+        torn = tmp_path / "torn.pcap"
+        torn.write_bytes(data[:-5])  # died mid final record
+        src = TailPacketSource(
+            PcapReader(torn, streaming=True, salvage=True))
+        got = []
+        while (pkt := src.poll()) is not None:
+            got.append(pkt)
+        assert src.reader.finalize() is False  # mid-record: truncation
+        assert src.reader.truncated
+        assert len(got) == 3  # complete prefix, torn record dropped
+
+
+def iter_one(reader):
+    yield from reader
+
+
+def drain(reader):
+    out = []
+    while (pkt := reader.poll_packet()) is not None:
+        out.append(pkt)
+    return out

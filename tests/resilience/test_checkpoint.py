@@ -1,0 +1,110 @@
+"""Tests for atomic, versioned, CRC'd checkpoint persistence."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.resilience import CheckpointStore, FaultInjector, SimulatedCrash
+
+
+PAYLOAD = {"resume_offset": 1234, "seq": 42,
+            "counters": {"ingested": 99, "processed": 90},
+            "library_digest": "abc123"}
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(PAYLOAD)
+        assert store.saves == 1
+        assert CheckpointStore(tmp_path).load() == PAYLOAD
+
+    def test_newer_save_wins(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(PAYLOAD)
+        store.save({**PAYLOAD, "seq": 43})
+        assert store.load()["seq"] == 43
+
+    def test_absent_is_none_not_error(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.load() is None
+        assert store.load_failures == 0
+
+    def test_clear_removes(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(PAYLOAD)
+        store.clear()
+        assert store.load() is None
+        store.clear()  # idempotent
+
+    def test_write_duration_is_observed(self, tmp_path):
+        registry = MetricsRegistry()
+        clock = iter([0.0, 0.25, 1.0, 1.5])
+        store = CheckpointStore(tmp_path, registry=registry,
+                                clock=lambda: next(clock))
+        store.save(PAYLOAD)
+        hist = registry.get("repro_checkpoint_write_seconds")
+        assert hist.count == 1
+
+
+class TestCorruption:
+    """A corrupt checkpoint must read as 'no checkpoint', never be
+    trusted — stale or torn state silently shaping detection is worse
+    than a cold start."""
+
+    def test_truncated_file_is_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(PAYLOAD)
+        data = store.path.read_bytes()
+        store.path.write_bytes(data[: len(data) // 2])
+        assert store.load() is None
+        assert store.load_failures == 1
+
+    def test_flipped_payload_byte_fails_crc(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(PAYLOAD)
+        data = bytearray(store.path.read_bytes())
+        data[-1] ^= 0xFF
+        store.path.write_bytes(bytes(data))
+        assert store.load() is None
+        assert store.load_failures == 1
+
+    def test_bad_magic_is_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(PAYLOAD)
+        data = bytearray(store.path.read_bytes())
+        data[0] ^= 0xFF
+        store.path.write_bytes(bytes(data))
+        assert store.load() is None
+
+    def test_header_shorter_than_frame_is_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.path.write_bytes(b"RC")
+        assert store.load() is None
+        assert store.load_failures == 1
+
+
+class TestAtomicity:
+    def test_crash_before_rename_keeps_previous(self, tmp_path):
+        """The classic mid-checkpoint kill: the temp file is durable but
+        never published, so a reader still sees the previous complete
+        checkpoint — never a torn mix."""
+        store = CheckpointStore(tmp_path)
+        store.save(PAYLOAD)
+        injector = FaultInjector()
+        with injector.crash_on_checkpoint(store):
+            with pytest.raises(SimulatedCrash):
+                store.save({**PAYLOAD, "seq": 777})
+        assert store.load() == PAYLOAD
+        assert [f.detail for f in injector.injected
+                if f.kind == "crash"]
+
+    def test_orphan_tmp_is_ignored_then_overwritten(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        injector = FaultInjector()
+        with injector.crash_on_checkpoint(store):
+            with pytest.raises(SimulatedCrash):
+                store.save(PAYLOAD)
+        # crash left checkpoint.bin.tmp but no checkpoint.bin
+        assert store.load() is None
+        store.save({**PAYLOAD, "seq": 1})
+        assert store.load()["seq"] == 1

@@ -1,0 +1,198 @@
+"""Differential crash-recovery suite: kill, restart, replay, compare.
+
+The headline invariant of the durability layer, per docs/operations.md:
+for *any* seeded crash schedule, the post-dedupe alert stream a
+crashed-and-restarted sensor delivers is **byte-identical** to an
+uninterrupted run, and ``ingested == processed + shed + queued`` still
+holds across every restart.  Seeded like the chaos suite — the CI
+``crash-recovery`` job runs this file once per ``CHAOS_SEEDS`` entry.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.engines.shellcode import get_shellcode
+from repro.net.packet import udp_packet
+from repro.nids import SemanticNids
+from repro.nids.fleet import SensorFleet
+from repro.resilience import FaultInjector, tear_journal_tail
+from repro.resilience.recovery import (
+    KILL_KINDS,
+    run_daemon_reference,
+    run_daemon_with_crashes,
+    run_fleet_reference,
+    run_fleet_with_crashes,
+)
+from repro.traffic.mix import BenignMixGenerator
+
+SEEDS = [int(s) for s in
+         os.environ.get("CHAOS_SEEDS", "0,1,2").split(",")]
+
+
+def _execve_packet(src, sport, at):
+    payload = bytes([0x90]) * 48 + get_shellcode("classic-execve").assemble()
+    return udp_packet(src, "10.10.0.3", sport, 69, payload, timestamp=at)
+
+
+def crash_trace(n=260, seed=5, attacks=6):
+    """Benign mix with attack payloads spread through it, so kills land
+    both before and after alert-producing packets."""
+    packets = BenignMixGenerator(seed=seed).generate_packets(n)[:n]
+    step = max(1, n // (attacks + 1))
+    for i in range(attacks):
+        at = step * (i + 1)
+        packets[at] = _execve_packet(f"6.6.{i}.6", 1000 + i,
+                                     float(packets[at].timestamp))
+    return packets
+
+
+def kill_schedule(seed, n, kills=2):
+    """Seeded global marks, away from the trace edges so every
+    incarnation both processes packets and leaves work behind."""
+    rng = random.Random(seed)
+    return sorted(rng.sample(range(20, n - 20), kills))
+
+
+def nids_factory():
+    return SemanticNids(classification_enabled=False)
+
+
+class TestDaemonReplayParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("kill_kind", KILL_KINDS)
+    def test_crashed_stream_is_byte_identical(self, tmp_path, seed,
+                                              kill_kind):
+        packets = crash_trace(seed=seed)
+        reference, ref_stats = run_daemon_reference(
+            packets, nids_factory=nids_factory)
+        assert reference, "trace must produce alerts or parity is vacuous"
+
+        injector = FaultInjector(seed=seed)
+        report = run_daemon_with_crashes(
+            packets, nids_factory=nids_factory,
+            checkpoint_dir=tmp_path,
+            kills=kill_schedule(seed, len(packets)),
+            kill_kind=kill_kind, checkpoint_interval=40,
+            journal_fsync_batch=4, injector=injector)
+
+        assert report.crashes >= 1, "a crash run that never crashed proves nothing"
+        assert [f for f in injector.injected if f.kind == "crash"]
+        assert report.alert_lines == reference
+        assert report.uncounted_drops == 0
+        assert report.checkpoints >= 1
+
+    def test_accounting_identity_survives_restarts(self, tmp_path):
+        packets = crash_trace(seed=1)
+        report = run_daemon_with_crashes(
+            packets, nids_factory=nids_factory, checkpoint_dir=tmp_path,
+            kills=kill_schedule(1, len(packets)), checkpoint_interval=40)
+        registry = report.registry
+        ingested = registry.get("repro_daemon_ingested_total").value
+        processed = registry.get("repro_daemon_processed_total").value
+        # block policy + completed run: nothing shed, nothing queued —
+        # the restored counters keep the identity across incarnations
+        assert ingested == processed == len(packets)
+        assert report.uncounted_drops == 0
+
+    def test_no_kills_degenerates_to_clean_run(self, tmp_path):
+        packets = crash_trace(seed=2)
+        reference, _ = run_daemon_reference(packets,
+                                            nids_factory=nids_factory)
+        report = run_daemon_with_crashes(
+            packets, nids_factory=nids_factory, checkpoint_dir=tmp_path,
+            kills=[], checkpoint_interval=40)
+        assert report.crashes == 0
+        assert report.incarnations == 1
+        assert report.alert_lines == reference
+
+
+class TestDaemonTornTail:
+    def test_resume_over_torn_journal_tail(self, tmp_path):
+        """A crash that also tears the last journal frame (power cut
+        mid-write): recovery truncates the torn frame and parity still
+        holds — the torn alert is regenerated from the checkpointed
+        position."""
+        packets = crash_trace(seed=3)
+        reference, _ = run_daemon_reference(packets,
+                                            nids_factory=nids_factory)
+        report = run_daemon_with_crashes(
+            packets, nids_factory=nids_factory, checkpoint_dir=tmp_path,
+            kills=kill_schedule(3, len(packets)),
+            kill_kind="mid-journal-write", checkpoint_interval=40,
+            journal_fsync_batch=1)
+        assert report.crashes >= 1
+        assert report.alert_lines == reference
+
+    def test_offline_tear_before_resume(self, tmp_path):
+        """Tear the journal tail *between* incarnations — disk damage
+        discovered only at restart must not poison the resume."""
+        packets = crash_trace(seed=4)
+        reference, _ = run_daemon_reference(packets,
+                                            nids_factory=nids_factory)
+        kills = kill_schedule(4, len(packets), kills=1)
+        # first leg: run to the crash, then damage the tail on disk
+        report = run_daemon_with_crashes(
+            packets, nids_factory=nids_factory, checkpoint_dir=tmp_path,
+            kills=kills, checkpoint_interval=40, journal_fsync_batch=1,
+            max_incarnations=1)
+        assert report.crashes == 1
+        tear_journal_tail(tmp_path / "journal", drop=3)
+        # second leg: resume over the torn tail and finish
+        report = run_daemon_with_crashes(
+            packets, nids_factory=nids_factory, checkpoint_dir=tmp_path,
+            kills=[], checkpoint_interval=40)
+        assert report.alert_lines == reference
+
+
+class TestFleetReplayParity:
+    FLEET_OPTIONS = dict(workers=2,
+                         nids_options={"classification_enabled": False})
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("kill_kind", KILL_KINDS)
+    def test_crashed_stream_is_byte_identical(self, tmp_path, seed,
+                                              kill_kind):
+        packets = crash_trace(n=220, seed=seed)
+        reference, _ = run_fleet_reference(
+            packets, fleet_options=self.FLEET_OPTIONS)
+        assert reference
+
+        report = run_fleet_with_crashes(
+            packets, checkpoint_dir=tmp_path,
+            kills=kill_schedule(seed, len(packets), kills=1),
+            kill_kind=kill_kind, checkpoint_interval=60,
+            fleet_options=self.FLEET_OPTIONS)
+        assert report.crashes >= 1
+        assert report.alert_lines == reference
+        assert report.checkpoints >= 1
+
+
+class TestFleetWatchdog:
+    def test_shard_kill_is_absorbed_and_replayed(self, tmp_path):
+        """SIGKILL one shard's workers mid-run: the watchdog respawns
+        the pool, resubmits the recorded batches, and the merged stream
+        still matches a serial fleet run."""
+        packets = crash_trace(n=220, seed=6)
+        reference, _ = run_fleet_reference(
+            packets, fleet_options=dict(
+                workers=2, nids_options={"classification_enabled": False}))
+
+        injector = FaultInjector(seed=6)
+        fleet = SensorFleet(
+            workers=2, nids_options={"classification_enabled": False},
+            checkpoint_dir=tmp_path, checkpoint_interval=60,
+            watchdog_timeout=30.0)
+        for index, pkt in enumerate(packets):
+            if index == 110:
+                injector.kill_shard(fleet, 0)
+            fleet.process_packet(pkt)
+        fleet.flush()
+        lines = [alert.format() for alert in fleet.alerts]
+        stats = fleet.stats
+        fleet.close()
+
+        assert [f for f in injector.injected if f.kind == "worker-kill"]
+        assert stats.watchdog_restarts >= 1
+        assert lines == reference

@@ -1,0 +1,165 @@
+"""Tests for effectively-once alert delivery: retry, spool, dedupe."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.resilience import (
+    AlertJournal,
+    DurableDelivery,
+    FaultInjector,
+)
+from repro.nids.alerts import Alert
+from repro.resilience.journal import alert_to_record
+
+
+def make_alert(seq=0):
+    return Alert(timestamp=float(seq), source=f"10.0.0.{seq % 250 + 1}",
+                 destination="10.10.0.9", template="xor_decrypt_loop",
+                 severity="alert", frame_origin="udp:53",
+                 detail=f"seq={seq}")
+
+
+class FlakySink:
+    """Fails the first ``failures`` calls per key, then accepts."""
+
+    def __init__(self, failures=0):
+        self.failures = failures
+        self.calls = 0
+        self.accepted = []
+
+    def __call__(self, key, alert):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise ConnectionError("sink down")
+        self.accepted.append((key, alert))
+
+
+def make_delivery(sink, registry=None, **kw):
+    kw.setdefault("sleep", lambda secs: None)  # no real waiting in tests
+    return DurableDelivery(sink, registry=registry, **kw)
+
+
+class TestDelivery:
+    def test_happy_path(self):
+        sink = FlakySink()
+        delivery = make_delivery(sink)
+        assert delivery.deliver(0, make_alert(0)) == "delivered"
+        assert delivery.delivered == 1
+        assert sink.accepted[0][0] == 0
+
+    def test_duplicate_key_is_suppressed_and_counted(self):
+        registry = MetricsRegistry()
+        delivery = make_delivery(FlakySink(), registry=registry)
+        assert delivery.deliver(5, make_alert(5)) == "delivered"
+        assert delivery.deliver(5, make_alert(5)) == "duplicate"
+        assert registry.get("repro_alerts_deduped_total").value == 1
+        assert delivery.delivered == 1
+
+    def test_mark_seen_pre_seeds_dedupe(self):
+        sink = FlakySink()
+        delivery = make_delivery(sink)
+        delivery.mark_seen(9)
+        assert delivery.deliver(9, make_alert(9)) == "duplicate"
+        assert sink.calls == 0
+
+    def test_flaky_sink_is_retried(self):
+        registry = MetricsRegistry()
+        sink = FlakySink(failures=2)
+        delivery = make_delivery(sink, registry=registry, max_attempts=4)
+        assert delivery.deliver(1, make_alert(1)) == "delivered"
+        assert registry.get("repro_delivery_retries_total").value == 2
+
+    def test_backoff_is_seeded_and_bounded(self):
+        waits = []
+        delivery = DurableDelivery(FlakySink(failures=3).__call__,
+                                   max_attempts=4, base_backoff=0.1,
+                                   max_backoff=0.3, jitter_seed=7,
+                                   sleep=waits.append)
+        delivery.deliver(0, make_alert(0))
+        assert len(waits) == 3
+        assert all(0.05 <= w <= 0.3 for w in waits)
+        # same seed, same jitter: reproducible schedules
+        waits2 = []
+        DurableDelivery(FlakySink(failures=3).__call__, max_attempts=4,
+                        base_backoff=0.1, max_backoff=0.3, jitter_seed=7,
+                        sleep=waits2.append).deliver(0, make_alert(0))
+        assert waits == waits2
+
+    def test_dead_sink_without_spool_fails_counted(self):
+        delivery = make_delivery(FlakySink(failures=99), max_attempts=3)
+        assert delivery.deliver(2, make_alert(2)) == "failed"
+        assert delivery.failed == 1
+
+    def test_replay_counts_and_dedupes(self):
+        registry = MetricsRegistry()
+        sink = FlakySink()
+        delivery = make_delivery(sink, registry=registry)
+        delivery.deliver(0, make_alert(0))
+        entries = [(0, alert_to_record(make_alert(0))),
+                   (1, alert_to_record(make_alert(1)))]
+        assert delivery.replay(entries) == 2
+        assert registry.get("repro_alerts_replayed_total").value == 2
+        assert registry.get("repro_alerts_deduped_total").value == 1
+        assert [key for key, _ in sink.accepted] == [0, 1]
+
+
+class TestSpool:
+    def test_outage_parks_alerts_then_replays(self, tmp_path):
+        registry = MetricsRegistry()
+        sink = FlakySink(failures=99)
+        delivery = make_delivery(sink, registry=registry, max_attempts=2,
+                                 spool_dir=tmp_path / "spool")
+        assert delivery.deliver(0, make_alert(0)) == "spooled"
+        assert delivery.deliver(1, make_alert(1)) == "spooled"
+        assert registry.get("repro_delivery_spooled_total").value == 2
+
+        sink.failures = 0  # outage over
+        assert delivery.replay_spool() == 2
+        assert [key for key, _ in sink.accepted] == [0, 1]
+        # drained: a second replay finds nothing
+        assert delivery.replay_spool() == 0
+        delivery.close()
+
+    def test_spool_cap_refuses_counted(self, tmp_path):
+        registry = MetricsRegistry()
+        delivery = make_delivery(FlakySink(failures=99), registry=registry,
+                                 max_attempts=1,
+                                 spool_dir=tmp_path / "spool",
+                                 spool_max_bytes=1)
+        assert delivery.deliver(0, make_alert(0)) == "spooled"
+        assert delivery.deliver(1, make_alert(1)) == "failed"
+        assert registry.get("repro_delivery_spool_errors_total").value == 1
+        delivery.close()
+
+    def test_enospc_is_contained_never_raised(self, tmp_path):
+        """A full disk under the spool degrades to a counted refusal —
+        the write-ahead journal, not the spool, is the loss backstop."""
+        registry = MetricsRegistry()
+        delivery = make_delivery(FlakySink(failures=99), registry=registry,
+                                 max_attempts=1,
+                                 spool_dir=tmp_path / "spool")
+        injector = FaultInjector()
+        with injector.spool_enospc(delivery):
+            assert delivery.deliver(0, make_alert(0)) == "failed"
+        assert registry.get("repro_delivery_spool_errors_total").value == 1
+        assert [f for f in injector.injected if f.kind == "enospc"]
+        # spool works again once space is back
+        assert delivery.deliver(1, make_alert(1)) == "spooled"
+        delivery.close()
+
+    def test_spool_frames_survive_process_restart(self, tmp_path):
+        spool_dir = tmp_path / "spool"
+        delivery = make_delivery(FlakySink(failures=99), max_attempts=1,
+                                 spool_dir=spool_dir)
+        delivery.deliver(0, make_alert(0))
+        delivery.close()
+        # a fresh instance (restarted process) drains the same spool
+        sink = FlakySink()
+        fresh = make_delivery(sink, spool_dir=spool_dir)
+        assert fresh.replay_spool() == 1
+        assert sink.accepted[0][0] == 0
+        fresh.close()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DurableDelivery(lambda k, a: None, max_attempts=0)

@@ -1,0 +1,180 @@
+"""Tests for the append-only CRC-framed write-ahead alert journal."""
+
+import pytest
+
+from repro.nids.alerts import Alert
+from repro.obs import MetricsRegistry
+from repro.resilience import AlertJournal, tear_journal_tail
+from repro.resilience.journal import (
+    alert_to_record,
+    record_to_alert,
+    replay_entries,
+)
+
+
+def make_alert(seq=0):
+    return Alert(timestamp=float(seq), source=f"10.0.0.{seq % 250 + 1}",
+                 destination="10.10.0.9", template="xor_decrypt_loop",
+                 severity="alert", frame_origin="udp:53",
+                 detail=f"seq={seq}")
+
+
+class TestRoundTrip:
+    def test_append_then_recover(self, tmp_path):
+        journal = AlertJournal(tmp_path, fsync_batch=1)
+        for seq in range(5):
+            journal.append(seq, make_alert(seq))
+        journal.close()
+
+        recovery = AlertJournal(tmp_path).recover()
+        assert not recovery.torn
+        assert recovery.keys == list(range(5))
+        alerts = replay_entries(recovery.entries)
+        assert [a.format() for _, a in alerts] == [
+            make_alert(seq).format() for seq in range(5)]
+
+    def test_alert_record_round_trip_drops_match(self):
+        alert = make_alert(3)
+        record = alert_to_record(alert)
+        assert "match" not in record
+        back = record_to_alert(record)
+        assert back.format() == alert.format()
+        assert back.match is None
+
+    def test_tuple_keys_survive_json(self, tmp_path):
+        journal = AlertJournal(tmp_path, fsync_batch=1)
+        journal.append((7, 2), make_alert(7))
+        journal.close()
+        recovery = AlertJournal(tmp_path).recover()
+        assert recovery.keys == [(7, 2)]
+
+    def test_empty_directory_recovers_clean(self, tmp_path):
+        recovery = AlertJournal(tmp_path).recover()
+        assert recovery.entries == []
+        assert not recovery.torn
+        assert recovery.segments == 0
+
+
+class TestFsyncBatching:
+    def test_batch_bounds_pending_appends(self, tmp_path):
+        registry = MetricsRegistry()
+        journal = AlertJournal(tmp_path, fsync_batch=4, registry=registry)
+        for seq in range(10):
+            journal.append(seq, make_alert(seq))
+        # 10 appends, batch 4 -> two fsyncs so far, 2 riding the cache
+        assert journal.synced == 8
+        assert registry.get("repro_journal_fsync_total").value == 2
+        journal.sync()
+        assert journal.synced == 10
+        assert registry.get("repro_journal_fsync_total").value == 3
+        journal.close()
+
+    def test_fsync_batch_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            AlertJournal(tmp_path, fsync_batch=0)
+
+
+class TestRotation:
+    def test_rotates_past_segment_cap(self, tmp_path):
+        journal = AlertJournal(tmp_path, fsync_batch=1,
+                               segment_max_bytes=256)
+        for seq in range(12):
+            journal.append(seq, make_alert(seq))
+        journal.close()
+        segments = sorted(p.name for p in tmp_path.iterdir())
+        assert len(segments) > 1
+        assert segments[0] == "seg-00000001.wal"
+        # recovery stitches all segments back into one ordered stream
+        recovery = AlertJournal(tmp_path).recover()
+        assert recovery.keys == list(range(12))
+        assert recovery.segments == len(segments)
+
+    def test_appends_continue_in_newest_segment(self, tmp_path):
+        journal = AlertJournal(tmp_path, fsync_batch=1,
+                               segment_max_bytes=256)
+        for seq in range(12):
+            journal.append(seq, make_alert(seq))
+        journal.close()
+        # a fresh instance (a restarted process) lands in the last segment
+        journal = AlertJournal(tmp_path, fsync_batch=1,
+                               segment_max_bytes=256)
+        journal.recover()
+        journal.append(12, make_alert(12))
+        journal.close()
+        assert AlertJournal(tmp_path).recover().keys == list(range(13))
+
+    def test_prune_keeps_newest(self, tmp_path):
+        journal = AlertJournal(tmp_path, fsync_batch=1,
+                               segment_max_bytes=256)
+        for seq in range(12):
+            journal.append(seq, make_alert(seq))
+        journal.close()
+        before = len(list(tmp_path.iterdir()))
+        removed = AlertJournal(tmp_path).prune(keep_segments=1)
+        assert removed == before - 1
+        assert len(list(tmp_path.iterdir())) == 1
+
+
+class TestTornTail:
+    def test_torn_tail_is_truncated_not_fatal(self, tmp_path):
+        journal = AlertJournal(tmp_path, fsync_batch=1)
+        for seq in range(6):
+            journal.append(seq, make_alert(seq))
+        journal.close()
+        tear_journal_tail(tmp_path, drop=5)
+
+        recovery = AlertJournal(tmp_path).recover()
+        assert recovery.torn
+        assert recovery.truncated_bytes > 0
+        # the torn frame is gone, every intact frame before it survives
+        assert recovery.keys == list(range(5))
+
+    def test_repair_leaves_clean_tail_for_appends(self, tmp_path):
+        journal = AlertJournal(tmp_path, fsync_batch=1)
+        for seq in range(4):
+            journal.append(seq, make_alert(seq))
+        journal.close()
+        tear_journal_tail(tmp_path, drop=3)
+
+        journal = AlertJournal(tmp_path, fsync_batch=1)
+        journal.recover(repair=True)
+        journal.append(99, make_alert(99))
+        journal.close()
+        recovery = AlertJournal(tmp_path).recover()
+        assert not recovery.torn
+        assert recovery.keys == [0, 1, 2, 99]
+
+    def test_corrupt_magic_truncates_from_there(self, tmp_path):
+        journal = AlertJournal(tmp_path, fsync_batch=1)
+        for seq in range(3):
+            journal.append(seq, make_alert(seq))
+        journal.close()
+        seg = next(tmp_path.iterdir())
+        data = bytearray(seg.read_bytes())
+        # flip the magic of the second frame
+        second = data.index(b"RJ", 2)
+        data[second] ^= 0xFF
+        seg.write_bytes(bytes(data))
+        recovery = AlertJournal(tmp_path).recover()
+        assert recovery.torn
+        assert recovery.keys == [0]
+
+    def test_tear_seam_leaves_partial_frame(self, tmp_path):
+        """The chaos seam writes a torn prefix and raises — exactly the
+        image a crash inside ``write()`` leaves behind."""
+        journal = AlertJournal(tmp_path, fsync_batch=1)
+        journal.append(0, make_alert(0))
+        journal._tear_after_bytes = 4
+        with pytest.raises(OSError):
+            journal.append(1, make_alert(1))
+        journal.close()
+        recovery = AlertJournal(tmp_path).recover()
+        assert recovery.torn
+        assert recovery.keys == [0]
+
+    def test_recover_refuses_after_open_for_append(self, tmp_path):
+        journal = AlertJournal(tmp_path, fsync_batch=1)
+        journal.append(0, make_alert(0))
+        with pytest.raises(RuntimeError):
+            journal.recover()
+        journal.close()

@@ -1,0 +1,116 @@
+"""Tests for quarantine-writer hardening: durability and degradation.
+
+The quarantine runs *inside* the fault path, so its own failures must
+degrade (counted, then disabled) rather than raise — a full disk must
+never turn containment into a crash.
+"""
+
+import json
+
+import pytest
+
+from repro.net.packet import udp_packet
+from repro.net.pcap import read_pcap
+from repro.obs import MetricsRegistry
+from repro.resilience.quarantine import (
+    _MAX_CONSECUTIVE_ERRORS,
+    QuarantineWriter,
+)
+
+
+def offender(i=0):
+    return udp_packet("6.6.6.6", "10.10.0.3", 1000 + i, 69,
+                      payload=b"\x90" * 16, timestamp=float(i))
+
+
+class TestRecording:
+    def test_record_round_trip(self, tmp_path):
+        path = tmp_path / "q.pcap"
+        writer = QuarantineWriter(path)
+        writer.record(reason="resilience.stage-fault", stage="decode",
+                      pkt=offender())
+        writer.close()
+        assert len(read_pcap(path)) == 1
+        meta = [json.loads(line)
+                for line in writer.meta_path.read_text().splitlines()]
+        assert meta[0]["stage"] == "decode"
+
+    def test_records_are_durable_before_return(self, tmp_path):
+        """Each record is flushed+fsynced as it lands: the bytes must be
+        kernel-visible immediately, not parked in userspace buffers —
+        quarantine evidence usually precedes a crash."""
+        path = tmp_path / "q.pcap"
+        writer = QuarantineWriter(path)
+        writer.record(reason="r", stage="decode", pkt=offender())
+        # read the files back *without* closing the writer
+        assert len(read_pcap(path)) == 1
+        assert writer.meta_path.read_text().count("\n") == 1
+        writer.close()
+
+
+class TestDegradation:
+    def test_write_error_is_absorbed_and_counted(self, tmp_path):
+        registry = MetricsRegistry()
+        # parent dir does not exist: every open fails
+        writer = QuarantineWriter(tmp_path / "missing" / "q.pcap",
+                                  registry=registry)
+        writer.record(reason="r", stage="decode", pkt=offender())
+        assert writer.write_errors == 1
+        assert writer.written == 0
+        assert registry.get(
+            "repro_quarantine_write_errors_total").value == 1
+
+    def test_disables_after_consecutive_failures(self, tmp_path):
+        registry = MetricsRegistry()
+        writer = QuarantineWriter(tmp_path / "missing" / "q.pcap",
+                                  registry=registry)
+        for i in range(_MAX_CONSECUTIVE_ERRORS + 3):
+            writer.record(reason="r", stage="decode", pkt=offender(i))
+        assert writer.disabled
+        # disabled records still count as lost, with no disk I/O
+        assert writer.write_errors == _MAX_CONSECUTIVE_ERRORS + 3
+        assert registry.get("repro_quarantine_write_errors_total"
+                            ).value == _MAX_CONSECUTIVE_ERRORS + 3
+
+    def test_success_resets_the_consecutive_count(self, tmp_path, monkeypatch):
+        writer = QuarantineWriter(tmp_path / "q.pcap")
+        original = writer._synthesize
+        fail = {"on": False}
+
+        def flaky(pkt, payload):
+            if fail["on"]:
+                raise OSError("chaos")
+            return original(pkt, payload)
+
+        monkeypatch.setattr(writer, "_synthesize", flaky)
+        # alternate failure and success: never _MAX_CONSECUTIVE in a row
+        for i in range(_MAX_CONSECUTIVE_ERRORS * 2):
+            fail["on"] = bool(i % 2)
+            writer.record(reason="r", stage="extract", payload=b"\xcc" * 8)
+        assert not writer.disabled
+        assert writer.write_errors == _MAX_CONSECUTIVE_ERRORS
+        writer.close()
+
+    def test_close_is_exception_safe(self, tmp_path):
+        writer = QuarantineWriter(tmp_path / "q.pcap")
+        writer.record(reason="r", stage="decode", pkt=offender())
+
+        class ExplodingClose:
+            def close(self):
+                raise OSError("deferred ENOSPC flush")
+
+        writer._meta = ExplodingClose()
+        writer.close()  # absorbed, not raised
+        assert writer.write_errors == 1
+        assert writer._meta is None
+
+    def test_bind_registry_after_init(self, tmp_path):
+        registry = MetricsRegistry()
+        writer = QuarantineWriter(tmp_path / "missing" / "q.pcap")
+        writer.record(reason="r", stage="decode", pkt=offender())
+        writer.bind_registry(registry)
+        writer.record(reason="r", stage="decode", pkt=offender())
+        # only the post-bind failure lands on the registry
+        assert registry.get(
+            "repro_quarantine_write_errors_total").value == 1
+        assert writer.write_errors == 2
