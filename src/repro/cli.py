@@ -291,6 +291,23 @@ def sensord_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=0, metavar="N",
                         help="analysis worker processes, sharded by flow "
                              "(0/1 = serial; default 0)")
+    parser.add_argument("--fleet-workers", type=int, default=0, metavar="N",
+                        help="scale the WHOLE pipeline out across N sensor "
+                             "processes behind a flow-hash dispatcher "
+                             "(0 = single sensor; mutually exclusive with "
+                             "--workers)")
+    parser.add_argument("--fleet-transport",
+                        choices=("pickle", "shm", "offset"), default="pickle",
+                        help="fleet dispatcher→worker transport: pickle "
+                             "payload triples, shared-memory packet ring "
+                             "(shm), or pcap-offset extent partitioning "
+                             "(offset; the dispatcher reads headers only) — "
+                             "see docs/architecture.md 'Fleet transport'")
+    parser.add_argument("--ring-bytes", type=int, default=1 << 20,
+                        metavar="BYTES",
+                        help="per-shard shared-memory ring capacity for "
+                             "--fleet-transport shm (default 1 MiB; sizing "
+                             "guidance in docs/operations.md)")
     parser.add_argument("--heartbeat", type=float, default=0.0,
                         metavar="SECS",
                         help="print a liveness line to stderr every SECS "
@@ -324,6 +341,12 @@ def sensord_main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.resume and args.checkpoint_dir is None:
         parser.error("--resume requires --checkpoint-dir")
+    if args.fleet_workers < 0:
+        parser.error("--fleet-workers must be >= 0")
+    if args.fleet_workers and args.workers > 1:
+        parser.error("--fleet-workers (whole-pipeline scale-out) and "
+                     "--workers (in-sensor stage parallelism) are mutually "
+                     "exclusive")
 
     from .net.pcap import PcapError, PcapReader
     from .nids import ParallelSemanticNids, SemanticNids, SensorDaemon
@@ -337,12 +360,62 @@ def sensord_main(argv: list[str] | None = None) -> int:
         dark_threshold=args.threshold,
         classification_enabled=not args.no_classify,
     )
-    if args.workers > 1:
+    fleet = None
+    if args.fleet_workers >= 1:
+        from .nids.fleet import SensorFleet
+
+        # The fleet owns its durability (barrier checkpoints + journal);
+        # the daemon wrapper below must not double-checkpoint it.
+        nids = fleet = SensorFleet(
+            workers=args.fleet_workers,
+            template_set=args.template_set,
+            nids_options=kwargs,
+            transport=args.fleet_transport,
+            ring_bytes=args.ring_bytes,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_interval=args.checkpoint_interval,
+            journal_fsync_batch=args.journal_fsync_batch,
+            resume=args.resume,
+        )
+    elif args.workers > 1:
         nids = ParallelSemanticNids(workers=args.workers,
                                     template_set=args.template_set, **kwargs)
     else:
         nids = SemanticNids(
             templates=resolve_template_set(args.template_set), **kwargs)
+
+    if fleet is not None and args.fleet_transport == "offset":
+        # Offset partitioning dispatches capture extents, not packets —
+        # the fleet reads the capture itself (headers only); there is no
+        # ingestion ring to bound, so the daemon wrapper does not apply.
+        try:
+            try:
+                alerts = fleet.process_capture(
+                    args.pcap, follow=args.follow,
+                    idle_timeout=args.idle_timeout,
+                    max_packets=args.max_packets)
+            finally:
+                st = fleet.stats
+                fleet.close()
+        except FileNotFoundError:
+            print(f"error: no such file: {args.pcap}", file=sys.stderr)
+            return 2
+        except PcapError as exc:
+            print(f"error: bad pcap: {exc}", file=sys.stderr)
+            return 2
+        for alert in alerts:
+            print(alert.format())
+        print(f"sensord: ingested={st.dispatched} processed={st.dispatched} "
+              f"shed=0 queued=0 backpressure=0 alerts={len(fleet.alerts)} "
+              f"reloads=0 uncounted_drops=0", file=sys.stderr)
+        if args.metrics_out:
+            if args.metrics_format == "prom":
+                args.metrics_out.write_text(fleet.registry.to_prometheus())
+            else:
+                args.metrics_out.write_text(fleet.registry.to_json())
+        if args.stats:
+            print(fleet.stats)
+        return 1 if fleet.alerts else 0
 
     template_provider = None
     if args.template_set_file is not None:
@@ -364,6 +437,17 @@ def sensord_main(argv: list[str] | None = None) -> int:
         return 2
     source = (TailPacketSource(reader) if args.follow
               else IterPacketSource(iter(reader)))
+    if fleet is not None and fleet.resume_seq:
+        # The fleet checkpointed a dispatch watermark; skip the capture
+        # prefix it already accounted (journaled alerts were restored,
+        # so the re-fed window past the watermark dedupes cleanly).
+        for _ in range(fleet.resume_seq):
+            if source.poll() is None:
+                print("error: capture shorter than the fleet checkpoint "
+                      "watermark; refusing to resume", file=sys.stderr)
+                fleet.close()
+                reader.close()
+                return 2
 
     daemon = SensorDaemon(
         nids, source,
@@ -376,10 +460,13 @@ def sensord_main(argv: list[str] | None = None) -> int:
         template_provider=template_provider,
         idle_timeout=args.idle_timeout,
         on_alert=lambda alert: print(alert.format()),
-        checkpoint_dir=args.checkpoint_dir,
+        # The fleet engine checkpoints itself (barrier checkpoints were
+        # wired into its constructor above); daemon-level checkpointing
+        # is for single-sensor engines with snapshot_state().
+        checkpoint_dir=None if fleet is not None else args.checkpoint_dir,
         checkpoint_interval=args.checkpoint_interval,
         journal_fsync_batch=args.journal_fsync_batch,
-        resume=args.resume,
+        resume=False if fleet is not None else args.resume,
     )
     try:
         stats = daemon.run(max_packets=args.max_packets)
@@ -397,13 +484,16 @@ def sensord_main(argv: list[str] | None = None) -> int:
           file=sys.stderr)
 
     if args.metrics_out:
-        nids.sync_frontend_stats()
+        if hasattr(nids, "sync_frontend_stats"):  # fleet folds deltas live
+            nids.sync_frontend_stats()
         if args.metrics_format == "prom":
             args.metrics_out.write_text(nids.registry.to_prometheus())
         else:
             args.metrics_out.write_text(nids.registry.to_json())
     if args.stats:
-        print(nids.stats.summary())
+        stats_obj = nids.stats
+        print(stats_obj.summary() if hasattr(stats_obj, "summary")
+              else stats_obj)
     return 1 if nids.alerts else 0
 
 

@@ -22,7 +22,13 @@ from .layers import (
     Udp,
 )
 
-__all__ = ["Packet", "tcp_packet", "udp_packet", "icmp_packet", "DecodeError"]
+__all__ = ["Packet", "PEEK_PREFIX_LEN", "tcp_packet", "udp_packet",
+           "icmp_packet", "DecodeError"]
+
+#: Bytes of a record sufficient for :meth:`Packet.peek_flow` in every
+#: case: Ethernet (14) + maximal IPv4 header (60) + the TCP data-offset
+#: byte (13th of the transport header) still fits with room to spare.
+PEEK_PREFIX_LEN = 96
 
 
 @dataclass
@@ -117,6 +123,76 @@ class Packet:
         except DecodeError:
             pkt.payload = rest
         return pkt
+
+    @classmethod
+    def peek_flow(cls, data, caplen: int | None = None) -> tuple:
+        """Flow fields ``(src, dst, proto, sport, dport)`` exactly as a
+        full :meth:`decode` would expose them through the accessor
+        properties — parsed from a bounded header prefix, without
+        touching (or even requiring) the payload bytes.
+
+        ``data`` may be just the first :data:`PEEK_PREFIX_LEN` bytes of
+        a captured record whose full captured length is ``caplen``
+        (defaults to ``len(data)``); the length checks replicate the
+        layer decoders' arithmetic against ``caplen``, so degradation is
+        byte-for-byte identical to decoding the whole record:
+
+        - non-IPv4 ethertype → all fields ``None``;
+        - fragments (offset > 0 or MF set) and non-TCP/UDP protocols →
+          ports ``None``;
+        - a truncated or malformed transport header → ports ``None``
+          (mirroring decode's raw-payload fallback);
+        - Ethernet/IPv4 header malformations raise :class:`DecodeError`
+          exactly where :meth:`decode` would.
+
+        This is what lets the fleet dispatcher shard packets by flow
+        hash without decoding them (see ``SensorFleet.process_raw`` and
+        the pcap-offset transport).
+        """
+        from .inet import int_to_ip
+
+        n = len(data) if caplen is None else caplen
+        if n < Ethernet.HEADER_LEN:
+            raise DecodeError("truncated Ethernet header")
+        if (data[12] << 8) | data[13] != 0x0800:
+            return (None, None, None, None, None)
+        ip_avail = n - Ethernet.HEADER_LEN
+        if ip_avail < Ipv4.HEADER_LEN:
+            raise DecodeError("truncated IPv4 header")
+        version_ihl = data[14]
+        if version_ihl >> 4 != 4:
+            raise DecodeError(f"not IPv4 (version={version_ihl >> 4})")
+        ihl = (version_ihl & 0xF) * 4
+        if ihl < Ipv4.HEADER_LEN or ip_avail < ihl:
+            raise DecodeError("bad IPv4 header length")
+        total_len = (data[16] << 8) | data[17]
+        if total_len < ihl or total_len > ip_avail:
+            raise DecodeError("bad IPv4 total length")
+        src = int_to_ip(int.from_bytes(data[26:30], "big"))
+        dst = int_to_ip(int.from_bytes(data[30:34], "big"))
+        proto = data[23]
+        flags_frag = (data[20] << 8) | data[21]
+        if flags_frag & 0x1FFF or (flags_frag >> 13) & 0x1:  # frag / MF
+            return (src, dst, proto, None, None)
+        if proto not in (PROTO_TCP, PROTO_UDP):
+            return (src, dst, proto, None, None)
+        l4_len = total_len - ihl
+        base = Ethernet.HEADER_LEN + ihl
+        if proto == PROTO_TCP:
+            if l4_len < Tcp.HEADER_LEN:
+                return (src, dst, proto, None, None)
+            header_len = (data[base + 12] >> 4) * 4
+            if header_len < Tcp.HEADER_LEN or l4_len < header_len:
+                return (src, dst, proto, None, None)
+        else:
+            if l4_len < Udp.HEADER_LEN:
+                return (src, dst, proto, None, None)
+            udp_len = (data[base + 4] << 8) | data[base + 5]
+            if udp_len < Udp.HEADER_LEN or udp_len > l4_len:
+                return (src, dst, proto, None, None)
+        sport = (data[base] << 8) | data[base + 1]
+        dport = (data[base + 2] << 8) | data[base + 3]
+        return (src, dst, proto, sport, dport)
 
     def describe(self) -> str:
         """One-line human-readable summary (used by alert formatting)."""

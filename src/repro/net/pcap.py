@@ -16,10 +16,10 @@ from typing import BinaryIO, Iterable, Iterator
 
 from ..errors import CaptureError, TruncatedCaptureError
 from ..obs import MetricsRegistry
-from .packet import Packet
+from .packet import PEEK_PREFIX_LEN, Packet
 
-__all__ = ["PcapWriter", "PcapReader", "write_pcap", "read_pcap",
-           "PcapError", "TruncatedCaptureError"]
+__all__ = ["PcapWriter", "PcapReader", "PcapRecordMeta", "write_pcap",
+           "read_pcap", "PcapError", "TruncatedCaptureError"]
 
 _MAGIC_LE = 0xA1B2C3D4
 _MAGIC_BE = 0xD4C3B2A1
@@ -56,6 +56,24 @@ class PcapRecord:
 
     timestamp: float
     data: bytes
+
+
+@dataclass
+class PcapRecordMeta:
+    """A record's *boundary*, not its body: what the fleet's offset
+    transport dispatcher needs to hand a worker a ``(offset, count)``
+    extent.  ``prefix`` is just enough of the record head for
+    :meth:`repro.net.packet.Packet.peek_flow` to shard it — the
+    dispatcher never parses (or copies) the payload."""
+
+    #: file offset of the record header — a valid
+    #: :meth:`PcapReader.seek_to` target.
+    offset: int
+    timestamp: float
+    #: captured length (the record body a worker will re-read).
+    caplen: int
+    #: first ``min(caplen, prefix_len)`` bytes of the record body.
+    prefix: bytes
 
 
 class PcapWriter:
@@ -259,6 +277,37 @@ class PcapReader:
         self._consumed += total
         self.records_read += 1
         return PcapRecord(timestamp=sec + usec / 1_000_000, data=data)
+
+    def poll_meta(self, prefix_len: int = PEEK_PREFIX_LEN) -> PcapRecordMeta | None:
+        """Next complete record's *boundary* (offset, timestamp, caplen,
+        header prefix) without materializing its body — the scan side of
+        the fleet's pcap-offset transport.
+
+        Consumption semantics match :meth:`poll` exactly: the record is
+        only consumed once fully buffered (so an extent handed to a
+        worker always names bytes that exist on disk), ``None`` means
+        "no complete record right now", and :meth:`tell` /
+        :meth:`seek_to` offsets interleave freely with :meth:`poll`.
+        The body bytes pass through the read buffer but are never
+        sliced, copied, or decoded — only ``prefix_len`` bytes are.
+        """
+        if not self._try_parse_header():
+            return None
+        if self._fill(_RECORD_HEADER_LEN) < _RECORD_HEADER_LEN:
+            return None
+        header = self._buf[self._pos:self._pos + _RECORD_HEADER_LEN]
+        sec, usec, caplen, _origlen = _RECORD_HEADER[self._endian].unpack(header)
+        total = _RECORD_HEADER_LEN + caplen
+        if self._fill(total) < total:
+            return None
+        offset = self._consumed
+        start = self._pos + _RECORD_HEADER_LEN
+        prefix = bytes(self._buf[start:start + min(caplen, prefix_len)])
+        self._pos += total
+        self._consumed += total
+        self.records_read += 1
+        return PcapRecordMeta(offset=offset, timestamp=sec + usec / 1_000_000,
+                              caplen=caplen, prefix=prefix)
 
     def poll_packet(self) -> Packet | None:
         """Like :meth:`poll`, decoded to a :class:`Packet`."""

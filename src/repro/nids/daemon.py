@@ -437,7 +437,9 @@ class SensorDaemon:
                 break
             pkt = item[0]
             t0 = time.perf_counter()
-            alerts = self.nids.process_packet(pkt)
+            # A fleet engine returns None here (its alerts surface at
+            # flush, in deterministic merge order); keep the loop shape.
+            alerts = self.nids.process_packet(pkt) or ()
             self._latency.observe(time.perf_counter() - t0)
             self._processed.inc()
             n += 1
@@ -495,9 +497,11 @@ class SensorDaemon:
         try:
             self.on_alert(alert)
         except Exception as exc:  # noqa: BLE001 — operator code is untrusted
-            self.nids.firewall.contain_record(
-                "deliver", reason="resilience.stage-fault",
-                detail=f"{type(exc).__name__}: {exc}")
+            firewall = getattr(self.nids, "firewall", None)
+            if firewall is not None:  # fleet engines have no firewall
+                firewall.contain_record(
+                    "deliver", reason="resilience.stage-fault",
+                    detail=f"{type(exc).__name__}: {exc}")
 
     # -- shutdown -------------------------------------------------------------
 
@@ -518,17 +522,24 @@ class SensorDaemon:
         return self.stats(duration=self._clock() - started)
 
     def stats(self, duration: float = 0.0) -> DaemonStats:
+        # FleetStats spells the replay counters differently (and keeps
+        # its own checkpoint accounting); normalize here.
+        engine_stats = self.nids.stats
+        replayed = getattr(engine_stats, "alerts_replayed",
+                           getattr(engine_stats, "replayed", 0))
+        deduped = getattr(engine_stats, "alerts_deduped",
+                          getattr(engine_stats, "deduped", 0))
         return DaemonStats(
             ingested=self._ingested.value,
             processed=self._processed.value,
             shed=self.ring.shed_total,
             queued=len(self.ring) + (1 if self._held is not None else 0),
             backpressure_waits=self.ring.backpressure_total,
-            alerts=self.nids.stats.alerts,
+            alerts=engine_stats.alerts,
             reloads=self.reloads,
             windows=len(self.window.windows) if self.window else 0,
             duration=duration,
             checkpoints=self.checkpoints.saves if self.checkpoints else 0,
-            replayed=self.nids.stats.alerts_replayed,
-            deduped=self.nids.stats.alerts_deduped,
+            replayed=replayed,
+            deduped=deduped,
         )

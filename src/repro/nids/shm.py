@@ -1,0 +1,257 @@
+"""Shared-memory packet transport for the sensor fleet.
+
+The fleet's original transport pickles every ``(seq, wire_bytes,
+timestamp)`` triple into a ``ProcessPoolExecutor.submit`` call — the
+dispatcher serializes each packet's payload, the pool pipes it through a
+socket, and the worker deserializes it.  At fleet scale that per-byte
+tax on the single dispatcher process is the bottleneck (ROADMAP, PR 7
+"remaining headroom").  This module moves the bytes out of band:
+
+- the **dispatcher** owns one :class:`PacketRing` per shard — a
+  seqlock-framed span ring over :class:`multiprocessing.shared_memory.
+  SharedMemory`.  A dispatch batch is written once into the ring
+  (length-prefixed records, CRC-framed, batch-delimited) and only a
+  tiny :class:`RingSlot` descriptor ``(offset, length, generation,
+  count)`` rides the pickle channel;
+- the **worker** attaches to the ring by name, validates the frame
+  (magic, head *and* tail generation words, payload CRC-32), snapshots
+  the batch payload with one copy, and decodes :class:`Packet` objects
+  zero-copy from the snapshot through the PR 5 memoryview front end.
+
+Why the one snapshot copy: the engine's stream reassembler retains
+payload *views* across batches (``Stream.segments``), but ring bytes
+are recycled as soon as the batch's result folds back to the
+dispatcher.  Decoding straight from the shared buffer would let
+recycled bytes alias live stream state; snapshotting pins the batch in
+worker-local memory for exactly as long as any view needs it, while
+the expensive per-packet pickle/unpickle round trip is still gone.
+
+Frame integrity is **loud, never silent**: the generation word is
+bumped whenever a shard ring is reset (watchdog restart), so a stale
+descriptor — one that outlived the bytes it pointed at — fails the
+seqlock check with :class:`RingIntegrityError` instead of decoding
+garbage.  Replay after a restart never goes through old slots: the
+dispatcher re-ships from its raw replay log (see
+:meth:`repro.nids.fleet.SensorFleet._restart_shard`).
+
+Allocation arithmetic lives in
+:class:`~repro.resilience.shedder.SpanRing`; ring-full handling (the
+counted blocking / pickle-fallback ladder) is the dispatcher's job and
+is counted in ``repro_fleet_ring_full_total`` /
+``repro_fleet_ring_fallback_total``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import struct
+import weakref
+import zlib
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+from ..resilience.shedder import SpanRing
+
+__all__ = ["PacketRing", "RingReader", "RingSlot", "RingIntegrityError",
+           "DEFAULT_RING_BYTES"]
+
+#: Default per-shard ring capacity.  Sizing guidance lives in
+#: docs/operations.md: it must hold ``batch_size × typical wire size``
+#: times the number of batches allowed in flight per shard.
+DEFAULT_RING_BYTES = 1 << 20
+
+#: Frame header: magic, generation, payload length, payload CRC-32.
+_FRAME = struct.Struct("<IIII")
+#: Frame tail: the generation again — the seqlock guard a reader checks
+#: *after* copying the payload, so a frame overwritten mid-read (which
+#: cannot happen under the retire-after-fold protocol, but would under a
+#: dispatcher bug) is detected, not decoded.
+_TAIL = struct.Struct("<I")
+#: Per-record header inside the payload: seq, timestamp, wire length.
+_REC = struct.Struct("<QdI")
+
+FRAME_MAGIC = 0x52504B54  # "RPKT"
+
+
+class RingIntegrityError(Exception):
+    """A descriptor pointed at bytes that are not the frame it named:
+    bad magic, a generation mismatch (recycled ring), or a CRC failure.
+    Always a protocol bug or a stale replay — never swallowed."""
+
+
+@dataclass(frozen=True)
+class RingSlot:
+    """The descriptor shipped through the pool instead of the bytes."""
+
+    offset: int
+    length: int
+    generation: int
+    count: int
+
+
+def _release_shm(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except Exception:
+        pass  # already unlinked (double close, or the crash harness)
+
+
+class PacketRing:
+    """Dispatcher side: create, frame, and recycle one shard's ring."""
+
+    def __init__(self, ring_bytes: int = DEFAULT_RING_BYTES) -> None:
+        overhead = _FRAME.size + _TAIL.size + _REC.size
+        if ring_bytes <= overhead:
+            raise ValueError(
+                f"ring_bytes must exceed the frame overhead ({overhead})")
+        self._shm = shared_memory.SharedMemory(create=True, size=ring_bytes)
+        self._alloc = SpanRing(ring_bytes)
+        self.generation = 1
+        #: creator owns the segment: close+unlink exactly once, even if
+        #: the fleet is abandoned without close() (crash harness).
+        self._finalizer = weakref.finalize(self, _release_shm, self._shm)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def ring_bytes(self) -> int:
+        return self._alloc.capacity
+
+    @property
+    def used_bytes(self) -> int:
+        return self._alloc.used_bytes
+
+    @property
+    def high_watermark(self) -> int:
+        return self._alloc.high_watermark
+
+    def frame_size(self, batch: list) -> int:
+        """Bytes one batch of ``(seq, wire, timestamp)`` triples costs."""
+        return (_FRAME.size + _TAIL.size
+                + sum(_REC.size + len(wire) for _seq, wire, _ts in batch))
+
+    def try_write(self, key, batch: list) -> RingSlot | None:
+        """Frame one dispatch batch into the ring; ``None`` when no
+        contiguous span is free (the caller's fallback ladder decides
+        what happens next — counted, never silent)."""
+        total = self.frame_size(batch)
+        offset = self._alloc.alloc(key, total)
+        if offset is None:
+            return None
+        buf = self._shm.buf
+        pos = offset + _FRAME.size
+        for seq, wire, timestamp in batch:
+            _REC.pack_into(buf, pos, seq, timestamp, len(wire))
+            pos += _REC.size
+            buf[pos:pos + len(wire)] = wire
+            pos += len(wire)
+        payload_len = pos - offset - _FRAME.size
+        crc = zlib.crc32(buf[offset + _FRAME.size:pos])
+        _FRAME.pack_into(buf, offset, FRAME_MAGIC, self.generation,
+                         payload_len, crc)
+        _TAIL.pack_into(buf, pos, self.generation)
+        return RingSlot(offset=offset, length=total,
+                        generation=self.generation, count=len(batch))
+
+    def retire(self, key) -> bool:
+        """Free a folded batch's span (FIFO; a no-op for batches that
+        rode the pickle fallback or predate a reset)."""
+        return self._alloc.retire_if(key)
+
+    def reset(self) -> None:
+        """Shard restart: void every live span and bump the generation,
+        so any descriptor still referencing the old bytes fails loud.
+        Live frame heads are poisoned (zeroed magic) as well — a stale
+        descriptor must not read even *intact* pre-reset bytes, because
+        the dispatcher replays those batches through the pickle path and
+        a quiet double-read would defeat the fold dedupe accounting."""
+        for _key, offset, _size in self._alloc.live_spans():
+            _FRAME.pack_into(self._shm.buf, offset, 0, 0, 0, 0)
+        self._alloc.reset()
+        self.generation += 1
+
+    def close(self) -> None:
+        self._finalizer()
+
+    def __enter__(self) -> "PacketRing":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class RingReader:
+    """Worker side: attach by name, validate frames, decode batches."""
+
+    def __init__(self, name: str) -> None:
+        self._shm = shared_memory.SharedMemory(name=name)
+        # CPython's resource tracker registers *attachments* as if they
+        # were creations (bpo-39959): under spawn/forkserver the worker
+        # has its own tracker, which would unlink the segment out from
+        # under the dispatcher when the worker dies and spam "leaked
+        # shared_memory" warnings — compensate by unregistering.  Under
+        # fork the tracker *process is shared* with the dispatcher and
+        # registrations dedupe, so unregistering here would instead
+        # erase the creator's entry and make its unlink double-remove.
+        # The dispatcher (creator) owns the unlink either way.
+        if multiprocessing.get_start_method() != "fork":
+            try:
+                resource_tracker.unregister(self._shm._name, "shared_memory")
+            except Exception:
+                pass
+
+    def read_batch(self, slot: RingSlot) -> list:
+        """Validate and decode one frame into ``(seq, wire_view,
+        timestamp)`` triples.
+
+        The payload is snapshotted with a single copy; the returned
+        wire views are zero-copy slices of that snapshot, safe to hold
+        across batches (stream reassembly does).  Raises
+        :class:`RingIntegrityError` on any mismatch.
+        """
+        buf = self._shm.buf
+        magic, generation, payload_len, crc = _FRAME.unpack_from(
+            buf, slot.offset)
+        if magic != FRAME_MAGIC:
+            raise RingIntegrityError(
+                f"bad frame magic {magic:#010x} at offset {slot.offset}")
+        if generation != slot.generation:
+            raise RingIntegrityError(
+                f"ring generation {generation} != descriptor generation "
+                f"{slot.generation}: the ring was recycled under this "
+                "descriptor")
+        start = slot.offset + _FRAME.size
+        payload = bytes(buf[start:start + payload_len])  # the one copy
+        (tail_gen,) = _TAIL.unpack_from(buf, start + payload_len)
+        if tail_gen != slot.generation:
+            raise RingIntegrityError(
+                f"frame tail generation {tail_gen} != descriptor "
+                f"generation {slot.generation}: torn frame")
+        if zlib.crc32(payload) != crc:
+            raise RingIntegrityError(
+                f"frame CRC mismatch at offset {slot.offset}")
+        view = memoryview(payload)
+        records = []
+        pos = 0
+        for _ in range(slot.count):
+            seq, timestamp, wire_len = _REC.unpack_from(payload, pos)
+            pos += _REC.size
+            records.append((seq, view[pos:pos + wire_len], timestamp))
+            pos += wire_len
+        if pos != payload_len:
+            raise RingIntegrityError(
+                f"frame payload length {payload_len} != records consumed "
+                f"{pos}")
+        return records
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except Exception:
+            pass

@@ -278,16 +278,41 @@ def run_daemon_with_crashes(
 # ---------------------------------------------------------------------------
 
 
+def _materialize_capture(packets: Sequence[Packet], capture_path) -> str:
+    """Write the trace to a capture file once, so every incarnation (and
+    the reference) reads the identical bytes — pcap rounds timestamps to
+    microseconds, so feeding some runs from memory and others from disk
+    would break byte-parity for reasons that have nothing to do with
+    crash recovery."""
+    from ..net.pcap import write_pcap
+
+    capture_path = os.fspath(capture_path)
+    write_pcap(capture_path, packets)
+    return capture_path
+
+
 def run_fleet_reference(
     packets: Sequence[Packet],
     *,
     fleet_options: dict | None = None,
+    capture_path=None,
 ):
-    """The uninterrupted fleet run.  Returns ``(alert_lines, stats)``."""
+    """The uninterrupted fleet run.  Returns ``(alert_lines, stats)``.
+
+    ``capture_path`` feeds the fleet from a pcap written once from
+    ``packets`` (required for ``transport="offset"``, which dispatches
+    file extents; valid for every transport and what the transport
+    parity suite uses).
+    """
     from ..nids.fleet import SensorFleet
 
+    if capture_path is not None:
+        capture_path = _materialize_capture(packets, capture_path)
     with SensorFleet(**(fleet_options or {})) as fleet:
-        fleet.process_trace(packets)
+        if capture_path is not None:
+            fleet.process_capture(capture_path)
+        else:
+            fleet.process_trace(packets)
         stats = fleet.stats
         lines = [alert.format() for alert in fleet.alerts]
     return lines, stats
@@ -304,15 +329,23 @@ def run_fleet_with_crashes(
     fleet_options: dict | None = None,
     injector: FaultInjector | None = None,
     max_incarnations: int = 32,
+    capture_path=None,
 ) -> RecoveryReport:
     """Run the fleet under a kill schedule.  ``kills`` are global
     dispatch-sequence marks; every crash hard-kills the whole "process
     tree" (dispatcher and workers) and the next incarnation resumes —
     restoring the emitted stream from the journal and re-feeding the
     capture from :attr:`SensorFleet.resume_seq`.
+
+    ``capture_path`` feeds every incarnation from a pcap written once
+    from ``packets`` (required for ``transport="offset"``); mid-batch
+    kills then fire through :meth:`SensorFleet.process_capture`'s
+    ``progress`` hook instead of the in-memory feed loop.
     """
     from ..nids.fleet import SensorFleet
 
+    if capture_path is not None:
+        capture_path = _materialize_capture(packets, capture_path)
     injector = injector if injector is not None else FaultInjector()
     pending = sorted(kills)
     report = RecoveryReport(engine="fleet", kill_kind=kill_kind,
@@ -329,18 +362,24 @@ def run_fleet_with_crashes(
         kill_at = pending[0] if pending else None
         completed = False
         try:
+            def feed_kill(seq, _kill_at=kill_at):
+                if (kill_kind == "mid-batch" and _kill_at is not None
+                        and seq >= _kill_at):
+                    injector.injected.append(InjectedFault(
+                        "crash", _kill_at, detail="mid-batch"))
+                    raise SimulatedCrash(
+                        f"chaos: fleet killed at dispatch {_kill_at}")
+
             with _arm_kill(injector, kill_kind, kill_at,
                            progress=lambda: fleet._seq,
                            store=fleet.checkpoints, journal=fleet.journal):
-                for index in range(fleet.resume_seq, len(packets)):
-                    if (kill_kind == "mid-batch" and kill_at is not None
-                            and index >= kill_at):
-                        injector.injected.append(InjectedFault(
-                            "crash", kill_at, detail="mid-batch"))
-                        raise SimulatedCrash(
-                            f"chaos: fleet killed at dispatch {kill_at}")
-                    fleet.process_packet(packets[index])
-                fleet.flush()
+                if capture_path is not None:
+                    fleet.process_capture(capture_path, progress=feed_kill)
+                else:
+                    for index in range(fleet.resume_seq, len(packets)):
+                        feed_kill(index)
+                        fleet.process_packet(packets[index])
+                    fleet.flush()
             completed = True
             if pending:
                 pending.pop(0)

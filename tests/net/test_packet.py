@@ -86,3 +86,92 @@ class TestAccessors:
         pkt = tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, b"x")
         assert isinstance(pkt.l4, Tcp)
         assert pkt.l4.flags == 0x18  # PSH|ACK
+
+
+class TestPeekFlow:
+    """``Packet.peek_flow`` must agree with a full decode, byte for byte
+    — it is how the fleet dispatcher shards without decoding."""
+
+    def _corpus(self):
+        from repro.net.layers import TCP_SYN
+        pkts = [
+            tcp_packet("10.0.0.1", "192.168.1.9", 1234, 80,
+                       payload=b"GET / HTTP/1.0\r\n\r\n"),
+            tcp_packet("10.0.0.1", "192.168.1.9", 1234, 80, flags=TCP_SYN),
+            udp_packet("172.16.5.5", "10.10.0.3", 5353, 69, b"\x90" * 64),
+            icmp_packet("1.2.3.4", "5.6.7.8"),
+        ]
+        return [p.encode() for p in pkts]
+
+    def _fields_via_decode(self, raw):
+        pkt = Packet.decode(raw)
+        return (pkt.src, pkt.dst,
+                pkt.ip.proto if pkt.ip is not None else None,
+                pkt.sport, pkt.dport)
+
+    def test_corpus_parity(self):
+        for raw in self._corpus():
+            assert Packet.peek_flow(raw) == self._fields_via_decode(raw)
+
+    def test_prefix_only_parity(self):
+        """The dispatcher peeks at a bounded prefix + the true caplen;
+        the verdict must match peeking at the whole record."""
+        from repro.net.packet import PEEK_PREFIX_LEN
+        for raw in self._corpus():
+            prefix = raw[:PEEK_PREFIX_LEN]
+            assert (Packet.peek_flow(prefix, caplen=len(raw))
+                    == Packet.peek_flow(raw))
+
+    def test_non_ipv4_is_all_none(self):
+        raw = bytearray(self._corpus()[0])
+        raw[12:14] = b"\x86\xdd"  # IPv6 ethertype
+        assert Packet.peek_flow(bytes(raw)) == (None, None, None, None, None)
+
+    def test_fragment_loses_ports_like_decode(self):
+        raw = bytearray(self._corpus()[0])
+        raw[14 + 6] = 0x20  # MF set, offset 0: first fragment
+        # fix the IPv4 header checksum so decode still accepts it
+        raw[14 + 10:14 + 12] = b"\x00\x00"
+        from repro.net.inet import checksum
+        raw[14 + 10:14 + 12] = checksum(bytes(raw[14:14 + 20])).to_bytes(2, "big")
+        raw = bytes(raw)
+        assert Packet.peek_flow(raw) == self._fields_via_decode(raw)
+        assert Packet.peek_flow(raw)[3:] == (None, None)
+
+    def test_truncation_parity_at_every_length(self):
+        """Sweep every truncation point of every corpus record: decode
+        raising must imply peek raising, decode surviving must imply
+        field-identical peek — no length where the two disagree."""
+        from repro.errors import DecodeError
+        for raw in self._corpus():
+            for cut in range(len(raw) + 1):
+                head = raw[:cut]
+                try:
+                    expected = self._fields_via_decode(head)
+                except DecodeError:
+                    with pytest.raises(DecodeError):
+                        Packet.peek_flow(head)
+                else:
+                    assert Packet.peek_flow(head) == expected, cut
+
+    def test_mutation_fuzz_parity(self):
+        """Seeded byte-flip fuzz over header bytes: whatever decode
+        does (raise or degrade), peek does identically."""
+        import random
+
+        from repro.errors import DecodeError
+        rng = random.Random(1234)
+        corpus = self._corpus()
+        for _ in range(400):
+            raw = bytearray(rng.choice(corpus))
+            for _ in range(rng.randint(1, 3)):
+                at = rng.randrange(min(len(raw), 60))
+                raw[at] = rng.randrange(256)
+            raw = bytes(raw)
+            try:
+                expected = self._fields_via_decode(raw)
+            except DecodeError:
+                with pytest.raises(DecodeError):
+                    Packet.peek_flow(raw)
+            else:
+                assert Packet.peek_flow(raw) == expected

@@ -2,6 +2,7 @@
 
 import io
 import struct
+from pathlib import Path
 
 import pytest
 
@@ -272,3 +273,84 @@ class TestStreamingReader:
         reader = PcapReader(io.BytesIO(whole[:-5]))
         with pytest.raises(TruncatedCaptureError):
             list(reader)
+
+
+class TestPollMeta:
+    """The record-boundary scanner behind the fleet's offset transport."""
+
+    def _write(self, tmp_path, packets):
+        path = tmp_path / "meta.pcap"
+        write_pcap(path, packets)
+        return str(path)
+
+    def test_meta_matches_poll_record_for_record(self, tmp_path):
+        packets = [tcp_packet("10.0.0.1", "10.0.0.2", 1000 + i, 80,
+                              payload=bytes([i]) * (10 + i),
+                              timestamp=float(i))
+                   for i in range(8)]
+        path = self._write(tmp_path, packets)
+        scanner, reader = PcapReader(path), PcapReader(path)
+        try:
+            while True:
+                meta = scanner.poll_meta()
+                rec = reader.poll()
+                assert (meta is None) == (rec is None)
+                if meta is None:
+                    break
+                assert meta.timestamp == rec.timestamp
+                assert meta.caplen == len(rec.data)
+                assert rec.data.startswith(meta.prefix)
+            assert scanner.records_read == reader.records_read == 8
+        finally:
+            scanner.close()
+            reader.close()
+
+    def test_offset_is_a_valid_seek_target(self, tmp_path):
+        packets = [tcp_packet("10.0.0.1", "10.0.0.2", 1000, 80,
+                              payload=b"x" * (20 + 7 * i))
+                   for i in range(5)]
+        path = self._write(tmp_path, packets)
+        scanner = PcapReader(path)
+        metas = []
+        while (m := scanner.poll_meta()) is not None:
+            metas.append(m)
+        scanner.close()
+        # re-read each record by its scanned offset, out of order
+        reader = PcapReader(path, streaming=True)
+        try:
+            for meta in reversed(metas):
+                reader.seek_to(meta.offset)
+                rec = reader.poll()
+                assert len(rec.data) == meta.caplen
+                assert rec.timestamp == meta.timestamp
+        finally:
+            reader.close()
+
+    def test_prefix_is_bounded_not_the_body(self, tmp_path):
+        big = tcp_packet("10.0.0.1", "10.0.0.2", 1000, 80,
+                         payload=b"Z" * 4000)
+        path = self._write(tmp_path, [big])
+        with PcapReader(path) as reader:
+            meta = reader.poll_meta(prefix_len=96)
+        assert meta.caplen > 4000
+        assert len(meta.prefix) == 96
+
+    def test_short_record_prefix_is_whole_record(self, tmp_path):
+        tiny = tcp_packet("10.0.0.1", "10.0.0.2", 1000, 80)
+        path = self._write(tmp_path, [tiny])
+        with PcapReader(path) as reader:
+            meta = reader.poll_meta(prefix_len=96)
+        assert len(meta.prefix) == meta.caplen < 96
+
+    def test_streaming_partial_record_yields_none_then_meta(self, tmp_path):
+        pkt = tcp_packet("10.0.0.1", "10.0.0.2", 1000, 80,
+                         payload=b"q" * 100)
+        path = self._write(tmp_path, [pkt])
+        data = Path(path).read_bytes()
+        partial = tmp_path / "partial.pcap"
+        partial.write_bytes(data[:-40])  # record torn mid-body
+        with PcapReader(str(partial), streaming=True) as reader:
+            assert reader.poll_meta() is None  # incomplete: not consumed
+            partial.write_bytes(data)  # capture grows to completion
+            meta = reader.poll_meta()
+            assert meta is not None and meta.caplen == 100 + 54

@@ -1,0 +1,190 @@
+"""Tests for the shared-memory packet ring: framing, integrity, recycle.
+
+The ring is the zero-copy half of the fleet transport; these tests pin
+the frame protocol itself — a reader must accept exactly the frames a
+writer produced, and *loudly* reject everything else: torn frames,
+recycled generations, corrupted payloads, poisoned (reset) spans.
+"""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.nids.shm import (DEFAULT_RING_BYTES, FRAME_MAGIC, PacketRing,
+                            RingIntegrityError, RingReader, RingSlot)
+
+
+def _batch(start_seq, payloads, t0=100.0):
+    return [(start_seq + i, data, t0 + i * 0.25)
+            for i, data in enumerate(payloads)]
+
+
+@pytest.fixture
+def ring():
+    with PacketRing(ring_bytes=4096) as r:
+        yield r
+
+
+@pytest.fixture
+def reader(ring):
+    reader = RingReader(ring.name)
+    yield reader
+    reader.close()
+
+
+class TestRoundTrip:
+    def test_batch_survives_the_ring_byte_identical(self, ring, reader):
+        batch = _batch(7, [b"alpha", b"", b"\x00" * 64, bytes(range(256))])
+        slot = ring.try_write("k0", batch)
+        assert slot is not None and slot.count == len(batch)
+        out = reader.read_batch(slot)
+        assert [(seq, bytes(wire), ts) for seq, wire, ts in out] == batch
+
+    def test_records_are_views_of_one_snapshot(self, ring, reader):
+        slot = ring.try_write("k0", _batch(0, [b"abc", b"defg"]))
+        out = reader.read_batch(slot)
+        assert all(isinstance(wire, memoryview) for _, wire, _ in out)
+        # the snapshot outlives ring recycling: overwrite the span and
+        # the already-read views must be unaffected
+        assert ring.retire("k0")
+        ring.try_write("k1", _batch(2, [b"XXXXXXXXXXXX"]))
+        assert bytes(out[0][1]) == b"abc" and bytes(out[1][1]) == b"defg"
+
+    def test_descriptor_is_small_no_matter_the_payload(self, ring):
+        slot = ring.try_write("k0", _batch(0, [b"P" * 2000]))
+        assert isinstance(slot, RingSlot)
+        assert slot.length > 2000  # the bytes live in the ring...
+        # ...while the descriptor that rides the pool is 4 integers
+        assert set(vars(slot)) == {"offset", "length", "generation",
+                                   "count"}
+
+
+class TestCapacity:
+    def test_full_ring_returns_none_never_raises(self, ring):
+        written = 0
+        while ring.try_write(("k", written), _batch(0, [b"x" * 900])):
+            written += 1
+        assert written >= 3  # 4096-byte ring holds a few 900B frames
+        assert ring.try_write(("k", "over"), _batch(0, [b"x" * 900])) is None
+
+    def test_retire_frees_room_fifo(self, ring):
+        keys = []
+        while True:
+            key = ("k", len(keys))
+            if ring.try_write(key, _batch(0, [b"x" * 900])) is None:
+                break
+            keys.append(key)
+        assert not ring.retire("not-the-oldest")
+        assert ring.retire(keys[0])
+        assert ring.try_write("after", _batch(0, [b"x" * 900])) is not None
+
+    def test_wrap_allocation_stays_readable(self):
+        with PacketRing(ring_bytes=2048) as ring:
+            reader = RingReader(ring.name)
+            try:
+                slots = {}
+                seq = 0
+                # churn enough batches through a tiny ring to force the
+                # write cursor around the wrap point several times
+                for i in range(40):
+                    batch = _batch(seq, [bytes([i % 251]) * (200 + 17 * (i % 5))])
+                    seq += 1
+                    slot = ring.try_write(i, batch)
+                    while slot is None:
+                        # drain FIFO until contiguous room opens (one
+                        # retire may not be enough across the wrap gap)
+                        oldest = min(slots)
+                        reader_out = reader.read_batch(slots.pop(oldest))
+                        assert bytes(reader_out[0][1])[0] == oldest % 251
+                        assert ring.retire(oldest)
+                        slot = ring.try_write(i, batch)
+                    slots[i] = slot
+                for i, slot in slots.items():
+                    out = reader.read_batch(slot)
+                    assert bytes(out[0][1]) == bytes([i % 251]) * len(out[0][1])
+            finally:
+                reader.close()
+
+    def test_undersized_ring_is_rejected(self):
+        with pytest.raises(ValueError):
+            PacketRing(ring_bytes=16)
+
+
+class TestIntegrity:
+    def test_payload_corruption_fails_crc(self, ring, reader):
+        slot = ring.try_write("k0", _batch(0, [b"sensitive-bytes"]))
+        flip = slot.offset + 16 + 20 + 3  # inside the first record body
+        ring._shm.buf[flip] ^= 0xFF
+        with pytest.raises(RingIntegrityError, match="CRC"):
+            reader.read_batch(slot)
+
+    def test_torn_tail_generation_fails(self, ring, reader):
+        slot = ring.try_write("k0", _batch(0, [b"abc"]))
+        tail_at = slot.offset + slot.length - 4
+        struct.pack_into("<I", ring._shm.buf, tail_at, 999)
+        with pytest.raises(RingIntegrityError, match="torn frame"):
+            reader.read_batch(slot)
+
+    def test_stale_descriptor_fails_after_reset(self, ring, reader):
+        """The crash seam: a descriptor that outlives a shard restart
+        must fail loud even though its bytes may still be intact."""
+        slot = ring.try_write("k0", _batch(0, [b"pre-crash"]))
+        ring.reset()
+        with pytest.raises(RingIntegrityError, match="magic"):
+            reader.read_batch(slot)  # frame head was poisoned
+
+    def test_generation_mismatch_fails_for_rewritten_span(self, ring, reader):
+        stale = ring.try_write("k0", _batch(0, [b"old"]))
+        ring.reset()
+        fresh = ring.try_write("k1", _batch(1, [b"new"]))
+        assert fresh.offset == stale.offset  # same bytes, new epoch
+        with pytest.raises(RingIntegrityError, match="generation"):
+            reader.read_batch(stale)
+        assert bytes(reader.read_batch(fresh)[0][1]) == b"new"
+
+    def test_reset_bumps_generation_and_voids_spans(self, ring):
+        ring.try_write("k0", _batch(0, [b"x"]))
+        gen = ring.generation
+        used = ring.used_bytes
+        assert used > 0
+        ring.reset()
+        assert ring.generation == gen + 1
+        assert ring.used_bytes == 0
+
+    def test_fabricated_magic_fails(self, ring, reader):
+        slot = RingSlot(offset=0, length=64, generation=ring.generation,
+                        count=1)
+        with pytest.raises(RingIntegrityError, match="magic"):
+            reader.read_batch(slot)
+
+
+class TestLifecycle:
+    def test_default_capacity_is_documented_value(self):
+        assert DEFAULT_RING_BYTES == 1 << 20
+
+    def test_close_unlinks_the_segment(self):
+        ring = PacketRing(ring_bytes=4096)
+        name = ring.name
+        ring.close()
+        from multiprocessing import shared_memory
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_double_close_is_safe(self):
+        ring = PacketRing(ring_bytes=4096)
+        ring.close()
+        ring.close()
+
+    def test_crc_matches_zlib_over_payload(self, ring, reader):
+        """Pin the frame layout: header fields live where the docs say."""
+        slot = ring.try_write("k0", _batch(3, [b"pinned"]))
+        buf = ring._shm.buf
+        magic, gen, length, crc = struct.unpack_from("<IIII", buf,
+                                                     slot.offset)
+        assert magic == FRAME_MAGIC == 0x52504B54
+        assert gen == ring.generation
+        payload = bytes(buf[slot.offset + 16:slot.offset + 16 + length])
+        assert crc == zlib.crc32(payload)
+        seq, ts, wire_len = struct.unpack_from("<QdI", payload, 0)
+        assert (seq, ts, wire_len) == (3, 100.0, len(b"pinned"))
